@@ -1,0 +1,64 @@
+// Command picoprobe-datagen writes synthetic Dynamic PicoProbe
+// acquisitions as EMD containers: hyperspectral cubes (polyamide film with
+// embedded heavy metals) or spatiotemporal gold-nanoparticle series.
+//
+// Usage:
+//
+//	picoprobe-datagen -kind hyperspectral -out sample.emdg [-size 64] [-channels 256]
+//	picoprobe-datagen -kind spatiotemporal -out series.emdg [-frames 60] [-size 128] [-particles 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"picoprobe/internal/metadata"
+	"picoprobe/internal/synth"
+)
+
+func main() {
+	kind := flag.String("kind", "hyperspectral", "hyperspectral or spatiotemporal")
+	out := flag.String("out", "sample.emdg", "output EMD path")
+	size := flag.Int("size", 64, "image height and width in pixels")
+	channels := flag.Int("channels", 256, "spectral channels (hyperspectral)")
+	frames := flag.Int("frames", 60, "time steps (spatiotemporal)")
+	particles := flag.Int("particles", 8, "nanoparticle count (spatiotemporal)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	sample := flag.String("sample", "synthetic-sample-001", "sample name recorded in metadata")
+	operator := flag.String("operator", "datagen", "operator recorded in metadata")
+	flag.Parse()
+
+	acq := &metadata.Acquisition{
+		SampleName: *sample,
+		Operator:   *operator,
+		Collected:  time.Now().UTC(),
+	}
+	mic := synth.DefaultMicroscope()
+
+	switch *kind {
+	case "hyperspectral":
+		s, err := synth.GenerateHyperspectral(synth.HyperspectralConfig{
+			Height: *size, Width: *size, Channels: *channels, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.WriteEMD(*out, mic, acq); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: hyperspectral cube %v, elements %v\n", *out, s.Cube.Shape(), s.Elements)
+	case "spatiotemporal":
+		s := synth.GenerateSpatiotemporal(synth.SpatiotemporalConfig{
+			Frames: *frames, Height: *size, Width: *size, Particles: *particles, Seed: *seed,
+		})
+		if err := s.WriteEMD(*out, mic, acq); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: spatiotemporal series %v, %d particles with ground truth\n",
+			*out, s.Series.Shape(), *particles)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+}

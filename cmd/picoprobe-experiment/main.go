@@ -1,0 +1,83 @@
+// Command picoprobe-experiment regenerates the paper's evaluation (Table 1
+// and the Fig 4 stage decomposition) on the simulated facility, printing
+// measured values side by side with the published ones.
+//
+// Usage:
+//
+//	picoprobe-experiment [-kind both|hyperspectral|spatiotemporal]
+//	    [-duration 1h] [-policy exponential|constant|linear|push]
+//	    [-split] [-noreuse] [-detail]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"picoprobe/internal/core"
+	"picoprobe/internal/flows"
+)
+
+func main() {
+	kind := flag.String("kind", "both", "hyperspectral, spatiotemporal or both")
+	duration := flag.Duration("duration", time.Hour, "experiment window")
+	policy := flag.String("policy", "exponential", "polling policy: exponential, constant, linear or push")
+	split := flag.Bool("split", false, "run metadata extraction and image processing as separate compute states (ablation)")
+	noreuse := flag.Bool("noreuse", false, "release compute nodes after every task (ablation)")
+	detail := flag.Bool("detail", false, "print the per-stage Fig 4 decomposition")
+	flag.Parse()
+
+	var pol flows.Policy
+	switch *policy {
+	case "exponential":
+		pol = flows.DefaultExponential()
+	case "constant":
+		pol = flows.Constant{Interval: time.Second}
+	case "linear":
+		pol = flows.Linear{Step: time.Second, Cap: time.Minute}
+	case "push":
+		pol = flows.Push{Latency: 100 * time.Millisecond}
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	run := func(cfg core.ExperimentConfig) *core.ExperimentResult {
+		cfg.Duration = *duration
+		cfg.Policy = pol
+		cfg.SplitCompute = *split
+		cfg.DisableNodeReuse = *noreuse
+		res, err := core.RunExperiment(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	var rows []core.Table1Row
+	var details []string
+	if *kind == "both" || *kind == "hyperspectral" {
+		res := run(core.HyperspectralExperiment())
+		rows = append(rows, res.Table1(), core.PaperTable1Hyperspectral)
+		details = append(details, core.FormatStages("hyperspectral", res.Stages()))
+	}
+	if *kind == "both" || *kind == "spatiotemporal" {
+		res := run(core.SpatiotemporalExperiment())
+		rows = append(rows, res.Table1(), core.PaperTable1Spatiotemporal)
+		details = append(details, core.FormatStages("spatiotemporal", res.Stages()))
+	}
+	if len(rows) == 0 {
+		log.Fatalf("unknown kind %q", *kind)
+	}
+
+	fmt.Printf("Simulated %v evaluation (policy=%s split=%v noreuse=%v)\n\n", *duration, *policy, *split, *noreuse)
+	fmt.Println(core.FormatTable1(rows...))
+	if *detail {
+		for _, d := range details {
+			fmt.Println()
+			fmt.Println(d)
+		}
+	}
+	os.Exit(0)
+}

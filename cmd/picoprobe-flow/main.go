@@ -1,0 +1,87 @@
+// Command picoprobe-flow runs one live end-to-end data flow on a local EMD
+// file: transfer to the storage root, fused analysis on the landed copy,
+// publication to the search index. It prints the per-stage timing record
+// and the produced artifacts.
+//
+// Usage:
+//
+//	picoprobe-flow -kind hyperspectral -file sample.emdg [-workdir ./picoprobe-work]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"picoprobe/internal/core"
+)
+
+func main() {
+	kind := flag.String("kind", "hyperspectral", "hyperspectral or spatiotemporal")
+	file := flag.String("file", "", "EMD file to process (required)")
+	workdir := flag.String("workdir", "picoprobe-work", "working directory (instrument/eagle/artifact roots)")
+	flag.Parse()
+	if *file == "" {
+		log.Fatal("-file is required (generate one with picoprobe-datagen)")
+	}
+
+	instrument := filepath.Join(*workdir, "instrument")
+	eagle := filepath.Join(*workdir, "eagle")
+	outDir := filepath.Join(*workdir, "artifacts")
+	dep, err := core.NewLiveDeployment(core.LiveOptions{
+		InstrumentRoot: instrument,
+		EagleRoot:      eagle,
+		OutDir:         outDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage the file into the instrument's transfer directory, as the
+	// acquisition software would.
+	rel := filepath.Base(*file)
+	if err := copyFile(*file, filepath.Join(instrument, rel)); err != nil {
+		log.Fatal(err)
+	}
+
+	rec, err := dep.RunFile(*kind, rel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flow %s (%s) %s in %v\n", rec.RunID, rec.Flow, rec.Status, rec.Runtime().Round(1e6))
+	for _, st := range rec.States {
+		fmt.Printf("  %-12s action=%s active=%v overhead=%v polls=%d\n",
+			st.Name, st.ActionID, st.Active().Round(1e6), st.Overhead().Round(1e6), st.Polls)
+	}
+	fmt.Printf("indexed records: %d\n", dep.Index.Count())
+	fmt.Printf("artifacts under %s:\n", outDir)
+	filepath.Walk(outDir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			fmt.Printf("  %s (%d bytes)\n", path, info.Size())
+		}
+		return nil
+	})
+}
+
+func copyFile(src, dst string) error {
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

@@ -1,0 +1,114 @@
+// Command picoprobe-portal serves the DGPF-like data portal over a search
+// index snapshot and an artifact directory. With -demo it first generates
+// and analyzes synthetic hyperspectral and spatiotemporal acquisitions so
+// the portal has something to show.
+//
+// Usage:
+//
+//	picoprobe-portal -demo -addr :8080
+//	picoprobe-portal -index index.jsonl -artifacts ./artifacts -addr :8080
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"picoprobe/internal/core"
+	"picoprobe/internal/detect"
+	"picoprobe/internal/metadata"
+	"picoprobe/internal/portal"
+	"picoprobe/internal/search"
+	"picoprobe/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	indexPath := flag.String("index", "", "search index snapshot (JSON lines, from a previous run)")
+	artifacts := flag.String("artifacts", "picoprobe-work/artifacts", "artifact directory to serve")
+	demo := flag.Bool("demo", false, "generate and analyze demo data first")
+	flag.Parse()
+
+	index := search.NewIndex()
+	if *indexPath != "" {
+		f, err := os.Open(*indexPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loaded, err := search.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		index = loaded
+	}
+	if *demo {
+		if err := seedDemo(index, *artifacts); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv, err := portal.NewServer(portal.Config{Index: index, ArtifactRoot: *artifacts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("portal with %d record(s) listening on %s\n", index.Count(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+func seedDemo(index *search.Index, artifacts string) error {
+	tmp, err := os.MkdirTemp("", "picoprobe-demo")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	mic := synth.DefaultMicroscope()
+
+	hs, err := synth.GenerateHyperspectral(synth.HyperspectralConfig{Height: 64, Width: 64, Channels: 256, Seed: 4})
+	if err != nil {
+		return err
+	}
+	hsPath := filepath.Join(tmp, "hs.emdg")
+	if err := hs.WriteEMD(hsPath, mic, &metadata.Acquisition{
+		SampleName: "polyamide-film-demo", Operator: "demo", Collected: time.Now().UTC(),
+	}); err != nil {
+		return err
+	}
+	hsOut, err := core.AnalyzeHyperspectral(hsPath, artifacts)
+	if err != nil {
+		return err
+	}
+	if err := ingest(index, hsOut); err != nil {
+		return err
+	}
+
+	st := synth.GenerateSpatiotemporal(synth.SpatiotemporalConfig{Frames: 24, Height: 96, Width: 96, Particles: 6, Seed: 5})
+	stPath := filepath.Join(tmp, "st.emdg")
+	if err := st.WriteEMD(stPath, mic, &metadata.Acquisition{
+		SampleName: "au-on-carbon-demo", Operator: "demo", Collected: time.Now().UTC(),
+	}); err != nil {
+		return err
+	}
+	stOut, err := core.AnalyzeSpatiotemporal(stPath, artifacts, detect.DefaultParams())
+	if err != nil {
+		return err
+	}
+	return ingest(index, stOut)
+}
+
+func ingest(index *search.Index, out *core.AnalysisOutput) error {
+	raw, err := core.SearchEntry(out.Experiment)
+	if err != nil {
+		return err
+	}
+	var entry search.Entry
+	if err := json.Unmarshal(raw, &entry); err != nil {
+		return err
+	}
+	return index.Ingest(entry)
+}

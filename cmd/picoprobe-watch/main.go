@@ -1,0 +1,75 @@
+// Command picoprobe-watch is the instrument-side trigger application: it
+// watches a transfer directory (with settle detection and a restart-safe
+// checkpoint) and starts a live flow for every new EMD file — the paper's
+// watchdog-based application, wired to the in-process deployment.
+//
+// Usage:
+//
+//	picoprobe-watch -dir ./instrument -kind hyperspectral [-workdir ./picoprobe-work] [-count 0]
+//
+// With -count N the command exits after N flows (useful for scripted
+// demos); 0 means run until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+
+	"picoprobe/internal/core"
+	"picoprobe/internal/watcher"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory to watch (required)")
+	kind := flag.String("kind", "hyperspectral", "hyperspectral or spatiotemporal")
+	workdir := flag.String("workdir", "picoprobe-work", "working directory for eagle/artifact roots")
+	pattern := flag.String("pattern", "*.emdg", "file glob to react to")
+	count := flag.Int("count", 0, "exit after this many flows (0 = forever)")
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("-dir is required")
+	}
+
+	dep, err := core.NewLiveDeployment(core.LiveOptions{
+		InstrumentRoot: *dir,
+		EagleRoot:      filepath.Join(*workdir, "eagle"),
+		OutDir:         filepath.Join(*workdir, "artifacts"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w, err := watcher.New(*dir, watcher.Options{
+		Pattern:        *pattern,
+		CheckpointPath: filepath.Join(*workdir, "watch-checkpoint.json"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Start()
+	defer w.Stop()
+
+	fmt.Printf("watching %s for %s files (checkpointed; restart-safe)\n", *dir, *pattern)
+	ran := 0
+	for ev := range w.Events() {
+		rel, err := filepath.Rel(*dir, ev.Path)
+		if err != nil {
+			log.Printf("skipping %s: %v", ev.Path, err)
+			continue
+		}
+		fmt.Printf("new file %s (%d bytes) — starting %s flow\n", rel, ev.Size, *kind)
+		rec, err := dep.RunFile(*kind, rel)
+		if err != nil {
+			log.Printf("flow failed: %v", err)
+			continue
+		}
+		fmt.Printf("  %s %s in %v; %d records indexed\n",
+			rec.RunID, rec.Status, rec.Runtime().Round(1e6), dep.Index.Count())
+		ran++
+		if *count > 0 && ran >= *count {
+			return
+		}
+	}
+}

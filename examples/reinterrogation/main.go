@@ -1,0 +1,108 @@
+// Reinterrogation: the FAIR-catalog use case the paper motivates —
+// "domain scientists [get] the ability to reinterrogate data from past
+// experiments to yield additional scientific value". A month-long campaign
+// of experiments from two operators is published to the search index, then
+// queried by element, kind, date range and visibility.
+//
+//	go run ./examples/reinterrogation
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	"picoprobe/internal/search"
+)
+
+func main() {
+	index := search.NewIndex()
+
+	// Publish a campaign: 4 weeks, alternating samples and operators.
+	operators := []string{"zaluzec@anl.gov", "brace@anl.gov"}
+	elements := [][]string{{"C", "N", "O", "Pb"}, {"C", "Au"}, {"C", "N", "O", "Au", "Pb"}}
+	kinds := []string{"hyperspectral", "spatiotemporal"}
+	base := time.Date(2023, 6, 1, 9, 0, 0, 0, time.UTC)
+	n := 0
+	for day := 0; day < 28; day++ {
+		for runIdx := 0; runIdx < 3; runIdx++ {
+			op := operators[(day+runIdx)%2]
+			els := elements[(day+runIdx)%3]
+			kind := kinds[runIdx%2]
+			collected := base.AddDate(0, 0, day).Add(time.Duration(runIdx) * 2 * time.Hour)
+			record := map[string]any{
+				"sample":   fmt.Sprintf("campaign-s%02d", day%7),
+				"operator": op,
+				"elements": els,
+			}
+			payload, _ := json.Marshal(record)
+			entry := search.Entry{
+				ID:   fmt.Sprintf("exp-%03d", n),
+				Text: fmt.Sprintf("%s acquisition of campaign-s%02d with %v by %s", kind, day%7, els, op),
+				Fields: map[string]string{
+					"kind":     kind,
+					"operator": op,
+					"sample":   fmt.Sprintf("campaign-s%02d", day%7),
+				},
+				Numbers: map[string]float64{"beam_energy_kev": 200 + float64(day%3)*50},
+				Date:    collected,
+				Payload: payload,
+			}
+			// Every fourth record is embargoed to its operator.
+			if n%4 == 0 {
+				entry.VisibleTo = []string{op}
+			}
+			if err := index.Ingest(entry); err != nil {
+				log.Fatal(err)
+			}
+			n++
+		}
+	}
+	fmt.Printf("published %d experiment records across 28 days\n\n", index.Count())
+
+	show := func(label string, q search.Query) {
+		hits, total, err := index.Search(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s -> %d record(s)\n", label, total)
+		for i, h := range hits {
+			if i >= 3 {
+				fmt.Printf("  ... and %d more\n", total-3)
+				break
+			}
+			fmt.Printf("  %s %s %s\n", h.Entry.ID, h.Entry.Date.Format("2006-01-02"), h.Entry.Fields["kind"])
+		}
+		fmt.Println()
+	}
+
+	// Which past experiments saw gold?
+	show("query: gold experiments (anonymous)", search.Query{Text: "au"})
+
+	// Narrow to one week of spatiotemporal runs.
+	show("query: spatiotemporal runs, week of June 12",
+		search.Query{
+			Filters: map[string]string{"kind": "spatiotemporal"},
+			From:    time.Date(2023, 6, 12, 0, 0, 0, 0, time.UTC),
+			To:      time.Date(2023, 6, 18, 23, 59, 59, 0, time.UTC),
+		})
+
+	// High-voltage runs only.
+	show("query: 300 keV runs", search.Query{NumRange: map[string][2]float64{"beam_energy_kev": {299, 301}}})
+
+	// Embargoed records appear only for their owner.
+	anonHits, anonTotal, _ := index.Search(search.Query{Filters: map[string]string{"operator": "zaluzec@anl.gov"}, Limit: 100})
+	_, ownerTotal, _ := index.Search(search.Query{
+		Filters:   map[string]string{"operator": "zaluzec@anl.gov"},
+		Principal: "zaluzec@anl.gov",
+		Limit:     100,
+	})
+	fmt.Printf("visibility: %d of zaluzec's records public (%d visible to zaluzec) — %d embargoed\n",
+		anonTotal, ownerTotal, ownerTotal-anonTotal)
+	_ = anonHits
+
+	// Facets for the portal sidebar.
+	fmt.Printf("\nfacets by kind: %v\n", index.Facets(search.Query{}, "kind"))
+	fmt.Printf("facets by sample: %v\n", index.Facets(search.Query{}, "sample"))
+}

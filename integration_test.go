@@ -1,0 +1,232 @@
+package picoprobe
+
+import (
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"picoprobe/internal/metadata"
+	"picoprobe/internal/portal"
+	"picoprobe/internal/search"
+	"picoprobe/internal/synth"
+	"picoprobe/internal/watcher"
+)
+
+// writeAcquisition drops a small hyperspectral EMD into dir.
+func writeAcquisition(t *testing.T, dir, name, sampleName string, seed int64) {
+	t.Helper()
+	s, err := synth.GenerateHyperspectral(HyperspectralConfig{Height: 16, Width: 16, Channels: 64, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acq := &metadata.Acquisition{SampleName: sampleName, Operator: "integration", Collected: time.Now().UTC()}
+	if err := s.WriteEMD(filepath.Join(dir, name), synth.DefaultMicroscope(), acq); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatcherDrivenPipeline runs the complete instrument-side loop: the
+// watcher detects settled EMD files, each event starts a live flow, and a
+// watcher restart with its checkpoint does not re-trigger processed files
+// — the paper's resume-after-reboot requirement, end to end.
+func TestWatcherDrivenPipeline(t *testing.T) {
+	instrument := t.TempDir()
+	workdir := t.TempDir()
+	checkpoint := filepath.Join(workdir, "watch.json")
+
+	dep, err := NewLiveDeployment(LiveOptions{
+		InstrumentRoot: instrument,
+		EagleRoot:      filepath.Join(workdir, "eagle"),
+		OutDir:         filepath.Join(workdir, "artifacts"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := watcher.Options{
+		Interval:       5 * time.Millisecond,
+		SettlePolls:    2,
+		Pattern:        "*.emdg",
+		CheckpointPath: checkpoint,
+	}
+	w, err := watcher.New(instrument, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+
+	writeAcquisition(t, instrument, "a.emdg", "sample-a", 1)
+	writeAcquisition(t, instrument, "b.emdg", "sample-b", 2)
+
+	processed := 0
+	deadline := time.After(20 * time.Second)
+	for processed < 2 {
+		select {
+		case ev := <-w.Events():
+			rel, err := filepath.Rel(instrument, ev.Path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dep.RunFile("hyperspectral", rel); err != nil {
+				t.Fatal(err)
+			}
+			processed++
+		case <-deadline:
+			t.Fatalf("timed out after %d flows", processed)
+		}
+	}
+	w.Stop()
+
+	if dep.Index.Count() != 2 {
+		t.Fatalf("indexed = %d, want 2", dep.Index.Count())
+	}
+
+	// "Reboot" the user machine: a fresh watcher must not re-announce the
+	// processed files but must pick up a new one.
+	w2, err := watcher.New(instrument, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Processed() != 2 {
+		t.Fatalf("restored checkpoint has %d entries", w2.Processed())
+	}
+	w2.Start()
+	defer w2.Stop()
+	writeAcquisition(t, instrument, "c.emdg", "sample-c", 3)
+	select {
+	case ev := <-w2.Events():
+		if filepath.Base(ev.Path) != "c.emdg" {
+			t.Fatalf("re-announced old file %s", ev.Path)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("new file after restart never announced")
+	}
+}
+
+// TestPortalOverLivePipeline serves the portal over a live deployment's
+// index and artifacts and walks it like a researcher would: search, open
+// the record, fetch a rendered plot.
+func TestPortalOverLivePipeline(t *testing.T) {
+	instrument := t.TempDir()
+	workdir := t.TempDir()
+	outDir := filepath.Join(workdir, "artifacts")
+	dep, err := NewLiveDeployment(LiveOptions{
+		InstrumentRoot: instrument,
+		EagleRoot:      filepath.Join(workdir, "eagle"),
+		OutDir:         outDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAcquisition(t, instrument, "run.emdg", "portal-sample", 4)
+	if _, err := dep.RunFile("hyperspectral", "run.emdg"); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := portal.NewServer(portal.Config{Index: dep.Index, ArtifactRoot: outDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Search page finds the record.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/?q=portal-sample", nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	if rec.Result().StatusCode != 200 || !strings.Contains(string(body), "exp-") {
+		t.Fatalf("search page: %d\n%s", rec.Result().StatusCode, body)
+	}
+
+	// Extract the record ID from the index directly and open its page.
+	hits, _, err := dep.Index.Search(search.Query{Text: "portal-sample"})
+	if err != nil || len(hits) == 0 {
+		t.Fatal("record not indexed")
+	}
+	id := hits[0].Entry.ID
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/record/"+id, nil))
+	page, _ := io.ReadAll(rec.Result().Body)
+	if !strings.Contains(string(page), "intensity.png") {
+		t.Errorf("record page missing intensity product:\n%s", page)
+	}
+
+	// The intensity map itself is served as a PNG.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/artifacts/"+id+"/intensity.png", nil))
+	png, _ := io.ReadAll(rec.Result().Body)
+	if rec.Result().StatusCode != 200 || len(png) < 8 || string(png[1:4]) != "PNG" {
+		t.Errorf("artifact fetch failed: %d, %d bytes", rec.Result().StatusCode, len(png))
+	}
+}
+
+// TestIndexSnapshotRoundTripThroughDisk persists a live deployment's index
+// and reloads it, the workflow behind cmd/picoprobe-portal -index.
+func TestIndexSnapshotRoundTripThroughDisk(t *testing.T) {
+	instrument := t.TempDir()
+	workdir := t.TempDir()
+	dep, err := NewLiveDeployment(LiveOptions{
+		InstrumentRoot: instrument,
+		EagleRoot:      filepath.Join(workdir, "eagle"),
+		OutDir:         filepath.Join(workdir, "artifacts"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAcquisition(t, instrument, "run.emdg", "snapshot-sample", 5)
+	if _, err := dep.RunFile("hyperspectral", "run.emdg"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := filepath.Join(workdir, "index.jsonl")
+	f, err := os.Create(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Index.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	in, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	loaded, err := search.Load(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, total, _ := loaded.Search(search.Query{Text: "snapshot-sample"}); total != 1 {
+		t.Errorf("reloaded index total = %d", total)
+	}
+}
+
+// TestBandwidthSweepShape asserts the futuredetectors example's claim: as
+// per-stream bandwidth rises, mean runtime falls and the orchestration
+// overhead share rises (transfer stops dominating).
+func TestBandwidthSweepShape(t *testing.T) {
+	cfg := SpatiotemporalExperiment()
+	cfg.Duration = 20 * time.Minute
+	base, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := cfg
+	fast.Profile.StreamCapBps = 10e9
+	fast.Profile.SiteSwitchBps = 10e9
+	upgraded, err := RunExperiment(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, u := base.Table1(), upgraded.Table1()
+	if u.MeanRuntimeS >= b.MeanRuntimeS {
+		t.Errorf("upgrade did not speed flows: %.0f vs %.0f", u.MeanRuntimeS, b.MeanRuntimeS)
+	}
+	if u.MedianOverheadPct <= b.MedianOverheadPct {
+		t.Errorf("overhead share should rise after upgrade: %.1f%% vs %.1f%%",
+			u.MedianOverheadPct, b.MedianOverheadPct)
+	}
+}

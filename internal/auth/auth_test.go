@@ -1,0 +1,144 @@
+package auth
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func fixedClock(t time.Time) func() time.Time {
+	return func() time.Time { return t }
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	iss := NewIssuer([]byte("secret"), nil)
+	tok, err := iss.Issue("brace@anl.gov", []string{ScopeTransfer, ScopeCompute}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claims, err := iss.Verify(tok, ScopeTransfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if claims.Subject != "brace@anl.gov" {
+		t.Errorf("subject = %q", claims.Subject)
+	}
+	if !claims.HasScope(ScopeCompute) || claims.HasScope(ScopeSearchIngest) {
+		t.Error("scope set wrong")
+	}
+}
+
+func TestMissingScopeRejected(t *testing.T) {
+	iss := NewIssuer([]byte("secret"), nil)
+	tok, _ := iss.Issue("user", []string{ScopeTransfer}, time.Hour)
+	if _, err := iss.Verify(tok, ScopeSearchIngest); !errors.Is(err, ErrScope) {
+		t.Errorf("err = %v, want ErrScope", err)
+	}
+	// Empty required scope means signature/expiry only.
+	if _, err := iss.Verify(tok, ""); err != nil {
+		t.Errorf("scope-less verify failed: %v", err)
+	}
+}
+
+func TestExpiredTokenRejected(t *testing.T) {
+	now := time.Date(2023, 6, 1, 12, 0, 0, 0, time.UTC)
+	clock := now
+	iss := NewIssuer([]byte("secret"), func() time.Time { return clock })
+	tok, _ := iss.Issue("user", []string{ScopeTransfer}, time.Minute)
+	if _, err := iss.Verify(tok, ScopeTransfer); err != nil {
+		t.Fatalf("fresh token rejected: %v", err)
+	}
+	clock = now.Add(2 * time.Minute)
+	if _, err := iss.Verify(tok, ScopeTransfer); !errors.Is(err, ErrExpired) {
+		t.Errorf("err = %v, want ErrExpired", err)
+	}
+}
+
+func TestTamperedTokenRejected(t *testing.T) {
+	iss := NewIssuer([]byte("secret"), nil)
+	tok, _ := iss.Issue("user", []string{ScopeTransfer}, time.Hour)
+	body, sig, _ := strings.Cut(tok, ".")
+	// Flip a payload byte.
+	mutated := []byte(body)
+	mutated[0] ^= 1
+	if _, err := iss.Verify(string(mutated)+"."+sig, ""); !errors.Is(err, ErrSignature) {
+		t.Errorf("payload tamper: err = %v", err)
+	}
+	// Flip a signature byte.
+	mutatedSig := []byte(sig)
+	mutatedSig[0] ^= 1
+	if _, err := iss.Verify(body+"."+string(mutatedSig), ""); !errors.Is(err, ErrSignature) {
+		t.Errorf("signature tamper: err = %v", err)
+	}
+}
+
+func TestWrongIssuerRejected(t *testing.T) {
+	a := NewIssuer([]byte("secret-a"), nil)
+	b := NewIssuer([]byte("secret-b"), nil)
+	tok, _ := a.Issue("user", nil, time.Hour)
+	if _, err := b.Verify(tok, ""); !errors.Is(err, ErrSignature) {
+		t.Errorf("cross-issuer verify: err = %v", err)
+	}
+}
+
+func TestMalformedTokens(t *testing.T) {
+	iss := NewIssuer([]byte("secret"), nil)
+	for _, tok := range []string{"", "nodot", ".", "a.", ".b", "!!!.###"} {
+		if _, err := iss.Verify(tok, ""); err == nil {
+			t.Errorf("token %q accepted", tok)
+		}
+	}
+}
+
+func TestEmptySubjectRejected(t *testing.T) {
+	iss := NewIssuer([]byte("secret"), nil)
+	if _, err := iss.Issue("", nil, time.Hour); err == nil {
+		t.Error("empty subject accepted")
+	}
+}
+
+func TestEmptySecretPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty secret should panic")
+		}
+	}()
+	NewIssuer(nil, nil)
+}
+
+// Property: any issued token verifies with its own issuer and any single
+// bit flip in the token body breaks verification.
+func TestPropertyRoundTripAndTamper(t *testing.T) {
+	iss := NewIssuer([]byte("property-secret"), fixedClock(time.Unix(1_700_000_000, 0)))
+	f := func(subject string, nScopes uint8) bool {
+		if subject == "" {
+			subject = "x"
+		}
+		scopes := make([]string, nScopes%5)
+		for i := range scopes {
+			scopes[i] = ScopeTransfer
+		}
+		tok, err := iss.Issue(subject, scopes, time.Hour)
+		if err != nil {
+			return false
+		}
+		claims, err := iss.Verify(tok, "")
+		if err != nil || claims.Subject != subject {
+			return false
+		}
+		// Tamper with one character of the payload.
+		mutated := []byte(tok)
+		if mutated[0] != 'A' {
+			mutated[0] = 'A'
+		} else {
+			mutated[0] = 'B'
+		}
+		_, err = iss.Verify(string(mutated), "")
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,234 @@
+package compute
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"picoprobe/internal/auth"
+	"picoprobe/internal/scheduler"
+	"picoprobe/internal/sim"
+)
+
+func setup(t *testing.T) (*auth.Issuer, string, *Registry) {
+	t.Helper()
+	iss := auth.NewIssuer([]byte("test"), nil)
+	tok, err := iss.Issue("user", []string{auth.ScopeCompute}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iss, tok, NewRegistry()
+}
+
+func TestRegistry(t *testing.T) {
+	_, _, reg := setup(t)
+	if err := reg.Register(Function{}); err == nil {
+		t.Error("nameless function accepted")
+	}
+	reg.Register(Function{Name: "b"})
+	reg.Register(Function{Name: "a"})
+	if _, ok := reg.Get("a"); !ok {
+		t.Error("registered function missing")
+	}
+	if _, ok := reg.Get("zz"); ok {
+		t.Error("unknown function found")
+	}
+	names := reg.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestLocalExecutorRunsRealFunction(t *testing.T) {
+	iss, tok, reg := setup(t)
+	reg.Register(Function{
+		Name: "double",
+		Run: func(args Args) (Result, error) {
+			v := args["x"].(int)
+			return Result{"y": v * 2}, nil
+		},
+	})
+	svc := NewService(iss, reg, NewLocalExecutor(2, nil), time.Now)
+	id, err := svc.Submit(tok, "double", Args{"x": 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := waitLocal(t, svc, tok, id)
+	if view.Status != StatusSucceeded {
+		t.Fatalf("status = %s (%s)", view.Status, view.Error)
+	}
+	if view.Result["y"] != 42 {
+		t.Errorf("result = %v", view.Result)
+	}
+}
+
+func TestLocalExecutorFunctionError(t *testing.T) {
+	iss, tok, reg := setup(t)
+	reg.Register(Function{
+		Name: "boom",
+		Run:  func(Args) (Result, error) { return nil, fmt.Errorf("analysis exploded") },
+	})
+	svc := NewService(iss, reg, NewLocalExecutor(1, nil), time.Now)
+	id, _ := svc.Submit(tok, "boom", nil)
+	view := waitLocal(t, svc, tok, id)
+	if view.Status != StatusFailed || view.Error == "" {
+		t.Errorf("view = %+v", view)
+	}
+}
+
+func TestLocalExecutorPanicRecovered(t *testing.T) {
+	iss, tok, reg := setup(t)
+	reg.Register(Function{Name: "panic", Run: func(Args) (Result, error) { panic("ouch") }})
+	svc := NewService(iss, reg, NewLocalExecutor(1, nil), time.Now)
+	id, _ := svc.Submit(tok, "panic", nil)
+	view := waitLocal(t, svc, tok, id)
+	if view.Status != StatusFailed {
+		t.Errorf("status = %s", view.Status)
+	}
+}
+
+func TestLocalExecutorNoBody(t *testing.T) {
+	iss, tok, reg := setup(t)
+	reg.Register(Function{Name: "empty"})
+	svc := NewService(iss, reg, NewLocalExecutor(1, nil), time.Now)
+	id, _ := svc.Submit(tok, "empty", nil)
+	view := waitLocal(t, svc, tok, id)
+	if view.Status != StatusFailed {
+		t.Errorf("status = %s", view.Status)
+	}
+}
+
+func TestLocalExecutorBoundedConcurrency(t *testing.T) {
+	iss, tok, reg := setup(t)
+	var mu sync.Mutex
+	running, maxRunning := 0, 0
+	reg.Register(Function{
+		Name: "slow",
+		Run: func(Args) (Result, error) {
+			mu.Lock()
+			running++
+			if running > maxRunning {
+				maxRunning = running
+			}
+			mu.Unlock()
+			time.Sleep(10 * time.Millisecond)
+			mu.Lock()
+			running--
+			mu.Unlock()
+			return Result{}, nil
+		},
+	})
+	svc := NewService(iss, reg, NewLocalExecutor(2, nil), time.Now)
+	var ids []string
+	for i := 0; i < 6; i++ {
+		id, _ := svc.Submit(tok, "slow", nil)
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		waitLocal(t, svc, tok, id)
+	}
+	if maxRunning > 2 {
+		t.Errorf("max concurrency = %d, want <= 2", maxRunning)
+	}
+}
+
+func TestSchedExecutorCostModel(t *testing.T) {
+	iss, tok, reg := setup(t)
+	reg.Register(Function{
+		Name: "analysis",
+		Env:  "picoprobe",
+		Cost: func(Args) time.Duration { return 10 * time.Second },
+	})
+	k := sim.NewKernel()
+	sched := scheduler.New(k, scheduler.Config{
+		Nodes: 1, ProvisionDelay: 60 * time.Second, CacheWarmup: 30 * time.Second, ReuseNodes: true,
+	})
+	svc := NewService(iss, reg, &SchedExecutor{Sched: sched}, k.Now)
+	var id1, id2 string
+	k.Spawn("client", func(ctx sim.Context) {
+		id1, _ = svc.Submit(tok, "analysis", nil)
+	})
+	k.Run()
+	v1, _ := svc.Status(tok, id1)
+	if v1.Status != StatusSucceeded {
+		t.Fatalf("task1 = %+v", v1)
+	}
+	if got := v1.Completed.Sub(v1.Submitted); got != 100*time.Second {
+		t.Errorf("task1 elapsed = %v, want 100s (provision+warmup+run)", got)
+	}
+	if !v1.Provisioned || !v1.Warmed || v1.NodeID != 0 {
+		t.Errorf("task1 = %+v", v1)
+	}
+	// Second task reuses the warm node.
+	k.Spawn("client2", func(ctx sim.Context) {
+		id2, _ = svc.Submit(tok, "analysis", nil)
+	})
+	k.Run()
+	v2, _ := svc.Status(tok, id2)
+	if got := v2.Completed.Sub(v2.Submitted); got != 10*time.Second {
+		t.Errorf("task2 elapsed = %v, want 10s", got)
+	}
+	if v2.Provisioned || v2.Warmed {
+		t.Errorf("task2 should reuse: %+v", v2)
+	}
+}
+
+func TestSchedExecutorRunReal(t *testing.T) {
+	iss, tok, reg := setup(t)
+	ran := false
+	reg.Register(Function{
+		Name: "real",
+		Cost: func(Args) time.Duration { return time.Second },
+		Run: func(Args) (Result, error) {
+			ran = true
+			return Result{"ok": true}, nil
+		},
+	})
+	k := sim.NewKernel()
+	sched := scheduler.New(k, scheduler.Config{Nodes: 1, ReuseNodes: true})
+	svc := NewService(iss, reg, &SchedExecutor{Sched: sched, RunReal: true}, k.Now)
+	var id string
+	k.Spawn("c", func(sim.Context) { id, _ = svc.Submit(tok, "real", nil) })
+	k.Run()
+	v, _ := svc.Status(tok, id)
+	if !ran || v.Result["ok"] != true {
+		t.Errorf("real run missing: ran=%v view=%+v", ran, v)
+	}
+}
+
+func TestAuthAndValidation(t *testing.T) {
+	iss, tok, reg := setup(t)
+	reg.Register(Function{Name: "fn", Run: func(Args) (Result, error) { return Result{}, nil }})
+	svc := NewService(iss, reg, NewLocalExecutor(1, nil), time.Now)
+	if _, err := svc.Submit("bad-token", "fn", nil); err == nil {
+		t.Error("bad token accepted")
+	}
+	wrongScope, _ := iss.Issue("user", []string{auth.ScopeTransfer}, time.Hour)
+	if _, err := svc.Submit(wrongScope, "fn", nil); err == nil {
+		t.Error("wrong scope accepted")
+	}
+	if _, err := svc.Submit(tok, "unknown-fn", nil); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, err := svc.Status(tok, "task-999999"); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func waitLocal(t *testing.T, svc *Service, tok, id string) TaskView {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		v, err := svc.Status(tok, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != StatusActive {
+			return v
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("task never completed")
+	return TaskView{}
+}

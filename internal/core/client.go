@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"picoprobe/internal/auth"
+	"picoprobe/internal/compute"
+	"picoprobe/internal/detect"
+	"picoprobe/internal/flows"
+	"picoprobe/internal/search"
+	"picoprobe/internal/sim"
+	"picoprobe/internal/transfer"
+)
+
+// LiveOptions configures an in-process live deployment: real file
+// movement, real analysis code, real search ingest — the paper's full
+// pipeline on local endpoints, used by the examples, the CLI tools and
+// the end-to-end integration tests.
+type LiveOptions struct {
+	// InstrumentRoot is the user-machine transfer directory (source
+	// endpoint root).
+	InstrumentRoot string
+	// EagleRoot is the destination storage root.
+	EagleRoot string
+	// OutDir receives analysis artifacts (plots, annotated video).
+	OutDir string
+	// Policy is the engine's polling policy (default: idealized push with
+	// 20 ms latency, so live flows finish promptly).
+	Policy flows.Policy
+	// DetectorParams configures nanoYOLO for the spatiotemporal function
+	// (default: detect.DefaultParams, or a calibrated model's params).
+	DetectorParams *detect.Params
+	// Workers bounds concurrent compute tasks (default 2).
+	Workers int
+}
+
+// LiveDeployment is a fully wired in-process deployment of the PicoProbe
+// data-flow architecture.
+type LiveDeployment struct {
+	Runtime  *sim.LiveRuntime
+	Issuer   *auth.Issuer
+	Token    string
+	Transfer *transfer.Service
+	Compute  *compute.Service
+	Index    *search.Index
+	Engine   *flows.Engine
+	Options  LiveOptions
+}
+
+// NewLiveDeployment wires up services against the local filesystem.
+func NewLiveDeployment(opts LiveOptions) (*LiveDeployment, error) {
+	for _, dir := range []string{opts.InstrumentRoot, opts.EagleRoot, opts.OutDir} {
+		if dir == "" {
+			return nil, fmt.Errorf("core: live deployment needs InstrumentRoot, EagleRoot and OutDir")
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	if opts.Policy == nil {
+		opts.Policy = flows.Push{Latency: 20 * time.Millisecond}
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	params := detect.DefaultParams()
+	if opts.DetectorParams != nil {
+		params = *opts.DetectorParams
+	}
+
+	rt := sim.NewLiveRuntime(1)
+	issuer := auth.NewIssuer([]byte("picoprobe-live"), nil)
+	token, err := issuer.Issue("operator@picoprobe", []string{
+		auth.ScopeTransfer, auth.ScopeCompute, auth.ScopeSearchIngest,
+		auth.ScopeSearchQuery, auth.ScopeFlowsRun, auth.ScopePortal,
+	}, 24*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+
+	tsvc := transfer.NewService(issuer, &transfer.LiveMover{Checksum: true}, time.Now, transfer.Options{})
+	if err := tsvc.RegisterEndpoint(transfer.Endpoint{ID: EndpointInstrument, Name: "PicoProbe user machine", Root: opts.InstrumentRoot}); err != nil {
+		return nil, err
+	}
+	if err := tsvc.RegisterEndpoint(transfer.Endpoint{ID: EndpointEagle, Name: "ALCF Eagle", Root: opts.EagleRoot}); err != nil {
+		return nil, err
+	}
+
+	registry := compute.NewRegistry()
+	registry.Register(compute.Function{
+		Name: FnHyperspectral,
+		Env:  ComputeEnv,
+		Run: func(args compute.Args) (compute.Result, error) {
+			path, _ := args["path"].(string)
+			out, err := AnalyzeHyperspectral(path, opts.OutDir)
+			if err != nil {
+				return nil, err
+			}
+			return analysisResult(out)
+		},
+	})
+	registry.Register(compute.Function{
+		Name: FnSpatiotemporal,
+		Env:  ComputeEnv,
+		Run: func(args compute.Args) (compute.Result, error) {
+			path, _ := args["path"].(string)
+			out, err := AnalyzeSpatiotemporal(path, opts.OutDir, params)
+			if err != nil {
+				return nil, err
+			}
+			return analysisResult(out)
+		},
+	})
+	csvc := compute.NewService(issuer, registry, compute.NewLocalExecutor(opts.Workers, nil), time.Now)
+
+	index := search.NewIndex()
+	sprov := NewSearchProvider(rt, issuer, index, 0)
+
+	engine := flows.NewEngine(rt, flows.Options{
+		Policy:          opts.Policy,
+		MaxStateRetries: 2,
+	})
+	engine.RegisterProvider(&TransferProvider{Service: tsvc})
+	engine.RegisterProvider(&ComputeProvider{Service: csvc})
+	engine.RegisterProvider(sprov)
+
+	return &LiveDeployment{
+		Runtime:  rt,
+		Issuer:   issuer,
+		Token:    token,
+		Transfer: tsvc,
+		Compute:  csvc,
+		Index:    index,
+		Engine:   engine,
+		Options:  opts,
+	}, nil
+}
+
+// analysisResult packages an AnalysisOutput for transport through the
+// compute service's JSON-able result map.
+func analysisResult(out *AnalysisOutput) (compute.Result, error) {
+	entryJSON, err := SearchEntry(out.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	return compute.Result{
+		"record_id":  out.Experiment.ID,
+		"entry_json": string(entryJSON),
+		"products":   len(out.Experiment.Products),
+	}, nil
+}
+
+// LiveDefinition builds the live flow for one use case: Transfer the file
+// from the instrument root to the Eagle root, run the fused analysis
+// function on the landed file, publish the resulting record.
+func (d *LiveDeployment) LiveDefinition(kind string) flows.Definition {
+	fn := FnHyperspectral
+	name := FlowHyperspectral
+	if kind == "spatiotemporal" {
+		fn = FnSpatiotemporal
+		name = FlowSpatiotemporal
+	}
+	eagleRoot := d.Options.EagleRoot
+	return flows.Definition{
+		Name: name,
+		States: []flows.StateDef{
+			{
+				Name:     "Transfer",
+				Provider: "transfer",
+				Params: func(input map[string]any, _ map[string]map[string]any) map[string]any {
+					return map[string]any{
+						"src":      EndpointInstrument,
+						"dst":      EndpointEagle,
+						"rel_path": input["rel_path"],
+					}
+				},
+			},
+			{
+				Name:     "Analysis",
+				Provider: "compute",
+				Params: func(input map[string]any, _ map[string]map[string]any) map[string]any {
+					rel, _ := input["rel_path"].(string)
+					return map[string]any{
+						"function": fn,
+						"args":     map[string]any{"path": eagleRoot + string(os.PathSeparator) + rel},
+					}
+				},
+			},
+			{
+				Name:     "Publication",
+				Provider: "search",
+				Params: func(_ map[string]any, results map[string]map[string]any) map[string]any {
+					entry, _ := results["Analysis"]["entry_json"].(string)
+					return map[string]any{"entry_json": entry}
+				},
+			},
+		},
+	}
+}
+
+// RunFile executes the full flow for one file already present in the
+// instrument root (relative path), blocking until the run completes.
+func (d *LiveDeployment) RunFile(kind, relPath string) (flows.RunRecord, error) {
+	def := d.LiveDefinition(kind)
+	done := make(chan flows.RunRecord, 1)
+	_, err := d.Engine.Run(d.Token, def, map[string]any{"rel_path": relPath}, func(r flows.RunRecord) {
+		done <- r
+	})
+	if err != nil {
+		return flows.RunRecord{}, err
+	}
+	rec := <-done
+	if rec.Status != flows.StateSucceeded {
+		return rec, fmt.Errorf("core: flow %s failed: %s", rec.RunID, rec.Error)
+	}
+	return rec, nil
+}

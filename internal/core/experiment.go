@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"picoprobe/internal/auth"
+	"picoprobe/internal/compute"
+	"picoprobe/internal/flows"
+	"picoprobe/internal/netsim"
+	"picoprobe/internal/scheduler"
+	"picoprobe/internal/search"
+	"picoprobe/internal/sim"
+	"picoprobe/internal/stats"
+	"picoprobe/internal/transfer"
+)
+
+// Endpoint IDs of the simulated deployment.
+const (
+	EndpointInstrument = "picoprobe-user"
+	EndpointEagle      = "alcf-eagle"
+)
+
+// ExperimentConfig parameterizes one simulated 1-hour evaluation run (the
+// paper's Sec 3.3 protocol: an application periodically copies a file into
+// the instrument's transfer directory, and each settled file starts a
+// flow).
+type ExperimentConfig struct {
+	// Kind selects the flow: metadata.KindHyperspectral or
+	// metadata.KindSpatiotemporal.
+	Kind string
+	// Duration is the experiment window during which new flows start.
+	Duration time.Duration
+	// StartPeriod is the nominal sleep between generation cycles (paper:
+	// 30 s hyperspectral, 120 s spatiotemporal).
+	StartPeriod time.Duration
+	// FileBytes is the staged file size (paper: 91 MB / 1200 MB).
+	FileBytes int64
+	// Profile is the deployment calibration.
+	Profile Profile
+	// Policy overrides the polling backoff (default: the paper's
+	// exponential policy).
+	Policy flows.Policy
+	// SplitCompute runs metadata extraction and image processing as two
+	// compute states instead of the paper's fused single function
+	// (ablation).
+	SplitCompute bool
+	// DisableNodeReuse releases compute nodes after every task (ablation).
+	DisableNodeReuse bool
+	// CompressionRatio enables on-instrument compression before transfer
+	// (the paper's future-work item 2): the staged file shrinks to
+	// bytes*ratio on the wire at the cost of a compression pass on the
+	// user machine. 0 disables compression.
+	CompressionRatio float64
+	// CompressionBps is the user machine's compression throughput.
+	CompressionBps float64
+	// ParallelStreams splits each transfer across this many GridFTP-style
+	// streams (the paper's future-work item 3). 0 means 1.
+	ParallelStreams int
+}
+
+// HyperspectralExperiment returns the paper's hyperspectral Table 1
+// configuration.
+func HyperspectralExperiment() ExperimentConfig {
+	return ExperimentConfig{
+		Kind:        "hyperspectral",
+		Duration:    time.Hour,
+		StartPeriod: 30 * time.Second,
+		FileBytes:   HyperspectralFileBytes,
+		Profile:     DefaultProfile(),
+	}
+}
+
+// SpatiotemporalExperiment returns the paper's spatiotemporal Table 1
+// configuration.
+func SpatiotemporalExperiment() ExperimentConfig {
+	return ExperimentConfig{
+		Kind:        "spatiotemporal",
+		Duration:    time.Hour,
+		StartPeriod: 120 * time.Second,
+		FileBytes:   SpatiotemporalFileBytes,
+		Profile:     DefaultProfile(),
+	}
+}
+
+// ExperimentResult is the outcome of a simulated evaluation run.
+type ExperimentResult struct {
+	Config ExperimentConfig
+	// Runs are the completed flow records in start order.
+	Runs []flows.RunRecord
+	// IndexedRecords is how many records the search index holds afterward.
+	IndexedRecords int
+	// SchedulerStats summarizes node provisioning activity.
+	SchedulerStats scheduler.Stats
+}
+
+// Table1Row is one column of the paper's Table 1.
+type Table1Row struct {
+	Label             string
+	StartPeriodS      float64
+	TransferVolumeMB  float64
+	TotalDataGB       float64
+	MinRuntimeS       float64
+	MeanRuntimeS      float64
+	MaxRuntimeS       float64
+	MedianOverheadS   float64
+	MedianOverheadPct float64
+	TotalRuns         int
+}
+
+// Table1 aggregates the run records into the paper's Table 1 metrics.
+func (r *ExperimentResult) Table1() Table1Row {
+	runtimes := stats.NewDurationStats()
+	overheads := stats.NewDurationStats()
+	totals := stats.NewDurationStats()
+	var bytes int64
+	for _, run := range r.Runs {
+		if run.Status != flows.StateSucceeded {
+			continue
+		}
+		runtimes.Add(run.Runtime())
+		overheads.Add(run.TotalOverhead())
+		totals.Add(run.Runtime())
+		bytes += r.Config.FileBytes
+	}
+	row := Table1Row{
+		Label:            r.Config.Kind,
+		StartPeriodS:     r.Config.StartPeriod.Seconds(),
+		TransferVolumeMB: float64(r.Config.FileBytes) / 1e6,
+		TotalDataGB:      float64(bytes) / 1e9,
+		MinRuntimeS:      runtimes.Min().Seconds(),
+		MeanRuntimeS:     runtimes.Mean().Seconds(),
+		MaxRuntimeS:      runtimes.Max().Seconds(),
+		MedianOverheadS:  overheads.Median().Seconds(),
+		TotalRuns:        runtimes.Count(),
+	}
+	if med := totals.Median().Seconds(); med > 0 {
+		row.MedianOverheadPct = row.MedianOverheadS / med * 100
+	}
+	return row
+}
+
+// StageRow summarizes one flow step across runs (the paper's Fig 4 bars).
+type StageRow struct {
+	Name                               string
+	ActiveMinS, ActiveMedS, ActiveMaxS float64
+	OverheadMedS                       float64
+	MeanPolls                          float64
+}
+
+// Stages returns the per-step active/overhead decomposition plus a total
+// row, in flow order.
+func (r *ExperimentResult) Stages() []StageRow {
+	type acc struct {
+		active   stats.DurationStats
+		overhead stats.DurationStats
+		polls    int
+		n        int
+	}
+	var order []string
+	byName := map[string]*acc{}
+	for _, run := range r.Runs {
+		if run.Status != flows.StateSucceeded {
+			continue
+		}
+		for _, st := range run.States {
+			a := byName[st.Name]
+			if a == nil {
+				a = &acc{active: stats.NewDurationStats(), overhead: stats.NewDurationStats()}
+				byName[st.Name] = a
+				order = append(order, st.Name)
+			}
+			a.active.Add(st.Active())
+			a.overhead.Add(st.Overhead())
+			a.polls += st.Polls
+			a.n++
+		}
+	}
+	var out []StageRow
+	for _, name := range order {
+		a := byName[name]
+		out = append(out, StageRow{
+			Name:         name,
+			ActiveMinS:   a.active.Min().Seconds(),
+			ActiveMedS:   a.active.Median().Seconds(),
+			ActiveMaxS:   a.active.Max().Seconds(),
+			OverheadMedS: a.overhead.Median().Seconds(),
+			MeanPolls:    float64(a.polls) / float64(a.n),
+		})
+	}
+	return out
+}
+
+// jitterSource yields deterministic multiplicative perturbations in
+// [1-width, 1+width].
+type jitterSource struct {
+	rng   *rand.Rand
+	width float64
+}
+
+func (j *jitterSource) factor() float64 {
+	if j.width <= 0 {
+		return 1
+	}
+	return 1 + (j.rng.Float64()*2-1)*j.width
+}
+
+// RunExperiment executes one simulated evaluation run and returns its
+// records. The entire virtual hour completes in milliseconds of real time.
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
+	if cfg.Kind != "hyperspectral" && cfg.Kind != "spatiotemporal" {
+		return nil, fmt.Errorf("core: unknown experiment kind %q", cfg.Kind)
+	}
+	if cfg.Duration <= 0 || cfg.StartPeriod <= 0 || cfg.FileBytes <= 0 {
+		return nil, fmt.Errorf("core: experiment needs positive duration, period and file size")
+	}
+	p := cfg.Profile
+
+	k := sim.NewKernel()
+	issuer := auth.NewIssuer([]byte("sim-deployment"), k.Now)
+	token, err := issuer.Issue("flows@picoprobe", []string{
+		auth.ScopeTransfer, auth.ScopeCompute, auth.ScopeSearchIngest, auth.ScopeFlowsRun,
+	}, cfg.Duration*4+time.Hour)
+	if err != nil {
+		return nil, err
+	}
+
+	// Network: user switch -> lab backbone -> Eagle ingest.
+	net := netsim.New(k)
+	siteSwitch := net.AddLink("site-switch", p.SiteSwitchBps)
+	backbone := net.AddLink("anl-backbone", p.BackboneBps)
+	eagle := net.AddLink("eagle-ingest", p.EagleIngestBps)
+	path := []*netsim.Link{siteSwitch, backbone, eagle}
+
+	txJitter := &jitterSource{rng: rand.New(rand.NewSource(p.JitterSeed)), width: p.TransferJitter}
+	mover := &transfer.SimMover{
+		Kernel:  k,
+		Network: net,
+		RouteFor: func(src, dst *transfer.Endpoint) transfer.Route {
+			return transfer.Route{
+				Path:      path,
+				StreamCap: p.StreamCapBps * txJitter.factor(),
+				SetupTime: p.TransferSetup,
+				Streams:   cfg.ParallelStreams,
+			}
+		},
+	}
+	tsvc := transfer.NewService(issuer, mover, k.Now, transfer.Options{})
+	tsvc.RegisterEndpoint(transfer.Endpoint{ID: EndpointInstrument, Name: "PicoProbe user machine"})
+	tsvc.RegisterEndpoint(transfer.Endpoint{ID: EndpointEagle, Name: "ALCF Eagle"})
+
+	sched := scheduler.New(k, scheduler.Config{
+		Nodes:          p.PolarisNodes,
+		ProvisionDelay: p.ProvisionDelay,
+		CacheWarmup:    p.CacheWarmup,
+		IdleTimeout:    p.NodeIdleTimeout,
+		ReuseNodes:     !cfg.DisableNodeReuse,
+	})
+	cmpJitter := &jitterSource{rng: rand.New(rand.NewSource(p.JitterSeed + 1)), width: p.ComputeJitter}
+	registry := compute.NewRegistry()
+	costFor := func(rate float64) func(compute.Args) time.Duration {
+		return func(args compute.Args) time.Duration {
+			bytes, _ := args["bytes"].(float64)
+			d := p.AnalysisBase + time.Duration(bytes/rate*float64(time.Second))
+			return time.Duration(float64(d) * cmpJitter.factor())
+		}
+	}
+	registry.Register(compute.Function{Name: FnHyperspectral, Env: ComputeEnv, Cost: costFor(p.HyperspectralBps)})
+	registry.Register(compute.Function{Name: FnSpatiotemporal, Env: ComputeEnv, Cost: costFor(p.SpatiotemporalBps)})
+	registry.Register(compute.Function{Name: FnMetadataOnly, Env: ComputeEnv, Cost: costFor(p.MetadataOnlyBps)})
+	registry.Register(compute.Function{Name: FnImageOnlyHS, Env: ComputeEnv, Cost: costFor(p.HyperspectralBps)})
+	csvc := compute.NewService(issuer, registry, &compute.SchedExecutor{Sched: sched}, k.Now)
+
+	index := search.NewIndex()
+	sprov := NewSearchProvider(k, issuer, index, p.PublishCost)
+
+	engine := flows.NewEngine(k, flows.Options{
+		Policy:          cfg.Policy,
+		StateOverhead:   p.StateOverhead,
+		StatusLatency:   p.StatusLatency,
+		MaxStateRetries: 2,
+	})
+	engine.RegisterProvider(&TransferProvider{Service: tsvc})
+	engine.RegisterProvider(&ComputeProvider{Service: csvc})
+	engine.RegisterProvider(sprov)
+
+	def := SimDefinition(cfg.Kind, cfg.SplitCompute)
+
+	// Wire bytes shrink when on-instrument compression is enabled (paper
+	// future work); the compression pass itself costs user-machine time
+	// in each generation cycle.
+	wireBytes := float64(cfg.FileBytes)
+	var compressTime time.Duration
+	if cfg.CompressionRatio > 0 {
+		wireBytes *= cfg.CompressionRatio
+		bps := cfg.CompressionBps
+		if bps <= 0 {
+			bps = 60e6 // a typical single-core lz-class compressor
+		}
+		compressTime = time.Duration(float64(cfg.FileBytes) / bps * float64(time.Second))
+	}
+
+	// The periodic copy application (paper Sec 3.3): each cycle stages a
+	// file into the watched transfer directory (size/StagingBps), pays the
+	// fixed watcher-settle and flow-start costs, launches the flow, then
+	// sleeps the nominal start period.
+	start := k.Now()
+	k.Spawn("copy-app", func(ctx sim.Context) {
+		runIdx := 0
+		for {
+			staging := time.Duration(float64(cfg.FileBytes)/p.StagingBps*float64(time.Second)) + p.CycleFixed
+			ctx.Sleep(staging + compressTime)
+			if ctx.Now().Sub(start) > cfg.Duration {
+				return
+			}
+			input := map[string]any{
+				"rel_path": fmt.Sprintf("%s-%04d.emdg", cfg.Kind, runIdx),
+				// bytes on the wire (post-compression) vs bytes the
+				// analysis must still chew through.
+				"bytes":          wireBytes,
+				"analysis_bytes": float64(cfg.FileBytes),
+				"run_idx":        runIdx,
+				"started":        ctx.Now().Format(time.RFC3339Nano),
+			}
+			if _, err := engine.Run(token, def, input, nil); err != nil {
+				panic(err) // configuration error; surfaced via kernel.Err
+			}
+			runIdx++
+			ctx.Sleep(cfg.StartPeriod)
+		}
+	})
+
+	k.Run()
+	if err := k.Err(); err != nil {
+		return nil, err
+	}
+	runs := engine.Runs()
+	for _, run := range runs {
+		if run.Status == flows.StateActive {
+			return nil, fmt.Errorf("core: run %s never completed", run.RunID)
+		}
+	}
+	return &ExperimentResult{
+		Config:         cfg,
+		Runs:           runs,
+		IndexedRecords: index.Count(),
+		SchedulerStats: sched.Stats(),
+	}, nil
+}
+
+// SimDefinition builds the simulated flow definition for one use case. The
+// three states mirror the paper's Data Transfer → Data Analysis → Data
+// Publication pipeline; with split=true the analysis stage is divided into
+// separate metadata-extraction and image-processing functions (the
+// configuration the paper avoided by fusing them).
+func SimDefinition(kind string, split bool) flows.Definition {
+	fn := FnHyperspectral
+	flowName := FlowHyperspectral
+	if kind == "spatiotemporal" {
+		fn = FnSpatiotemporal
+		flowName = FlowSpatiotemporal
+	}
+	transferState := flows.StateDef{
+		Name:     "Transfer",
+		Provider: "transfer",
+		Params: func(input map[string]any, _ map[string]map[string]any) map[string]any {
+			return map[string]any{
+				"src":      EndpointInstrument,
+				"dst":      EndpointEagle,
+				"rel_path": input["rel_path"],
+				"bytes":    input["bytes"],
+			}
+		},
+	}
+	publishState := flows.StateDef{
+		Name:     "Publication",
+		Provider: "search",
+		Params: func(input map[string]any, _ map[string]map[string]any) map[string]any {
+			entry := fmt.Sprintf(`{"id":"sim-%s-%v","text":"%s simulated run","date":%q,"fields":{"kind":%q}}`,
+				kind, input["run_idx"], kind, input["started"], kind)
+			return map[string]any{"entry_json": entry}
+		},
+	}
+	computeArgs := func(input map[string]any) map[string]any {
+		bytes := input["bytes"]
+		if ab, ok := input["analysis_bytes"]; ok {
+			bytes = ab
+		}
+		return map[string]any{"bytes": bytes, "rel_path": input["rel_path"]}
+	}
+	if !split {
+		return flows.Definition{
+			Name: flowName,
+			States: []flows.StateDef{
+				transferState,
+				{
+					Name:     "Analysis",
+					Provider: "compute",
+					Params: func(input map[string]any, _ map[string]map[string]any) map[string]any {
+						return map[string]any{"function": fn, "args": computeArgs(input)}
+					},
+				},
+				publishState,
+			},
+		}
+	}
+	return flows.Definition{
+		Name: flowName + "-split",
+		States: []flows.StateDef{
+			transferState,
+			{
+				Name:     "MetadataExtraction",
+				Provider: "compute",
+				Params: func(input map[string]any, _ map[string]map[string]any) map[string]any {
+					return map[string]any{"function": FnMetadataOnly, "args": computeArgs(input)}
+				},
+			},
+			{
+				Name:     "Analysis",
+				Provider: "compute",
+				Params: func(input map[string]any, _ map[string]map[string]any) map[string]any {
+					imageFn := FnImageOnlyHS
+					if kind == "spatiotemporal" {
+						imageFn = FnSpatiotemporal
+					}
+					return map[string]any{"function": imageFn, "args": computeArgs(input)}
+				},
+			},
+			publishState,
+		},
+	}
+}

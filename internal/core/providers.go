@@ -1,0 +1,200 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"picoprobe/internal/auth"
+	"picoprobe/internal/compute"
+	"picoprobe/internal/flows"
+	"picoprobe/internal/search"
+	"picoprobe/internal/sim"
+	"picoprobe/internal/transfer"
+)
+
+// TransferProvider adapts the transfer service to the flows engine. Params:
+// "src", "dst" (endpoint IDs), "rel_path" (file), "bytes" (int64, used by
+// the simulated mover).
+type TransferProvider struct {
+	Service *transfer.Service
+}
+
+// Name implements flows.ActionProvider.
+func (p *TransferProvider) Name() string { return "transfer" }
+
+// Invoke implements flows.ActionProvider.
+func (p *TransferProvider) Invoke(token string, params map[string]any) (string, error) {
+	src, _ := params["src"].(string)
+	dst, _ := params["dst"].(string)
+	rel, _ := params["rel_path"].(string)
+	if src == "" || dst == "" || rel == "" {
+		return "", fmt.Errorf("core: transfer params need src, dst and rel_path")
+	}
+	var bytes int64
+	switch v := params["bytes"].(type) {
+	case int64:
+		bytes = v
+	case int:
+		bytes = int64(v)
+	case float64:
+		bytes = int64(v)
+	}
+	return p.Service.Submit(token, src, dst, []transfer.FileSpec{{RelPath: rel, Bytes: bytes}})
+}
+
+// Status implements flows.ActionProvider.
+func (p *TransferProvider) Status(token, actionID string) (flows.ActionStatus, error) {
+	view, err := p.Service.Status(token, actionID)
+	if err != nil {
+		return flows.ActionStatus{}, err
+	}
+	st := flows.ActionStatus{
+		Started:   view.Started,
+		Completed: view.Completed,
+		Error:     view.Error,
+		Result: map[string]any{
+			"task_id":     view.ID,
+			"bytes_moved": view.BytesMoved,
+		},
+	}
+	switch view.Status {
+	case transfer.StatusSucceeded:
+		st.State = flows.StateSucceeded
+	case transfer.StatusFailed:
+		st.State = flows.StateFailed
+	default:
+		st.State = flows.StateActive
+	}
+	return st, nil
+}
+
+// ComputeProvider adapts the compute service. Params: "function" (name)
+// and "args" (map).
+type ComputeProvider struct {
+	Service *compute.Service
+}
+
+// Name implements flows.ActionProvider.
+func (p *ComputeProvider) Name() string { return "compute" }
+
+// Invoke implements flows.ActionProvider.
+func (p *ComputeProvider) Invoke(token string, params map[string]any) (string, error) {
+	fn, _ := params["function"].(string)
+	if fn == "" {
+		return "", fmt.Errorf("core: compute params need a function name")
+	}
+	var args compute.Args
+	if m, ok := params["args"].(map[string]any); ok {
+		args = m
+	}
+	return p.Service.Submit(token, fn, args)
+}
+
+// Status implements flows.ActionProvider.
+func (p *ComputeProvider) Status(token, actionID string) (flows.ActionStatus, error) {
+	view, err := p.Service.Status(token, actionID)
+	if err != nil {
+		return flows.ActionStatus{}, err
+	}
+	st := flows.ActionStatus{
+		Started:   view.Started,
+		Completed: view.Completed,
+		Error:     view.Error,
+		Result:    map[string]any(view.Result),
+	}
+	if st.Result == nil {
+		st.Result = map[string]any{}
+	}
+	st.Result["node_id"] = view.NodeID
+	st.Result["provisioned"] = view.Provisioned
+	st.Result["warmed"] = view.Warmed
+	switch view.Status {
+	case compute.StatusSucceeded:
+		st.State = flows.StateSucceeded
+	case compute.StatusFailed:
+		st.State = flows.StateFailed
+	default:
+		st.State = flows.StateActive
+	}
+	return st, nil
+}
+
+// SearchProvider is the publication action: it ingests an experiment entry
+// into the search index after a modeled service-side cost (the paper runs
+// this lightweight step on a Polaris login node). Params: "entry_json"
+// (serialized search.Entry).
+type SearchProvider struct {
+	mu      sync.Mutex
+	rt      sim.Runtime
+	issuer  *auth.Issuer
+	index   *search.Index
+	cost    time.Duration
+	actions map[string]*searchAction
+	nextID  int
+}
+
+type searchAction struct {
+	status flows.ActionStatus
+}
+
+// NewSearchProvider returns a publication provider writing into index with
+// the given service-side ingest cost.
+func NewSearchProvider(rt sim.Runtime, issuer *auth.Issuer, index *search.Index, cost time.Duration) *SearchProvider {
+	return &SearchProvider{rt: rt, issuer: issuer, index: index, cost: cost, actions: map[string]*searchAction{}}
+}
+
+// Name implements flows.ActionProvider.
+func (p *SearchProvider) Name() string { return "search" }
+
+// Invoke implements flows.ActionProvider.
+func (p *SearchProvider) Invoke(token string, params map[string]any) (string, error) {
+	if _, err := p.issuer.Verify(token, auth.ScopeSearchIngest); err != nil {
+		return "", err
+	}
+	raw, _ := params["entry_json"].(string)
+	var entry search.Entry
+	if raw != "" {
+		if err := json.Unmarshal([]byte(raw), &entry); err != nil {
+			return "", fmt.Errorf("core: bad entry_json: %w", err)
+		}
+	}
+	p.mu.Lock()
+	p.nextID++
+	id := fmt.Sprintf("ingest-%06d", p.nextID)
+	act := &searchAction{status: flows.ActionStatus{State: flows.StateActive, Started: p.rt.Now()}}
+	p.actions[id] = act
+	p.mu.Unlock()
+
+	p.rt.AfterFunc(p.cost, func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if entry.ID != "" {
+			if err := p.index.Ingest(entry); err != nil {
+				act.status.State = flows.StateFailed
+				act.status.Error = err.Error()
+				act.status.Completed = p.rt.Now()
+				return
+			}
+		}
+		act.status.State = flows.StateSucceeded
+		act.status.Completed = p.rt.Now()
+		act.status.Result = map[string]any{"record_id": entry.ID}
+	})
+	return id, nil
+}
+
+// Status implements flows.ActionProvider.
+func (p *SearchProvider) Status(token, actionID string) (flows.ActionStatus, error) {
+	if _, err := p.issuer.Verify(token, auth.ScopeSearchIngest); err != nil {
+		return flows.ActionStatus{}, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	act, ok := p.actions[actionID]
+	if !ok {
+		return flows.ActionStatus{}, fmt.Errorf("core: unknown ingest action %q", actionID)
+	}
+	return act.status, nil
+}

@@ -1,0 +1,330 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"picoprobe/internal/geom"
+	"picoprobe/internal/synth"
+	"picoprobe/internal/tensor"
+)
+
+// makeBlobFrame renders Gaussian blobs on a noisy background and returns
+// the frame plus truth boxes (same convention as the synthetic
+// instrument).
+func makeBlobFrame(h, w int, centers [][2]float64, sigma float64, seed int64) (*tensor.Dense, []geom.Box) {
+	rng := rand.New(rand.NewSource(seed))
+	fr := tensor.New(h, w)
+	for i := range fr.Data() {
+		fr.Data()[i] = 20 + rng.NormFloat64()*5
+	}
+	var truth []geom.Box
+	for _, c := range centers {
+		cx, cy := c[0], c[1]
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				dx, dy := float64(x)-cx, float64(y)-cy
+				fr.Data()[y*w+x] += 130 * math.Exp(-(dx*dx+dy*dy)/(2*sigma*sigma))
+			}
+		}
+		truth = append(truth, geom.FromCenter(cx, cy, 4*sigma, 4*sigma).Clamp(float64(w), float64(h)))
+	}
+	return fr, truth
+}
+
+func TestDetectFindsBlobs(t *testing.T) {
+	fr, truth := makeBlobFrame(64, 64, [][2]float64{{16, 16}, {48, 40}}, 2.5, 1)
+	dets, err := Detect(fr, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 2 {
+		t.Fatalf("detections = %d, want 2", len(dets))
+	}
+	for _, tr := range truth {
+		best := 0.0
+		for _, d := range dets {
+			if iou := d.Box.IoU(tr); iou > best {
+				best = iou
+			}
+		}
+		if best < 0.3 {
+			t.Errorf("no detection overlaps truth %+v (best IoU %v)", tr, best)
+		}
+	}
+	for _, d := range dets {
+		if d.Score <= 0 || d.Score >= 1 {
+			t.Errorf("score out of (0,1): %v", d.Score)
+		}
+	}
+}
+
+func TestDetectEmptyFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	fr := tensor.New(64, 64)
+	for i := range fr.Data() {
+		fr.Data()[i] = 20 + rng.NormFloat64()*5
+	}
+	dets, err := Detect(fr, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) > 1 {
+		t.Errorf("noise-only frame produced %d detections", len(dets))
+	}
+}
+
+func TestDetectRankValidation(t *testing.T) {
+	if _, err := Detect(tensor.New(4, 4, 4), DefaultParams()); err == nil {
+		t.Error("rank-3 frame should be rejected")
+	}
+	if _, err := DetectSeries(tensor.New(4, 4), DefaultParams()); err == nil {
+		t.Error("rank-2 series should be rejected")
+	}
+}
+
+func TestNMSSuppressesOverlaps(t *testing.T) {
+	dets := []Detection{
+		{Box: geom.NewBox(0, 0, 10, 10), Score: 0.9},
+		{Box: geom.NewBox(1, 1, 11, 11), Score: 0.8}, // heavy overlap: suppressed
+		{Box: geom.NewBox(30, 30, 40, 40), Score: 0.7},
+	}
+	kept := NMS(dets, 0.5)
+	if len(kept) != 2 {
+		t.Fatalf("kept = %d, want 2", len(kept))
+	}
+	if kept[0].Score != 0.9 || kept[1].Score != 0.7 {
+		t.Errorf("kept wrong boxes: %+v", kept)
+	}
+	// With a high threshold nothing is suppressed.
+	if got := NMS(dets, 0.99); len(got) != 3 {
+		t.Errorf("high-threshold NMS kept %d", len(got))
+	}
+	// Empty input.
+	if got := NMS(nil, 0.5); len(got) != 0 {
+		t.Error("NMS(nil) should be empty")
+	}
+}
+
+func TestAveragePrecisionPerfect(t *testing.T) {
+	truth := []geom.Box{geom.NewBox(0, 0, 10, 10), geom.NewBox(20, 20, 30, 30)}
+	frames := []LabeledFrame{{
+		Detections: []Detection{
+			{Box: truth[0], Score: 0.9},
+			{Box: truth[1], Score: 0.8},
+		},
+		Truth: truth,
+	}}
+	if ap := AveragePrecision(frames, 0.5); ap != 1 {
+		t.Errorf("perfect AP = %v", ap)
+	}
+	res := Evaluate(frames)
+	if res.MAP5095 != 1 || res.AP50 != 1 || res.AP75 != 1 {
+		t.Errorf("perfect eval = %+v", res)
+	}
+}
+
+func TestAveragePrecisionMisses(t *testing.T) {
+	truth := []geom.Box{geom.NewBox(0, 0, 10, 10), geom.NewBox(20, 20, 30, 30)}
+	frames := []LabeledFrame{{
+		Detections: []Detection{
+			{Box: truth[0], Score: 0.9},
+			{Box: geom.NewBox(50, 50, 60, 60), Score: 0.8}, // false positive
+		},
+		Truth: truth,
+	}}
+	ap := AveragePrecision(frames, 0.5)
+	// One TP at rank 1 (p=1, r=0.5), one FP: AP = 0.5.
+	if math.Abs(ap-0.5) > 1e-9 {
+		t.Errorf("AP = %v, want 0.5", ap)
+	}
+}
+
+func TestAveragePrecisionDuplicatePenalized(t *testing.T) {
+	truth := []geom.Box{geom.NewBox(0, 0, 10, 10)}
+	frames := []LabeledFrame{{
+		Detections: []Detection{
+			{Box: truth[0], Score: 0.9},
+			{Box: truth[0], Score: 0.8}, // duplicate: counts as FP
+		},
+		Truth: truth,
+	}}
+	ap := AveragePrecision(frames, 0.5)
+	if ap != 1 {
+		// The duplicate arrives after full recall; envelope keeps AP at 1.
+		t.Errorf("AP = %v, want 1 (duplicate after full recall)", ap)
+	}
+	// Reverse scores: the duplicate outranks the TP... both overlap the
+	// same truth; the higher-scoring one matches and the lower is FP, so
+	// AP stays 1. Instead test an FP outranking the TP:
+	frames[0].Detections = []Detection{
+		{Box: geom.NewBox(50, 50, 60, 60), Score: 0.95},
+		{Box: truth[0], Score: 0.8},
+	}
+	ap = AveragePrecision(frames, 0.5)
+	if math.Abs(ap-0.5) > 1e-9 {
+		t.Errorf("AP = %v, want 0.5 (TP at precision 1/2)", ap)
+	}
+}
+
+func TestEvaluateNoTruth(t *testing.T) {
+	frames := []LabeledFrame{{Detections: []Detection{{Box: geom.NewBox(0, 0, 1, 1), Score: 1}}}}
+	if got := AveragePrecision(frames, 0.5); got != 0 {
+		t.Errorf("AP with no truth = %v", got)
+	}
+}
+
+func TestSplitMatchesPaperProtocol(t *testing.T) {
+	cfg := synth.SpatiotemporalConfig{Frames: 600, Height: 32, Width: 32, Particles: 3, Seed: 5}
+	s := synth.GenerateSpatiotemporal(cfg)
+	train, val, test, err := Split(s.Series, s.Truth, 50, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 600/50 = 12 labeled frames (0, 50, ..., 550) -> 9 train, 3 val, 0
+	// test with exactly 12; the paper labels 13 including frame 600 -- our
+	// series is 0-indexed so frame 600 does not exist. Accept 12.
+	if len(train) != 9 || len(val) != 3 || len(test) != 0 {
+		t.Errorf("split = %d/%d/%d", len(train), len(val), len(test))
+	}
+	if _, _, _, err := Split(s.Series, s.Truth, 50, 20, 5); err == nil {
+		t.Error("oversubscribed split should error")
+	}
+	if _, _, _, err := Split(s.Series, s.Truth, 0, 1, 1); err == nil {
+		t.Error("zero stride should error")
+	}
+}
+
+func TestAugmentPreservesDetectability(t *testing.T) {
+	fr, truth := makeBlobFrame(48, 64, [][2]float64{{20, 12}, {50, 30}}, 2.5, 7)
+	samples := []Sample{{Frame: fr, Truth: truth}}
+	aug := Augment(samples, TrainOptions{CropsPerSample: 2, Seed: 3})
+	// original + hflip + vflip + 2 crops = 5
+	if len(aug) != 5 {
+		t.Fatalf("augmented = %d, want 5", len(aug))
+	}
+	p := DefaultParams()
+	for i, s := range aug {
+		dets, err := Detect(s.Frame, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every surviving truth box should be matched by some detection.
+		for _, tr := range s.Truth {
+			best := 0.0
+			for _, d := range dets {
+				if iou := d.Box.IoU(tr); iou > best {
+					best = iou
+				}
+			}
+			if best < 0.2 {
+				t.Errorf("augmented sample %d: truth %+v unmatched (best IoU %.2f)", i, tr, best)
+			}
+		}
+	}
+}
+
+func TestCalibrateImprovesOrMatchesDefault(t *testing.T) {
+	cfg := synth.SpatiotemporalConfig{Frames: 8, Height: 64, Width: 64, Particles: 5, Seed: 21}
+	s := synth.GenerateSpatiotemporal(cfg)
+	var samples []Sample
+	for ti := 0; ti < 8; ti++ {
+		samples = append(samples, Sample{Frame: s.Series.Frame(ti), Truth: s.Truth[ti]})
+	}
+	model, err := Calibrate(samples[:5], TrainOptions{Augment: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defaultModel := Model{Params: DefaultParams()}
+	defEval, err := defaultModel.EvaluateOn(samples[5:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	calEval, err := model.EvaluateOn(samples[5:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calEval.MAP5095 < defEval.MAP5095-0.1 {
+		t.Errorf("calibrated mAP %.3f much worse than default %.3f", calEval.MAP5095, defEval.MAP5095)
+	}
+	if model.TrainEval.MAP5095 <= 0 {
+		t.Error("train mAP should be positive")
+	}
+}
+
+func TestCalibrateEmptyTrainSet(t *testing.T) {
+	if _, err := Calibrate(nil, TrainOptions{}); err == nil {
+		t.Error("empty train set should error")
+	}
+}
+
+func TestDetectSeriesParallelMatchesSequential(t *testing.T) {
+	cfg := synth.SpatiotemporalConfig{Frames: 6, Height: 48, Width: 48, Particles: 4, Seed: 13}
+	s := synth.GenerateSpatiotemporal(cfg)
+	p := DefaultParams()
+	par, err := DetectSeries(s.Series, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := 0; ti < 6; ti++ {
+		seq, err := Detect(s.Series.Frame(ti), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(par[ti]) {
+			t.Fatalf("frame %d: parallel %d vs sequential %d detections", ti, len(par[ti]), len(seq))
+		}
+		for i := range seq {
+			if seq[i] != par[ti][i] {
+				t.Fatalf("frame %d detection %d differs", ti, i)
+			}
+		}
+	}
+}
+
+func TestLinkTracksMovingParticle(t *testing.T) {
+	// One box drifting right over 5 frames, plus a one-frame flash.
+	var perFrame [][]Detection
+	for t := 0; t < 5; t++ {
+		dets := []Detection{{Box: geom.NewBox(float64(10+t*2), 10, float64(26+t*2), 26), Score: 0.9}}
+		if t == 2 {
+			dets = append(dets, Detection{Box: geom.NewBox(60, 60, 70, 70), Score: 0.5})
+		}
+		perFrame = append(perFrame, dets)
+	}
+	tracks := Link(perFrame, DefaultTrackerOptions())
+	if len(tracks) != 2 {
+		t.Fatalf("tracks = %d, want 2", len(tracks))
+	}
+	long := tracks[0]
+	if len(long.Boxes) < len(tracks[1].Boxes) {
+		long = tracks[1]
+	}
+	if len(long.Boxes) != 5 || long.FirstFrame != 0 {
+		t.Errorf("long track: first=%d len=%d", long.FirstFrame, len(long.Boxes))
+	}
+	counts := CountsOverTime(tracks, 5)
+	if counts[2] != 2 || counts[0] != 1 || counts[4] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestRobustStatsIgnoresBlobOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pixels := make([]float64, 10000)
+	for i := range pixels {
+		pixels[i] = 50 + rng.NormFloat64()*4
+	}
+	// Contaminate 2% with bright outliers.
+	for i := 0; i < 200; i++ {
+		pixels[rng.Intn(len(pixels))] = 500
+	}
+	mean, sigma := robustStats(pixels)
+	if math.Abs(mean-50) > 2 {
+		t.Errorf("robust mean = %v, want ~50", mean)
+	}
+	if sigma < 2 || sigma > 8 {
+		t.Errorf("robust sigma = %v, want ~4", sigma)
+	}
+}

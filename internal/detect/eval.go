@@ -1,0 +1,137 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"picoprobe/internal/geom"
+)
+
+// LabeledFrame pairs predictions with ground truth for one frame.
+type LabeledFrame struct {
+	Detections []Detection
+	Truth      []geom.Box
+}
+
+// EvalResult summarizes detector quality over a set of frames.
+type EvalResult struct {
+	// MAP5095 is the mean average precision over IoU thresholds
+	// 0.50:0.05:0.95 — the paper's headline metric (0.791 train / 0.801
+	// validation).
+	MAP5095 float64
+	// AP50 and AP75 are the average precision at single IoU thresholds.
+	AP50, AP75 float64
+	// Truths is the total ground-truth box count.
+	Truths int
+	// Predictions is the total prediction count.
+	Predictions int
+}
+
+// Evaluate computes AP metrics over labeled frames.
+func Evaluate(frames []LabeledFrame) EvalResult {
+	res := EvalResult{}
+	for _, f := range frames {
+		res.Truths += len(f.Truth)
+		res.Predictions += len(f.Detections)
+	}
+	var sum float64
+	n := 0
+	for iou := 0.50; iou < 0.951; iou += 0.05 {
+		ap := AveragePrecision(frames, iou)
+		sum += ap
+		n++
+		switch {
+		case almostEqual(iou, 0.50):
+			res.AP50 = ap
+		case almostEqual(iou, 0.75):
+			res.AP75 = ap
+		}
+	}
+	if n > 0 {
+		res.MAP5095 = sum / float64(n)
+	}
+	return res
+}
+
+func almostEqual(a, b float64) bool { return a-b < 1e-9 && b-a < 1e-9 }
+
+// AveragePrecision computes single-class AP at one IoU threshold using
+// all-point interpolation (the COCO/VOC2010 convention): predictions across
+// all frames are ranked globally by score; each is matched greedily to the
+// best unmatched ground-truth box in its frame.
+func AveragePrecision(frames []LabeledFrame, iouThr float64) float64 {
+	type pred struct {
+		frame int
+		score float64
+		box   geom.Box
+	}
+	var preds []pred
+	totalTruth := 0
+	for fi, f := range frames {
+		totalTruth += len(f.Truth)
+		for _, d := range f.Detections {
+			preds = append(preds, pred{frame: fi, score: d.Score, box: d.Box})
+		}
+	}
+	if totalTruth == 0 {
+		return 0
+	}
+	sort.SliceStable(preds, func(i, j int) bool { return preds[i].score > preds[j].score })
+
+	matched := make([][]bool, len(frames))
+	for i, f := range frames {
+		matched[i] = make([]bool, len(f.Truth))
+	}
+	tp := make([]bool, len(preds))
+	for pi, p := range preds {
+		bestIoU := 0.0
+		bestJ := -1
+		for j, t := range frames[p.frame].Truth {
+			if matched[p.frame][j] {
+				continue
+			}
+			if iou := p.box.IoU(t); iou > bestIoU {
+				bestIoU = iou
+				bestJ = j
+			}
+		}
+		if bestJ >= 0 && bestIoU >= iouThr {
+			matched[p.frame][bestJ] = true
+			tp[pi] = true
+		}
+	}
+
+	// Precision-recall curve and all-point interpolated AP.
+	var recalls, precisions []float64
+	cumTP, cumFP := 0, 0
+	for pi := range preds {
+		if tp[pi] {
+			cumTP++
+		} else {
+			cumFP++
+		}
+		recalls = append(recalls, float64(cumTP)/float64(totalTruth))
+		precisions = append(precisions, float64(cumTP)/float64(cumTP+cumFP))
+	}
+	// Precision envelope (monotone non-increasing from the right).
+	for i := len(precisions) - 2; i >= 0; i-- {
+		if precisions[i] < precisions[i+1] {
+			precisions[i] = precisions[i+1]
+		}
+	}
+	ap := 0.0
+	prevRecall := 0.0
+	for i := range recalls {
+		if recalls[i] > prevRecall {
+			ap += (recalls[i] - prevRecall) * precisions[i]
+			prevRecall = recalls[i]
+		}
+	}
+	return ap
+}
+
+// String renders the result like the paper reports it.
+func (r EvalResult) String() string {
+	return fmt.Sprintf("mAP50-95=%.3f AP50=%.3f AP75=%.3f (%d preds / %d truths)",
+		r.MAP5095, r.AP50, r.AP75, r.Predictions, r.Truths)
+}

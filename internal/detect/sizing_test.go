@@ -1,0 +1,72 @@
+package detect
+
+import (
+	"testing"
+)
+
+// TestMomentSizingMatchesBlobExtent verifies the moment-based box path: on
+// a clean Gaussian blob, moment sizing with Scale≈1.4 must recover a box
+// close to the ±2σ ground-truth convention. (The thresholded top of a
+// Gaussian has measured σ below the true σ, hence Scale > 1.)
+func TestMomentSizingMatchesBlobExtent(t *testing.T) {
+	fr, truth := makeBlobFrame(64, 64, [][2]float64{{32, 32}}, 3.0, 5)
+	p := DefaultParams()
+	p.MomentSizing = true
+	p.Scale = 1.4
+	p.Pad = 0
+	dets, err := Detect(fr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("detections = %d", len(dets))
+	}
+	if iou := dets[0].Box.IoU(truth[0]); iou < 0.6 {
+		t.Errorf("moment-sized IoU = %.2f, want >= 0.6 (box %+v vs truth %+v)",
+			iou, dets[0].Box, truth[0])
+	}
+}
+
+// TestScaleGrowsBoxes checks the multiplicative knob's monotonicity.
+func TestScaleGrowsBoxes(t *testing.T) {
+	fr, _ := makeBlobFrame(64, 64, [][2]float64{{32, 32}}, 3.0, 5)
+	areas := []float64{}
+	for _, scale := range []float64{0.8, 1.0, 1.3} {
+		p := DefaultParams()
+		p.Scale = scale
+		p.Pad = 0
+		dets, err := Detect(fr, p)
+		if err != nil || len(dets) != 1 {
+			t.Fatalf("scale %v: dets=%d err=%v", scale, len(dets), err)
+		}
+		areas = append(areas, dets[0].Box.Area())
+	}
+	if !(areas[0] < areas[1] && areas[1] < areas[2]) {
+		t.Errorf("areas not monotone in scale: %v", areas)
+	}
+}
+
+// TestDegenerateBoxesNeverEmitted feeds a pathological frame (single hot
+// pixel rows) and checks every detection has positive area within bounds.
+func TestDegenerateBoxesNeverEmitted(t *testing.T) {
+	fr, _ := makeBlobFrame(32, 32, nil, 1, 9)
+	// A thin hot line.
+	for x := 4; x < 28; x++ {
+		fr.Set(500, 16, x)
+	}
+	p := DefaultParams()
+	p.MinArea = 1
+	dets, err := Detect(fr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dets {
+		if d.Box.Area() <= 0 {
+			t.Errorf("degenerate box %+v", d.Box)
+		}
+		clamped := d.Box.Clamp(32, 32)
+		if clamped != d.Box {
+			t.Errorf("box %+v escapes the frame", d.Box)
+		}
+	}
+}

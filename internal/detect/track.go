@@ -1,0 +1,120 @@
+package detect
+
+import "sort"
+
+// Track is one particle trajectory linked across frames.
+type Track struct {
+	ID int
+	// FirstFrame is the frame index where the track begins.
+	FirstFrame int
+	// Boxes holds one box per consecutive frame starting at FirstFrame.
+	Boxes []Detection
+}
+
+// LastFrame returns the index of the last frame the track covers.
+func (t *Track) LastFrame() int { return t.FirstFrame + len(t.Boxes) - 1 }
+
+// TrackerOptions tunes the frame-to-frame association.
+type TrackerOptions struct {
+	// MinIoU is the minimum overlap between a track's last box and a new
+	// detection for them to be linked.
+	MinIoU float64
+	// MaxGap is how many frames a track may go unmatched before it is
+	// terminated.
+	MaxGap int
+}
+
+// DefaultTrackerOptions returns conservative association settings.
+func DefaultTrackerOptions() TrackerOptions { return TrackerOptions{MinIoU: 0.2, MaxGap: 2} }
+
+// Link greedily associates per-frame detections into tracks by IoU with
+// each track's most recent box — the "track gold nanoparticles as they
+// move" capability of the paper's Fig 3, used to count particles over time.
+func Link(perFrame [][]Detection, opt TrackerOptions) []Track {
+	if opt.MinIoU == 0 {
+		opt.MinIoU = 0.2
+	}
+	type live struct {
+		track    Track
+		lastSeen int
+	}
+	var active []*live
+	var finished []Track
+	nextID := 0
+
+	for t, dets := range perFrame {
+		// Order candidate pairs by IoU descending for greedy matching.
+		type pair struct {
+			iou    float64
+			li, di int
+		}
+		var pairs []pair
+		for li, l := range active {
+			last := l.track.Boxes[len(l.track.Boxes)-1]
+			for di, d := range dets {
+				if iou := last.Box.IoU(d.Box); iou >= opt.MinIoU {
+					pairs = append(pairs, pair{iou: iou, li: li, di: di})
+				}
+			}
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].iou != pairs[j].iou {
+				return pairs[i].iou > pairs[j].iou
+			}
+			if pairs[i].li != pairs[j].li {
+				return pairs[i].li < pairs[j].li
+			}
+			return pairs[i].di < pairs[j].di
+		})
+		usedTrack := make(map[int]bool)
+		usedDet := make(map[int]bool)
+		for _, p := range pairs {
+			if usedTrack[p.li] || usedDet[p.di] {
+				continue
+			}
+			usedTrack[p.li] = true
+			usedDet[p.di] = true
+			active[p.li].track.Boxes = append(active[p.li].track.Boxes, dets[p.di])
+			active[p.li].lastSeen = t
+		}
+		// Start new tracks for unmatched detections.
+		for di, d := range dets {
+			if usedDet[di] {
+				continue
+			}
+			active = append(active, &live{
+				track:    Track{ID: nextID, FirstFrame: t, Boxes: []Detection{d}},
+				lastSeen: t,
+			})
+			nextID++
+		}
+		// Retire stale tracks.
+		var still []*live
+		for _, l := range active {
+			if t-l.lastSeen > opt.MaxGap {
+				finished = append(finished, l.track)
+			} else {
+				still = append(still, l)
+			}
+		}
+		active = still
+	}
+	for _, l := range active {
+		finished = append(finished, l.track)
+	}
+	sort.Slice(finished, func(i, j int) bool { return finished[i].ID < finished[j].ID })
+	return finished
+}
+
+// CountsOverTime returns, for each frame, how many tracks are present —
+// the per-frame particle count the paper says helps characterize sample
+// changes over time.
+func CountsOverTime(tracks []Track, frames int) []int {
+	counts := make([]int, frames)
+	for _, tr := range tracks {
+		for f := tr.FirstFrame; f <= tr.LastFrame() && f < frames; f++ {
+			counts[f]++
+		}
+	}
+	return counts
+}

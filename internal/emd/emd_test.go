@@ -1,0 +1,445 @@
+package emd
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"picoprobe/internal/tensor"
+)
+
+func writeSample(t *testing.T, path string, compression string) *tensor.Dense {
+	t.Helper()
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := w.Root().CreateGroup("data")
+	hs := data.CreateGroup("hyperspectral")
+	hs.SetAttr("emd_group_type", 1)
+	hs.SetAttr("units", []string{"nm", "nm", "eV"})
+
+	cube := tensor.New(4, 8, 16)
+	rng := rand.New(rand.NewSource(5))
+	for i := range cube.Data() {
+		cube.Data()[i] = math.Floor(rng.Float64() * 1000)
+	}
+	ds, err := w.CreateDataset(hs, "data", tensor.Float64, cube.Shape(), DatasetOptions{Compression: compression})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.SetAttr("signal", "EDS")
+	if err := ds.WriteAll(cube); err != nil {
+		t.Fatal(err)
+	}
+
+	meta := w.Root().CreateGroup("metadata").CreateGroup("microscope")
+	meta.SetAttr("beam_energy_kev", 300.0)
+	meta.SetAttr("magnification", int64(2_000_000))
+	meta.SetAttr("aberration_corrected", true)
+	meta.SetAttr("stage_xyz_um", []float64{1.5, -2.25, 0.003})
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return cube
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sample.emdg")
+	cube := writeSample(t, path, "")
+
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ds, err := f.Dataset("data/hyperspectral/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Shape().Equal(cube.Shape()) {
+		t.Errorf("shape = %v, want %v", ds.Shape(), cube.Shape())
+	}
+	got, err := ds.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cube.Data() {
+		if got.Data()[i] != cube.Data()[i] {
+			t.Fatalf("data mismatch at %d: %v vs %v", i, got.Data()[i], cube.Data()[i])
+		}
+	}
+
+	// Attributes.
+	hs, ok := f.Root().Lookup("data/hyperspectral")
+	if !ok {
+		t.Fatal("group lookup failed")
+	}
+	if v, ok := hs.AttrInt("emd_group_type"); !ok || v != 1 {
+		t.Errorf("emd_group_type = %v, %v", v, ok)
+	}
+	if u, _ := hs.Attr("units"); len(u.([]string)) != 3 {
+		t.Errorf("units = %v", u)
+	}
+	micro, ok := f.Root().Lookup("metadata/microscope")
+	if !ok {
+		t.Fatal("metadata group missing")
+	}
+	if v, ok := micro.AttrFloat("beam_energy_kev"); !ok || v != 300 {
+		t.Errorf("beam_energy_kev = %v", v)
+	}
+	if v, ok := micro.AttrInt("magnification"); !ok || v != 2_000_000 {
+		t.Errorf("magnification = %v", v)
+	}
+	if v, ok := micro.Attr("aberration_corrected"); !ok || v != true {
+		t.Errorf("aberration_corrected = %v", v)
+	}
+	if v, _ := micro.Attr("stage_xyz_um"); len(v.([]float64)) != 3 {
+		t.Errorf("stage_xyz_um = %v", v)
+	}
+	if sig, ok := ds.Attr("signal"); !ok || sig != "EDS" {
+		t.Errorf("dataset attr signal = %v", sig)
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sample.emdg")
+	cube := writeSample(t, path, "gzip")
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := f.Dataset("data/hyperspectral/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Compression() != "gzip" {
+		t.Errorf("compression = %q", ds.Compression())
+	}
+	got, err := ds.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sum() != cube.Sum() {
+		t.Error("gzip round trip corrupted data")
+	}
+}
+
+func TestFrameStreaming(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "series.emdg")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Root().CreateGroup("data").CreateGroup("series")
+	const T, H, W = 10, 4, 4
+	ds, err := w.CreateDataset(g, "data", tensor.Uint16, tensor.Shape{T, H, W}, DatasetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write one frame at a time; frame t is filled with value t*10.
+	for ti := 0; ti < T; ti++ {
+		fr := tensor.New(H, W)
+		for i := range fr.Data() {
+			fr.Data()[i] = float64(ti * 10)
+		}
+		if err := ds.WriteFrames(fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rds, err := f.Dataset("data/series/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a middle range spanning chunk boundaries.
+	got, err := rds.ReadFrames(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Shape().Equal(tensor.Shape{4, H, W}) {
+		t.Fatalf("shape = %v", got.Shape())
+	}
+	for ti := 0; ti < 4; ti++ {
+		if v := got.At(ti, 0, 0); v != float64((ti+3)*10) {
+			t.Errorf("frame %d value = %v, want %v", ti, v, (ti+3)*10)
+		}
+	}
+	// Invalid ranges.
+	if _, err := rds.ReadFrames(5, 5); err == nil {
+		t.Error("empty range should error")
+	}
+	if _, err := rds.ReadFrames(-1, 2); err == nil {
+		t.Error("negative lo should error")
+	}
+	if _, err := rds.ReadFrames(0, T+1); err == nil {
+		t.Error("hi beyond extent should error")
+	}
+}
+
+func TestMultiFrameChunks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "multi.emdg")
+	w, _ := Create(path)
+	g := w.Root().CreateGroup("data")
+	ds, err := w.CreateDataset(g, "d", tensor.Float32, tensor.Shape{6, 2}, DatasetOptions{Compression: "gzip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := tensor.New(3, 2)
+	for i := range batch.Data() {
+		batch.Data()[i] = float64(i) / 2
+	}
+	if err := ds.WriteFrames(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteFrames(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rds, _ := f.Dataset("data/d")
+	all, err := rds.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.At(4, 0) != all.At(1, 0) {
+		t.Error("repeated batches should match")
+	}
+}
+
+func TestIncompleteDatasetRejectedAtClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "incomplete.emdg")
+	w, _ := Create(path)
+	g := w.Root().CreateGroup("data")
+	ds, _ := w.CreateDataset(g, "d", tensor.Float64, tensor.Shape{5, 2}, DatasetOptions{})
+	fr := tensor.New(2, 2)
+	if err := ds.WriteFrames(fr); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Error("Close should reject incomplete dataset")
+	}
+}
+
+func TestOverflowingFramesRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "overflow.emdg")
+	w, _ := Create(path)
+	g := w.Root().CreateGroup("data")
+	ds, _ := w.CreateDataset(g, "d", tensor.Float64, tensor.Shape{2, 2}, DatasetOptions{})
+	fr := tensor.New(3, 2)
+	if err := ds.WriteFrames(fr); err == nil {
+		t.Error("writing beyond extent should error")
+	}
+}
+
+func TestWrongFrameShapeRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shape.emdg")
+	w, _ := Create(path)
+	g := w.Root().CreateGroup("data")
+	ds, _ := w.CreateDataset(g, "d", tensor.Float64, tensor.Shape{2, 4}, DatasetOptions{})
+	if err := ds.WriteFrames(tensor.New(5)); err == nil {
+		t.Error("mismatched frame shape should error")
+	}
+}
+
+func TestCorruptChunkDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.emdg")
+	writeSample(t, path, "")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[20] ^= 0xFF // flip a data byte inside the first chunk
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err) // footer still valid
+	}
+	defer f.Close()
+	ds, _ := f.Dataset("data/hyperspectral/data")
+	if _, err := ds.ReadAll(); err == nil {
+		t.Error("corrupt chunk should fail CRC check")
+	}
+}
+
+func TestCorruptFooterDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corruptfoot.emdg")
+	writeSample(t, path, "")
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-30] ^= 0xFF // inside the JSON footer
+	os.WriteFile(path, raw, 0o644)
+	if _, err := Open(path); err == nil {
+		t.Error("corrupt footer should be rejected")
+	}
+}
+
+func TestTruncatedFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.emdg")
+	writeSample(t, path, "")
+	raw, _ := os.ReadFile(path)
+	os.WriteFile(path, raw[:len(raw)-10], 0o644)
+	if _, err := Open(path); err == nil {
+		t.Error("truncated file should be rejected")
+	}
+	os.WriteFile(path, raw[:5], 0o644)
+	if _, err := Open(path); err == nil {
+		t.Error("tiny file should be rejected")
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.emdg")
+	writeSample(t, path, "")
+	raw, _ := os.ReadFile(path)
+	raw[0] = 'X'
+	os.WriteFile(path, raw, 0o644)
+	if _, err := Open(path); err == nil {
+		t.Error("bad magic should be rejected")
+	}
+}
+
+func TestUnsupportedAttrPanics(t *testing.T) {
+	g := newGroup("g")
+	defer func() {
+		if recover() == nil {
+			t.Error("unsupported attr type should panic")
+		}
+	}()
+	g.SetAttr("bad", map[string]int{})
+}
+
+func TestWalkAndLookup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "walk.emdg")
+	writeSample(t, path, "")
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var paths []string
+	f.Root().Walk(func(p string, g *Group) { paths = append(paths, p) })
+	want := map[string]bool{"": true, "data": true, "data/hyperspectral": true, "metadata": true, "metadata/microscope": true}
+	if len(paths) != len(want) {
+		t.Fatalf("walk visited %v", paths)
+	}
+	for _, p := range paths {
+		if !want[p] {
+			t.Errorf("unexpected path %q", p)
+		}
+	}
+	if _, ok := f.Root().Lookup("data/missing"); ok {
+		t.Error("Lookup of missing path should fail")
+	}
+}
+
+func TestDuplicateDatasetRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup.emdg")
+	w, _ := Create(path)
+	g := w.Root().CreateGroup("data")
+	if _, err := w.CreateDataset(g, "d", tensor.Float64, tensor.Shape{1, 1}, DatasetOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.CreateDataset(g, "d", tensor.Float64, tensor.Shape{1, 1}, DatasetOptions{}); err == nil {
+		t.Error("duplicate dataset should be rejected")
+	}
+}
+
+func TestUnsupportedCompressionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "comp.emdg")
+	w, _ := Create(path)
+	g := w.Root().CreateGroup("data")
+	if _, err := w.CreateDataset(g, "d", tensor.Float64, tensor.Shape{1}, DatasetOptions{Compression: "zstd"}); err == nil {
+		t.Error("unsupported compression should be rejected")
+	}
+}
+
+// Property-style test: random trees with random datasets round-trip
+// structurally and numerically.
+func TestPropertyRandomTreeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		path := filepath.Join(t.TempDir(), "rand.emdg")
+		w, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type dsRec struct {
+			path string
+			data *tensor.Dense
+			dt   tensor.DType
+		}
+		var recs []dsRec
+		groups := []*Group{w.Root()}
+		gpaths := []string{""}
+		for i := 0; i < rng.Intn(5)+1; i++ {
+			parentIdx := rng.Intn(len(groups))
+			name := string(rune('a' + i))
+			g := groups[parentIdx].CreateGroup(name)
+			p := gpaths[parentIdx] + "/" + name
+			groups = append(groups, g)
+			gpaths = append(gpaths, p)
+			g.SetAttr("idx", int64(i))
+			if rng.Intn(2) == 0 {
+				shape := tensor.Shape{rng.Intn(4) + 1, rng.Intn(4) + 1}
+				dt := []tensor.DType{tensor.Float64, tensor.Uint16, tensor.Int32}[rng.Intn(3)]
+				comp := []string{"", "gzip"}[rng.Intn(2)]
+				ds, err := w.CreateDataset(g, "d", dt, shape, DatasetOptions{Compression: comp})
+				if err != nil {
+					t.Fatal(err)
+				}
+				data := tensor.New(shape...)
+				for j := range data.Data() {
+					data.Data()[j] = float64(rng.Intn(1000))
+				}
+				if err := ds.WriteAll(data); err != nil {
+					t.Fatal(err)
+				}
+				recs = append(recs, dsRec{path: p + "/d", data: data, dt: dt})
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		f, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			ds, err := f.Dataset(rec.path)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			got, err := ds.ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range rec.data.Data() {
+				if got.Data()[j] != rec.data.Data()[j] {
+					t.Fatalf("trial %d: dataset %s mismatch at %d", trial, rec.path, j)
+				}
+			}
+		}
+		f.Close()
+	}
+}

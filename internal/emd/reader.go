@@ -1,0 +1,291 @@
+package emd
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"picoprobe/internal/tensor"
+)
+
+// File is an EMDG container opened for reading. Dataset reads are served by
+// ReadAt against validated chunk offsets, so large series can be streamed
+// frame ranges at a time without loading the whole file.
+type File struct {
+	r    io.ReaderAt
+	c    io.Closer
+	root *Group
+	size int64
+}
+
+// Open opens and validates an EMDG file.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("emd: open: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("emd: stat: %w", err)
+	}
+	file, err := newFile(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	file.c = f
+	return file, nil
+}
+
+// OpenReaderAt opens an EMDG container from any random-access source of the
+// given total size (used by in-memory stores in the simulator).
+func OpenReaderAt(r io.ReaderAt, size int64) (*File, error) {
+	return newFile(r, size)
+}
+
+func newFile(r io.ReaderAt, size int64) (*File, error) {
+	if size < int64(len(Magic))+24 {
+		return nil, fmt.Errorf("emd: file too small (%d bytes)", size)
+	}
+	var magic [8]byte
+	if _, err := r.ReadAt(magic[:], 0); err != nil {
+		return nil, fmt.Errorf("emd: read magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("emd: bad magic %q", magic[:4])
+	}
+	var trailer [24]byte
+	if _, err := r.ReadAt(trailer[:], size-24); err != nil {
+		return nil, fmt.Errorf("emd: read trailer: %w", err)
+	}
+	if string(trailer[20:24]) != "GDME" {
+		return nil, fmt.Errorf("emd: bad trailer magic")
+	}
+	footOff := int64(binary.LittleEndian.Uint64(trailer[0:]))
+	footLen := int64(binary.LittleEndian.Uint64(trailer[8:]))
+	wantCRC := binary.LittleEndian.Uint32(trailer[16:])
+	if footOff < int64(len(Magic)) || footOff+footLen > size-24 {
+		return nil, fmt.Errorf("emd: footer out of bounds (off=%d len=%d size=%d)", footOff, footLen, size)
+	}
+	payload := make([]byte, footLen)
+	if _, err := r.ReadAt(payload, footOff); err != nil {
+		return nil, fmt.Errorf("emd: read footer: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("emd: footer CRC mismatch (got %08x want %08x)", got, wantCRC)
+	}
+	var foot footerJSON
+	if err := json.Unmarshal(payload, &foot); err != nil {
+		return nil, fmt.Errorf("emd: parse footer: %w", err)
+	}
+	if foot.Root == nil {
+		return nil, fmt.Errorf("emd: footer missing root group")
+	}
+	file := &File{r: r, size: size}
+	root, err := file.groupFromJSON("", foot.Root)
+	if err != nil {
+		return nil, err
+	}
+	file.root = root
+	return file, nil
+}
+
+// Close releases the underlying file handle (no-op for reader-backed
+// containers).
+func (f *File) Close() error {
+	if f.c != nil {
+		return f.c.Close()
+	}
+	return nil
+}
+
+// Root returns the container's root group.
+func (f *File) Root() *Group { return f.root }
+
+// Dataset resolves a slash-separated path whose final component names a
+// dataset, e.g. "data/hyperspectral/data".
+func (f *File) Dataset(path string) (*Dataset, error) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("emd: empty dataset path")
+	}
+	grpPath, dsName := parts[:len(parts)-1], parts[len(parts)-1]
+	cur := f.root
+	for _, p := range grpPath {
+		next, ok := cur.Group(p)
+		if !ok {
+			return nil, fmt.Errorf("emd: group %q not found in path %q", p, path)
+		}
+		cur = next
+	}
+	ds, ok := cur.Dataset(dsName)
+	if !ok {
+		return nil, fmt.Errorf("emd: dataset %q not found", path)
+	}
+	return ds, nil
+}
+
+func (f *File) groupFromJSON(name string, gj *groupJSON) (*Group, error) {
+	g := newGroup(name)
+	for k, v := range gj.Attrs {
+		nv, err := normalizeAttr(v)
+		if err != nil {
+			return nil, fmt.Errorf("emd: group %q attr %q: %w", name, k, err)
+		}
+		g.attrs[k] = nv
+	}
+	for childName, childJSON := range gj.Groups {
+		child, err := f.groupFromJSON(childName, childJSON)
+		if err != nil {
+			return nil, err
+		}
+		g.groups[childName] = child
+	}
+	for dsName, dj := range gj.Datasets {
+		dt, err := tensor.ParseDType(dj.DType)
+		if err != nil {
+			return nil, fmt.Errorf("emd: dataset %q: %w", dsName, err)
+		}
+		ds := &Dataset{
+			name:        dsName,
+			dtype:       dt,
+			shape:       dj.Shape,
+			compression: dj.Compression,
+			attrs:       map[string]any{},
+			r:           f,
+		}
+		for k, v := range dj.Attrs {
+			nv, err := normalizeAttr(v)
+			if err != nil {
+				return nil, fmt.Errorf("emd: dataset %q attr %q: %w", dsName, k, err)
+			}
+			ds.attrs[k] = nv
+		}
+		for _, cj := range dj.Chunks {
+			if cj.Off < 0 || cj.Off+cj.CLen > f.size {
+				return nil, fmt.Errorf("emd: dataset %q chunk out of bounds", dsName)
+			}
+			ds.chunks = append(ds.chunks, chunk{
+				frameLo: cj.FrameLo, frameHi: cj.FrameHi, off: cj.Off, clen: cj.CLen, crc: cj.CRC,
+			})
+		}
+		sort.Slice(ds.chunks, func(i, j int) bool { return ds.chunks[i].frameLo < ds.chunks[j].frameLo })
+		g.datasets[dsName] = ds
+	}
+	return g, nil
+}
+
+// normalizeAttr maps JSON-decoded values onto the supported attribute
+// types. Homogeneous arrays become []float64 or []string.
+func normalizeAttr(v any) (any, error) {
+	switch t := v.(type) {
+	case string, bool, float64:
+		return t, nil
+	case []any:
+		if len(t) == 0 {
+			return []float64{}, nil
+		}
+		switch t[0].(type) {
+		case float64:
+			out := make([]float64, len(t))
+			for i, e := range t {
+				f, ok := e.(float64)
+				if !ok {
+					return nil, fmt.Errorf("mixed-type array")
+				}
+				out[i] = f
+			}
+			return out, nil
+		case string:
+			out := make([]string, len(t))
+			for i, e := range t {
+				s, ok := e.(string)
+				if !ok {
+					return nil, fmt.Errorf("mixed-type array")
+				}
+				out[i] = s
+			}
+			return out, nil
+		}
+		return nil, fmt.Errorf("unsupported array element %T", t[0])
+	default:
+		return nil, fmt.Errorf("unsupported attribute type %T", v)
+	}
+}
+
+// ReadAll loads the entire dataset.
+func (d *Dataset) ReadAll() (*tensor.Dense, error) {
+	return d.ReadFrames(0, d.shape[0])
+}
+
+// ReadFrames loads frames [lo, hi) along axis 0, returning a tensor of
+// shape (hi-lo, frame dims...). Chunk CRCs are verified.
+func (d *Dataset) ReadFrames(lo, hi int) (*tensor.Dense, error) {
+	if d.r == nil {
+		return nil, fmt.Errorf("emd: dataset %q is not open for reading", d.name)
+	}
+	if lo < 0 || hi > d.shape[0] || lo >= hi {
+		return nil, fmt.Errorf("emd: frame range [%d,%d) invalid for extent %d", lo, hi, d.shape[0])
+	}
+	fe := d.frameElems()
+	out := make([]float64, (hi-lo)*fe)
+	covered := 0
+	for _, c := range d.chunks {
+		if c.frameHi <= lo || c.frameLo >= hi {
+			continue
+		}
+		vals, err := d.readChunk(c)
+		if err != nil {
+			return nil, err
+		}
+		// Intersect [c.frameLo, c.frameHi) with [lo, hi).
+		from := max(lo, c.frameLo)
+		to := min(hi, c.frameHi)
+		srcStart := (from - c.frameLo) * fe
+		dstStart := (from - lo) * fe
+		n := (to - from) * fe
+		copy(out[dstStart:dstStart+n], vals[srcStart:srcStart+n])
+		covered += to - from
+	}
+	if covered != hi-lo {
+		return nil, fmt.Errorf("emd: dataset %q missing frames in [%d,%d)", d.name, lo, hi)
+	}
+	shape := append(tensor.Shape{hi - lo}, d.shape[1:]...)
+	return tensor.FromData(out, shape...), nil
+}
+
+func (d *Dataset) readChunk(c chunk) ([]float64, error) {
+	stored := make([]byte, c.clen)
+	if _, err := d.r.r.ReadAt(stored, c.off); err != nil {
+		return nil, fmt.Errorf("emd: read chunk: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(stored); got != c.crc {
+		return nil, fmt.Errorf("emd: chunk CRC mismatch at offset %d (got %08x want %08x)", c.off, got, c.crc)
+	}
+	raw := stored
+	if d.compression == "gzip" {
+		zr, err := gzip.NewReader(bytes.NewReader(stored))
+		if err != nil {
+			return nil, fmt.Errorf("emd: gunzip: %w", err)
+		}
+		raw, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("emd: gunzip read: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("emd: gunzip close: %w", err)
+		}
+	}
+	want := (c.frameHi - c.frameLo) * d.frameElems() * d.dtype.Size()
+	if len(raw) != want {
+		return nil, fmt.Errorf("emd: chunk has %d bytes, want %d", len(raw), want)
+	}
+	return tensor.Decode(raw, d.dtype)
+}

@@ -1,0 +1,67 @@
+package emd
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"picoprobe/internal/tensor"
+)
+
+// TestOpenReaderAt exercises the in-memory container path used by
+// simulated stores: the same bytes parse identically from disk and from a
+// bytes.Reader.
+func TestOpenReaderAt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.emdg")
+	cube := writeSample(t, path, "gzip")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenReaderAt(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close() // no-op for reader-backed containers, must not error
+	ds, err := f.Dataset("data/hyperspectral/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sum() != cube.Sum() {
+		t.Error("in-memory read mismatch")
+	}
+}
+
+// TestWriterRejectsAfterClose covers post-Close misuse.
+func TestWriterRejectsAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "closed.emdg")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Root().CreateGroup("data")
+	ds, err := w.CreateDataset(g, "d", tensor.Float64, tensor.Shape{1, 2}, DatasetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteAll(tensor.New(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Error("double Close should be a no-op")
+	}
+	if _, err := w.CreateDataset(g, "late", tensor.Float64, tensor.Shape{1}, DatasetOptions{}); err == nil {
+		t.Error("CreateDataset after Close accepted")
+	}
+	if err := ds.WriteFrames(tensor.New(2)); err == nil {
+		t.Error("WriteFrames after Close accepted")
+	}
+}

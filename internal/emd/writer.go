@@ -1,0 +1,250 @@
+package emd
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"picoprobe/internal/tensor"
+)
+
+// DatasetOptions configures dataset creation.
+type DatasetOptions struct {
+	// Compression is "" (raw) or "gzip".
+	Compression string
+}
+
+// Writer creates an EMDG file. Datasets may be written incrementally
+// (frame-streamed) in any interleaving; Close writes the JSON footer and
+// trailer and verifies that every dataset received its full extent.
+type Writer struct {
+	f      *os.File
+	off    int64
+	root   *Group
+	closed bool
+}
+
+// Create opens path for writing and emits the format header.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("emd: create: %w", err)
+	}
+	if _, err := f.Write(Magic[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("emd: write magic: %w", err)
+	}
+	return &Writer{f: f, off: int64(len(Magic)), root: newGroup("")}, nil
+}
+
+// Root returns the file's root group.
+func (w *Writer) Root() *Group { return w.root }
+
+// CreateDataset declares a dataset under group g. Data is supplied later
+// with WriteFrames/WriteAll.
+func (w *Writer) CreateDataset(g *Group, name string, dt tensor.DType, shape tensor.Shape, opts DatasetOptions) (*Dataset, error) {
+	if w.closed {
+		return nil, fmt.Errorf("emd: writer closed")
+	}
+	if name == "" || len(shape) == 0 {
+		return nil, fmt.Errorf("emd: dataset needs a name and a non-empty shape")
+	}
+	shapeCopy := make(tensor.Shape, len(shape))
+	copy(shapeCopy, shape)
+	shapeCopy.Elems() // panics via validate happen in tensor.New; check manually:
+	for i, d := range shapeCopy {
+		if d <= 0 {
+			return nil, fmt.Errorf("emd: dataset %q axis %d has non-positive extent %d", name, i, d)
+		}
+	}
+	if opts.Compression != "" && opts.Compression != "gzip" {
+		return nil, fmt.Errorf("emd: unsupported compression %q", opts.Compression)
+	}
+	if _, exists := g.datasets[name]; exists {
+		return nil, fmt.Errorf("emd: dataset %q already exists in group %q", name, g.name)
+	}
+	ds := &Dataset{
+		name:        name,
+		dtype:       dt,
+		shape:       shapeCopy,
+		compression: opts.Compression,
+		attrs:       map[string]any{},
+		w:           w,
+	}
+	g.datasets[name] = ds
+	return ds, nil
+}
+
+// WriteFrames appends data as the next frames along axis 0. The tensor's
+// shape must equal the dataset's frame shape, optionally with a leading
+// frame-count axis: for a (T, H, W) dataset both (H, W) — one frame — and
+// (k, H, W) — k frames — are accepted.
+func (d *Dataset) WriteFrames(data *tensor.Dense) error {
+	if d.w == nil {
+		return fmt.Errorf("emd: dataset %q is not open for writing", d.name)
+	}
+	if d.w.closed {
+		return fmt.Errorf("emd: writer closed")
+	}
+	frameShape := tensor.Shape(d.shape[1:])
+	var nFrames int
+	switch {
+	case data.Shape().Equal(frameShape):
+		nFrames = 1
+	case len(data.Shape()) == len(d.shape) && tensor.Shape(data.Shape()[1:]).Equal(frameShape):
+		nFrames = data.Shape()[0]
+	default:
+		return fmt.Errorf("emd: frame shape %v incompatible with dataset %v", data.Shape(), d.shape)
+	}
+	lo := d.framesWritten()
+	if lo+nFrames > d.shape[0] {
+		return fmt.Errorf("emd: writing frames [%d,%d) exceeds extent %d", lo, lo+nFrames, d.shape[0])
+	}
+
+	raw := tensor.Encode(data.Data(), d.dtype)
+	stored := raw
+	if d.compression == "gzip" {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(raw); err != nil {
+			return fmt.Errorf("emd: gzip: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("emd: gzip close: %w", err)
+		}
+		stored = buf.Bytes()
+	}
+	off := d.w.off
+	if _, err := d.w.f.Write(stored); err != nil {
+		return fmt.Errorf("emd: write chunk: %w", err)
+	}
+	d.w.off += int64(len(stored))
+	d.chunks = append(d.chunks, chunk{
+		frameLo: lo,
+		frameHi: lo + nFrames,
+		off:     off,
+		clen:    int64(len(stored)),
+		crc:     crc32.ChecksumIEEE(stored),
+	})
+	return nil
+}
+
+// WriteAll writes the entire dataset from one tensor whose shape matches
+// the declared shape.
+func (d *Dataset) WriteAll(data *tensor.Dense) error {
+	if !data.Shape().Equal(d.shape) {
+		return fmt.Errorf("emd: WriteAll shape %v != dataset shape %v", data.Shape(), d.shape)
+	}
+	return d.WriteFrames(data)
+}
+
+// footerJSON mirrors the tree for the JSON footer.
+type footerJSON struct {
+	Version int        `json:"version"`
+	Root    *groupJSON `json:"root"`
+}
+
+type groupJSON struct {
+	Attrs    map[string]any        `json:"attrs,omitempty"`
+	Groups   map[string]*groupJSON `json:"groups,omitempty"`
+	Datasets map[string]*dsJSON    `json:"datasets,omitempty"`
+}
+
+type dsJSON struct {
+	DType       string         `json:"dtype"`
+	Shape       []int          `json:"shape"`
+	Compression string         `json:"compression,omitempty"`
+	Attrs       map[string]any `json:"attrs,omitempty"`
+	Chunks      []chunkJSON    `json:"chunks"`
+}
+
+type chunkJSON struct {
+	FrameLo int    `json:"lo"`
+	FrameHi int    `json:"hi"`
+	Off     int64  `json:"off"`
+	CLen    int64  `json:"clen"`
+	CRC     uint32 `json:"crc"`
+}
+
+// Close validates dataset completeness, writes the footer and trailer, and
+// closes the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var incomplete []string
+	w.root.Walk(func(path string, g *Group) {
+		for _, ds := range g.Datasets() {
+			if ds.framesWritten() != ds.shape[0] {
+				incomplete = append(incomplete,
+					fmt.Sprintf("%s/%s (%d of %d frames)", path, ds.name, ds.framesWritten(), ds.shape[0]))
+			}
+			ds.w = nil
+		}
+	})
+	if len(incomplete) > 0 {
+		w.f.Close()
+		return fmt.Errorf("emd: incomplete datasets at Close: %v", incomplete)
+	}
+
+	foot := footerJSON{Version: 1, Root: groupToJSON(w.root)}
+	payload, err := json.Marshal(foot)
+	if err != nil {
+		w.f.Close()
+		return fmt.Errorf("emd: marshal footer: %w", err)
+	}
+	footOff := w.off
+	if _, err := w.f.Write(payload); err != nil {
+		w.f.Close()
+		return fmt.Errorf("emd: write footer: %w", err)
+	}
+	var trailer [24]byte
+	binary.LittleEndian.PutUint64(trailer[0:], uint64(footOff))
+	binary.LittleEndian.PutUint64(trailer[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(trailer[16:], crc32.ChecksumIEEE(payload))
+	copy(trailer[20:], "GDME")
+	if _, err := w.f.Write(trailer[:]); err != nil {
+		w.f.Close()
+		return fmt.Errorf("emd: write trailer: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("emd: sync: %w", err)
+	}
+	return w.f.Close()
+}
+
+func groupToJSON(g *Group) *groupJSON {
+	out := &groupJSON{}
+	if len(g.attrs) > 0 {
+		out.Attrs = g.attrs
+	}
+	if len(g.groups) > 0 {
+		out.Groups = map[string]*groupJSON{}
+		for name, child := range g.groups {
+			out.Groups[name] = groupToJSON(child)
+		}
+	}
+	if len(g.datasets) > 0 {
+		out.Datasets = map[string]*dsJSON{}
+		for name, ds := range g.datasets {
+			dj := &dsJSON{
+				DType:       ds.dtype.String(),
+				Shape:       ds.shape,
+				Compression: ds.compression,
+				Attrs:       ds.attrs,
+				Chunks:      make([]chunkJSON, len(ds.chunks)),
+			}
+			for i, c := range ds.chunks {
+				dj.Chunks[i] = chunkJSON{FrameLo: c.frameLo, FrameHi: c.frameHi, Off: c.off, CLen: c.clen, CRC: c.crc}
+			}
+			out.Datasets[name] = dj
+		}
+	}
+	return out
+}

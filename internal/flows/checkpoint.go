@@ -1,0 +1,96 @@
+package flows
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// checkpoint is the persisted progress of one run.
+type checkpoint struct {
+	RunID           string                    `json:"run_id"`
+	Flow            string                    `json:"flow"`
+	Input           map[string]any            `json:"input"`
+	CompletedStates int                       `json:"completed_states"`
+	Results         map[string]map[string]any `json:"results"`
+}
+
+// CheckpointStore persists per-run progress to a directory, one JSON file
+// per run, so interrupted flows can resume after the state they last
+// completed (the paper's checkpointing requirement for resuming
+// experimentation after a reboot or on a subsequent day).
+type CheckpointStore struct {
+	mu  sync.Mutex
+	dir string
+}
+
+// NewCheckpointStore creates (if needed) and uses dir for checkpoints.
+func NewCheckpointStore(dir string) (*CheckpointStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("flows: checkpoint dir: %w", err)
+	}
+	return &CheckpointStore{dir: dir}, nil
+}
+
+func (c *CheckpointStore) path(runID string) string {
+	return filepath.Join(c.dir, runID+".json")
+}
+
+func (c *CheckpointStore) save(cp checkpoint) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("flows: marshal checkpoint: %w", err)
+	}
+	tmp := c.path(cp.RunID) + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("flows: write checkpoint: %w", err)
+	}
+	return os.Rename(tmp, c.path(cp.RunID))
+}
+
+// Load reads a run's checkpoint.
+func (c *CheckpointStore) Load(runID string) (checkpoint, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, err := os.ReadFile(c.path(runID))
+	if err != nil {
+		return checkpoint{}, fmt.Errorf("flows: no checkpoint for %q: %w", runID, err)
+	}
+	var cp checkpoint
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		return checkpoint{}, fmt.Errorf("flows: corrupt checkpoint for %q: %w", runID, err)
+	}
+	return cp, nil
+}
+
+// Pending lists run IDs with outstanding checkpoints.
+func (c *CheckpointStore) Pending() ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("flows: list checkpoints: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) == ".json" {
+			out = append(out, name[:len(name)-len(".json")])
+		}
+	}
+	return out, nil
+}
+
+func (c *CheckpointStore) remove(runID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := os.Remove(c.path(runID))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

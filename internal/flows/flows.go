@@ -1,0 +1,390 @@
+// Package flows is the research-process-automation engine standing in for
+// Globus Flows / Gladier: a flow definition is an ordered list of action
+// states (Transfer → Compute → Search-ingest in this repository), and the
+// engine runs each state by invoking its action provider and then polling
+// for completion with a configurable backoff policy.
+//
+// The polling client is deliberately faithful to the paper's deployment:
+// the default policy is the exponential backoff the paper measures (1 s,
+// doubling, capped at 10 min) and per-state timings are recorded exactly
+// the way the paper's Fig 4 decomposes them — service-side "active" time
+// per step versus flow-orchestration overhead (state-transition costs plus
+// completion-detection lag). Alternative policies (constant, linear,
+// idealized push) support the "we are working to improve this" ablation.
+//
+// Engines run identically under the simulation kernel and the live
+// runtime; runs are cooperative processes that only touch time through
+// sim.Context.
+package flows
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"picoprobe/internal/sim"
+)
+
+// State is an action or flow lifecycle state.
+type State string
+
+// Lifecycle states.
+const (
+	StateActive    State = "ACTIVE"
+	StateSucceeded State = "SUCCEEDED"
+	StateFailed    State = "FAILED"
+)
+
+// ActionStatus is a provider's report on one action.
+type ActionStatus struct {
+	State  State
+	Result map[string]any
+	Error  string
+	// Started/Completed are the provider-side timestamps bounding actual
+	// processing; the engine uses them for the active-vs-overhead
+	// decomposition.
+	Started   time.Time
+	Completed time.Time
+}
+
+// ActionProvider is one service the engine can drive (transfer, compute,
+// search ingest). Invoke must return quickly with an action ID; Status
+// must be cheap and non-blocking — the engine does the waiting.
+type ActionProvider interface {
+	Name() string
+	Invoke(token string, params map[string]any) (string, error)
+	Status(token, actionID string) (ActionStatus, error)
+}
+
+// StateDef is one step of a flow definition.
+type StateDef struct {
+	// Name labels the step ("Transfer", "Analysis", "Publication").
+	Name string
+	// Provider names the registered ActionProvider to drive.
+	Provider string
+	// Params builds the action parameters from the flow input and the
+	// results of previously completed states (keyed by state name).
+	Params func(input map[string]any, results map[string]map[string]any) map[string]any
+}
+
+// Definition is an ordered flow of action states.
+type Definition struct {
+	Name   string
+	States []StateDef
+}
+
+// Validate checks structural sanity of the definition.
+func (d Definition) Validate() error {
+	if d.Name == "" {
+		return errors.New("flows: definition missing name")
+	}
+	if len(d.States) == 0 {
+		return errors.New("flows: definition has no states")
+	}
+	seen := map[string]bool{}
+	for _, s := range d.States {
+		switch {
+		case s.Name == "":
+			return errors.New("flows: state missing name")
+		case s.Provider == "":
+			return fmt.Errorf("flows: state %q missing provider", s.Name)
+		case seen[s.Name]:
+			return fmt.Errorf("flows: duplicate state %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return nil
+}
+
+// StateRecord is the engine's timing account of one executed state.
+type StateRecord struct {
+	Name     string
+	Provider string
+	ActionID string
+	// EnteredAt is when the engine began the state (before orchestration
+	// overhead).
+	EnteredAt time.Time
+	// InvokedAt is when the action invocation returned.
+	InvokedAt time.Time
+	// Started/Completed are the provider-side active window.
+	Started   time.Time
+	Completed time.Time
+	// DetectedAt is when polling observed the terminal status.
+	DetectedAt time.Time
+	// Polls counts status calls; Attempts counts invocations (1 + retries).
+	Polls    int
+	Attempts int
+	Error    string
+}
+
+// Active returns the provider-side processing time.
+func (r StateRecord) Active() time.Duration { return r.Completed.Sub(r.Started) }
+
+// Overhead returns the state's orchestration overhead: wall time in the
+// state minus provider-side active time.
+func (r StateRecord) Overhead() time.Duration {
+	total := r.DetectedAt.Sub(r.EnteredAt)
+	if o := total - r.Active(); o > 0 {
+		return o
+	}
+	return 0
+}
+
+// RunRecord is the full account of one flow run.
+type RunRecord struct {
+	RunID     string
+	Flow      string
+	Input     map[string]any
+	StartedAt time.Time
+	EndedAt   time.Time
+	States    []StateRecord
+	Status    State
+	Error     string
+}
+
+// Runtime returns the end-to-end wall time of the run.
+func (r RunRecord) Runtime() time.Duration { return r.EndedAt.Sub(r.StartedAt) }
+
+// TotalActive sums provider-side active time across states.
+func (r RunRecord) TotalActive() time.Duration {
+	var t time.Duration
+	for _, s := range r.States {
+		t += s.Active()
+	}
+	return t
+}
+
+// TotalOverhead returns run time not spent actively processing steps —
+// the paper's definition of flow-orchestration overhead.
+func (r RunRecord) TotalOverhead() time.Duration {
+	if o := r.Runtime() - r.TotalActive(); o > 0 {
+		return o
+	}
+	return 0
+}
+
+// Options configures an engine.
+type Options struct {
+	// Policy is the completion-polling backoff (default: the paper's
+	// exponential 1s doubling to 10min).
+	Policy Policy
+	// StateOverhead models per-state orchestration cost (flow-service
+	// state evaluation, auth, action invocation round trips).
+	StateOverhead time.Duration
+	// StatusLatency is the service round-trip added to every poll.
+	StatusLatency time.Duration
+	// MaxStateRetries re-invokes a failed action this many extra times
+	// before failing the flow.
+	MaxStateRetries int
+	// Checkpoints, when non-nil, persists per-state progress so
+	// interrupted runs can be resumed.
+	Checkpoints *CheckpointStore
+}
+
+// Engine runs flows against registered action providers.
+type Engine struct {
+	mu        sync.Mutex
+	rt        sim.Runtime
+	opts      Options
+	providers map[string]ActionProvider
+	runs      map[string]*RunRecord
+	order     []string
+	nextID    int
+}
+
+// NewEngine returns an engine on the given runtime.
+func NewEngine(rt sim.Runtime, opts Options) *Engine {
+	if opts.Policy == nil {
+		opts.Policy = DefaultExponential()
+	}
+	return &Engine{
+		rt:        rt,
+		opts:      opts,
+		providers: map[string]ActionProvider{},
+		runs:      map[string]*RunRecord{},
+	}
+}
+
+// RegisterProvider adds an action provider.
+func (e *Engine) RegisterProvider(p ActionProvider) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.providers[p.Name()] = p
+}
+
+// Run starts a flow run and returns its run ID immediately. onDone (may be
+// nil) receives the final record when the run reaches a terminal state.
+func (e *Engine) Run(token string, def Definition, input map[string]any, onDone func(RunRecord)) (string, error) {
+	return e.start(token, def, input, 0, nil, "", onDone)
+}
+
+// Resume continues a checkpointed run from its first incomplete state. The
+// definition must match the one originally used.
+func (e *Engine) Resume(token string, def Definition, runID string, onDone func(RunRecord)) error {
+	if e.opts.Checkpoints == nil {
+		return errors.New("flows: engine has no checkpoint store")
+	}
+	cp, err := e.opts.Checkpoints.Load(runID)
+	if err != nil {
+		return err
+	}
+	if cp.Flow != def.Name {
+		return fmt.Errorf("flows: checkpoint is for flow %q, not %q", cp.Flow, def.Name)
+	}
+	_, err = e.start(token, def, cp.Input, cp.CompletedStates, cp.Results, runID, onDone)
+	return err
+}
+
+func (e *Engine) start(token string, def Definition, input map[string]any, fromState int,
+	results map[string]map[string]any, runID string, onDone func(RunRecord)) (string, error) {
+	if err := def.Validate(); err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	for _, s := range def.States {
+		if _, ok := e.providers[s.Provider]; !ok {
+			e.mu.Unlock()
+			return "", fmt.Errorf("flows: state %q references unregistered provider %q", s.Name, s.Provider)
+		}
+	}
+	if runID == "" {
+		e.nextID++
+		runID = fmt.Sprintf("run-%06d", e.nextID)
+	}
+	rec := &RunRecord{RunID: runID, Flow: def.Name, Input: input, Status: StateActive, StartedAt: e.rt.Now()}
+	e.runs[runID] = rec
+	e.order = append(e.order, runID)
+	e.mu.Unlock()
+
+	if results == nil {
+		results = map[string]map[string]any{}
+	}
+	e.rt.Spawn("flow/"+runID, func(ctx sim.Context) {
+		e.execute(ctx, token, def, rec, fromState, results, onDone)
+	})
+	return runID, nil
+}
+
+func (e *Engine) execute(ctx sim.Context, token string, def Definition, rec *RunRecord,
+	fromState int, results map[string]map[string]any, onDone func(RunRecord)) {
+	fail := func(sr StateRecord, msg string) {
+		e.mu.Lock()
+		rec.States = append(rec.States, sr)
+		rec.Status = StateFailed
+		rec.Error = msg
+		rec.EndedAt = ctx.Now()
+		final := *rec
+		e.mu.Unlock()
+		if onDone != nil {
+			onDone(final)
+		}
+	}
+
+	for i := fromState; i < len(def.States); i++ {
+		stateDef := def.States[i]
+		provider := e.provider(stateDef.Provider)
+		sr := StateRecord{Name: stateDef.Name, Provider: stateDef.Provider, EnteredAt: ctx.Now()}
+
+		// Orchestration cost: state evaluation, auth, invocation round
+		// trips to the cloud-hosted flow service.
+		ctx.Sleep(e.opts.StateOverhead)
+
+		var params map[string]any
+		if stateDef.Params != nil {
+			params = stateDef.Params(rec.Input, results)
+		}
+
+		succeeded := false
+		for attempt := 0; attempt <= e.opts.MaxStateRetries; attempt++ {
+			sr.Attempts = attempt + 1
+			actionID, err := provider.Invoke(token, params)
+			if err != nil {
+				sr.Error = err.Error()
+				continue
+			}
+			sr.ActionID = actionID
+			sr.InvokedAt = ctx.Now()
+
+			// Poll with the backoff policy until terminal.
+			status := ActionStatus{State: StateActive}
+			for poll := 0; status.State == StateActive; poll++ {
+				ctx.Sleep(e.opts.Policy.Next(poll) + e.opts.StatusLatency)
+				status, err = provider.Status(token, actionID)
+				sr.Polls++
+				if err != nil {
+					status = ActionStatus{State: StateFailed, Error: err.Error()}
+				}
+			}
+			sr.Started = status.Started
+			sr.Completed = status.Completed
+			sr.DetectedAt = ctx.Now()
+			if status.State == StateSucceeded {
+				results[stateDef.Name] = status.Result
+				succeeded = true
+				break
+			}
+			sr.Error = status.Error
+		}
+		if !succeeded {
+			fail(sr, fmt.Sprintf("state %q failed after %d attempts: %s", stateDef.Name, sr.Attempts, sr.Error))
+			return
+		}
+
+		e.mu.Lock()
+		rec.States = append(rec.States, sr)
+		snapshot := checkpoint{
+			RunID:           rec.RunID,
+			Flow:            rec.Flow,
+			Input:           rec.Input,
+			CompletedStates: i + 1,
+			Results:         results,
+		}
+		e.mu.Unlock()
+		if e.opts.Checkpoints != nil {
+			// Checkpoint persistence failures must not kill the flow; the
+			// run continues and only resumability is lost.
+			_ = e.opts.Checkpoints.save(snapshot)
+		}
+	}
+
+	e.mu.Lock()
+	rec.Status = StateSucceeded
+	rec.EndedAt = ctx.Now()
+	final := *rec
+	e.mu.Unlock()
+	if e.opts.Checkpoints != nil {
+		_ = e.opts.Checkpoints.remove(rec.RunID)
+	}
+	if onDone != nil {
+		onDone(final)
+	}
+}
+
+func (e *Engine) provider(name string) ActionProvider {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.providers[name]
+}
+
+// Record returns a copy of a run's record.
+func (e *Engine) Record(runID string) (RunRecord, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rec, ok := e.runs[runID]
+	if !ok {
+		return RunRecord{}, false
+	}
+	return *rec, true
+}
+
+// Runs returns copies of all run records in start order.
+func (e *Engine) Runs() []RunRecord {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]RunRecord, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, *e.runs[id])
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package flows
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: the exponential policy is nondecreasing in the poll index and
+// never exceeds its cap.
+func TestPropertyExponentialMonotoneAndCapped(t *testing.T) {
+	pol := DefaultExponential()
+	f := func(a, b uint8) bool {
+		i, j := int(a%40), int(b%40)
+		if i > j {
+			i, j = j, i
+		}
+		di, dj := pol.Next(i), pol.Next(j)
+		return di <= dj && dj <= pol.Cap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cumulative detection time under exponential backoff brackets
+// the action duration — an action of duration d is detected no later than
+// ~2d+1s (before the cap engages), which bounds the per-state overhead.
+func TestPropertyExponentialDetectionBound(t *testing.T) {
+	pol := Exponential{Initial: time.Second, Factor: 2, Cap: 10 * time.Minute}
+	for _, d := range []time.Duration{
+		500 * time.Millisecond, 3 * time.Second, 10 * time.Second,
+		45 * time.Second, 2 * time.Minute, 8 * time.Minute,
+	} {
+		var cum time.Duration
+		for poll := 0; ; poll++ {
+			cum += pol.Next(poll)
+			if cum >= d {
+				break
+			}
+		}
+		if cum < d {
+			t.Fatalf("detection %v before completion %v", cum, d)
+		}
+		if limit := 2*d + 2*time.Second; cum > limit && d < 5*time.Minute {
+			t.Errorf("duration %v detected at %v, beyond the 2d+2s bound", d, cum)
+		}
+	}
+}
+
+// Property: every policy returns nonnegative waits.
+func TestPropertyPoliciesNonNegative(t *testing.T) {
+	policies := []Policy{
+		DefaultExponential(),
+		Constant{Interval: time.Second},
+		Linear{Step: 500 * time.Millisecond, Cap: 10 * time.Second},
+		Linear{Step: time.Second}, // uncapped
+		Push{},
+		Push{Latency: time.Millisecond},
+	}
+	for _, pol := range policies {
+		for poll := 0; poll < 100; poll++ {
+			if d := pol.Next(poll); d < 0 {
+				t.Fatalf("%s.Next(%d) = %v", pol.Name(), poll, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package geom provides axis-aligned boxes and the overlap arithmetic
+// (intersection-over-union) shared by the synthetic instrument's ground
+// truth and the nanoparticle detector's predictions and evaluation.
+package geom
+
+import "math"
+
+// Box is an axis-aligned rectangle with inclusive-exclusive pixel
+// semantics: it spans [X0, X1) x [Y0, Y1).
+type Box struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// NewBox returns a normalized box (corners ordered).
+func NewBox(x0, y0, x1, y1 float64) Box {
+	if x1 < x0 {
+		x0, x1 = x1, x0
+	}
+	if y1 < y0 {
+		y0, y1 = y1, y0
+	}
+	return Box{X0: x0, Y0: y0, X1: x1, Y1: y1}
+}
+
+// FromCenter returns the box centered at (cx, cy) with the given width and
+// height.
+func FromCenter(cx, cy, w, h float64) Box {
+	return Box{X0: cx - w/2, Y0: cy - h/2, X1: cx + w/2, Y1: cy + h/2}
+}
+
+// Width returns the box width (never negative for normalized boxes).
+func (b Box) Width() float64 { return b.X1 - b.X0 }
+
+// Height returns the box height.
+func (b Box) Height() float64 { return b.Y1 - b.Y0 }
+
+// Area returns the box area, or 0 for degenerate boxes.
+func (b Box) Area() float64 {
+	w, h := b.Width(), b.Height()
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Center returns the box center.
+func (b Box) Center() (x, y float64) { return (b.X0 + b.X1) / 2, (b.Y0 + b.Y1) / 2 }
+
+// Intersect returns the overlap of two boxes (possibly degenerate).
+func (b Box) Intersect(o Box) Box {
+	return Box{
+		X0: math.Max(b.X0, o.X0),
+		Y0: math.Max(b.Y0, o.Y0),
+		X1: math.Min(b.X1, o.X1),
+		Y1: math.Min(b.Y1, o.Y1),
+	}
+}
+
+// IoU returns intersection-over-union in [0, 1].
+func (b Box) IoU(o Box) float64 {
+	inter := b.Intersect(o).Area()
+	if inter <= 0 {
+		return 0
+	}
+	union := b.Area() + o.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// Clamp restricts the box to [0, w) x [0, h).
+func (b Box) Clamp(w, h float64) Box {
+	return Box{
+		X0: math.Max(0, math.Min(b.X0, w)),
+		Y0: math.Max(0, math.Min(b.Y0, h)),
+		X1: math.Max(0, math.Min(b.X1, w)),
+		Y1: math.Max(0, math.Min(b.Y1, h)),
+	}
+}
+
+// Contains reports whether the point lies inside the box.
+func (b Box) Contains(x, y float64) bool {
+	return x >= b.X0 && x < b.X1 && y >= b.Y0 && y < b.Y1
+}
+
+// Translate returns the box shifted by (dx, dy).
+func (b Box) Translate(dx, dy float64) Box {
+	return Box{X0: b.X0 + dx, Y0: b.Y0 + dy, X1: b.X1 + dx, Y1: b.Y1 + dy}
+}
+
+// FlipH mirrors the box horizontally within an image of width w.
+func (b Box) FlipH(w float64) Box { return NewBox(w-b.X1, b.Y0, w-b.X0, b.Y1) }
+
+// FlipV mirrors the box vertically within an image of height h.
+func (b Box) FlipV(h float64) Box { return NewBox(b.X0, h-b.Y1, b.X1, h-b.Y0) }

@@ -1,0 +1,119 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox(10, 20, 30, 60)
+	if b.Width() != 20 || b.Height() != 40 || b.Area() != 800 {
+		t.Errorf("dims = %v %v %v", b.Width(), b.Height(), b.Area())
+	}
+	cx, cy := b.Center()
+	if cx != 20 || cy != 40 {
+		t.Errorf("center = %v, %v", cx, cy)
+	}
+	if !b.Contains(15, 25) || b.Contains(30, 25) {
+		t.Error("Contains misbehaves at edges")
+	}
+}
+
+func TestNewBoxNormalizes(t *testing.T) {
+	b := NewBox(30, 60, 10, 20)
+	if b.X0 != 10 || b.Y0 != 20 || b.X1 != 30 || b.Y1 != 60 {
+		t.Errorf("not normalized: %+v", b)
+	}
+}
+
+func TestIoUKnownValues(t *testing.T) {
+	a := NewBox(0, 0, 10, 10)
+	if got := a.IoU(a); got != 1 {
+		t.Errorf("self IoU = %v", got)
+	}
+	b := NewBox(5, 0, 15, 10) // half overlap: inter 50, union 150
+	if got := a.IoU(b); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("IoU = %v, want 1/3", got)
+	}
+	c := NewBox(20, 20, 30, 30)
+	if got := a.IoU(c); got != 0 {
+		t.Errorf("disjoint IoU = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	b := NewBox(-5, -5, 120, 50).Clamp(100, 100)
+	if b.X0 != 0 || b.Y0 != 0 || b.X1 != 100 || b.Y1 != 50 {
+		t.Errorf("clamped = %+v", b)
+	}
+}
+
+func TestFlips(t *testing.T) {
+	b := NewBox(10, 20, 30, 40)
+	fh := b.FlipH(100)
+	if fh.X0 != 70 || fh.X1 != 90 || fh.Y0 != 20 || fh.Y1 != 40 {
+		t.Errorf("FlipH = %+v", fh)
+	}
+	fv := b.FlipV(100)
+	if fv.Y0 != 60 || fv.Y1 != 80 || fv.X0 != 10 {
+		t.Errorf("FlipV = %+v", fv)
+	}
+	// Double flip is identity.
+	if got := b.FlipH(100).FlipH(100); got != b {
+		t.Errorf("double FlipH = %+v", got)
+	}
+}
+
+func TestFromCenterAndTranslate(t *testing.T) {
+	b := FromCenter(50, 50, 10, 20)
+	if b.X0 != 45 || b.Y0 != 40 || b.X1 != 55 || b.Y1 != 60 {
+		t.Errorf("FromCenter = %+v", b)
+	}
+	tr := b.Translate(5, -10)
+	if tr.X0 != 50 || tr.Y0 != 30 {
+		t.Errorf("Translate = %+v", tr)
+	}
+}
+
+// Property: IoU is symmetric, bounded in [0,1], and 1 only for identical
+// (positive-area) boxes.
+func TestPropertyIoU(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	randBox := func() Box {
+		return NewBox(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+	}
+	for i := 0; i < 500; i++ {
+		a, b := randBox(), randBox()
+		ab, ba := a.IoU(b), b.IoU(a)
+		if ab != ba {
+			t.Fatalf("IoU not symmetric: %v vs %v", ab, ba)
+		}
+		if ab < 0 || ab > 1 {
+			t.Fatalf("IoU out of range: %v", ab)
+		}
+		if a.Area() > 0 && a.IoU(a) != 1 {
+			t.Fatalf("self IoU = %v", a.IoU(a))
+		}
+	}
+}
+
+// Property: intersection area is no larger than either box's area.
+func TestPropertyIntersectionBounded(t *testing.T) {
+	f := func(x0, y0, x1, y1, u0, v0, u1, v1 float64) bool {
+		clean := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1000)
+		}
+		a := NewBox(clean(x0), clean(y0), clean(x1), clean(y1))
+		b := NewBox(clean(u0), clean(v0), clean(u1), clean(v1))
+		inter := a.Intersect(b).Area()
+		return inter <= a.Area()+1e-9 && inter <= b.Area()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package hmsa exports acquisitions to the MSA HyperDimensional Data File
+// format (HMSA), the proposed ISO standard the paper names as an
+// alternative container it has "provisions" for (Torpy et al., HMSA File
+// Format Specification v1.02). An HMSA dataset is a *pair* of files
+// sharing a base name: a UTF-8 XML document carrying the header metadata
+// and the dataset declarations, and a binary file holding the raw array
+// data, the two bound together by a shared 8-byte unique identifier and a
+// SHA-1 checksum of the binary payload recorded in the XML.
+//
+// This implementation covers the subset the PicoProbe flows need: one
+// n-dimensional dataset per pair, instrument header entries, and
+// round-trip verification.
+package hmsa
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"encoding/xml"
+	"fmt"
+	"os"
+	"time"
+
+	"picoprobe/internal/emd"
+	"picoprobe/internal/metadata"
+	"picoprobe/internal/tensor"
+)
+
+// Document is the XML half of an HMSA pair.
+type Document struct {
+	XMLName xml.Name `xml:"MSAHyperDimensionalDataFile"`
+	Version string   `xml:"Version,attr"`
+	UID     string   `xml:"UID,attr"`
+	Header  Header   `xml:"Header"`
+	Data    Data     `xml:"Data"`
+}
+
+// Header carries the instrument and acquisition metadata.
+type Header struct {
+	Title      string  `xml:"Title"`
+	Date       string  `xml:"Date"`
+	Time       string  `xml:"Time"`
+	Author     string  `xml:"Author"`
+	Instrument string  `xml:"Instrument"`
+	BeamEnergy Measure `xml:"BeamEnergy"`
+	ProbeSize  Measure `xml:"ProbeSize"`
+	Detector   string  `xml:"Detector"`
+	Sample     string  `xml:"Specimen"`
+}
+
+// Measure is a value with units, HMSA-style.
+type Measure struct {
+	Unit  string  `xml:"Unit,attr"`
+	Value float64 `xml:",chardata"`
+}
+
+// Data declares the datasets stored in the binary file.
+type Data struct {
+	Datasets []Dataset `xml:"Dataset"`
+}
+
+// Dataset declares one n-dimensional array in the binary file.
+type Dataset struct {
+	Name       string      `xml:"Name,attr"`
+	DataType   string      `xml:"DataType,attr"`
+	ByteOrder  string      `xml:"ByteOrder,attr"`
+	Offset     int64       `xml:"Offset,attr"`
+	Dimensions []Dimension `xml:"Dimension"`
+	Checksum   Checksum    `xml:"Checksum"`
+}
+
+// Dimension is one axis extent.
+type Dimension struct {
+	Name string `xml:"Name,attr"`
+	Size int    `xml:",chardata"`
+}
+
+// Checksum records the integrity hash of the dataset's binary bytes.
+type Checksum struct {
+	Algorithm string `xml:"Algorithm,attr"`
+	Value     string `xml:",chardata"`
+}
+
+// uidBytes is the length of the shared identifier prefixed to the binary
+// file and recorded on the XML root.
+const uidBytes = 8
+
+// Export converts an EMD container's primary dataset into an HMSA pair
+// basePath+".xml" / basePath+".hmsa" and returns the written document.
+func Export(f *emd.File, datasetPath, basePath string) (*Document, error) {
+	exp, err := metadata.Extract(f)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := f.Dataset(datasetPath)
+	if err != nil {
+		return nil, err
+	}
+	data, err := ds.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	raw := tensor.Encode(data.Data(), ds.DType())
+
+	// UID: first 8 bytes of the payload hash — deterministic, and shared
+	// by both files of the pair.
+	payloadSum := sha1.Sum(raw)
+	uid := payloadSum[:uidBytes]
+
+	binPath := basePath + ".hmsa"
+	bf, err := os.Create(binPath)
+	if err != nil {
+		return nil, fmt.Errorf("hmsa: %w", err)
+	}
+	if _, err := bf.Write(uid); err != nil {
+		bf.Close()
+		return nil, fmt.Errorf("hmsa: %w", err)
+	}
+	if _, err := bf.Write(raw); err != nil {
+		bf.Close()
+		return nil, fmt.Errorf("hmsa: %w", err)
+	}
+	if err := bf.Close(); err != nil {
+		return nil, fmt.Errorf("hmsa: %w", err)
+	}
+
+	dims := make([]Dimension, len(ds.Shape()))
+	axisNames := []string{"Y", "X", "Channel", "T"}
+	for i, extent := range ds.Shape() {
+		name := fmt.Sprintf("Axis%d", i)
+		if i < len(axisNames) {
+			name = axisNames[i]
+		}
+		dims[i] = Dimension{Name: name, Size: extent}
+	}
+	doc := &Document{
+		Version: "1.0",
+		UID:     hex.EncodeToString(uid),
+		Header: Header{
+			Title:      exp.Title,
+			Date:       exp.Acquisition.Collected.Format("2006-01-02"),
+			Time:       exp.Acquisition.Collected.Format("15:04:05"),
+			Author:     exp.Acquisition.Operator,
+			Instrument: exp.Microscope.InstrumentName,
+			BeamEnergy: Measure{Unit: "keV", Value: exp.Microscope.BeamEnergyKeV},
+			ProbeSize:  Measure{Unit: "pm", Value: exp.Microscope.ProbeSizePM},
+			Detector:   exp.Microscope.Detector,
+			Sample:     exp.Acquisition.SampleName,
+		},
+		Data: Data{Datasets: []Dataset{{
+			Name:       datasetPath,
+			DataType:   ds.DType().String(),
+			ByteOrder:  "LittleEndian",
+			Offset:     uidBytes,
+			Dimensions: dims,
+			Checksum:   Checksum{Algorithm: "SHA-1", Value: hex.EncodeToString(payloadSum[:])},
+		}}},
+	}
+
+	xmlPath := basePath + ".xml"
+	xf, err := os.Create(xmlPath)
+	if err != nil {
+		return nil, fmt.Errorf("hmsa: %w", err)
+	}
+	if _, err := xf.WriteString(xml.Header); err != nil {
+		xf.Close()
+		return nil, fmt.Errorf("hmsa: %w", err)
+	}
+	enc := xml.NewEncoder(xf)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		xf.Close()
+		return nil, fmt.Errorf("hmsa: encode xml: %w", err)
+	}
+	if err := xf.Close(); err != nil {
+		return nil, fmt.Errorf("hmsa: %w", err)
+	}
+	return doc, nil
+}
+
+// Verify re-reads an HMSA pair, checking the UID binding and the binary
+// checksum, and returns the parsed document.
+func Verify(basePath string) (*Document, error) {
+	rawXML, err := os.ReadFile(basePath + ".xml")
+	if err != nil {
+		return nil, fmt.Errorf("hmsa: %w", err)
+	}
+	var doc Document
+	if err := xml.Unmarshal(rawXML, &doc); err != nil {
+		return nil, fmt.Errorf("hmsa: parse xml: %w", err)
+	}
+	bin, err := os.ReadFile(basePath + ".hmsa")
+	if err != nil {
+		return nil, fmt.Errorf("hmsa: %w", err)
+	}
+	if len(bin) < uidBytes {
+		return nil, fmt.Errorf("hmsa: binary file too small")
+	}
+	if hex.EncodeToString(bin[:uidBytes]) != doc.UID {
+		return nil, fmt.Errorf("hmsa: UID mismatch between xml and binary")
+	}
+	for _, ds := range doc.Data.Datasets {
+		if ds.Offset < uidBytes || ds.Offset > int64(len(bin)) {
+			return nil, fmt.Errorf("hmsa: dataset %q offset out of range", ds.Name)
+		}
+		dt, err := tensor.ParseDType(ds.DataType)
+		if err != nil {
+			return nil, err
+		}
+		elems := 1
+		for _, d := range ds.Dimensions {
+			elems *= d.Size
+		}
+		end := ds.Offset + int64(elems*dt.Size())
+		if end > int64(len(bin)) {
+			return nil, fmt.Errorf("hmsa: dataset %q overruns binary file", ds.Name)
+		}
+		if ds.Checksum.Algorithm == "SHA-1" {
+			sum := sha1.Sum(bin[ds.Offset:end])
+			if hex.EncodeToString(sum[:]) != ds.Checksum.Value {
+				return nil, fmt.Errorf("hmsa: dataset %q checksum mismatch", ds.Name)
+			}
+		}
+	}
+	return &doc, nil
+}
+
+// ReadDataset loads a dataset declared in the document back into a tensor.
+func ReadDataset(basePath string, doc *Document, idx int) (*tensor.Dense, error) {
+	if idx < 0 || idx >= len(doc.Data.Datasets) {
+		return nil, fmt.Errorf("hmsa: dataset index %d out of range", idx)
+	}
+	ds := doc.Data.Datasets[idx]
+	dt, err := tensor.ParseDType(ds.DataType)
+	if err != nil {
+		return nil, err
+	}
+	bin, err := os.ReadFile(basePath + ".hmsa")
+	if err != nil {
+		return nil, fmt.Errorf("hmsa: %w", err)
+	}
+	elems := 1
+	shape := make(tensor.Shape, len(ds.Dimensions))
+	for i, d := range ds.Dimensions {
+		elems *= d.Size
+		shape[i] = d.Size
+	}
+	end := ds.Offset + int64(elems*dt.Size())
+	if ds.Offset < 0 || end > int64(len(bin)) {
+		return nil, fmt.Errorf("hmsa: dataset bounds invalid")
+	}
+	vals, err := tensor.Decode(bin[ds.Offset:end], dt)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromData(vals, shape...), nil
+}
+
+// Timestamp formats a collection instant the way HMSA headers expect.
+func Timestamp(t time.Time) (date, clock string) {
+	return t.Format("2006-01-02"), t.Format("15:04:05")
+}

@@ -1,0 +1,166 @@
+package hmsa
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"picoprobe/internal/emd"
+	"picoprobe/internal/metadata"
+	"picoprobe/internal/synth"
+)
+
+func writeEMD(t *testing.T, dir string) string {
+	t.Helper()
+	s, err := synth.GenerateHyperspectral(synth.HyperspectralConfig{Height: 12, Width: 12, Channels: 48, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "src.emdg")
+	acq := &metadata.Acquisition{
+		SampleName: "hmsa-sample",
+		Operator:   "exporter",
+		Collected:  time.Date(2023, 7, 1, 10, 30, 0, 0, time.UTC),
+	}
+	if err := s.WriteEMD(path, synth.DefaultMicroscope(), acq); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExportVerifyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	emdPath := writeEMD(t, dir)
+	f, err := emd.Open(emdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	base := filepath.Join(dir, "out")
+	doc, err := Export(f, "data/hyperspectral/data", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Header.Sample != "hmsa-sample" || doc.Header.Date != "2023-07-01" {
+		t.Errorf("header = %+v", doc.Header)
+	}
+	if len(doc.Data.Datasets) != 1 {
+		t.Fatalf("datasets = %d", len(doc.Data.Datasets))
+	}
+	ds := doc.Data.Datasets[0]
+	if ds.DataType != "float32" || len(ds.Dimensions) != 3 {
+		t.Errorf("dataset decl = %+v", ds)
+	}
+
+	// The pair must verify: UID binding + SHA-1 checksum.
+	parsed, err := Verify(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.UID != doc.UID {
+		t.Error("UID changed across round trip")
+	}
+
+	// And the data must read back identically to the EMD source.
+	orig, err := func() (sum float64, err error) {
+		d, err := f.Dataset("data/hyperspectral/data")
+		if err != nil {
+			return 0, err
+		}
+		all, err := d.ReadAll()
+		if err != nil {
+			return 0, err
+		}
+		return all.Sum(), nil
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDataset(base, parsed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Sum() != orig {
+		t.Errorf("HMSA round trip sum %v != EMD %v", back.Sum(), orig)
+	}
+
+	// The XML file must be a well-formed standalone document.
+	raw, _ := os.ReadFile(base + ".xml")
+	if !strings.Contains(string(raw), "MSAHyperDimensionalDataFile") {
+		t.Error("XML missing root element")
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	dir := t.TempDir()
+	emdPath := writeEMD(t, dir)
+	f, err := emd.Open(emdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	base := filepath.Join(dir, "out")
+	if _, err := Export(f, "data/hyperspectral/data", base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt a payload byte: checksum must fail.
+	bin, _ := os.ReadFile(base + ".hmsa")
+	bin[len(bin)-1] ^= 0xFF
+	os.WriteFile(base+".hmsa", bin, 0o644)
+	if _, err := Verify(base); err == nil {
+		t.Error("payload tamper not detected")
+	}
+
+	// Corrupt the UID: binding must fail.
+	bin[len(bin)-1] ^= 0xFF // restore payload
+	bin[0] ^= 0xFF
+	os.WriteFile(base+".hmsa", bin, 0o644)
+	if _, err := Verify(base); err == nil {
+		t.Error("UID tamper not detected")
+	}
+}
+
+func TestVerifyMissingFiles(t *testing.T) {
+	if _, err := Verify(filepath.Join(t.TempDir(), "nothing")); err == nil {
+		t.Error("missing pair accepted")
+	}
+}
+
+func TestReadDatasetBounds(t *testing.T) {
+	dir := t.TempDir()
+	emdPath := writeEMD(t, dir)
+	f, _ := emd.Open(emdPath)
+	defer f.Close()
+	base := filepath.Join(dir, "out")
+	doc, err := Export(f, "data/hyperspectral/data", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDataset(base, doc, 5); err == nil {
+		t.Error("out-of-range dataset index accepted")
+	}
+	if _, err := ReadDataset(base, doc, -1); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestExportUnknownDataset(t *testing.T) {
+	dir := t.TempDir()
+	emdPath := writeEMD(t, dir)
+	f, _ := emd.Open(emdPath)
+	defer f.Close()
+	if _, err := Export(f, "data/missing/data", filepath.Join(dir, "x")); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestTimestamp(t *testing.T) {
+	d, c := Timestamp(time.Date(2023, 8, 25, 14, 5, 9, 0, time.UTC))
+	if d != "2023-08-25" || c != "14:05:09" {
+		t.Errorf("timestamp = %s %s", d, c)
+	}
+}

@@ -1,0 +1,209 @@
+package imaging
+
+import (
+	"fmt"
+	"image"
+	"math"
+)
+
+// Series is one labeled line in a plot.
+type Series struct {
+	Label string
+	X, Y  []float64
+	Color RGB
+}
+
+// Marker is a labeled vertical tick rendered at a specific X position,
+// used to annotate identified element lines on spectrum plots.
+type Marker struct {
+	X     float64
+	Label string
+	Color RGB
+}
+
+// PlotConfig configures a line plot.
+type PlotConfig struct {
+	Width, Height int
+	Title         string
+	XLabel        string
+	YLabel        string
+	LogY          bool
+	Markers       []Marker
+}
+
+const (
+	plotMarginLeft   = 56
+	plotMarginRight  = 12
+	plotMarginTop    = 24
+	plotMarginBottom = 34
+)
+
+// LinePlot renders one or more series into an image with axes, tick labels
+// and optional markers. It is deliberately minimal — enough to reproduce
+// the paper's Fig 2.B spectrum plot — but handles log scaling and
+// multi-series legends.
+func LinePlot(cfg PlotConfig, series ...Series) (*image.RGBA, error) {
+	if cfg.Width == 0 {
+		cfg.Width = 640
+	}
+	if cfg.Height == 0 {
+		cfg.Height = 360
+	}
+	if len(series) == 0 {
+		return nil, fmt.Errorf("imaging: LinePlot needs at least one series")
+	}
+	// Data bounds.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return nil, fmt.Errorf("imaging: series %q has %d x vs %d y", s.Label, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return nil, fmt.Errorf("imaging: series %q is empty", s.Label)
+		}
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			y := s.Y[i]
+			if cfg.LogY {
+				y = math.Log10(math.Max(y, 1e-12))
+			}
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	img := image.NewRGBA(image.Rect(0, 0, cfg.Width, cfg.Height))
+	fillRect(img, 0, 0, cfg.Width, cfg.Height, White)
+
+	px0, py0 := plotMarginLeft, plotMarginTop
+	px1, py1 := cfg.Width-plotMarginRight, cfg.Height-plotMarginBottom
+	toPx := func(x float64) int {
+		return px0 + int((x-xmin)/(xmax-xmin)*float64(px1-px0))
+	}
+	toPy := func(y float64) int {
+		if cfg.LogY {
+			y = math.Log10(math.Max(y, 1e-12))
+		}
+		return py1 - int((y-ymin)/(ymax-ymin)*float64(py1-py0))
+	}
+
+	// Axes.
+	fillRect(img, px0, py1, px1-px0, 1, Black)
+	fillRect(img, px0, py0, 1, py1-py0, Black)
+
+	// X ticks: 5 evenly spaced.
+	for i := 0; i <= 4; i++ {
+		x := xmin + (xmax-xmin)*float64(i)/4
+		px := toPx(x)
+		fillRect(img, px, py1, 1, 4, Black)
+		lbl := fmtTick(x)
+		DrawText(img, px-TextWidth(lbl, 1)/2, py1+7, lbl, Black, 1)
+	}
+	// Y ticks: 4 evenly spaced (in plot units).
+	for i := 0; i <= 3; i++ {
+		yv := ymin + (ymax-ymin)*float64(i)/3
+		py := py1 - int(float64(py1-py0)*float64(i)/3)
+		fillRect(img, px0-4, py, 4, 1, Black)
+		v := yv
+		if cfg.LogY {
+			v = math.Pow(10, yv)
+		}
+		lbl := fmtTick(v)
+		DrawText(img, px0-6-TextWidth(lbl, 1), py-3, lbl, Black, 1)
+	}
+
+	// Series polylines.
+	for _, s := range series {
+		for i := 1; i < len(s.X); i++ {
+			drawLine(img, toPx(s.X[i-1]), toPy(s.Y[i-1]), toPx(s.X[i]), toPy(s.Y[i]), s.Color)
+		}
+	}
+
+	// Markers.
+	for _, m := range cfg.Markers {
+		if m.X < xmin || m.X > xmax {
+			continue
+		}
+		px := toPx(m.X)
+		for y := py0; y < py1; y += 3 { // dashed vertical line
+			setRGB(img, px, y, m.Color)
+		}
+		DrawText(img, px-TextWidth(m.Label, 1)/2, py0+2, m.Label, m.Color, 1)
+	}
+
+	// Title, axis labels, legend.
+	DrawText(img, (cfg.Width-TextWidth(cfg.Title, 1))/2, 6, cfg.Title, Black, 1)
+	DrawText(img, (px0+px1)/2-TextWidth(cfg.XLabel, 1)/2, cfg.Height-12, cfg.XLabel, Black, 1)
+	DrawText(img, 4, py0-12, cfg.YLabel, Black, 1)
+	ly := py0 + 4
+	for _, s := range series {
+		if s.Label == "" {
+			continue
+		}
+		fillRect(img, px1-70, ly+2, 10, 2, s.Color)
+		DrawText(img, px1-56, ly, s.Label, Black, 1)
+		ly += 10
+	}
+	return img, nil
+}
+
+// drawLine draws a 1px line with the integer Bresenham algorithm.
+func drawLine(img *image.RGBA, x0, y0, x1, y1 int, c RGB) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if image.Pt(x0, y0).In(img.Bounds()) {
+			setRGB(img, x0, y0, c)
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,262 @@
+// Package metadata defines the experiment-metadata schema and its
+// extraction from EMD containers. It plays the role HyperSpy plays in the
+// paper's analysis functions — walking the file's attribute tree to recover
+// microscope settings, acquisition details and sample information — and the
+// role of the paper's extensible DataCite-based schema for records
+// published to the search index.
+package metadata
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"picoprobe/internal/emd"
+)
+
+// Attribute-tree locations, following the EMD convention of a /metadata
+// group alongside /data.
+const (
+	MicroscopeGroup  = "metadata/microscope"
+	AcquisitionGroup = "metadata/acquisition"
+	DataGroup        = "data"
+)
+
+// Acquisition kinds for the two use cases.
+const (
+	KindHyperspectral  = "hyperspectral"
+	KindSpatiotemporal = "spatiotemporal"
+)
+
+// Microscope captures instrument settings at collection time. Field choices
+// mirror the Dynamic PicoProbe's headline capabilities (30-300 kV
+// monochromated aberration-corrected probe, <30 meV spectroscopy, XPAD
+// hyperspectral X-ray detector with ~4.5 sR collection).
+type Microscope struct {
+	InstrumentName      string     `json:"instrument_name"`
+	BeamEnergyKeV       float64    `json:"beam_energy_kev"`
+	MagnificationX      int64      `json:"magnification_x"`
+	EnergyResolutionMeV float64    `json:"energy_resolution_mev"`
+	ProbeSizePM         float64    `json:"probe_size_pm"`
+	Detector            string     `json:"detector"`
+	CollectionSR        float64    `json:"collection_sr"`
+	StageXYZUm          [3]float64 `json:"stage_xyz_um"`
+	AberrationCorrected bool       `json:"aberration_corrected"`
+	Environment         string     `json:"environment"`
+	SoftwareVersion     string     `json:"software_version"`
+	DwellTimeUS         float64    `json:"dwell_time_us"`
+}
+
+// WriteTo stores the microscope settings as attributes of g.
+func (m *Microscope) WriteTo(g *emd.Group) {
+	g.SetAttr("instrument_name", m.InstrumentName)
+	g.SetAttr("beam_energy_kev", m.BeamEnergyKeV)
+	g.SetAttr("magnification_x", m.MagnificationX)
+	g.SetAttr("energy_resolution_mev", m.EnergyResolutionMeV)
+	g.SetAttr("probe_size_pm", m.ProbeSizePM)
+	g.SetAttr("detector", m.Detector)
+	g.SetAttr("collection_sr", m.CollectionSR)
+	g.SetAttr("stage_xyz_um", m.StageXYZUm[:])
+	g.SetAttr("aberration_corrected", m.AberrationCorrected)
+	g.SetAttr("environment", m.Environment)
+	g.SetAttr("software_version", m.SoftwareVersion)
+	g.SetAttr("dwell_time_us", m.DwellTimeUS)
+}
+
+// MicroscopeFrom reads microscope settings back from attributes of g.
+func MicroscopeFrom(g *emd.Group) (*Microscope, error) {
+	m := &Microscope{}
+	var ok bool
+	if m.InstrumentName, ok = g.AttrString("instrument_name"); !ok {
+		return nil, fmt.Errorf("metadata: missing instrument_name")
+	}
+	m.BeamEnergyKeV, _ = g.AttrFloat("beam_energy_kev")
+	m.MagnificationX, _ = g.AttrInt("magnification_x")
+	m.EnergyResolutionMeV, _ = g.AttrFloat("energy_resolution_mev")
+	m.ProbeSizePM, _ = g.AttrFloat("probe_size_pm")
+	m.Detector, _ = g.AttrString("detector")
+	m.CollectionSR, _ = g.AttrFloat("collection_sr")
+	if v, ok := g.Attr("stage_xyz_um"); ok {
+		if arr, ok := v.([]float64); ok && len(arr) == 3 {
+			copy(m.StageXYZUm[:], arr)
+		}
+	}
+	if v, ok := g.Attr("aberration_corrected"); ok {
+		m.AberrationCorrected, _ = v.(bool)
+	}
+	m.Environment, _ = g.AttrString("environment")
+	m.SoftwareVersion, _ = g.AttrString("software_version")
+	m.DwellTimeUS, _ = g.AttrFloat("dwell_time_us")
+	return m, nil
+}
+
+// Acquisition describes one measurement run.
+type Acquisition struct {
+	SampleName string    `json:"sample_name"`
+	Operator   string    `json:"operator"`
+	Collected  time.Time `json:"collected"`
+	Signal     string    `json:"signal"`
+	Kind       string    `json:"kind"`
+	Shape      []int     `json:"shape"`
+	DTypeName  string    `json:"dtype"`
+	Elements   []string  `json:"elements,omitempty"`
+}
+
+// WriteTo stores the acquisition details as attributes of g.
+func (a *Acquisition) WriteTo(g *emd.Group) {
+	g.SetAttr("sample_name", a.SampleName)
+	g.SetAttr("operator", a.Operator)
+	g.SetAttr("collected", a.Collected.UTC().Format(time.RFC3339Nano))
+	g.SetAttr("signal", a.Signal)
+	g.SetAttr("kind", a.Kind)
+	if len(a.Elements) > 0 {
+		g.SetAttr("elements", a.Elements)
+	}
+}
+
+// AcquisitionFrom reads acquisition details from attributes of g. Shape and
+// dtype are filled in by Extract from the primary dataset.
+func AcquisitionFrom(g *emd.Group) (*Acquisition, error) {
+	a := &Acquisition{}
+	var ok bool
+	if a.SampleName, ok = g.AttrString("sample_name"); !ok {
+		return nil, fmt.Errorf("metadata: missing sample_name")
+	}
+	a.Operator, _ = g.AttrString("operator")
+	if ts, ok := g.AttrString("collected"); ok {
+		t, err := time.Parse(time.RFC3339Nano, ts)
+		if err != nil {
+			return nil, fmt.Errorf("metadata: bad collected timestamp %q: %w", ts, err)
+		}
+		a.Collected = t
+	}
+	a.Signal, _ = g.AttrString("signal")
+	a.Kind, _ = g.AttrString("kind")
+	if v, ok := g.Attr("elements"); ok {
+		if arr, ok := v.([]string); ok {
+			a.Elements = arr
+		}
+	}
+	return a, nil
+}
+
+// FileRef points at a raw data file with integrity information.
+type FileRef struct {
+	Name   string `json:"name"`
+	Bytes  int64  `json:"bytes"`
+	SHA256 string `json:"sha256,omitempty"`
+}
+
+// Product is a derived artifact (plot, annotated video, CSV) produced by
+// the analysis stage and rendered by the portal.
+type Product struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
+	Kind string `json:"kind"`
+}
+
+// Experiment is the DataCite-flavoured record published to the search
+// index. One record is produced per flow run.
+type Experiment struct {
+	ID              string       `json:"id"`
+	Title           string       `json:"title"`
+	Creators        []string     `json:"creators"`
+	PublicationYear int          `json:"publication_year"`
+	ResourceType    string       `json:"resource_type"`
+	Subjects        []string     `json:"subjects,omitempty"`
+	Description     string       `json:"description,omitempty"`
+	Microscope      *Microscope  `json:"microscope"`
+	Acquisition     *Acquisition `json:"acquisition"`
+	Files           []FileRef    `json:"files,omitempty"`
+	Products        []Product    `json:"products,omitempty"`
+	VisibleTo       []string     `json:"visible_to,omitempty"`
+}
+
+// Validate checks the fields every published record must carry.
+func (e *Experiment) Validate() error {
+	switch {
+	case e.ID == "":
+		return fmt.Errorf("metadata: experiment missing id")
+	case e.Title == "":
+		return fmt.Errorf("metadata: experiment missing title")
+	case e.Microscope == nil:
+		return fmt.Errorf("metadata: experiment missing microscope block")
+	case e.Acquisition == nil:
+		return fmt.Errorf("metadata: experiment missing acquisition block")
+	case e.Acquisition.Collected.IsZero():
+		return fmt.Errorf("metadata: experiment missing collection time")
+	}
+	return nil
+}
+
+// JSON renders the record as indented JSON.
+func (e *Experiment) JSON() ([]byte, error) {
+	return json.MarshalIndent(e, "", "  ")
+}
+
+// Extract walks an EMD container and assembles the experiment record,
+// fusing what the paper obtains with HyperSpy: microscope settings,
+// acquisition details, and the primary dataset's shape and dtype. The
+// record ID is derived deterministically from the sample name and
+// collection time so repeated extraction is idempotent.
+func Extract(f *emd.File) (*Experiment, error) {
+	micGrp, ok := f.Root().Lookup(MicroscopeGroup)
+	if !ok {
+		return nil, fmt.Errorf("metadata: container has no %s group", MicroscopeGroup)
+	}
+	mic, err := MicroscopeFrom(micGrp)
+	if err != nil {
+		return nil, err
+	}
+	acqGrp, ok := f.Root().Lookup(AcquisitionGroup)
+	if !ok {
+		return nil, fmt.Errorf("metadata: container has no %s group", AcquisitionGroup)
+	}
+	acq, err := AcquisitionFrom(acqGrp)
+	if err != nil {
+		return nil, err
+	}
+
+	// Locate the primary dataset: the first dataset under /data in walk
+	// order.
+	dataGrp, ok := f.Root().Lookup(DataGroup)
+	if !ok {
+		return nil, fmt.Errorf("metadata: container has no %s group", DataGroup)
+	}
+	found := false
+	dataGrp.Walk(func(path string, g *emd.Group) {
+		if found {
+			return
+		}
+		for _, ds := range g.Datasets() {
+			acq.Shape = append([]int(nil), ds.Shape()...)
+			acq.DTypeName = ds.DType().String()
+			found = true
+			return
+		}
+	})
+	if !found {
+		return nil, fmt.Errorf("metadata: no dataset found under /%s", DataGroup)
+	}
+
+	exp := &Experiment{
+		ID:              RecordID(acq.SampleName, acq.Collected),
+		Title:           fmt.Sprintf("%s %s acquisition", acq.SampleName, acq.Kind),
+		Creators:        []string{acq.Operator},
+		PublicationYear: acq.Collected.Year(),
+		ResourceType:    "Dataset",
+		Subjects:        append([]string{acq.Kind, acq.Signal}, acq.Elements...),
+		Microscope:      mic,
+		Acquisition:     acq,
+	}
+	return exp, nil
+}
+
+// RecordID derives a stable record identifier from the sample name and
+// collection instant.
+func RecordID(sample string, collected time.Time) string {
+	h := sha256.Sum256([]byte(sample + "|" + collected.UTC().Format(time.RFC3339Nano)))
+	return "exp-" + hex.EncodeToString(h[:8])
+}

@@ -1,0 +1,316 @@
+// Package netsim models shared networks with a deterministic fluid-flow
+// approximation: concurrent transfers on a path of links receive max-min
+// fair bandwidth allocations (computed by progressive filling), and
+// completion events fire on the simulation kernel at the analytically exact
+// finish instants.
+//
+// This is the substrate beneath the simulated Globus-Transfer-like service:
+// it reproduces the bandwidth regimes the paper describes — the instrument's
+// 1 Gbps user-machine switch, the 200 Gbps laboratory backbone, and the
+// per-stream WAN throughput that makes file transfer the dominant active
+// cost of each data flow.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"picoprobe/internal/sim"
+)
+
+// completionSlack is the residual (in bits) below which a transfer is
+// considered finished. One byte of slack absorbs the nanosecond rounding of
+// event scheduling and is negligible at the megabyte scales simulated here.
+const completionSlack = 8.0
+
+// Link is a shared network segment with a fixed capacity in bits per second.
+type Link struct {
+	Name     string
+	Capacity float64 // bits per second
+}
+
+// Transfer is one active or finished bulk data movement.
+type Transfer struct {
+	ID    int
+	Name  string
+	Bytes int64
+	// Done resolves with the transfer result when the last bit arrives.
+	Done *sim.Future[Result]
+
+	path      []*Link
+	capBps    float64 // per-stream rate cap; 0 means uncapped
+	remaining float64 // bits
+	rate      float64 // current allocated rate, bits/s
+	started   time.Time
+}
+
+// Rate returns the transfer's current bandwidth allocation in bits per
+// second (0 once finished).
+func (t *Transfer) Rate() float64 { return t.rate }
+
+// Result describes a completed transfer.
+type Result struct {
+	Start, End time.Time
+	Bytes      int64
+}
+
+// Duration returns the wall time the transfer took.
+func (r Result) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Throughput returns the effective rate in bits per second.
+func (r Result) Throughput() float64 {
+	d := r.Duration().Seconds()
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return float64(r.Bytes) * 8 / d
+}
+
+// Network simulates a set of links shared by concurrent transfers. All
+// methods must be called from code driven by the owning kernel.
+type Network struct {
+	k          *sim.Kernel
+	links      []*Link
+	active     []*Transfer
+	nextID     int
+	lastUpdate time.Time
+	version    uint64 // invalidates stale completion events
+}
+
+// New returns an empty network driven by kernel k.
+func New(k *sim.Kernel) *Network {
+	return &Network{k: k, lastUpdate: k.Now()}
+}
+
+// AddLink creates a link with the given capacity in bits per second.
+func (n *Network) AddLink(name string, capacityBps float64) *Link {
+	if capacityBps <= 0 {
+		panic(fmt.Sprintf("netsim: link %q capacity must be positive", name))
+	}
+	l := &Link{Name: name, Capacity: capacityBps}
+	n.links = append(n.links, l)
+	return l
+}
+
+// Active returns the number of in-flight transfers.
+func (n *Network) Active() int { return len(n.active) }
+
+// Start begins a transfer of the given size along path, optionally capped at
+// capBps per stream (0 = uncapped). It returns immediately; the transfer's
+// Done future resolves at the simulated completion instant. A transfer with
+// no path and no cap, or with zero bytes, completes instantly.
+func (n *Network) Start(name string, path []*Link, bytes int64, capBps float64) *Transfer {
+	t := &Transfer{
+		ID:        n.nextID,
+		Name:      name,
+		Bytes:     bytes,
+		Done:      sim.NewFuture[Result](n.k),
+		path:      path,
+		capBps:    capBps,
+		remaining: float64(bytes) * 8,
+		started:   n.k.Now(),
+	}
+	n.nextID++
+	if t.remaining <= completionSlack || (len(path) == 0 && capBps <= 0) {
+		t.remaining = 0
+		t.Done.Resolve(Result{Start: t.started, End: n.k.Now(), Bytes: bytes}, nil)
+		return t
+	}
+	n.settle()
+	n.active = append(n.active, t)
+	n.reallocate()
+	return t
+}
+
+// settle advances every active transfer's progress to the current instant at
+// its previously allocated rate.
+func (n *Network) settle() {
+	now := n.k.Now()
+	dt := now.Sub(n.lastUpdate).Seconds()
+	if dt > 0 {
+		for _, t := range n.active {
+			t.remaining -= t.rate * dt
+			if t.remaining < 0 {
+				t.remaining = 0
+			}
+		}
+	}
+	n.lastUpdate = now
+}
+
+// reallocate recomputes the max-min fair allocation, completes any finished
+// transfers, and schedules the next completion event.
+func (n *Network) reallocate() {
+	// Complete transfers that have (within slack) drained.
+	var still []*Transfer
+	for _, t := range n.active {
+		if t.remaining <= completionSlack {
+			t.remaining = 0
+			t.rate = 0
+			t.Done.Resolve(Result{Start: t.started, End: n.k.Now(), Bytes: t.Bytes}, nil)
+		} else {
+			still = append(still, t)
+		}
+	}
+	n.active = still
+	if len(n.active) == 0 {
+		n.version++
+		return
+	}
+
+	maxMinFill(n.links, n.active)
+
+	// Schedule the earliest completion.
+	n.version++
+	version := n.version
+	soonest := time.Duration(math.MaxInt64)
+	for _, t := range n.active {
+		if t.rate <= 0 {
+			continue // fully blocked; cannot finish until the set changes
+		}
+		d := secondsToDuration(t.remaining/t.rate) + time.Nanosecond
+		if d < soonest {
+			soonest = d
+		}
+	}
+	if soonest == time.Duration(math.MaxInt64) {
+		return
+	}
+	n.k.After(soonest, func() {
+		if n.version != version {
+			return // superseded by a newer allocation
+		}
+		n.settle()
+		n.reallocate()
+	})
+}
+
+// constraint is a capacity shared by a set of transfers: either a real link
+// or a per-stream cap modeled as a private virtual link.
+type constraint struct {
+	capacity float64
+	members  []*Transfer
+}
+
+// fairLevel returns the equal split of the residual capacity among the
+// constraint's unfrozen members. Frozen members' shares are already charged
+// against the residual, so this is exactly the level at which the constraint
+// would saturate.
+func (c *constraint) fairLevel(residual float64, unfrozen int) float64 {
+	return residual / float64(unfrozen)
+}
+
+// maxMinFill assigns max-min fair rates to the given transfers by
+// progressive filling. Per-stream caps are handled as private virtual links.
+// Iteration order is deterministic (links by name, transfers by ID).
+func maxMinFill(links []*Link, transfers []*Transfer) {
+	var cons []*constraint
+	byLink := map[*Link]*constraint{}
+
+	ordered := append([]*Link(nil), links...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Name < ordered[j].Name })
+	for _, l := range ordered {
+		c := &constraint{capacity: l.Capacity}
+		byLink[l] = c
+		cons = append(cons, c)
+	}
+	ts := append([]*Transfer(nil), transfers...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+	for _, t := range ts {
+		t.rate = 0
+		for _, l := range t.path {
+			c := byLink[l]
+			c.members = append(c.members, t)
+		}
+		if t.capBps > 0 {
+			cons = append(cons, &constraint{capacity: t.capBps, members: []*Transfer{t}})
+		}
+	}
+
+	frozen := map[*Transfer]bool{}
+	remainingCap := make([]float64, len(cons))
+	for i, c := range cons {
+		remainingCap[i] = c.capacity
+	}
+	for len(frozen) < len(ts) {
+		// Find the tightest constraint level among constraints with
+		// unfrozen members.
+		level := math.Inf(1)
+		for i, c := range cons {
+			unfrozen := 0
+			for _, m := range c.members {
+				if !frozen[m] {
+					unfrozen++
+				}
+			}
+			if unfrozen == 0 {
+				continue
+			}
+			fair := c.fairLevel(remainingCap[i], unfrozen)
+			if fair < level {
+				level = fair
+			}
+		}
+		if math.IsInf(level, 1) {
+			// Remaining transfers are unconstrained (no links, no cap):
+			// give them "infinite" rate so they finish immediately.
+			for _, t := range ts {
+				if !frozen[t] {
+					t.rate = math.Inf(1)
+					frozen[t] = true
+				}
+			}
+			break
+		}
+		// Freeze every unfrozen member of the constraints that bind at
+		// this level.
+		progressed := false
+		for i, c := range cons {
+			unfrozen := 0
+			for _, m := range c.members {
+				if !frozen[m] {
+					unfrozen++
+				}
+			}
+			if unfrozen == 0 {
+				continue
+			}
+			if c.fairLevel(remainingCap[i], unfrozen)-level <= 1e-9*math.Max(1, level) {
+				for _, m := range c.members {
+					if !frozen[m] {
+						m.rate = level
+						frozen[m] = true
+						progressed = true
+					}
+				}
+			}
+		}
+		if !progressed {
+			// Numerical stalemate should be impossible; freeze everything
+			// at the current level rather than looping forever.
+			for _, t := range ts {
+				if !frozen[t] {
+					t.rate = level
+					frozen[t] = true
+				}
+			}
+		}
+		// Charge frozen rates against every constraint they traverse.
+		for i, c := range cons {
+			used := 0.0
+			for _, m := range c.members {
+				used += m.rate
+			}
+			remainingCap[i] = c.capacity - used
+			if remainingCap[i] < 0 {
+				remainingCap[i] = 0
+			}
+		}
+	}
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(math.Ceil(s * float64(time.Second)))
+}

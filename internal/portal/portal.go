@@ -1,0 +1,327 @@
+// Package portal is the interactive data portal standing in for the Django
+// Globus Portal Framework (DGPF): a net/http server over the search index
+// that lets researchers query their experimental records by free text,
+// kind and date (the paper's portal indexes experiments "by the time and
+// date of the associated experiment"), browse facets, and open per-record
+// pages that render the analysis products (intensity maps, spectra,
+// annotated video) produced by the compute stage — the paper's Fig 2.
+// Requests may carry a bearer token; the authenticated principal scopes
+// which records are discoverable, mirroring Globus Search's
+// visibility-filtered queries.
+package portal
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"picoprobe/internal/auth"
+	"picoprobe/internal/search"
+)
+
+// Config assembles a portal server.
+type Config struct {
+	// Index is the search index backing the portal.
+	Index *search.Index
+	// ArtifactRoot, when non-empty, serves analysis products (PNG plots,
+	// annotated AVI) under /artifacts/.
+	ArtifactRoot string
+	// Issuer, when non-nil, authenticates bearer tokens to derive the
+	// querying principal; anonymous requests see public records only.
+	Issuer *auth.Issuer
+	// Title is the portal heading.
+	Title string
+}
+
+// Server is the portal's http.Handler.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+}
+
+// NewServer builds the portal.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Index == nil {
+		return nil, fmt.Errorf("portal: nil index")
+	}
+	if cfg.Title == "" {
+		cfg.Title = "Dynamic PicoProbe Data Portal"
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/record/", s.handleRecord)
+	s.mux.HandleFunc("/api/search", s.handleAPISearch)
+	s.mux.HandleFunc("/api/record/", s.handleAPIRecord)
+	if cfg.ArtifactRoot != "" {
+		fs := http.FileServer(http.Dir(cfg.ArtifactRoot))
+		s.mux.Handle("/artifacts/", http.StripPrefix("/artifacts/", fs))
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// principal extracts the authenticated identity from a bearer token, or ""
+// for anonymous access.
+func (s *Server) principal(r *http.Request) string {
+	if s.cfg.Issuer == nil {
+		return ""
+	}
+	h := r.Header.Get("Authorization")
+	tok, ok := strings.CutPrefix(h, "Bearer ")
+	if !ok {
+		return ""
+	}
+	claims, err := s.cfg.Issuer.Verify(tok, auth.ScopePortal)
+	if err != nil {
+		return ""
+	}
+	return claims.Subject
+}
+
+// buildQuery translates request parameters into a search query.
+func (s *Server) buildQuery(r *http.Request) search.Query {
+	q := search.Query{
+		Text:      r.FormValue("q"),
+		Principal: s.principal(r),
+		Limit:     20,
+	}
+	if kind := r.FormValue("kind"); kind != "" {
+		q.Filters = map[string]string{"kind": kind}
+	}
+	if from := r.FormValue("from"); from != "" {
+		if t, err := time.Parse("2006-01-02", from); err == nil {
+			q.From = t
+		}
+	}
+	if to := r.FormValue("to"); to != "" {
+		if t, err := time.Parse("2006-01-02", to); err == nil {
+			q.To = t.Add(24*time.Hour - time.Nanosecond)
+		}
+	}
+	if n, err := strconv.Atoi(r.FormValue("limit")); err == nil && n > 0 && n <= 100 {
+		q.Limit = n
+	}
+	if n, err := strconv.Atoi(r.FormValue("offset")); err == nil && n >= 0 {
+		q.Offset = n
+	}
+	return q
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	q := s.buildQuery(r)
+	hits, total, err := s.cfg.Index.Search(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	facets := s.cfg.Index.Facets(search.Query{Text: q.Text, Principal: q.Principal}, "kind")
+	data := indexData{
+		Title:  s.cfg.Title,
+		Query:  q.Text,
+		Kind:   r.FormValue("kind"),
+		Total:  total,
+		Facets: facets,
+	}
+	for _, h := range hits {
+		data.Hits = append(data.Hits, hitData{
+			ID:    h.Entry.ID,
+			Date:  h.Entry.Date.Format("2006-01-02 15:04:05"),
+			Kind:  h.Entry.Fields["kind"],
+			Title: h.Entry.Fields["title"],
+			Score: fmt.Sprintf("%.3f", h.Score),
+		})
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/record/")
+	entry, ok := s.cfg.Index.Get(id, s.principal(r))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	var payload map[string]any
+	if len(entry.Payload) > 0 {
+		if err := json.Unmarshal(entry.Payload, &payload); err != nil {
+			payload = map[string]any{"error": "unreadable payload"}
+		}
+	}
+	data := recordData{
+		Title: s.cfg.Title,
+		ID:    entry.ID,
+		Date:  entry.Date.Format(time.RFC1123),
+		Kind:  entry.Fields["kind"],
+	}
+	// Stable ordering for the metadata table.
+	for _, k := range sortedKeys(entry.Fields) {
+		data.Fields = append(data.Fields, kv{K: k, V: entry.Fields[k]})
+	}
+	for _, k := range sortedKeys(entry.Numbers) {
+		data.Fields = append(data.Fields, kv{K: k, V: fmt.Sprintf("%g", entry.Numbers[k])})
+	}
+	if products, ok := payload["products"].([]any); ok {
+		for _, p := range products {
+			if m, ok := p.(map[string]any); ok {
+				path, _ := m["path"].(string)
+				kind, _ := m["kind"].(string)
+				name, _ := m["name"].(string)
+				pd := productData{Name: name, Path: "/artifacts/" + path, Kind: kind}
+				pd.IsImage = strings.HasSuffix(path, ".png")
+				data.Products = append(data.Products, pd)
+			}
+		}
+	}
+	if raw, err := json.MarshalIndent(payload, "", "  "); err == nil {
+		data.PayloadJSON = string(raw)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := recordTmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleAPISearch(w http.ResponseWriter, r *http.Request) {
+	q := s.buildQuery(r)
+	hits, total, err := s.cfg.Index.Search(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	type apiHit struct {
+		ID     string            `json:"id"`
+		Score  float64           `json:"score"`
+		Date   time.Time         `json:"date"`
+		Fields map[string]string `json:"fields"`
+	}
+	resp := struct {
+		Total int      `json:"total"`
+		Hits  []apiHit `json:"hits"`
+	}{Total: total}
+	for _, h := range hits {
+		resp.Hits = append(resp.Hits, apiHit{ID: h.Entry.ID, Score: h.Score, Date: h.Entry.Date, Fields: h.Entry.Fields})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleAPIRecord(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/api/record/")
+	entry, ok := s.cfg.Index.Get(id, s.principal(r))
+	if !ok {
+		http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, entry)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+type indexData struct {
+	Title  string
+	Query  string
+	Kind   string
+	Total  int
+	Hits   []hitData
+	Facets map[string]int
+}
+
+type hitData struct {
+	ID, Date, Kind, Title, Score string
+}
+
+type kv struct{ K, V string }
+
+type productData struct {
+	Name, Path, Kind string
+	IsImage          bool
+}
+
+type recordData struct {
+	Title       string
+	ID          string
+	Date        string
+	Kind        string
+	Fields      []kv
+	Products    []productData
+	PayloadJSON string
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Title}}</title>
+<style>body{font-family:sans-serif;margin:2em}table{border-collapse:collapse}
+td,th{border:1px solid #ccc;padding:4px 8px}.facet{color:#555}</style></head>
+<body>
+<h1>{{.Title}}</h1>
+<form method="GET" action="/">
+  <input type="text" name="q" value="{{.Query}}" placeholder="search experiments" size="40">
+  <select name="kind">
+    <option value="">all kinds</option>
+    <option value="hyperspectral" {{if eq .Kind "hyperspectral"}}selected{{end}}>hyperspectral</option>
+    <option value="spatiotemporal" {{if eq .Kind "spatiotemporal"}}selected{{end}}>spatiotemporal</option>
+  </select>
+  <input type="submit" value="Search">
+</form>
+<p class="facet">{{range $k, $v := .Facets}}{{$k}}: {{$v}} &nbsp; {{end}}</p>
+<p>{{.Total}} result(s)</p>
+<table><tr><th>Record</th><th>Date</th><th>Kind</th><th>Title</th><th>Score</th></tr>
+{{range .Hits}}<tr>
+  <td><a href="/record/{{.ID}}">{{.ID}}</a></td>
+  <td>{{.Date}}</td><td>{{.Kind}}</td><td>{{.Title}}</td><td>{{.Score}}</td>
+</tr>{{end}}
+</table>
+</body></html>`))
+
+var recordTmpl = template.Must(template.New("record").Parse(`<!DOCTYPE html>
+<html><head><title>{{.ID}} — {{.Title}}</title>
+<style>body{font-family:sans-serif;margin:2em}table{border-collapse:collapse}
+td,th{border:1px solid #ccc;padding:4px 8px}img{max-width:640px;display:block;margin:1em 0}
+pre{background:#f6f6f6;padding:1em;overflow-x:auto}</style></head>
+<body>
+<p><a href="/">&larr; back to search</a></p>
+<h1>{{.ID}}</h1>
+<p>{{.Kind}} experiment collected {{.Date}}</p>
+<h2>Metadata</h2>
+<table>{{range .Fields}}<tr><th>{{.K}}</th><td>{{.V}}</td></tr>{{end}}</table>
+<h2>Data products</h2>
+{{range .Products}}
+  <h3>{{.Name}} ({{.Kind}})</h3>
+  {{if .IsImage}}<img src="{{.Path}}" alt="{{.Name}}">{{else}}<p><a href="{{.Path}}">{{.Path}}</a></p>{{end}}
+{{end}}
+<h2>Full record</h2>
+<pre>{{.PayloadJSON}}</pre>
+</body></html>`))

@@ -1,0 +1,226 @@
+package portal
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"picoprobe/internal/auth"
+	"picoprobe/internal/search"
+)
+
+func seeded(t *testing.T) (*search.Index, *auth.Issuer, string) {
+	t.Helper()
+	ix := search.NewIndex()
+	payload, _ := json.Marshal(map[string]any{
+		"products": []map[string]any{
+			{"name": "Intensity map", "path": "exp-1/intensity.png", "kind": "intensity_png"},
+			{"name": "Annotated video", "path": "exp-1/annotated.avi", "kind": "annotated_avi"},
+		},
+	})
+	ix.Ingest(search.Entry{
+		ID:      "exp-1",
+		Text:    "hyperspectral polyamide film",
+		Fields:  map[string]string{"kind": "hyperspectral", "title": "film run"},
+		Numbers: map[string]float64{"beam_kev": 300},
+		Date:    time.Date(2023, 6, 5, 10, 0, 0, 0, time.UTC),
+		Payload: payload,
+	})
+	ix.Ingest(search.Entry{
+		ID:        "exp-2",
+		Text:      "spatiotemporal gold nanoparticles",
+		Fields:    map[string]string{"kind": "spatiotemporal", "title": "au tracking"},
+		Date:      time.Date(2023, 6, 6, 10, 0, 0, 0, time.UTC),
+		VisibleTo: []string{"owner@anl.gov"},
+	})
+	iss := auth.NewIssuer([]byte("portal-test"), nil)
+	tok, err := iss.Issue("owner@anl.gov", []string{auth.ScopePortal}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, iss, tok
+}
+
+func newServer(t *testing.T, artifactRoot string) (*Server, string) {
+	t.Helper()
+	ix, iss, tok := seeded(t)
+	srv, err := NewServer(Config{Index: ix, Issuer: iss, ArtifactRoot: artifactRoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, tok
+}
+
+func get(t *testing.T, srv *Server, url, token string) (*http.Response, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, _ := io.ReadAll(res.Body)
+	return res, string(body)
+}
+
+func TestIndexPageLists(t *testing.T) {
+	srv, _ := newServer(t, "")
+	res, body := get(t, srv, "/", "")
+	if res.StatusCode != 200 {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if !strings.Contains(body, "exp-1") {
+		t.Error("public record missing from index page")
+	}
+	if strings.Contains(body, "exp-2") {
+		t.Error("restricted record leaked to anonymous user")
+	}
+	if !strings.Contains(body, "1 result(s)") {
+		t.Errorf("total line missing:\n%s", body)
+	}
+}
+
+func TestSearchQueryAndKindFilter(t *testing.T) {
+	srv, tok := newServer(t, "")
+	_, body := get(t, srv, "/?q=gold&kind=spatiotemporal", tok)
+	if !strings.Contains(body, "exp-2") {
+		t.Error("authorized search missed restricted record")
+	}
+	_, body = get(t, srv, "/?q=gold&kind=hyperspectral", tok)
+	if strings.Contains(body, "exp-2") {
+		t.Error("kind filter ignored")
+	}
+}
+
+func TestRecordPage(t *testing.T) {
+	srv, _ := newServer(t, "")
+	res, body := get(t, srv, "/record/exp-1", "")
+	if res.StatusCode != 200 {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	for _, want := range []string{"hyperspectral", "Intensity map", "/artifacts/exp-1/intensity.png", "beam_kev", "300"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("record page missing %q", want)
+		}
+	}
+	// Restricted record: 404 anonymously, 200 for the owner.
+	res, _ = get(t, srv, "/record/exp-2", "")
+	if res.StatusCode != 404 {
+		t.Errorf("anonymous restricted record status = %d", res.StatusCode)
+	}
+}
+
+func TestRecordPageAuthorized(t *testing.T) {
+	srv, tok := newServer(t, "")
+	res, body := get(t, srv, "/record/exp-2", tok)
+	if res.StatusCode != 200 {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if !strings.Contains(body, "au tracking") {
+		t.Error("record content missing")
+	}
+}
+
+func TestAPISearch(t *testing.T) {
+	srv, _ := newServer(t, "")
+	res, body := get(t, srv, "/api/search?q=polyamide", "")
+	if res.StatusCode != 200 {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	var parsed struct {
+		Total int `json:"total"`
+		Hits  []struct {
+			ID string `json:"id"`
+		} `json:"hits"`
+	}
+	if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Total != 1 || parsed.Hits[0].ID != "exp-1" {
+		t.Errorf("api response = %+v", parsed)
+	}
+}
+
+func TestAPIRecord(t *testing.T) {
+	srv, tok := newServer(t, "")
+	res, body := get(t, srv, "/api/record/exp-2", tok)
+	if res.StatusCode != 200 {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	var entry search.Entry
+	if err := json.Unmarshal([]byte(body), &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.ID != "exp-2" {
+		t.Errorf("entry = %+v", entry)
+	}
+	res, _ = get(t, srv, "/api/record/exp-2", "")
+	if res.StatusCode != 404 {
+		t.Errorf("anonymous api record status = %d", res.StatusCode)
+	}
+	res, _ = get(t, srv, "/api/record/missing", tok)
+	if res.StatusCode != 404 {
+		t.Errorf("missing api record status = %d", res.StatusCode)
+	}
+}
+
+func TestArtifactsServedAndTraversalBlocked(t *testing.T) {
+	root := t.TempDir()
+	os.MkdirAll(filepath.Join(root, "exp-1"), 0o755)
+	os.WriteFile(filepath.Join(root, "exp-1", "intensity.png"), []byte("png-bytes"), 0o644)
+	// Plant a secret outside the artifact root.
+	secret := filepath.Join(filepath.Dir(root), "secret.txt")
+	os.WriteFile(secret, []byte("secret"), 0o644)
+
+	srv, _ := newServer(t, root)
+	res, body := get(t, srv, "/artifacts/exp-1/intensity.png", "")
+	if res.StatusCode != 200 || body != "png-bytes" {
+		t.Errorf("artifact serve: %d %q", res.StatusCode, body)
+	}
+	res, body = get(t, srv, "/artifacts/../secret.txt", "")
+	if res.StatusCode == 200 && strings.Contains(body, "secret") {
+		t.Error("path traversal leaked a file outside the artifact root")
+	}
+}
+
+func TestInvalidTokenTreatedAsAnonymous(t *testing.T) {
+	srv, _ := newServer(t, "")
+	res, body := get(t, srv, "/", "garbage-token")
+	if res.StatusCode != 200 {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if strings.Contains(body, "exp-2") {
+		t.Error("garbage token granted visibility")
+	}
+}
+
+func TestWrongScopeTokenAnonymous(t *testing.T) {
+	ix, iss, _ := seeded(t)
+	srv, _ := NewServer(Config{Index: ix, Issuer: iss})
+	tok, _ := iss.Issue("owner@anl.gov", []string{auth.ScopeCompute}, time.Hour)
+	_, body := get(t, srv, "/", tok)
+	if strings.Contains(body, "exp-2") {
+		t.Error("wrong-scope token granted visibility")
+	}
+}
+
+func TestNilIndexRejected(t *testing.T) {
+	if _, err := NewServer(Config{}); err == nil {
+		t.Error("nil index accepted")
+	}
+}
+
+func TestUnknownPath404(t *testing.T) {
+	srv, _ := newServer(t, "")
+	res, _ := get(t, srv, "/nope/nothing", "")
+	if res.StatusCode != 404 {
+		t.Errorf("status = %d", res.StatusCode)
+	}
+}

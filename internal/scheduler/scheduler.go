@@ -1,0 +1,229 @@
+// Package scheduler models the batch scheduler behind the Polaris compute
+// endpoint (PBS in the paper). Jobs queue for a bounded pool of nodes;
+// cold nodes pay a provisioning delay (the PBS queue wait plus node
+// startup), the first job of each software environment on a node
+// additionally pays an environment cache warm-up (the paper's "cache the
+// Python libraries required for analysis"), and idle nodes are reclaimed
+// after a timeout. Subsequent jobs reuse warm nodes — the mechanism behind
+// the paper's observation that maximum flow runtimes belong to the first
+// flows while later flows reuse provisioned nodes.
+//
+// The scheduler is written against sim.Runtime, so the identical logic
+// runs in simulated experiments (virtual time) and live deployments
+// (scaled real time).
+package scheduler
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"picoprobe/internal/sim"
+)
+
+// Config sizes the node pool and its delays.
+type Config struct {
+	// Nodes is the maximum number of nodes the endpoint may hold.
+	Nodes int
+	// ProvisionDelay is the time to acquire a cold node (queue wait +
+	// boot).
+	ProvisionDelay time.Duration
+	// CacheWarmup is paid by the first job of each environment on a node.
+	CacheWarmup time.Duration
+	// IdleTimeout releases nodes that stay idle this long (0 = never).
+	IdleTimeout time.Duration
+	// ReuseNodes keeps nodes warm between jobs; disabling it releases the
+	// node after every job, so each job pays the provisioning delay (an
+	// ablation for the warm-node-reuse design choice).
+	ReuseNodes bool
+}
+
+// JobReport describes one completed job.
+type JobReport struct {
+	NodeID   int
+	Queued   time.Time
+	Started  time.Time // when execution (incl. warmup) began on a node
+	Finished time.Time
+	// Warmed reports whether the job paid the environment cache warm-up.
+	Warmed bool
+	// Provisioned reports whether the job waited for a cold node to be
+	// provisioned on its behalf.
+	Provisioned bool
+}
+
+// QueueWait returns how long the job waited for a node.
+func (r JobReport) QueueWait() time.Duration { return r.Started.Sub(r.Queued) }
+
+// Stats aggregates scheduler activity.
+type Stats struct {
+	JobsRun    int
+	Provisions int
+	Warmups    int
+}
+
+type nodeState int
+
+const (
+	nodeCold nodeState = iota
+	nodeProvisioning
+	nodeIdle
+	nodeBusy
+)
+
+type node struct {
+	id        int
+	state     nodeState
+	warmed    map[string]bool
+	idleGen   int // invalidates stale idle-timeout callbacks
+	provision bool
+}
+
+type job struct {
+	env    string
+	dur    time.Duration
+	queued time.Time
+	done   func(JobReport)
+}
+
+// Scheduler is a deterministic batch scheduler over a bounded node pool.
+type Scheduler struct {
+	mu    sync.Mutex
+	rt    sim.Runtime
+	cfg   Config
+	nodes []*node
+	queue []*job
+	stats Stats
+}
+
+// New returns a scheduler with the given pool configuration.
+func New(rt sim.Runtime, cfg Config) *Scheduler {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	s := &Scheduler{rt: rt, cfg: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		s.nodes = append(s.nodes, &node{id: i, state: nodeCold, warmed: map[string]bool{}})
+	}
+	return s
+}
+
+// Stats returns a snapshot of aggregate counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// QueueLen returns the number of jobs waiting for a node.
+func (s *Scheduler) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Submit enqueues a job that will occupy a node for dur (plus any cache
+// warm-up) in environment env, then invoke done exactly once with its
+// report. Submit never blocks.
+func (s *Scheduler) Submit(env string, dur time.Duration, done func(JobReport)) error {
+	if done == nil {
+		return fmt.Errorf("scheduler: nil completion callback")
+	}
+	if dur < 0 {
+		return fmt.Errorf("scheduler: negative duration")
+	}
+	s.mu.Lock()
+	s.queue = append(s.queue, &job{env: env, dur: dur, queued: s.rt.Now(), done: done})
+	s.dispatchLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// dispatchLocked assigns queued jobs to idle nodes and provisions cold
+// nodes when demand exceeds warm capacity.
+func (s *Scheduler) dispatchLocked() {
+	for len(s.queue) > 0 {
+		n := s.findLocked(nodeIdle)
+		if n == nil {
+			break
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.runLocked(n, j)
+	}
+	// Provision cold nodes for remaining demand.
+	for demand := len(s.queue); demand > 0; demand-- {
+		n := s.findLocked(nodeCold)
+		if n == nil {
+			break
+		}
+		n.state = nodeProvisioning
+		s.stats.Provisions++
+		node := n
+		s.rt.AfterFunc(s.cfg.ProvisionDelay, func() {
+			s.mu.Lock()
+			node.state = nodeIdle
+			node.warmed = map[string]bool{}
+			node.provision = true
+			s.dispatchLocked()
+			s.mu.Unlock()
+		})
+	}
+}
+
+func (s *Scheduler) findLocked(st nodeState) *node {
+	for _, n := range s.nodes {
+		if n.state == st {
+			return n
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) runLocked(n *node, j *job) {
+	n.state = nodeBusy
+	total := j.dur
+	warmed := false
+	if !n.warmed[j.env] {
+		total += s.cfg.CacheWarmup
+		n.warmed[j.env] = true
+		warmed = true
+		s.stats.Warmups++
+	}
+	provisioned := n.provision
+	n.provision = false
+	started := s.rt.Now()
+	s.rt.AfterFunc(total, func() {
+		s.mu.Lock()
+		s.stats.JobsRun++
+		report := JobReport{
+			NodeID:      n.id,
+			Queued:      j.queued,
+			Started:     started,
+			Finished:    s.rt.Now(),
+			Warmed:      warmed,
+			Provisioned: provisioned,
+		}
+		if s.cfg.ReuseNodes {
+			n.state = nodeIdle
+			n.idleGen++
+			gen := n.idleGen
+			if s.cfg.IdleTimeout > 0 {
+				s.rt.AfterFunc(s.cfg.IdleTimeout, func() {
+					s.mu.Lock()
+					if n.state == nodeIdle && n.idleGen == gen {
+						n.state = nodeCold
+						n.warmed = map[string]bool{}
+					}
+					s.mu.Unlock()
+				})
+			}
+		} else {
+			n.state = nodeCold
+			n.warmed = map[string]bool{}
+		}
+		s.dispatchLocked()
+		done := j.done
+		s.mu.Unlock()
+		done(report)
+	})
+}

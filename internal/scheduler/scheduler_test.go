@@ -1,0 +1,216 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+
+	"picoprobe/internal/sim"
+)
+
+func cfg() Config {
+	return Config{
+		Nodes:          2,
+		ProvisionDelay: 60 * time.Second,
+		CacheWarmup:    30 * time.Second,
+		IdleTimeout:    5 * time.Minute,
+		ReuseNodes:     true,
+	}
+}
+
+func TestFirstJobPaysProvisionAndWarmup(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, cfg())
+	var rep JobReport
+	s.Submit("analysis", 10*time.Second, func(r JobReport) { rep = r })
+	k.Run()
+	if !rep.Provisioned || !rep.Warmed {
+		t.Errorf("first job: provisioned=%v warmed=%v", rep.Provisioned, rep.Warmed)
+	}
+	// Total: 60s provision + 30s warmup + 10s run.
+	if got := rep.Finished.Sub(rep.Queued); got != 100*time.Second {
+		t.Errorf("elapsed = %v, want 100s", got)
+	}
+	if got := rep.QueueWait(); got != 60*time.Second {
+		t.Errorf("queue wait = %v, want 60s", got)
+	}
+}
+
+func TestSecondJobReusesWarmNode(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, cfg())
+	var first, second JobReport
+	s.Submit("analysis", 10*time.Second, func(r JobReport) {
+		first = r
+		s.Submit("analysis", 10*time.Second, func(r2 JobReport) { second = r2 })
+	})
+	k.Run()
+	if second.Warmed || second.Provisioned {
+		t.Errorf("second job should reuse: warmed=%v provisioned=%v", second.Warmed, second.Provisioned)
+	}
+	if got := second.Finished.Sub(second.Queued); got != 10*time.Second {
+		t.Errorf("second job elapsed = %v, want 10s", got)
+	}
+	if second.NodeID != first.NodeID {
+		t.Errorf("second job on node %d, want %d", second.NodeID, first.NodeID)
+	}
+}
+
+func TestDifferentEnvPaysWarmupOnly(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, cfg())
+	var second JobReport
+	s.Submit("envA", 10*time.Second, func(JobReport) {
+		s.Submit("envB", 10*time.Second, func(r JobReport) { second = r })
+	})
+	k.Run()
+	if !second.Warmed || second.Provisioned {
+		t.Errorf("cross-env job: warmed=%v provisioned=%v", second.Warmed, second.Provisioned)
+	}
+	if got := second.Finished.Sub(second.Queued); got != 40*time.Second {
+		t.Errorf("elapsed = %v, want 40s (warmup+run)", got)
+	}
+}
+
+func TestQueueingWhenPoolSaturated(t *testing.T) {
+	k := sim.NewKernel()
+	c := cfg()
+	c.Nodes = 1
+	s := New(k, c)
+	var waits []time.Duration
+	for i := 0; i < 3; i++ {
+		s.Submit("e", 10*time.Second, func(r JobReport) { waits = append(waits, r.QueueWait()) })
+	}
+	if s.QueueLen() != 3 {
+		t.Errorf("initial queue = %d", s.QueueLen())
+	}
+	k.Run()
+	if len(waits) != 3 {
+		t.Fatalf("completed = %d", len(waits))
+	}
+	// Job 1 waits 60 (provision); job 2 waits 60+40=100; job 3 waits 150.
+	want := []time.Duration{60 * time.Second, 100 * time.Second, 110 * time.Second}
+	for i, w := range waits {
+		if w != want[i] {
+			t.Errorf("wait[%d] = %v, want %v", i, w, want[i])
+		}
+	}
+}
+
+func TestParallelNodes(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, cfg()) // 2 nodes
+	var finished []time.Time
+	for i := 0; i < 2; i++ {
+		s.Submit("e", 10*time.Second, func(r JobReport) { finished = append(finished, r.Finished) })
+	}
+	k.Run()
+	if len(finished) != 2 {
+		t.Fatal("not all jobs ran")
+	}
+	// Both provision in parallel and finish together at 100s.
+	for _, f := range finished {
+		if got := f.Sub(sim.DefaultEpoch); got != 100*time.Second {
+			t.Errorf("finish = %v, want 100s", got)
+		}
+	}
+	if s.Stats().Provisions != 2 {
+		t.Errorf("provisions = %d", s.Stats().Provisions)
+	}
+}
+
+func TestIdleTimeoutReleasesNode(t *testing.T) {
+	k := sim.NewKernel()
+	c := cfg()
+	c.IdleTimeout = time.Minute
+	s := New(k, c)
+	var second JobReport
+	s.Submit("e", 10*time.Second, func(JobReport) {})
+	k.Run()
+	// Wait past the idle timeout, then submit again: node must be cold.
+	k.After(2*time.Minute, func() {
+		s.Submit("e", 10*time.Second, func(r JobReport) { second = r })
+	})
+	k.Run()
+	if !second.Provisioned || !second.Warmed {
+		t.Errorf("post-timeout job should re-provision: %+v", second)
+	}
+}
+
+func TestIdleTimeoutCancelledByNewJob(t *testing.T) {
+	k := sim.NewKernel()
+	c := cfg()
+	c.IdleTimeout = time.Minute
+	s := New(k, c)
+	var second JobReport
+	s.Submit("e", 10*time.Second, func(JobReport) {})
+	// First job finishes at t=100s; the idle window closes at t=160s.
+	// Submit again at t=130s, inside the window: node stays warm.
+	k.After(130*time.Second, func() {
+		s.Submit("e", 10*time.Second, func(r JobReport) { second = r })
+	})
+	k.Run()
+	if second.Provisioned || second.Warmed {
+		t.Errorf("within-timeout job should reuse: %+v", second)
+	}
+}
+
+func TestNoReuseAblation(t *testing.T) {
+	k := sim.NewKernel()
+	c := cfg()
+	c.ReuseNodes = false
+	s := New(k, c)
+	var second JobReport
+	s.Submit("e", 10*time.Second, func(JobReport) {
+		s.Submit("e", 10*time.Second, func(r JobReport) { second = r })
+	})
+	k.Run()
+	if !second.Provisioned || !second.Warmed {
+		t.Errorf("no-reuse job should pay full cost: %+v", second)
+	}
+	if got := second.Finished.Sub(second.Queued); got != 100*time.Second {
+		t.Errorf("elapsed = %v, want 100s", got)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, cfg())
+	if err := s.Submit("e", time.Second, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+	if err := s.Submit("e", -time.Second, func(JobReport) {}); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, cfg())
+	for i := 0; i < 5; i++ {
+		s.Submit("e", time.Second, func(JobReport) {})
+	}
+	k.Run()
+	st := s.Stats()
+	if st.JobsRun != 5 {
+		t.Errorf("jobs = %d", st.JobsRun)
+	}
+	if st.Provisions == 0 || st.Warmups == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLiveRuntimeCompatibility(t *testing.T) {
+	rt := sim.NewLiveRuntime(10000) // 10s virtual per real ms
+	c := Config{Nodes: 1, ProvisionDelay: 10 * time.Second, CacheWarmup: 5 * time.Second, ReuseNodes: true}
+	s := New(rt, c)
+	done := make(chan JobReport, 1)
+	s.Submit("e", 20*time.Second, func(r JobReport) { done <- r })
+	select {
+	case r := <-done:
+		if !r.Provisioned || !r.Warmed {
+			t.Errorf("live job report = %+v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("live job never completed")
+	}
+}

@@ -1,0 +1,341 @@
+// Package search is the searchable metadata catalog standing in for the
+// Globus Search service (which builds on ElasticSearch): experiment records
+// are ingested as JSON entries, indexed into an inverted index with TF-IDF
+// ranking, and queried with free text, exact-field filters, numeric and
+// date ranges, and facets — all under per-principal visibility ACLs so
+// query results only ever contain records the caller is allowed to
+// discover. The index persists to a JSON-lines snapshot.
+package search
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+	"unicode"
+)
+
+// Entry is one searchable record.
+type Entry struct {
+	// ID uniquely identifies the record; re-ingesting an ID replaces it.
+	ID string `json:"id"`
+	// Text is the free-text blob indexed for ranked search.
+	Text string `json:"text"`
+	// Fields are exact-match filterable key/values (e.g. kind, sample).
+	Fields map[string]string `json:"fields,omitempty"`
+	// Numbers are range-filterable values (e.g. beam_energy_kev).
+	Numbers map[string]float64 `json:"numbers,omitempty"`
+	// Date is the record's primary timestamp (the experiment's collection
+	// time) used for date-range queries and recency ordering.
+	Date time.Time `json:"date"`
+	// VisibleTo lists the principals allowed to discover this record; an
+	// empty list means public.
+	VisibleTo []string `json:"visible_to,omitempty"`
+	// Payload carries the full record (e.g. the experiment JSON) for
+	// display by the portal.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// visible reports whether principal may discover the entry.
+func (e *Entry) visible(principal string) bool {
+	if len(e.VisibleTo) == 0 {
+		return true
+	}
+	for _, p := range e.VisibleTo {
+		if p == principal {
+			return true
+		}
+	}
+	return false
+}
+
+// Query selects and ranks entries.
+type Query struct {
+	// Text is ranked free text; empty means "match all" ordered by recency.
+	Text string
+	// Filters require exact equality on Fields.
+	Filters map[string]string
+	// NumRange requires Numbers[key] in [lo, hi].
+	NumRange map[string][2]float64
+	// From/To bound Date (zero values mean unbounded).
+	From, To time.Time
+	// Principal is the caller's identity for ACL filtering ("" =
+	// anonymous, sees only public records).
+	Principal string
+	// Limit and Offset paginate results. Limit 0 means 10.
+	Limit, Offset int
+}
+
+// Hit is one search result.
+type Hit struct {
+	Entry Entry
+	Score float64
+}
+
+// Index is an in-memory inverted index, safe for concurrent use.
+type Index struct {
+	mu       sync.RWMutex
+	docs     map[string]*Entry
+	postings map[string]map[string]int // term -> id -> term frequency
+	lens     map[string]int            // id -> token count
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		docs:     map[string]*Entry{},
+		postings: map[string]map[string]int{},
+		lens:     map[string]int{},
+	}
+}
+
+// Count returns the number of indexed entries.
+func (ix *Index) Count() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Ingest adds or replaces an entry.
+func (ix *Index) Ingest(e Entry) error {
+	if e.ID == "" {
+		return fmt.Errorf("search: entry missing id")
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, exists := ix.docs[e.ID]; exists {
+		ix.removeLocked(e.ID)
+	}
+	stored := e
+	stored.VisibleTo = append([]string(nil), e.VisibleTo...)
+	ix.docs[e.ID] = &stored
+	// Index Text plus field values so filter-ish terms also rank.
+	var sb strings.Builder
+	sb.WriteString(e.Text)
+	for _, v := range e.Fields {
+		sb.WriteByte(' ')
+		sb.WriteString(v)
+	}
+	tokens := Tokenize(sb.String())
+	ix.lens[e.ID] = len(tokens)
+	for _, tok := range tokens {
+		m := ix.postings[tok]
+		if m == nil {
+			m = map[string]int{}
+			ix.postings[tok] = m
+		}
+		m[e.ID]++
+	}
+	return nil
+}
+
+// Delete removes an entry, reporting whether it existed.
+func (ix *Index) Delete(id string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docs[id]; !ok {
+		return false
+	}
+	ix.removeLocked(id)
+	return true
+}
+
+func (ix *Index) removeLocked(id string) {
+	delete(ix.docs, id)
+	delete(ix.lens, id)
+	for term, m := range ix.postings {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(ix.postings, term)
+		}
+	}
+}
+
+// Search returns the page of hits selected by q plus the total number of
+// matching entries.
+func (ix *Index) Search(q Query) ([]Hit, int, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	limit := q.Limit
+	if limit <= 0 {
+		limit = 10
+	}
+
+	var hits []Hit
+	terms := Tokenize(q.Text)
+	if len(terms) > 0 {
+		// Ranked retrieval: union of posting lists, TF-IDF scores.
+		scores := map[string]float64{}
+		n := float64(len(ix.docs))
+		for _, term := range terms {
+			m := ix.postings[term]
+			if len(m) == 0 {
+				continue
+			}
+			idf := math.Log(1 + n/float64(len(m)))
+			for id, tf := range m {
+				dl := float64(ix.lens[id])
+				if dl == 0 {
+					dl = 1
+				}
+				scores[id] += float64(tf) / dl * idf
+			}
+		}
+		for id, score := range scores {
+			e := ix.docs[id]
+			if ix.matchLocked(e, q) {
+				hits = append(hits, Hit{Entry: *e, Score: score})
+			}
+		}
+	} else {
+		for _, e := range ix.docs {
+			if ix.matchLocked(e, q) {
+				hits = append(hits, Hit{Entry: *e})
+			}
+		}
+	}
+
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		if !hits[i].Entry.Date.Equal(hits[j].Entry.Date) {
+			return hits[i].Entry.Date.After(hits[j].Entry.Date)
+		}
+		return hits[i].Entry.ID < hits[j].Entry.ID
+	})
+
+	total := len(hits)
+	if q.Offset >= len(hits) {
+		return nil, total, nil
+	}
+	hits = hits[q.Offset:]
+	if len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits, total, nil
+}
+
+// matchLocked applies ACL, filters and ranges (not text ranking).
+func (ix *Index) matchLocked(e *Entry, q Query) bool {
+	if !e.visible(q.Principal) {
+		return false
+	}
+	for k, v := range q.Filters {
+		if e.Fields[k] != v {
+			return false
+		}
+	}
+	for k, r := range q.NumRange {
+		v, ok := e.Numbers[k]
+		if !ok || v < r[0] || v > r[1] {
+			return false
+		}
+	}
+	if !q.From.IsZero() && e.Date.Before(q.From) {
+		return false
+	}
+	if !q.To.IsZero() && e.Date.After(q.To) {
+		return false
+	}
+	return true
+}
+
+// Facets counts the distinct values of a field across every entry matching
+// q (ignoring pagination), for the portal's sidebar.
+func (ix *Index) Facets(q Query, field string) map[string]int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := map[string]int{}
+	terms := Tokenize(q.Text)
+	for _, e := range ix.docs {
+		if !ix.matchLocked(e, q) {
+			continue
+		}
+		if len(terms) > 0 && !ix.anyTermMatchesLocked(e.ID, terms) {
+			continue
+		}
+		if v, ok := e.Fields[field]; ok {
+			out[v]++
+		}
+	}
+	return out
+}
+
+func (ix *Index) anyTermMatchesLocked(id string, terms []string) bool {
+	for _, t := range terms {
+		if _, ok := ix.postings[t][id]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns an entry by ID, honoring the ACL.
+func (ix *Index) Get(id, principal string) (Entry, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	e, ok := ix.docs[id]
+	if !ok || !e.visible(principal) {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Save writes a JSON-lines snapshot of every entry.
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ids := make([]string, 0, len(ix.docs))
+	for id := range ix.docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, id := range ids {
+		if err := enc.Encode(ix.docs[id]); err != nil {
+			return fmt.Errorf("search: save: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load replaces the index contents with a snapshot written by Save.
+func Load(r io.Reader) (*Index, error) {
+	ix := NewIndex()
+	dec := json.NewDecoder(r)
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("search: load: %w", err)
+		}
+		if err := ix.Ingest(e); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Tokenize lowercases and splits text on non-alphanumeric boundaries,
+// dropping single-character tokens.
+func Tokenize(text string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		if len(f) >= 2 {
+			out = append(out, f)
+		}
+	}
+	return out
+}

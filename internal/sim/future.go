@@ -1,0 +1,69 @@
+package sim
+
+// Future is a single-assignment result cell integrated with the simulation
+// kernel: processes can block on it with Wait, and event-style code can
+// subscribe with OnDone. A Future must only be used by code driven by the
+// kernel it was created from (the kernel serializes all access, so no
+// locking is required).
+type Future[T any] struct {
+	k       *Kernel
+	done    bool
+	val     T
+	err     error
+	waiters []*Proc
+	cbs     []func(T, error)
+}
+
+// NewFuture returns an unresolved Future bound to k.
+func NewFuture[T any](k *Kernel) *Future[T] {
+	return &Future[T]{k: k}
+}
+
+// Done reports whether the future has been resolved.
+func (f *Future[T]) Done() bool { return f.done }
+
+// Value returns the resolved value and error. It must only be called after
+// Done reports true (or Wait/OnDone has fired); otherwise it returns zero
+// values.
+func (f *Future[T]) Value() (T, error) { return f.val, f.err }
+
+// Resolve sets the future's value and wakes all waiters at the current
+// virtual instant. Resolving an already-resolved future is a no-op, which
+// makes idempotent completion paths (success racing a timeout, say) safe.
+func (f *Future[T]) Resolve(v T, err error) {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.val, f.err = v, err
+	for _, cb := range f.cbs {
+		cb := cb
+		f.k.After(0, func() { cb(f.val, f.err) })
+	}
+	f.cbs = nil
+	for _, p := range f.waiters {
+		p := p
+		f.k.After(0, func() { p.unpark() })
+	}
+	f.waiters = nil
+}
+
+// Wait blocks the process until the future resolves and returns its value.
+func (f *Future[T]) Wait(p *Proc) (T, error) {
+	if f.done {
+		return f.val, f.err
+	}
+	f.waiters = append(f.waiters, p)
+	p.park()
+	return f.val, f.err
+}
+
+// OnDone registers cb to run (as a kernel event) once the future resolves.
+// If the future is already resolved, cb is scheduled immediately.
+func (f *Future[T]) OnDone(cb func(T, error)) {
+	if f.done {
+		f.k.After(0, func() { cb(f.val, f.err) })
+		return
+	}
+	f.cbs = append(f.cbs, cb)
+}

@@ -1,0 +1,153 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// DType identifies the on-disk element encoding of a dataset. Detectors
+// write compact integer formats; analysis widens everything to float64.
+type DType uint8
+
+// Supported element encodings.
+const (
+	Float64 DType = iota
+	Float32
+	Uint8
+	Uint16
+	Int32
+	Int64
+)
+
+// Size returns the encoded size of one element in bytes.
+func (d DType) Size() int {
+	switch d {
+	case Float64, Int64:
+		return 8
+	case Float32, Int32:
+		return 4
+	case Uint16:
+		return 2
+	case Uint8:
+		return 1
+	default:
+		panic(fmt.Sprintf("tensor: unknown dtype %d", d))
+	}
+}
+
+// String returns the NumPy-style name of the dtype.
+func (d DType) String() string {
+	switch d {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	case Uint8:
+		return "uint8"
+	case Uint16:
+		return "uint16"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	default:
+		return fmt.Sprintf("dtype(%d)", uint8(d))
+	}
+}
+
+// ParseDType maps a dtype name back to its DType.
+func ParseDType(s string) (DType, error) {
+	for _, d := range []DType{Float64, Float32, Uint8, Uint16, Int32, Int64} {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("tensor: unknown dtype %q", s)
+}
+
+// Encode serializes values into little-endian bytes of the given dtype.
+// Values outside an integer dtype's range are clamped; this mirrors how
+// detector firmware saturates rather than wraps.
+func Encode(values []float64, dt DType) []byte {
+	out := make([]byte, len(values)*dt.Size())
+	switch dt {
+	case Float64:
+		for i, v := range values {
+			binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+		}
+	case Float32:
+		for i, v := range values {
+			binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(float32(v)))
+		}
+	case Uint8:
+		for i, v := range values {
+			out[i] = uint8(clamp(v, 0, math.MaxUint8))
+		}
+	case Uint16:
+		for i, v := range values {
+			binary.LittleEndian.PutUint16(out[i*2:], uint16(clamp(v, 0, math.MaxUint16)))
+		}
+	case Int32:
+		for i, v := range values {
+			binary.LittleEndian.PutUint32(out[i*4:], uint32(int32(clamp(v, math.MinInt32, math.MaxInt32))))
+		}
+	case Int64:
+		for i, v := range values {
+			binary.LittleEndian.PutUint64(out[i*8:], uint64(int64(clamp(v, math.MinInt64, math.MaxInt64))))
+		}
+	default:
+		panic(fmt.Sprintf("tensor: unknown dtype %d", dt))
+	}
+	return out
+}
+
+// Decode widens little-endian bytes of the given dtype to float64.
+func Decode(raw []byte, dt DType) ([]float64, error) {
+	sz := dt.Size()
+	if len(raw)%sz != 0 {
+		return nil, fmt.Errorf("tensor: %d bytes is not a multiple of %s element size %d",
+			len(raw), dt, sz)
+	}
+	n := len(raw) / sz
+	out := make([]float64, n)
+	switch dt {
+	case Float64:
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	case Float32:
+		for i := range out {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+		}
+	case Uint8:
+		for i := range out {
+			out[i] = float64(raw[i])
+		}
+	case Uint16:
+		for i := range out {
+			out[i] = float64(binary.LittleEndian.Uint16(raw[i*2:]))
+		}
+	case Int32:
+		for i := range out {
+			out[i] = float64(int32(binary.LittleEndian.Uint32(raw[i*4:])))
+		}
+	case Int64:
+		for i := range out {
+			out[i] = float64(int64(binary.LittleEndian.Uint64(raw[i*8:])))
+		}
+	default:
+		return nil, fmt.Errorf("tensor: unknown dtype %d", dt)
+	}
+	return out, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

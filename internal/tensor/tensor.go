@@ -1,0 +1,300 @@
+// Package tensor implements the dense n-dimensional arrays used for
+// microscopy data: hyperspectral cubes (H, W, C) and spatiotemporal series
+// (T, H, W). It provides row-major storage, axis reductions (parallelized
+// across output rows), frame slicing without copying, and the quantizing
+// fp64→uint8 cast whose cost the paper identifies as the dominant part of
+// the spatiotemporal compute stage.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// parallelThreshold is the element count above which reductions and casts
+// fan out across CPUs. Below it the goroutine overhead dominates.
+const parallelThreshold = 1 << 16
+
+// Shape describes the extent of each axis of a tensor.
+type Shape []int
+
+// Elems returns the total number of elements, or 0 for an empty shape.
+func (s Shape) Elems() int {
+	if len(s) == 0 {
+		return 0
+	}
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Equal reports whether two shapes are identical.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the shape as "(600, 512, 512)".
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// validate panics if any axis is non-positive.
+func (s Shape) validate() {
+	for i, d := range s {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: axis %d has non-positive extent %d", i, d))
+		}
+	}
+}
+
+// Dense is a row-major n-dimensional array of float64. Microscopy detectors
+// emit various integer and float encodings (see DType); they are widened to
+// float64 for analysis, matching the paper's fp64 pipeline.
+type Dense struct {
+	shape Shape
+	data  []float64
+}
+
+// New returns a zero-filled tensor of the given shape.
+func New(shape ...int) *Dense {
+	s := Shape(shape)
+	s.validate()
+	return &Dense{shape: s, data: make([]float64, s.Elems())}
+}
+
+// FromData wraps an existing slice as a tensor. The slice is used directly
+// (no copy); its length must equal the shape's element count.
+func FromData(data []float64, shape ...int) *Dense {
+	s := Shape(shape)
+	s.validate()
+	if len(data) != s.Elems() {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elems)",
+			len(data), s, s.Elems()))
+	}
+	return &Dense{shape: s, data: data}
+}
+
+// Shape returns the tensor's shape. The caller must not modify it.
+func (d *Dense) Shape() Shape { return d.shape }
+
+// Rank returns the number of axes.
+func (d *Dense) Rank() int { return len(d.shape) }
+
+// Data returns the underlying storage in row-major order.
+func (d *Dense) Data() []float64 { return d.data }
+
+// offset computes the linear index for the given coordinates.
+func (d *Dense) offset(idx []int) int {
+	if len(idx) != len(d.shape) {
+		panic(fmt.Sprintf("tensor: %d indices for rank-%d tensor", len(idx), len(d.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= d.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) on axis %d", x, d.shape[i], i))
+		}
+		off = off*d.shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the given coordinates.
+func (d *Dense) At(idx ...int) float64 { return d.data[d.offset(idx)] }
+
+// Set stores v at the given coordinates.
+func (d *Dense) Set(v float64, idx ...int) { d.data[d.offset(idx)] = v }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	data := make([]float64, len(d.data))
+	copy(data, d.data)
+	shape := make(Shape, len(d.shape))
+	copy(shape, d.shape)
+	return &Dense{shape: shape, data: data}
+}
+
+// Reshape returns a view of the same data with a new shape of equal element
+// count.
+func (d *Dense) Reshape(shape ...int) (*Dense, error) {
+	s := Shape(shape)
+	s.validate()
+	if s.Elems() != len(d.data) {
+		return nil, fmt.Errorf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
+			d.shape, len(d.data), s, s.Elems())
+	}
+	return &Dense{shape: s, data: d.data}, nil
+}
+
+// Frame returns a view (sharing storage) of the i-th slice along axis 0:
+// for a (T, H, W) series it returns frame i as an (H, W) tensor.
+func (d *Dense) Frame(i int) *Dense {
+	if len(d.shape) < 2 {
+		panic("tensor: Frame requires rank >= 2")
+	}
+	if i < 0 || i >= d.shape[0] {
+		panic(fmt.Sprintf("tensor: frame %d out of range [0,%d)", i, d.shape[0]))
+	}
+	stride := Shape(d.shape[1:]).Elems()
+	return &Dense{shape: d.shape[1:], data: d.data[i*stride : (i+1)*stride]}
+}
+
+// Sum returns the sum of all elements.
+func (d *Dense) Sum() float64 {
+	total := 0.0
+	for _, v := range d.data {
+		total += v
+	}
+	return total
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (d *Dense) Mean() float64 {
+	if len(d.data) == 0 {
+		return 0
+	}
+	return d.Sum() / float64(len(d.data))
+}
+
+// MinMax returns the smallest and largest elements.
+func (d *Dense) MinMax() (min, max float64) {
+	if len(d.data) == 0 {
+		return 0, 0
+	}
+	min, max = d.data[0], d.data[0]
+	for _, v := range d.data[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Scale multiplies every element by f in place and returns the receiver.
+func (d *Dense) Scale(f float64) *Dense {
+	for i := range d.data {
+		d.data[i] *= f
+	}
+	return d
+}
+
+// SumAxis reduces the tensor along the given axis, returning a tensor whose
+// shape is the input shape with that axis removed. For a hyperspectral cube
+// (H, W, C), SumAxis(2) yields the intensity image and successive
+// reductions over the pixel axes yield the aggregate spectrum. Large
+// reductions are parallelized across output rows; the result is
+// deterministic because each output element is accumulated by exactly one
+// goroutine in index order.
+func (d *Dense) SumAxis(axis int) *Dense {
+	if axis < 0 || axis >= len(d.shape) {
+		panic(fmt.Sprintf("tensor: SumAxis axis %d out of range for rank %d", axis, len(d.shape)))
+	}
+	if len(d.shape) == 1 {
+		return FromData([]float64{d.Sum()}, 1)
+	}
+	outShape := make(Shape, 0, len(d.shape)-1)
+	outShape = append(outShape, d.shape[:axis]...)
+	outShape = append(outShape, d.shape[axis+1:]...)
+
+	outer := Shape(d.shape[:axis]).ElemsOr1()
+	n := d.shape[axis]
+	inner := Shape(d.shape[axis+1:]).ElemsOr1()
+
+	out := make([]float64, outer*inner)
+	reduce := func(oLo, oHi int) {
+		for o := oLo; o < oHi; o++ {
+			dst := out[o*inner : (o+1)*inner]
+			for j := 0; j < n; j++ {
+				src := d.data[(o*n+j)*inner : (o*n+j+1)*inner]
+				for i, v := range src {
+					dst[i] += v
+				}
+			}
+		}
+	}
+	parallelRanges(outer, len(d.data), reduce)
+	return FromData(out, outShape...)
+}
+
+// ElemsOr1 is Elems but treats the empty shape as a single element, which is
+// the correct multiplicative identity for stride computations.
+func (s Shape) ElemsOr1() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// ToUint8 quantizes the tensor into 8-bit samples, mapping [lo, hi] linearly
+// onto [0, 255] with clamping. This is the paper's "slow data type casting
+// operation from fp64 to uint8" on the EMD→video path; it is parallelized
+// across chunks.
+func (d *Dense) ToUint8(lo, hi float64) []uint8 {
+	out := make([]uint8, len(d.data))
+	scale := 0.0
+	if hi > lo {
+		scale = 255.0 / (hi - lo)
+	}
+	quantize := func(start, end int) {
+		for i := start; i < end; i++ {
+			v := (d.data[i] - lo) * scale
+			switch {
+			case v <= 0:
+				out[i] = 0
+			case v >= 255:
+				out[i] = 255
+			default:
+				out[i] = uint8(math.Round(v))
+			}
+		}
+	}
+	parallelRanges(len(d.data), len(d.data), quantize)
+	return out
+}
+
+// parallelRanges splits [0, n) into contiguous chunks and runs fn on each,
+// in parallel when work (total touched elements) is large enough.
+func parallelRanges(n, work int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers <= 1 || n <= 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,290 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeBasics(t *testing.T) {
+	s := Shape{600, 512, 512}
+	if s.Elems() != 600*512*512 {
+		t.Errorf("Elems = %d", s.Elems())
+	}
+	if s.String() != "(600, 512, 512)" {
+		t.Errorf("String = %q", s.String())
+	}
+	if !s.Equal(Shape{600, 512, 512}) || s.Equal(Shape{600, 512}) {
+		t.Error("Equal misbehaves")
+	}
+	if (Shape{}).Elems() != 0 {
+		t.Error("empty shape should have 0 elems")
+	}
+	if (Shape{}).ElemsOr1() != 1 {
+		t.Error("empty shape ElemsOr1 should be 1")
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	d := New(3, 4, 5)
+	d.Set(7.5, 1, 2, 3)
+	if got := d.At(1, 2, 3); got != 7.5 {
+		t.Errorf("At = %v", got)
+	}
+	// Row-major layout: offset of (1,2,3) in (3,4,5) is 1*20+2*5+3 = 33.
+	if d.Data()[33] != 7.5 {
+		t.Error("row-major offset mismatch")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := New(2, 2)
+	for _, fn := range []func(){
+		func() { d.At(2, 0) },
+		func() { d.At(0, -1) },
+		func() { d.At(0) },
+		func() { New(0, 3) },
+		func() { d.Frame(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSumAxisIntensityAndSpectrum(t *testing.T) {
+	// (H=2, W=3, C=4) cube with value h*100 + w*10 + c.
+	d := New(2, 3, 4)
+	for h := 0; h < 2; h++ {
+		for w := 0; w < 3; w++ {
+			for c := 0; c < 4; c++ {
+				d.Set(float64(h*100+w*10+c), h, w, c)
+			}
+		}
+	}
+	intensity := d.SumAxis(2) // (H, W)
+	if !intensity.Shape().Equal(Shape{2, 3}) {
+		t.Fatalf("intensity shape = %v", intensity.Shape())
+	}
+	// Sum over c of h*100+w*10+c = 4*(h*100+w*10) + 6.
+	if got, want := intensity.At(1, 2), float64(4*(100+20)+6); got != want {
+		t.Errorf("intensity(1,2) = %v, want %v", got, want)
+	}
+	spectrum := d.SumAxis(0).SumAxis(0) // (C)
+	if !spectrum.Shape().Equal(Shape{4}) {
+		t.Fatalf("spectrum shape = %v", spectrum.Shape())
+	}
+	// Sum over h,w of h*100+w*10+c = 300 + 2*30... compute directly:
+	want := 0.0
+	for h := 0; h < 2; h++ {
+		for w := 0; w < 3; w++ {
+			want += float64(h*100 + w*10 + 2)
+		}
+	}
+	if got := spectrum.At(2); got != want {
+		t.Errorf("spectrum(2) = %v, want %v", got, want)
+	}
+}
+
+func TestSumAxisMiddle(t *testing.T) {
+	d := New(2, 3, 2)
+	for i := range d.Data() {
+		d.Data()[i] = float64(i)
+	}
+	r := d.SumAxis(1)
+	if !r.Shape().Equal(Shape{2, 2}) {
+		t.Fatalf("shape = %v", r.Shape())
+	}
+	// r[0,0] = d[0,0,0]+d[0,1,0]+d[0,2,0] = 0+2+4 = 6
+	if r.At(0, 0) != 6 {
+		t.Errorf("r(0,0) = %v, want 6", r.At(0, 0))
+	}
+}
+
+func TestFrameIsView(t *testing.T) {
+	d := New(3, 2, 2)
+	f := d.Frame(1)
+	f.Set(9, 0, 1)
+	if d.At(1, 0, 1) != 9 {
+		t.Error("Frame should share storage with the parent")
+	}
+	if !f.Shape().Equal(Shape{2, 2}) {
+		t.Errorf("frame shape = %v", f.Shape())
+	}
+}
+
+func TestReshape(t *testing.T) {
+	d := New(4, 6)
+	r, err := d.Reshape(2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Set(5, 1, 0) // element 12 in linear order = (2,0) in the original
+	if d.At(2, 0) != 5 {
+		t.Error("Reshape should be a view")
+	}
+	if _, err := d.Reshape(5, 5); err == nil {
+		t.Error("mismatched reshape should fail")
+	}
+}
+
+func TestToUint8QuantizationAndClamp(t *testing.T) {
+	d := FromData([]float64{-10, 0, 127.5, 255, 1000}, 5)
+	got := d.ToUint8(0, 255)
+	want := []uint8{0, 0, 128, 255, 255}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Degenerate range maps everything to 0.
+	flat := FromData([]float64{1, 2, 3}, 3).ToUint8(5, 5)
+	for _, v := range flat {
+		if v != 0 {
+			t.Error("degenerate range should clamp to 0")
+		}
+	}
+}
+
+func TestMinMaxMeanScale(t *testing.T) {
+	d := FromData([]float64{3, -1, 4, 2}, 4)
+	min, max := d.MinMax()
+	if min != -1 || max != 4 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	if d.Mean() != 2 {
+		t.Errorf("Mean = %v", d.Mean())
+	}
+	d.Scale(2)
+	if d.Sum() != 16 {
+		t.Errorf("Sum after Scale = %v", d.Sum())
+	}
+}
+
+// Property: summing over all axes in any order equals the total sum.
+func TestPropertySumAxisTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		shape := []int{rng.Intn(5) + 1, rng.Intn(5) + 1, rng.Intn(5) + 1}
+		d := New(shape...)
+		for i := range d.Data() {
+			d.Data()[i] = rng.NormFloat64()
+		}
+		total := d.Sum()
+		axis := rng.Intn(3)
+		reduced := d.SumAxis(axis)
+		if math.Abs(reduced.Sum()-total) > 1e-9*math.Max(1, math.Abs(total)) {
+			t.Fatalf("trial %d: SumAxis(%d) changes total: %v vs %v", trial, axis, reduced.Sum(), total)
+		}
+	}
+}
+
+// Property: parallel reduction equals the sequential reference for large
+// tensors (exercises the parallel path above the threshold).
+func TestParallelSumAxisMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := New(64, 64, 32) // 131072 elems > parallelThreshold
+	for i := range d.Data() {
+		d.Data()[i] = rng.Float64()
+	}
+	got := d.SumAxis(2)
+	// Sequential reference.
+	want := New(64, 64)
+	for h := 0; h < 64; h++ {
+		for w := 0; w < 64; w++ {
+			s := 0.0
+			for c := 0; c < 32; c++ {
+				s += d.At(h, w, c)
+			}
+			want.Set(s, h, w)
+		}
+	}
+	for i := range want.Data() {
+		if math.Abs(got.Data()[i]-want.Data()[i]) > 1e-9 {
+			t.Fatalf("parallel/sequential mismatch at %d", i)
+		}
+	}
+}
+
+// Property: Encode/Decode round-trips exactly for float64 and within
+// quantization error for integer dtypes.
+func TestPropertyEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 0
+			}
+		}
+		enc := Encode(vals, Float64)
+		dec, err := Decode(enc, Float64)
+		if err != nil || len(dec) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if dec[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegerDTypeClamping(t *testing.T) {
+	vals := []float64{-5, 0, 100, 70000}
+	dec, err := Decode(Encode(vals, Uint16), Uint16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 100, 65535}
+	for i := range want {
+		if dec[i] != want[i] {
+			t.Errorf("uint16 roundtrip[%d] = %v, want %v", i, dec[i], want[i])
+		}
+	}
+	dec8, _ := Decode(Encode(vals, Uint8), Uint8)
+	want8 := []float64{0, 0, 100, 255}
+	for i := range want8 {
+		if dec8[i] != want8[i] {
+			t.Errorf("uint8 roundtrip[%d] = %v, want %v", i, dec8[i], want8[i])
+		}
+	}
+}
+
+func TestDTypeNamesAndSizes(t *testing.T) {
+	for _, d := range []DType{Float64, Float32, Uint8, Uint16, Int32, Int64} {
+		parsed, err := ParseDType(d.String())
+		if err != nil || parsed != d {
+			t.Errorf("ParseDType(%q) = %v, %v", d.String(), parsed, err)
+		}
+		if d.Size() <= 0 {
+			t.Errorf("%v size = %d", d, d.Size())
+		}
+	}
+	if _, err := ParseDType("complex128"); err == nil {
+		t.Error("unknown dtype should error")
+	}
+}
+
+func TestDecodeBadLength(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}, Float64); err == nil {
+		t.Error("Decode with misaligned length should error")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	d := FromData([]float64{1, 2, 3, 4}, 2, 2)
+	c := d.Clone()
+	c.Set(99, 0, 0)
+	if d.At(0, 0) == 99 {
+		t.Error("Clone should not share storage")
+	}
+}

@@ -1,0 +1,260 @@
+package transfer
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"picoprobe/internal/auth"
+	"picoprobe/internal/netsim"
+	"picoprobe/internal/sim"
+)
+
+func issuerAndToken(t *testing.T) (*auth.Issuer, string) {
+	t.Helper()
+	iss := auth.NewIssuer([]byte("test"), nil)
+	tok, err := iss.Issue("user@anl.gov", []string{auth.ScopeTransfer}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iss, tok
+}
+
+func waitFor(t *testing.T, svc *Service, tok, id string, want TaskStatus) TaskView {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		view, err := svc.Status(tok, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Status != StatusActive {
+			if view.Status != want {
+				t.Fatalf("status = %s (%s), want %s", view.Status, view.Error, want)
+			}
+			return view
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("timed out waiting for task")
+	return TaskView{}
+}
+
+func TestLiveMoverCopiesAndVerifies(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	srcRoot, dstRoot := t.TempDir(), t.TempDir()
+	payload := []byte(strings.Repeat("picoprobe!", 1000))
+	if err := os.WriteFile(filepath.Join(srcRoot, "a.emdg"), payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(iss, &LiveMover{Checksum: true}, time.Now, Options{})
+	svc.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	id, err := svc.Submit(tok, "src", "dst", []FileSpec{{RelPath: "a.emdg"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := waitFor(t, svc, tok, id, StatusSucceeded)
+	if view.BytesMoved != int64(len(payload)) {
+		t.Errorf("bytes moved = %d", view.BytesMoved)
+	}
+	got, err := os.ReadFile(filepath.Join(dstRoot, "a.emdg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Error("copied content mismatch")
+	}
+	if view.Completed.Before(view.Started) {
+		t.Error("completed before started")
+	}
+}
+
+func TestLiveMoverMissingFileFailsAfterRetries(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	svc := NewService(iss, &LiveMover{Checksum: true}, time.Now, Options{MaxAttempts: 2})
+	svc.RegisterEndpoint(Endpoint{ID: "src", Root: t.TempDir()})
+	svc.RegisterEndpoint(Endpoint{ID: "dst", Root: t.TempDir()})
+	id, err := svc.Submit(tok, "src", "dst", []FileSpec{{RelPath: "missing.emdg"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := waitFor(t, svc, tok, id, StatusFailed)
+	if view.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", view.Attempts)
+	}
+	if view.Error == "" {
+		t.Error("failed task should carry an error")
+	}
+}
+
+func TestAuthEnforced(t *testing.T) {
+	iss, _ := issuerAndToken(t)
+	svc := NewService(iss, &LiveMover{}, time.Now, Options{})
+	svc.RegisterEndpoint(Endpoint{ID: "a", Root: t.TempDir()})
+	svc.RegisterEndpoint(Endpoint{ID: "b", Root: t.TempDir()})
+	// No token.
+	if _, err := svc.Submit("", "a", "b", []FileSpec{{RelPath: "x"}}); err == nil {
+		t.Error("tokenless submit accepted")
+	}
+	// Token without the transfer scope.
+	bad, _ := iss.Issue("user", []string{auth.ScopeCompute}, time.Hour)
+	if _, err := svc.Submit(bad, "a", "b", []FileSpec{{RelPath: "x"}}); err == nil {
+		t.Error("wrong-scope submit accepted")
+	}
+	if _, err := svc.Status(bad, "xfer-000001"); err == nil {
+		t.Error("wrong-scope status accepted")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	svc := NewService(iss, &LiveMover{}, time.Now, Options{})
+	svc.RegisterEndpoint(Endpoint{ID: "a", Root: t.TempDir()})
+	if _, err := svc.Submit(tok, "a", "nope", []FileSpec{{RelPath: "x"}}); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	if _, err := svc.Submit(tok, "nope", "a", []FileSpec{{RelPath: "x"}}); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := svc.Submit(tok, "a", "a", nil); err == nil {
+		t.Error("empty file list accepted")
+	}
+	if _, err := svc.Status(tok, "bogus"); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if err := svc.RegisterEndpoint(Endpoint{ID: "a"}); err == nil {
+		t.Error("duplicate endpoint accepted")
+	}
+	if err := svc.RegisterEndpoint(Endpoint{}); err == nil {
+		t.Error("empty endpoint ID accepted")
+	}
+}
+
+func TestSimMoverTimedTransfer(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	k := sim.NewKernel()
+	net := netsim.New(k)
+	link := net.AddLink("switch", 1e9)
+	mover := &SimMover{
+		Kernel:  k,
+		Network: net,
+		RouteFor: func(src, dst *Endpoint) Route {
+			return Route{Path: []*netsim.Link{link}, StreamCap: 80e6, SetupTime: 2 * time.Second}
+		},
+	}
+	svc := NewService(iss, mover, k.Now, Options{})
+	svc.RegisterEndpoint(Endpoint{ID: "instrument"})
+	svc.RegisterEndpoint(Endpoint{ID: "eagle"})
+
+	var id string
+	k.Spawn("client", func(ctx sim.Context) {
+		var err error
+		id, err = svc.Submit(tok, "instrument", "eagle", []FileSpec{{RelPath: "hs.emdg", Bytes: 91_000_000}})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	if err := k.Err(); err != nil {
+		t.Fatal(err)
+	}
+	view, err := svc.Status(tok, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusSucceeded {
+		t.Fatalf("status = %s (%s)", view.Status, view.Error)
+	}
+	// 91 MB at 80 Mbit/s = 9.1s, plus 2s setup.
+	got := view.Completed.Sub(view.Submitted)
+	want := 2*time.Second + time.Duration(91_000_000*8/80e6*float64(time.Second))
+	if diff := got - want; diff < -200*time.Millisecond || diff > 200*time.Millisecond {
+		t.Errorf("sim transfer took %v, want ~%v", got, want)
+	}
+	if view.BytesMoved != 91_000_000 {
+		t.Errorf("bytes moved = %d", view.BytesMoved)
+	}
+}
+
+func TestSimMoverFaultInjectionRetries(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	k := sim.NewKernel()
+	net := netsim.New(k)
+	link := net.AddLink("switch", 1e9)
+	mover := &SimMover{
+		Kernel:   k,
+		Network:  net,
+		FailNext: 1,
+		RouteFor: func(src, dst *Endpoint) Route {
+			return Route{Path: []*netsim.Link{link}}
+		},
+	}
+	svc := NewService(iss, mover, k.Now, Options{MaxAttempts: 3})
+	svc.RegisterEndpoint(Endpoint{ID: "a"})
+	svc.RegisterEndpoint(Endpoint{ID: "b"})
+	var id string
+	k.Spawn("client", func(ctx sim.Context) {
+		id, _ = svc.Submit(tok, "a", "b", []FileSpec{{RelPath: "f", Bytes: 1_000_000}})
+	})
+	k.Run()
+	view, _ := svc.Status(tok, id)
+	if view.Status != StatusSucceeded {
+		t.Fatalf("status = %s after retry", view.Status)
+	}
+	if view.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", view.Attempts)
+	}
+}
+
+func TestSimMoverExhaustsRetries(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	k := sim.NewKernel()
+	net := netsim.New(k)
+	link := net.AddLink("switch", 1e9)
+	mover := &SimMover{
+		Kernel:   k,
+		Network:  net,
+		FailNext: 5,
+		RouteFor: func(src, dst *Endpoint) Route { return Route{Path: []*netsim.Link{link}} },
+	}
+	svc := NewService(iss, mover, k.Now, Options{MaxAttempts: 2})
+	svc.RegisterEndpoint(Endpoint{ID: "a"})
+	svc.RegisterEndpoint(Endpoint{ID: "b"})
+	var id string
+	k.Spawn("client", func(ctx sim.Context) {
+		id, _ = svc.Submit(tok, "a", "b", []FileSpec{{RelPath: "f", Bytes: 1000}})
+	})
+	k.Run()
+	view, _ := svc.Status(tok, id)
+	if view.Status != StatusFailed || view.Attempts != 2 {
+		t.Errorf("status=%s attempts=%d, want FAILED/2", view.Status, view.Attempts)
+	}
+}
+
+func TestChecksumDisabled(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	srcRoot, dstRoot := t.TempDir(), t.TempDir()
+	os.WriteFile(filepath.Join(srcRoot, "f"), []byte("data"), 0o644)
+	svc := NewService(iss, &LiveMover{Checksum: false}, time.Now, Options{})
+	svc.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	id, _ := svc.Submit(tok, "src", "dst", []FileSpec{{RelPath: "f"}})
+	waitFor(t, svc, tok, id, StatusSucceeded)
+}
+
+func TestTasksSnapshot(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	srcRoot, dstRoot := t.TempDir(), t.TempDir()
+	os.WriteFile(filepath.Join(srcRoot, "f"), []byte("x"), 0o644)
+	svc := NewService(iss, &LiveMover{}, time.Now, Options{})
+	svc.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	id, _ := svc.Submit(tok, "src", "dst", []FileSpec{{RelPath: "f"}})
+	waitFor(t, svc, tok, id, StatusSucceeded)
+	if got := svc.Tasks(); len(got) != 1 || got[0].ID != id {
+		t.Errorf("Tasks() = %+v", got)
+	}
+}

@@ -1,0 +1,204 @@
+package video
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"picoprobe/internal/tensor"
+)
+
+func grayRamp(w, h int, base uint8) *image.Gray {
+	img := image.NewGray(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetGray(x, y, color.Gray{Y: base + uint8((x+y)%32)})
+		}
+	}
+	return img
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 32, 24, 10, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.AddFrame(grayRamp(32, 24, uint8(i*20))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.FrameCount() != 5 {
+		t.Errorf("FrameCount = %d", w.FrameCount())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := r.Info()
+	if info.Width != 32 || info.Height != 24 || info.FPS != 10 || info.Frames != 5 {
+		t.Errorf("info = %+v", info)
+	}
+	if r.FrameCount() != 5 {
+		t.Errorf("reader FrameCount = %d", r.FrameCount())
+	}
+	img, err := r.DecodeFrame(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 32 || img.Bounds().Dy() != 24 {
+		t.Errorf("decoded bounds = %v", img.Bounds())
+	}
+	// JPEG is lossy but a flat-ish ramp should stay close: check a pixel is
+	// within 12 levels of the original.
+	orig := grayRamp(32, 24, 40)
+	got := color.GrayModel.Convert(img.At(5, 5)).(color.Gray).Y
+	want := orig.GrayAt(5, 5).Y
+	diff := int(got) - int(want)
+	if diff < -12 || diff > 12 {
+		t.Errorf("pixel drifted: got %d want %d", got, want)
+	}
+}
+
+func TestRIFFStructure(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 16, 16, 25, 80)
+	w.AddFrame(grayRamp(16, 16, 0))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if string(raw[0:4]) != "RIFF" || string(raw[8:12]) != "AVI " {
+		t.Fatal("missing RIFF/AVI signature")
+	}
+	// RIFF size must equal file length - 8.
+	size := int(uint32(raw[4]) | uint32(raw[5])<<8 | uint32(raw[6])<<16 | uint32(raw[7])<<24)
+	if size != len(raw)-8 {
+		t.Errorf("RIFF size = %d, want %d", size, len(raw)-8)
+	}
+	if !bytes.Contains(raw, []byte("MJPG")) {
+		t.Error("missing MJPG fourcc")
+	}
+	if !bytes.Contains(raw, []byte("idx1")) {
+		t.Error("missing idx1 index")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, 0, 10, 10, 90); err == nil {
+		t.Error("zero width should error")
+	}
+	w, _ := NewWriter(&buf, 16, 16, 10, 90)
+	if err := w.AddFrame(grayRamp(8, 8, 0)); err == nil {
+		t.Error("mismatched frame size should error")
+	}
+	w.Close()
+	if err := w.AddFrame(grayRamp(16, 16, 0)); err == nil {
+		t.Error("AddFrame after Close should error")
+	}
+	if err := w.Close(); err != nil {
+		t.Error("double Close should be a no-op")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := OpenReader(bytes.NewReader([]byte("not an avi"))); err == nil {
+		t.Error("garbage should be rejected")
+	}
+	if _, err := OpenReader(bytes.NewReader([]byte("RIFF\x00\x00\x00\x00AVI "))); err == nil {
+		t.Error("header-less AVI should be rejected")
+	}
+}
+
+func TestDecodeFrameOutOfRange(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 16, 16, 10, 90)
+	w.AddFrame(grayRamp(16, 16, 0))
+	w.Close()
+	r, err := OpenReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.DecodeFrame(5); err == nil {
+		t.Error("out-of-range frame should error")
+	}
+	if _, err := r.DecodeFrame(-1); err == nil {
+		t.Error("negative frame should error")
+	}
+}
+
+func TestConvertSeries(t *testing.T) {
+	// (T=4, H=8, W=8) series with a bright moving dot.
+	series := tensor.New(4, 8, 8)
+	for ti := 0; ti < 4; ti++ {
+		series.Set(1000, ti, ti+1, ti+1)
+	}
+	var buf bytes.Buffer
+	stats, err := Convert(&buf, TensorSource{Series: series}, 0, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames != 4 {
+		t.Errorf("frames = %d", stats.Frames)
+	}
+	if stats.CastElements != 4*8*8 {
+		t.Errorf("cast elements = %d", stats.CastElements)
+	}
+	r, err := OpenReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FrameCount() != 4 {
+		t.Errorf("video frames = %d", r.FrameCount())
+	}
+	// The bright dot should survive conversion in frame 0 at (1,1).
+	img, err := r.DecodeFrame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := color.GrayModel.Convert(img.At(1, 1)).(color.Gray).Y
+	if y < 150 {
+		t.Errorf("bright dot lost: %d", y)
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	var buf bytes.Buffer
+	flat := tensor.New(3, 4) // rank-2 "series": frames are rank 1
+	if _, err := Convert(&buf, TensorSource{Series: flat}, 0, 1, 5); err == nil {
+		t.Error("rank-1 frames should be rejected")
+	}
+}
+
+func TestOpenFromDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clip.avi")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := NewWriter(f, 16, 16, 10, 90)
+	w.AddFrame(grayRamp(16, 16, 10))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FrameCount() != 1 {
+		t.Errorf("frames = %d", r.FrameCount())
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.avi")); err == nil {
+		t.Error("missing file should error")
+	}
+}

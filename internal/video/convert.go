@@ -1,0 +1,75 @@
+package video
+
+import (
+	"fmt"
+	"io"
+
+	"picoprobe/internal/imaging"
+	"picoprobe/internal/tensor"
+)
+
+// ConvertStats reports what the series→video conversion did; the cast
+// element count is the quantity the paper identifies as the compute
+// bottleneck of the spatiotemporal flow.
+type ConvertStats struct {
+	Frames       int
+	CastElements int // number of fp64 values quantized to uint8
+}
+
+// FrameSource yields successive (H, W) frames; it abstracts over an
+// in-memory tensor and a streaming EMD dataset.
+type FrameSource interface {
+	// Frames returns the total frame count.
+	Frames() int
+	// Frame returns frame i as a rank-2 tensor.
+	Frame(i int) (*tensor.Dense, error)
+}
+
+// TensorSource adapts an in-memory (T, H, W) tensor to a FrameSource.
+type TensorSource struct{ Series *tensor.Dense }
+
+// Frames returns the leading-axis extent.
+func (s TensorSource) Frames() int { return s.Series.Shape()[0] }
+
+// Frame returns frame i as a view.
+func (s TensorSource) Frame(i int) (*tensor.Dense, error) { return s.Series.Frame(i), nil }
+
+// Convert runs the paper's EMD→video conversion: every fp64 frame is
+// quantized to uint8 against the global intensity range [lo, hi] and
+// JPEG-encoded into an MJPEG AVI written to w.
+func Convert(w io.Writer, src FrameSource, lo, hi float64, fps int) (ConvertStats, error) {
+	n := src.Frames()
+	if n == 0 {
+		return ConvertStats{}, fmt.Errorf("video: source has no frames")
+	}
+	first, err := src.Frame(0)
+	if err != nil {
+		return ConvertStats{}, err
+	}
+	if first.Rank() != 2 {
+		return ConvertStats{}, fmt.Errorf("video: frames must be rank 2, got %v", first.Shape())
+	}
+	height, width := first.Shape()[0], first.Shape()[1]
+	vw, err := NewWriter(w, width, height, fps, 90)
+	if err != nil {
+		return ConvertStats{}, err
+	}
+	stats := ConvertStats{}
+	for i := 0; i < n; i++ {
+		fr, err := src.Frame(i)
+		if err != nil {
+			return stats, err
+		}
+		pixels := fr.ToUint8(lo, hi) // the slow fp64→uint8 cast
+		stats.CastElements += len(pixels)
+		img, err := imaging.GrayFrame(pixels, width, height)
+		if err != nil {
+			return stats, err
+		}
+		if err := vw.AddFrame(img); err != nil {
+			return stats, err
+		}
+		stats.Frames++
+	}
+	return stats, vw.Close()
+}

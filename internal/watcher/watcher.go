@@ -1,0 +1,237 @@
+// Package watcher triggers flows when the instrument writes new files,
+// playing the role of the paper's cross-platform watchdog-based trigger
+// application. It is a polling directory watcher (stdlib-only, hence
+// trivially portable across the paper's Windows 10 / macOS / Linux user
+// machines) with two behaviors the paper calls out explicitly: files are
+// only announced once their size has been stable for several polls (the
+// instrument writes multi-hundred-megabyte files, and half-written files
+// must not start flows), and processed files are recorded in a checkpoint
+// so that restarting the watcher after a reboot or on a subsequent day
+// does not re-trigger flows for data already handled.
+package watcher
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Event announces one settled, unprocessed file.
+type Event struct {
+	Path    string
+	Size    int64
+	ModTime time.Time
+}
+
+// Options configures a Watcher.
+type Options struct {
+	// Interval is the poll period (default 200ms).
+	Interval time.Duration
+	// SettlePolls is how many consecutive polls a file's size must be
+	// unchanged before it is announced (default 2).
+	SettlePolls int
+	// Pattern, when non-empty, is a filepath.Match glob applied to base
+	// names (e.g. "*.emdg").
+	Pattern string
+	// CheckpointPath, when non-empty, persists the processed-file set as
+	// JSON so restarts do not re-announce old files.
+	CheckpointPath string
+}
+
+// fileMark fingerprints a processed file; a changed size or mtime makes
+// the file eligible again (it was rewritten).
+type fileMark struct {
+	Size    int64     `json:"size"`
+	ModTime time.Time `json:"mod_time"`
+}
+
+// Watcher polls one directory and emits events for new settled files.
+type Watcher struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	processed map[string]fileMark
+	pending   map[string]*pendingFile
+
+	events chan Event
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+type pendingFile struct {
+	lastSize int64
+	stable   int
+}
+
+// New creates a watcher over dir, loading the checkpoint if one exists.
+func New(dir string, opts Options) (*Watcher, error) {
+	st, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("watcher: %w", err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("watcher: %s is not a directory", dir)
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 200 * time.Millisecond
+	}
+	if opts.SettlePolls <= 0 {
+		opts.SettlePolls = 2
+	}
+	if opts.Pattern != "" {
+		if _, err := filepath.Match(opts.Pattern, "probe"); err != nil {
+			return nil, fmt.Errorf("watcher: bad pattern %q: %w", opts.Pattern, err)
+		}
+	}
+	w := &Watcher{
+		dir:       dir,
+		opts:      opts,
+		processed: map[string]fileMark{},
+		pending:   map[string]*pendingFile{},
+		events:    make(chan Event, 64),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if opts.CheckpointPath != "" {
+		if err := w.loadCheckpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Events returns the channel on which settled files are announced. The
+// channel is closed after Stop.
+func (w *Watcher) Events() <-chan Event { return w.events }
+
+// Start begins polling on a background goroutine.
+func (w *Watcher) Start() {
+	go func() {
+		defer close(w.done)
+		defer close(w.events)
+		ticker := time.NewTicker(w.opts.Interval)
+		defer ticker.Stop()
+		for {
+			w.poll()
+			select {
+			case <-w.stop:
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+}
+
+// Stop halts polling and waits for the poll loop to exit.
+func (w *Watcher) Stop() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+}
+
+// Processed reports how many files have been announced (including those
+// recorded by a previous session's checkpoint).
+func (w *Watcher) Processed() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.processed)
+}
+
+func (w *Watcher) poll() {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return // transient: directory may be briefly unavailable
+	}
+	for _, entry := range entries {
+		if entry.IsDir() {
+			continue
+		}
+		name := entry.Name()
+		if w.opts.Pattern != "" {
+			if ok, _ := filepath.Match(w.opts.Pattern, name); !ok {
+				continue
+			}
+		}
+		info, err := entry.Info()
+		if err != nil {
+			continue
+		}
+		path := filepath.Join(w.dir, name)
+
+		w.mu.Lock()
+		if mark, ok := w.processed[path]; ok && mark.Size == info.Size() && mark.ModTime.Equal(info.ModTime()) {
+			w.mu.Unlock()
+			continue
+		}
+		p := w.pending[path]
+		if p == nil {
+			p = &pendingFile{lastSize: info.Size()}
+			w.pending[path] = p
+			w.mu.Unlock()
+			continue
+		}
+		if info.Size() != p.lastSize {
+			p.lastSize = info.Size()
+			p.stable = 0
+			w.mu.Unlock()
+			continue
+		}
+		p.stable++
+		if p.stable < w.opts.SettlePolls {
+			w.mu.Unlock()
+			continue
+		}
+		// Settled: announce and mark processed.
+		delete(w.pending, path)
+		w.processed[path] = fileMark{Size: info.Size(), ModTime: info.ModTime()}
+		w.saveCheckpointLocked()
+		w.mu.Unlock()
+
+		select {
+		case w.events <- Event{Path: path, Size: info.Size(), ModTime: info.ModTime()}:
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+func (w *Watcher) loadCheckpoint() error {
+	raw, err := os.ReadFile(w.opts.CheckpointPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("watcher: read checkpoint: %w", err)
+	}
+	var processed map[string]fileMark
+	if err := json.Unmarshal(raw, &processed); err != nil {
+		return fmt.Errorf("watcher: corrupt checkpoint %s: %w", w.opts.CheckpointPath, err)
+	}
+	w.processed = processed
+	return nil
+}
+
+// saveCheckpointLocked persists the processed set; failures are ignored
+// (the worst case is a duplicate flow after restart, which the flow layer
+// tolerates).
+func (w *Watcher) saveCheckpointLocked() {
+	if w.opts.CheckpointPath == "" {
+		return
+	}
+	raw, err := json.MarshalIndent(w.processed, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp := w.opts.CheckpointPath + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, w.opts.CheckpointPath)
+}

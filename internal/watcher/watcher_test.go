@@ -1,0 +1,199 @@
+package watcher
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func fastOpts() Options {
+	return Options{Interval: 5 * time.Millisecond, SettlePolls: 2}
+}
+
+func collect(t *testing.T, w *Watcher, n int, timeout time.Duration) []Event {
+	t.Helper()
+	var out []Event
+	deadline := time.After(timeout)
+	for len(out) < n {
+		select {
+		case e, ok := <-w.Events():
+			if !ok {
+				return out
+			}
+			out = append(out, e)
+		case <-deadline:
+			t.Fatalf("timed out with %d of %d events", len(out), n)
+		}
+	}
+	return out
+}
+
+func TestDetectsNewFile(t *testing.T) {
+	dir := t.TempDir()
+	w, err := New(dir, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	defer w.Stop()
+	path := filepath.Join(dir, "a.emdg")
+	if err := os.WriteFile(path, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events := collect(t, w, 1, 2*time.Second)
+	if events[0].Path != path || events[0].Size != 4 {
+		t.Errorf("event = %+v", events[0])
+	}
+	if w.Processed() != 1 {
+		t.Errorf("processed = %d", w.Processed())
+	}
+}
+
+func TestGrowingFileSettlesFirst(t *testing.T) {
+	dir := t.TempDir()
+	w, err := New(dir, Options{Interval: 10 * time.Millisecond, SettlePolls: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "grow.emdg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	defer w.Stop()
+	// Keep appending for a while; no event may arrive while growing.
+	for i := 0; i < 5; i++ {
+		f.Write(make([]byte, 100))
+		f.Sync()
+		select {
+		case e := <-w.Events():
+			t.Fatalf("premature event while growing: %+v", e)
+		case <-time.After(12 * time.Millisecond):
+		}
+	}
+	f.Close()
+	events := collect(t, w, 1, 2*time.Second)
+	if events[0].Size != 500 {
+		t.Errorf("final size = %d, want 500", events[0].Size)
+	}
+}
+
+func TestPatternFiltering(t *testing.T) {
+	dir := t.TempDir()
+	opts := fastOpts()
+	opts.Pattern = "*.emdg"
+	w, err := New(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	defer w.Stop()
+	os.WriteFile(filepath.Join(dir, "skip.txt"), []byte("no"), 0o644)
+	os.WriteFile(filepath.Join(dir, "take.emdg"), []byte("yes"), 0o644)
+	events := collect(t, w, 1, 2*time.Second)
+	if filepath.Base(events[0].Path) != "take.emdg" {
+		t.Errorf("event = %+v", events[0])
+	}
+	select {
+	case e := <-w.Events():
+		t.Fatalf("unexpected second event: %+v", e)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSubdirectoriesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	os.Mkdir(filepath.Join(dir, "sub"), 0o755)
+	w, _ := New(dir, fastOpts())
+	w.Start()
+	defer w.Stop()
+	select {
+	case e := <-w.Events():
+		t.Fatalf("event for directory: %+v", e)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestCheckpointPreventsReprocessing(t *testing.T) {
+	dir := t.TempDir()
+	cp := filepath.Join(t.TempDir(), "watch.json")
+	opts := fastOpts()
+	opts.CheckpointPath = cp
+
+	w1, err := New(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.Start()
+	os.WriteFile(filepath.Join(dir, "a.emdg"), []byte("data"), 0o644)
+	collect(t, w1, 1, 2*time.Second)
+	w1.Stop()
+
+	// "Reboot": a fresh watcher with the same checkpoint must not
+	// re-announce the file, but must announce a genuinely new one.
+	w2, err := New(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Processed() != 1 {
+		t.Fatalf("restored processed = %d", w2.Processed())
+	}
+	w2.Start()
+	defer w2.Stop()
+	os.WriteFile(filepath.Join(dir, "b.emdg"), []byte("fresh"), 0o644)
+	events := collect(t, w2, 1, 2*time.Second)
+	if filepath.Base(events[0].Path) != "b.emdg" {
+		t.Errorf("re-announced old file: %+v", events[0])
+	}
+}
+
+func TestRewrittenFileReannounced(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := New(dir, fastOpts())
+	w.Start()
+	defer w.Stop()
+	path := filepath.Join(dir, "a.emdg")
+	os.WriteFile(path, []byte("v1"), 0o644)
+	collect(t, w, 1, 2*time.Second)
+	// Rewrite with different content size: should fire again.
+	os.WriteFile(path, []byte("version-2"), 0o644)
+	events := collect(t, w, 1, 2*time.Second)
+	if events[0].Size != 9 {
+		t.Errorf("rewrite event = %+v", events[0])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(filepath.Join(t.TempDir(), "missing"), fastOpts()); err == nil {
+		t.Error("missing dir accepted")
+	}
+	file := filepath.Join(t.TempDir(), "f")
+	os.WriteFile(file, []byte("x"), 0o644)
+	if _, err := New(file, fastOpts()); err == nil {
+		t.Error("non-directory accepted")
+	}
+	opts := fastOpts()
+	opts.Pattern = "[" // invalid glob
+	if _, err := New(t.TempDir(), opts); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestCorruptCheckpointRejected(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(cp, []byte("{corrupt"), 0o644)
+	opts := fastOpts()
+	opts.CheckpointPath = cp
+	if _, err := New(t.TempDir(), opts); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	w, _ := New(t.TempDir(), fastOpts())
+	w.Start()
+	w.Stop()
+	w.Stop() // second stop must not panic
+}

@@ -1,0 +1,136 @@
+// Package picoprobe is the public API of the PicoProbe data-flow library —
+// a from-scratch Go reproduction of "Linking the Dynamic PicoProbe
+// Analytical Electron-Optical Beam Line / Microscope to Supercomputers"
+// (SC 2023).
+//
+// The library provides, end to end, the architecture the paper describes:
+// a watcher that triggers flows when the instrument writes EMD files; a
+// managed transfer service that moves them to a storage endpoint; a
+// federated compute service that runs the fused analysis+metadata
+// functions on batch-scheduled nodes; a search index and portal that make
+// the results FAIR; and a flow-orchestration engine that drives the three
+// stages with the polling-backoff client whose overhead the paper
+// measures.
+//
+// Two execution modes share all orchestration code:
+//
+//   - Live mode (NewLiveDeployment) moves real files, runs the real
+//     analysis code (intensity maps, spectra, nanoYOLO detection,
+//     MJPEG-AVI conversion) and serves a real portal.
+//   - Simulation mode (RunExperiment) reproduces the paper's 1-hour
+//     facility evaluations in milliseconds on a deterministic
+//     discrete-event kernel with a calibrated deployment profile,
+//     regenerating Table 1 and Fig 4.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package picoprobe
+
+import (
+	"picoprobe/internal/core"
+	"picoprobe/internal/detect"
+	"picoprobe/internal/flows"
+	"picoprobe/internal/metadata"
+	"picoprobe/internal/synth"
+)
+
+// Deployment profile and experiment harness (simulation mode).
+type (
+	// Profile holds the facility calibration constants (network rates,
+	// PBS delays, analysis cost models, orchestration overheads).
+	Profile = core.Profile
+	// ExperimentConfig parameterizes one simulated 1-hour evaluation.
+	ExperimentConfig = core.ExperimentConfig
+	// ExperimentResult carries the run records and aggregations.
+	ExperimentResult = core.ExperimentResult
+	// Table1Row is one column of the paper's Table 1.
+	Table1Row = core.Table1Row
+	// StageRow is one bar group of the paper's Fig 4.
+	StageRow = core.StageRow
+)
+
+// Live deployment (real files, real analysis).
+type (
+	// LiveOptions configures an in-process live deployment.
+	LiveOptions = core.LiveOptions
+	// LiveDeployment is a fully wired live pipeline.
+	LiveDeployment = core.LiveDeployment
+	// AnalysisOutput is the product set of one analysis invocation.
+	AnalysisOutput = core.AnalysisOutput
+)
+
+// Synthetic instrument and detector.
+type (
+	// HyperspectralConfig parameterizes synthetic hyperspectral cubes.
+	HyperspectralConfig = synth.HyperspectralConfig
+	// SpatiotemporalConfig parameterizes synthetic nanoparticle series.
+	SpatiotemporalConfig = synth.SpatiotemporalConfig
+	// DetectorParams are nanoYOLO's tunables.
+	DetectorParams = detect.Params
+	// Experiment is the DataCite-flavoured metadata record.
+	Experiment = metadata.Experiment
+)
+
+// Backoff policies for the flows engine (the paper's exponential default
+// plus the ablation alternatives).
+type (
+	// ExponentialBackoff is the paper's deployed policy.
+	ExponentialBackoff = flows.Exponential
+	// ConstantBackoff polls at a fixed interval.
+	ConstantBackoff = flows.Constant
+	// LinearBackoff grows the interval linearly.
+	LinearBackoff = flows.Linear
+	// PushPolicy idealizes event-driven completion notification.
+	PushPolicy = flows.Push
+)
+
+// DefaultProfile returns the paper-calibrated deployment profile.
+func DefaultProfile() Profile { return core.DefaultProfile() }
+
+// HyperspectralExperiment returns the paper's hyperspectral Table 1
+// configuration (30 s start period, 91 MB files, 1 hour).
+func HyperspectralExperiment() ExperimentConfig { return core.HyperspectralExperiment() }
+
+// SpatiotemporalExperiment returns the paper's spatiotemporal Table 1
+// configuration (120 s start period, 1200 MB files, 1 hour).
+func SpatiotemporalExperiment() ExperimentConfig { return core.SpatiotemporalExperiment() }
+
+// RunExperiment executes one simulated evaluation run; a full virtual hour
+// completes in milliseconds and is fully deterministic.
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
+	return core.RunExperiment(cfg)
+}
+
+// FormatTable1 renders experiment rows the way the paper's Table 1 does.
+func FormatTable1(rows ...Table1Row) string { return core.FormatTable1(rows...) }
+
+// FormatStages renders a per-step decomposition like the paper's Fig 4.
+func FormatStages(label string, stages []StageRow) string { return core.FormatStages(label, stages) }
+
+// PaperTable1Hyperspectral and PaperTable1Spatiotemporal are the published
+// Table 1 values, for side-by-side comparison.
+var (
+	PaperTable1Hyperspectral  = core.PaperTable1Hyperspectral
+	PaperTable1Spatiotemporal = core.PaperTable1Spatiotemporal
+)
+
+// NewLiveDeployment wires a live in-process deployment against local
+// directories.
+func NewLiveDeployment(opts LiveOptions) (*LiveDeployment, error) {
+	return core.NewLiveDeployment(opts)
+}
+
+// AnalyzeHyperspectral runs the fused hyperspectral analysis+metadata
+// function on an EMD file, writing Fig 2's artifacts into outDir.
+func AnalyzeHyperspectral(emdPath, outDir string) (*AnalysisOutput, error) {
+	return core.AnalyzeHyperspectral(emdPath, outDir)
+}
+
+// AnalyzeSpatiotemporal runs the fused spatiotemporal inference function
+// (video conversion + nanoYOLO detection + annotation) on an EMD file.
+func AnalyzeSpatiotemporal(emdPath, outDir string, params DetectorParams) (*AnalysisOutput, error) {
+	return core.AnalyzeSpatiotemporal(emdPath, outDir, params)
+}
+
+// DefaultDetectorParams returns nanoYOLO's uncalibrated defaults.
+func DefaultDetectorParams() DetectorParams { return detect.DefaultParams() }

@@ -1,0 +1,87 @@
+package picoprobe
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"picoprobe/internal/metadata"
+	"picoprobe/internal/search"
+	"picoprobe/internal/synth"
+)
+
+// TestPublicAPISimulation exercises the simulation entry points exactly as
+// a downstream user would.
+func TestPublicAPISimulation(t *testing.T) {
+	cfg := HyperspectralExperiment()
+	cfg.Duration = 10 * time.Minute
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Table1()
+	if row.TotalRuns == 0 {
+		t.Fatal("no runs")
+	}
+	if FormatTable1(row, PaperTable1Hyperspectral) == "" {
+		t.Error("empty table")
+	}
+	if FormatStages("hs", res.Stages()) == "" {
+		t.Error("empty stages")
+	}
+	if DefaultProfile().StreamCapBps <= 0 {
+		t.Error("bad default profile")
+	}
+}
+
+// TestPublicAPILivePipeline exercises the live entry points end to end:
+// synthetic instrument -> EMD -> flow -> searchable record -> artifacts.
+func TestPublicAPILivePipeline(t *testing.T) {
+	instrument := t.TempDir()
+	s, err := synth.GenerateHyperspectral(HyperspectralConfig{Height: 16, Width: 16, Channels: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acq := &metadata.Acquisition{SampleName: "api-sample", Operator: "api", Collected: time.Now().UTC()}
+	if err := s.WriteEMD(filepath.Join(instrument, "run.emdg"), synth.DefaultMicroscope(), acq); err != nil {
+		t.Fatal(err)
+	}
+
+	dep, err := NewLiveDeployment(LiveOptions{
+		InstrumentRoot: instrument,
+		EagleRoot:      t.TempDir(),
+		OutDir:         t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := dep.RunFile("hyperspectral", "run.emdg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TotalActive() <= 0 {
+		t.Error("no active time recorded")
+	}
+	if _, total, _ := dep.Index.Search(search.Query{Text: "api-sample"}); total != 1 {
+		t.Errorf("search total = %d", total)
+	}
+}
+
+// TestDirectAnalysisEntryPoints exercises the standalone analysis
+// functions through the facade.
+func TestDirectAnalysisEntryPoints(t *testing.T) {
+	dir := t.TempDir()
+	st := synth.GenerateSpatiotemporal(SpatiotemporalConfig{Frames: 4, Height: 32, Width: 32, Particles: 3, Seed: 2})
+	acq := &metadata.Acquisition{SampleName: "direct", Operator: "api", Collected: time.Now().UTC()}
+	path := filepath.Join(dir, "st.emdg")
+	if err := st.WriteEMD(path, synth.DefaultMicroscope(), acq); err != nil {
+		t.Fatal(err)
+	}
+	out, err := AnalyzeSpatiotemporal(path, t.TempDir(), DefaultDetectorParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Detections) != 4 {
+		t.Errorf("detections = %v", out.Detections)
+	}
+}
