@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Compile and execute every benchmark exactly once so perf-critical paths
+# at least get exercised on every PR without burning CI minutes.
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem ./...
+
+ci: build vet test bench-smoke

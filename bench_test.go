@@ -14,6 +14,7 @@ import (
 
 	"picoprobe/internal/core"
 	"picoprobe/internal/detect"
+	"picoprobe/internal/emd"
 	"picoprobe/internal/flows"
 	"picoprobe/internal/metadata"
 	"picoprobe/internal/netsim"
@@ -304,6 +305,61 @@ func BenchmarkCastFp64ToUint8(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = frame.ToUint8(0, 4096)
+	}
+}
+
+// BenchmarkCastFp64ToUint8Into measures the destination-buffer variant of
+// the cast used by the streaming video pipeline: after warm-up it performs
+// zero allocations per frame.
+func BenchmarkCastFp64ToUint8Into(b *testing.B) {
+	frame := tensor.New(512, 512)
+	for i := range frame.Data() {
+		frame.Data()[i] = float64(i % 4096)
+	}
+	var dst []uint8
+	b.SetBytes(int64(len(frame.Data()) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = frame.ToUint8Into(dst, 0, 4096)
+	}
+}
+
+// BenchmarkEMDStreamingRead measures the chunk-at-a-time zero-copy read
+// path (Chunks + ReadFramesInto into a pooled buffer) that the fused
+// analysis reductions stream a dataset through.
+func BenchmarkEMDStreamingRead(b *testing.B) {
+	s, err := synth.GenerateHyperspectral(synth.HyperspectralConfig{Height: 64, Width: 64, Channels: 256, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	acq := &metadata.Acquisition{SampleName: "bench", Operator: "bench", Collected: time.Now()}
+	path := filepath.Join(b.TempDir(), "x.emdg")
+	if err := s.WriteEMD(path, synth.DefaultMicroscope(), acq); err != nil {
+		b.Fatal(err)
+	}
+	f, err := emd.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := f.Dataset("data/hyperspectral/data")
+	if err != nil {
+		b.Fatal(err)
+	}
+	frameElems := ds.Shape()[1] * ds.Shape()[2]
+	var buf []float64
+	b.SetBytes(int64(ds.Shape().Elems() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range ds.Chunks() {
+			n := c.Frames() * frameElems
+			if cap(buf) < n {
+				buf = make([]float64, n)
+			}
+			if err := ds.ReadFramesInto(buf[:n], c.Lo, c.Hi); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,3 @@
+module picoprobe
+
+go 1.24

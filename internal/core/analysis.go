@@ -1,22 +1,43 @@
 package core
 
 import (
-	"encoding/csv"
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"image"
+	"image/jpeg"
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"picoprobe/internal/detect"
 	"picoprobe/internal/emd"
 	"picoprobe/internal/imaging"
 	"picoprobe/internal/metadata"
 	"picoprobe/internal/synth"
+	"picoprobe/internal/tensor"
 	"picoprobe/internal/video"
 )
+
+// chunkScratch recycles the fp64 chunk buffers the streaming reductions
+// and the spatiotemporal pipeline read EMD chunks into; no analysis stage
+// ever materializes more than one chunk of a dataset at a time.
+var chunkScratch = sync.Pool{New: func() any { return new(chunkBuf) }}
+
+type chunkBuf struct{ data []float64 }
+
+func (b *chunkBuf) grow(n int) []float64 {
+	if cap(b.data) < n {
+		b.data = make([]float64, n)
+	}
+	return b.data[:n]
+}
 
 // AnalysisOutput is what the fused analysis+metadata compute function
 // produces: the experiment record (with product references attached) plus
@@ -57,12 +78,9 @@ func AnalyzeHyperspectral(emdPath, outDir string) (*AnalysisOutput, error) {
 	if err != nil {
 		return nil, err
 	}
-	cube, err := ds.ReadAll()
+	intensity, spectrum, err := streamHyperspectral(ds)
 	if err != nil {
 		return nil, err
-	}
-	if cube.Rank() != 3 {
-		return nil, fmt.Errorf("core: hyperspectral cube has rank %d", cube.Rank())
 	}
 	maxKeV := 20.0
 	if grp, ok := f.Root().Lookup("data/hyperspectral"); ok {
@@ -77,7 +95,6 @@ func AnalyzeHyperspectral(emdPath, outDir string) (*AnalysisOutput, error) {
 	}
 
 	// Fig 2.A: intensity image = sum along the spectroscopy dimension.
-	intensity := cube.SumAxis(2)
 	heat, err := imaging.Heatmap(intensity, imaging.Viridis)
 	if err != nil {
 		return nil, err
@@ -87,26 +104,25 @@ func AnalyzeHyperspectral(emdPath, outDir string) (*AnalysisOutput, error) {
 	}
 
 	// Fig 2.B: aggregate spectrum = sum over both pixel dimensions.
-	spectrum := cube.SumAxis(0).SumAxis(0)
-	channels := spectrum.Shape()[0]
+	channels := len(spectrum)
 	xs := make([]float64, channels)
 	for c := range xs {
 		xs[c] = (float64(c) + 0.5) * maxKeV / float64(channels)
 	}
-	composition, markers := assignPeaks(xs, spectrum.Data())
+	composition, markers := assignPeaks(xs, spectrum)
 	plot, err := imaging.LinePlot(imaging.PlotConfig{
 		Title:   "AGGREGATE EDS SPECTRUM",
 		XLabel:  "ENERGY (KEV)",
 		YLabel:  "COUNTS",
 		Markers: markers,
-	}, imaging.Series{Label: "SUM", X: xs, Y: spectrum.Data(), Color: imaging.Blue})
+	}, imaging.Series{Label: "SUM", X: xs, Y: spectrum, Color: imaging.Blue})
 	if err != nil {
 		return nil, err
 	}
 	if err := imaging.SavePNG(filepath.Join(recDir, "spectrum.png"), plot); err != nil {
 		return nil, err
 	}
-	if err := writeSpectrumCSV(filepath.Join(recDir, "spectrum.csv"), xs, spectrum.Data()); err != nil {
+	if err := writeSpectrumCSV(filepath.Join(recDir, "spectrum.csv"), xs, spectrum); err != nil {
 		return nil, err
 	}
 
@@ -126,6 +142,89 @@ func AnalyzeHyperspectral(emdPath, outDir string) (*AnalysisOutput, error) {
 	return &AnalysisOutput{Experiment: exp, OutDir: outDir, Composition: composition}, nil
 }
 
+// lineTable caches the synthetic element line-energy catalog, which is
+// static; rebuilding it for every analyzed file showed up in the
+// round-trip allocation profile.
+var lineTable = sync.OnceValue(synth.LineEnergies)
+
+// streamHyperspectral computes the paper's two Fig 2 reductions — the
+// intensity image (sum over the spectral axis) and the aggregate spectrum
+// (sum over both pixel axes) — in a single fused pass over the dataset's
+// stored chunks, parallelized across chunks. Only one chunk per worker is
+// resident at any time (pooled buffers, no full-cube materialization).
+// Per-chunk partial spectra are merged in chunk order so the accumulation
+// order is deterministic.
+func streamHyperspectral(ds *emd.Dataset) (*tensor.Dense, []float64, error) {
+	shape := ds.Shape()
+	if len(shape) != 3 {
+		return nil, nil, fmt.Errorf("core: hyperspectral cube has rank %d", len(shape))
+	}
+	H, W, C := shape[0], shape[1], shape[2]
+	intensity := tensor.New(H, W)
+	intens := intensity.Data()
+	chunks := ds.Chunks()
+	covered := 0
+	for _, c := range chunks {
+		covered += c.Frames()
+	}
+	if covered != H {
+		return nil, nil, fmt.Errorf("core: hyperspectral cube covers %d of %d rows", covered, H)
+	}
+	partial := make([][]float64, len(chunks))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	var next atomic.Int64
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := chunkScratch.Get().(*chunkBuf)
+			defer chunkScratch.Put(buf)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					return
+				}
+				c := chunks[i]
+				data := buf.grow(c.Frames() * W * C)
+				if err := ds.ReadFramesInto(data, c.Lo, c.Hi); err != nil {
+					errs[i] = err
+					continue
+				}
+				spec := make([]float64, C)
+				partial[i] = spec
+				out := intens[c.Lo*W : c.Hi*W]
+				for r := range out {
+					row := data[r*C : (r+1)*C]
+					s := 0.0
+					for ci, v := range row {
+						s += v
+						spec[ci] += v
+					}
+					out[r] = s
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	spectrum := make([]float64, C)
+	for _, spec := range partial {
+		for ci, v := range spec {
+			spectrum[ci] += v
+		}
+	}
+	return intensity, spectrum, nil
+}
+
 // assignPeaks finds local maxima in the spectrum well above the continuum
 // and assigns them to the nearest catalogued element line. It returns the
 // per-element relative weights and plot markers for identified lines.
@@ -139,7 +238,7 @@ func assignPeaks(xs, ys []float64) (map[string]float64, []imaging.Marker) {
 	continuum := sorted[len(sorted)/2]
 	threshold := continuum*1.5 + 1e-12
 
-	lines := synth.LineEnergies()
+	lines := lineTable()
 	composition := map[string]float64{}
 	var markers []imaging.Marker
 	for i := 1; i < len(ys)-1; i++ {
@@ -178,12 +277,26 @@ func assignPeaks(xs, ys []float64) (map[string]float64, []imaging.Marker) {
 	return composition, markers
 }
 
+// annotateScratch recycles the spatiotemporal pipeline's per-frame cast
+// and render buffers across frames and across concurrent encode workers.
+var annotateScratch = sync.Pool{New: func() any { return new(annotateBufs) }}
+
+type annotateBufs struct {
+	pix  []uint8
+	gray *image.Gray
+	rgba *image.RGBA
+}
+
 // AnalyzeSpatiotemporal is the real body of the paper's spatiotemporal
-// compute function: it streams the EMD series, converts it to video (the
-// fp64→uint8 cast the paper identifies as the bottleneck), runs the
-// calibrated nanoYOLO detector on every frame, writes an annotated video
-// with predicted bounding boxes and confidences (Fig 3), and extracts the
-// experiment metadata — again fused into one function, one file read.
+// compute function: it streams the EMD series chunk by chunk, runs the
+// calibrated nanoYOLO detector on every frame while accumulating the
+// global intensity range, then converts the series to video (the
+// fp64→uint8 cast the paper identifies as the bottleneck) and writes an
+// annotated video with predicted bounding boxes and confidences (Fig 3),
+// plus the extracted experiment metadata — fused into one function. The
+// video pass is a bounded worker pipeline (cast → render → JPEG-encode,
+// order-preserving emit) over one resident chunk at a time, with each
+// frame cast exactly once and flushed to both containers incrementally.
 func AnalyzeSpatiotemporal(emdPath, outDir string, params detect.Params) (*AnalysisOutput, error) {
 	f, err := emd.Open(emdPath)
 	if err != nil {
@@ -199,72 +312,140 @@ func AnalyzeSpatiotemporal(emdPath, outDir string, params detect.Params) (*Analy
 	if err != nil {
 		return nil, err
 	}
-	series, err := ds.ReadAll()
-	if err != nil {
-		return nil, err
+	shape := ds.Shape()
+	if len(shape) != 3 {
+		return nil, fmt.Errorf("core: spatiotemporal series has rank %d", len(shape))
 	}
-	if series.Rank() != 3 {
-		return nil, fmt.Errorf("core: spatiotemporal series has rank %d", series.Rank())
-	}
+	T, H, W := shape[0], shape[1], shape[2]
 	recDir := filepath.Join(outDir, exp.ID)
 	if err := os.MkdirAll(recDir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	chunks := ds.Chunks()
+	covered := 0
+	for _, c := range chunks {
+		covered += c.Frames()
+	}
+	if covered != T {
+		return nil, fmt.Errorf("core: spatiotemporal series covers %d of %d frames", covered, T)
+	}
 
-	// EMD -> video conversion with the global intensity range.
-	lo, hi := series.MinMax()
+	// Pass 1: per-frame detection (parallel inside DetectSeries) fused
+	// with the global intensity-range scan, one chunk resident at a time.
+	perFrame := make([][]detect.Detection, T)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	buf := chunkScratch.Get().(*chunkBuf)
+	for _, c := range chunks {
+		data := buf.grow(c.Frames() * H * W)
+		if err := ds.ReadFramesInto(data, c.Lo, c.Hi); err != nil {
+			chunkScratch.Put(buf)
+			return nil, err
+		}
+		chunkT := tensor.FromData(data, c.Frames(), H, W)
+		cLo, cHi := chunkT.MinMax()
+		lo, hi = math.Min(lo, cLo), math.Max(hi, cHi)
+		dets, err := detect.DetectSeries(chunkT, params)
+		if err != nil {
+			chunkScratch.Put(buf)
+			return nil, err
+		}
+		copy(perFrame[c.Lo:c.Hi], dets)
+	}
+
+	// Pass 2: EMD → video conversion and annotation. Each frame is cast
+	// once; the raw grayscale JPEG and the annotated JPEG are encoded
+	// back-to-back into one buffer by the pipeline workers and streamed to
+	// their containers in frame order.
 	rawPath := filepath.Join(recDir, "series.avi")
 	rawFile, err := os.Create(rawPath)
 	if err != nil {
+		chunkScratch.Put(buf)
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	stats, err := video.Convert(rawFile, video.TensorSource{Series: series}, lo, hi, 25)
-	if err != nil {
-		rawFile.Close()
-		return nil, err
-	}
-	if err := rawFile.Close(); err != nil {
-		return nil, err
-	}
-
-	// Per-frame detection (parallel inside DetectSeries).
-	perFrame, err := detect.DetectSeries(series, params)
-	if err != nil {
-		return nil, err
-	}
-
-	// Annotated video: quantized frames with predicted boxes burned in.
-	T := series.Shape()[0]
-	H, W := series.Shape()[1], series.Shape()[2]
 	annPath := filepath.Join(recDir, "annotated.avi")
 	annFile, err := os.Create(annPath)
 	if err != nil {
+		chunkScratch.Put(buf)
+		rawFile.Close()
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	vw, err := video.NewWriter(annFile, W, H, 25, 90)
-	if err != nil {
+	closeFiles := func() {
+		rawFile.Close()
 		annFile.Close()
+	}
+	vwRaw, err := video.NewWriter(rawFile, W, H, 25, 90)
+	if err != nil {
+		chunkScratch.Put(buf)
+		closeFiles()
 		return nil, err
 	}
-	counts := make([]int, T)
-	for t := 0; t < T; t++ {
-		pixels := series.Frame(t).ToUint8(lo, hi)
-		gray, err := imaging.GrayFrame(pixels, W, H)
-		if err != nil {
-			annFile.Close()
-			return nil, err
-		}
-		rgba := imaging.ToRGBA(gray)
-		for _, d := range perFrame[t] {
-			imaging.DrawLabeledBox(rgba, d.Box, fmt.Sprintf("AU %.2f", d.Score), imaging.Orange)
-		}
-		if err := vw.AddFrame(rgba); err != nil {
-			annFile.Close()
-			return nil, err
-		}
-		counts[t] = len(perFrame[t])
+	vwAnn, err := video.NewWriter(annFile, W, H, 25, 90)
+	if err != nil {
+		chunkScratch.Put(buf)
+		closeFiles()
+		return nil, err
 	}
-	if err := vw.Close(); err != nil {
+	opts := &jpeg.Options{Quality: 90}
+	castElements := 0
+	counts := make([]int, T)
+	for _, c := range chunks {
+		data := buf.grow(c.Frames() * H * W)
+		if err := ds.ReadFramesInto(data, c.Lo, c.Hi); err != nil {
+			chunkScratch.Put(buf)
+			closeFiles()
+			return nil, err
+		}
+		chunkT := tensor.FromData(data, c.Frames(), H, W)
+		splits := make([]int, c.Frames())
+		render := func(i int, out *bytes.Buffer) error {
+			t := c.Lo + i
+			sc := annotateScratch.Get().(*annotateBufs)
+			defer annotateScratch.Put(sc)
+			sc.pix = chunkT.Frame(i).ToUint8Into(sc.pix, lo, hi) // the fp64→uint8 cast
+			gray, err := imaging.GrayFrameInto(sc.gray, sc.pix, W, H)
+			if err != nil {
+				return err
+			}
+			sc.gray = gray
+			if err := jpeg.Encode(out, gray, opts); err != nil {
+				return err
+			}
+			splits[i] = out.Len()
+			rgba := imaging.ToRGBAInto(sc.rgba, gray)
+			sc.rgba = rgba
+			for _, d := range perFrame[t] {
+				imaging.DrawLabeledBox(rgba, d.Box, fmt.Sprintf("AU %.2f", d.Score), imaging.Orange)
+			}
+			return jpeg.Encode(out, rgba, opts)
+		}
+		emit := func(i int, data []byte) error {
+			t := c.Lo + i
+			if err := vwRaw.AddEncodedFrame(data[:splits[i]]); err != nil {
+				return err
+			}
+			if err := vwAnn.AddEncodedFrame(data[splits[i]:]); err != nil {
+				return err
+			}
+			castElements += H * W
+			counts[t] = len(perFrame[t])
+			return nil
+		}
+		if err := video.EncodeFrames(c.Frames(), render, emit); err != nil {
+			chunkScratch.Put(buf)
+			closeFiles()
+			return nil, err
+		}
+	}
+	chunkScratch.Put(buf)
+	if err := vwRaw.Close(); err != nil {
+		closeFiles()
+		return nil, err
+	}
+	if err := vwAnn.Close(); err != nil {
+		closeFiles()
+		return nil, err
+	}
+	if err := rawFile.Close(); err != nil {
 		annFile.Close()
 		return nil, err
 	}
@@ -287,25 +468,29 @@ func AnalyzeSpatiotemporal(emdPath, outDir string, params detect.Params) (*Analy
 		Experiment:   exp,
 		OutDir:       outDir,
 		Detections:   counts,
-		CastElements: stats.CastElements,
+		CastElements: castElements,
 	}, nil
 }
 
+// writeSpectrumCSV emits the same bytes encoding/csv would (the values
+// never need quoting), but append-formats each row into one reused buffer
+// instead of allocating per-field strings and per-row slices.
 func writeSpectrumCSV(path string, xs, ys []float64) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	w := csv.NewWriter(f)
-	w.Write([]string{"energy_kev", "counts"})
+	w := bufio.NewWriter(f)
+	w.WriteString("energy_kev,counts\n")
+	var row []byte
 	for i := range xs {
-		w.Write([]string{
-			strconv.FormatFloat(xs[i], 'g', 8, 64),
-			strconv.FormatFloat(ys[i], 'g', 8, 64),
-		})
+		row = strconv.AppendFloat(row[:0], xs[i], 'g', 8, 64)
+		row = append(row, ',')
+		row = strconv.AppendFloat(row, ys[i], 'g', 8, 64)
+		row = append(row, '\n')
+		w.Write(row)
 	}
-	w.Flush()
-	if err := w.Error(); err != nil {
+	if err := w.Flush(); err != nil {
 		f.Close()
 		return fmt.Errorf("core: %w", err)
 	}
@@ -317,13 +502,17 @@ func writeCountsCSV(path string, counts []int) error {
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	w := csv.NewWriter(f)
-	w.Write([]string{"frame", "particles"})
+	w := bufio.NewWriter(f)
+	w.WriteString("frame,particles\n")
+	var row []byte
 	for i, c := range counts {
-		w.Write([]string{strconv.Itoa(i), strconv.Itoa(c)})
+		row = strconv.AppendInt(row[:0], int64(i), 10)
+		row = append(row, ',')
+		row = strconv.AppendInt(row, int64(c), 10)
+		row = append(row, '\n')
+		w.Write(row)
 	}
-	w.Flush()
-	if err := w.Error(); err != nil {
+	if err := w.Flush(); err != nil {
 		f.Close()
 		return fmt.Errorf("core: %w", err)
 	}

@@ -59,6 +59,29 @@ func DefaultParams() Params {
 	return Params{ThresholdSigma: 3, MinArea: 6, BlurPasses: 1, Pad: 1, Scale: 1.0, NMSIoU: 0.5}
 }
 
+// scratch holds the per-call working buffers (blur ping-pong, component
+// labels, BFS queue, robust-statistics samples). Instances are recycled
+// through scratchPool so per-frame inference in a long series allocates
+// nothing after warm-up; the pool is safe for concurrent DetectSeries
+// workers.
+type scratch struct {
+	blurA, blurB []float64
+	labels       []int32
+	queue        []int
+	sample, devs []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// f64buf resizes s to n elements, reallocating only on growth. Contents are
+// unspecified.
+func f64buf(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // Detect runs the detector on a rank-2 frame.
 func Detect(frame *tensor.Dense, p Params) ([]Detection, error) {
 	if frame.Rank() != 2 {
@@ -67,29 +90,44 @@ func Detect(frame *tensor.Dense, p Params) ([]Detection, error) {
 	h, w := frame.Shape()[0], frame.Shape()[1]
 	pixels := frame.Data()
 
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
 	// Background statistics. Blobs cover a small fraction of the frame, so
 	// a trimmed estimate (median and MAD-derived sigma) is robust to them.
-	bgMean, bgStd := robustStats(pixels)
+	bgMean, bgStd := robustStats(pixels, sc)
 	if bgStd <= 0 {
 		bgStd = 1e-9
 	}
 
-	// Smoothing.
+	// Smoothing: the first pass reads the frame directly, later passes
+	// ping-pong between the two pooled buffers, so no copy of the input is
+	// ever made.
 	work := pixels
 	if p.BlurPasses > 0 {
-		work = append([]float64(nil), pixels...)
-		tmp := make([]float64, len(work))
+		sc.blurA = f64buf(sc.blurA, len(pixels))
+		sc.blurB = f64buf(sc.blurB, len(pixels))
+		src, dst := pixels, sc.blurA
 		for pass := 0; pass < p.BlurPasses; pass++ {
-			boxBlur3(work, tmp, w, h)
-			work, tmp = tmp, work
+			boxBlur3(src, dst, w, h)
+			if pass == 0 {
+				src, dst = sc.blurA, sc.blurB
+			} else {
+				src, dst = dst, src
+			}
 		}
+		work = src
 	}
 
 	// Threshold and connected components (4-connectivity, BFS).
 	thr := bgMean + p.ThresholdSigma*bgStd
-	labels := make([]int32, len(work))
+	if cap(sc.labels) < len(work) {
+		sc.labels = make([]int32, len(work))
+	}
+	labels := sc.labels[:len(work)]
+	clear(labels)
 	var dets []Detection
-	var queue []int
+	queue := sc.queue
 	for start, v := range work {
 		if v <= thr || labels[start] != 0 {
 			continue
@@ -167,6 +205,7 @@ func Detect(frame *tensor.Dense, p Params) ([]Detection, error) {
 		box := geom.FromCenter(cx, cy, bw, bh).Clamp(float64(w), float64(h))
 		dets = append(dets, Detection{Box: box, Score: score})
 	}
+	sc.queue = queue
 	return NMS(dets, p.NMSIoU), nil
 }
 
@@ -230,61 +269,149 @@ func NMS(dets []Detection, iou float64) []Detection {
 
 // robustStats estimates background mean and sigma with the median and the
 // median absolute deviation (scaled for a normal distribution). For frames
-// above 64k pixels a strided subsample keeps it cheap.
-func robustStats(pixels []float64) (mean, sigma float64) {
+// above 64k pixels a strided subsample keeps it cheap. Medians come from a
+// linear-time quickselect over pooled buffers rather than a full sort —
+// order statistics are exact, so the result is bit-identical to the sorted
+// implementation.
+func robustStats(pixels []float64, sc *scratch) (mean, sigma float64) {
 	stride := 1
 	if len(pixels) > 1<<16 {
 		stride = len(pixels) / (1 << 16)
 	}
-	sample := make([]float64, 0, len(pixels)/stride+1)
+	sample := sc.sample[:0]
 	for i := 0; i < len(pixels); i += stride {
 		sample = append(sample, pixels[i])
 	}
-	sort.Float64s(sample)
-	med := quantileSorted(sample, 0.5)
-	devs := make([]float64, len(sample))
+	sc.sample = sample
+	med := quantileSelect(sample, 0.5)
+	devs := f64buf(sc.devs, len(sample))
+	sc.devs = devs
 	for i, v := range sample {
 		devs[i] = math.Abs(v - med)
 	}
-	sort.Float64s(devs)
-	mad := quantileSorted(devs, 0.5)
+	mad := quantileSelect(devs, 0.5)
 	return med, 1.4826 * mad
 }
 
-func quantileSorted(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
+// quantileSelect returns the q-quantile with the same linear interpolation
+// as indexing a sorted copy, but via in-place selection (s is reordered).
+func quantileSelect(s []float64, q float64) float64 {
+	if len(s) == 0 {
 		return 0
 	}
-	pos := q * float64(len(sorted)-1)
+	pos := q * float64(len(s)-1)
 	lo := int(pos)
 	hi := lo + 1
-	if hi >= len(sorted) {
-		return sorted[len(sorted)-1]
+	if hi >= len(s) {
+		return selectKth(s, len(s)-1)
+	}
+	vLo := selectKth(s, lo)
+	// After selectKth, everything right of lo is >= vLo, so the (lo+1)-th
+	// order statistic is the minimum of that suffix.
+	vHi := s[hi]
+	for _, v := range s[hi+1:] {
+		if v < vHi {
+			vHi = v
+		}
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return vLo*(1-frac) + vHi*frac
+}
+
+// selectKth partially reorders s so s[k] holds the k-th smallest element
+// (0-based) with everything before it <= and everything after it >=, and
+// returns s[k]. Hoare partitioning with median-of-three pivots gives
+// expected linear time.
+func selectKth(s []float64, k int) float64 {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		pivot := s[mid]
+		i, j := lo, hi
+		for i <= j {
+			for s[i] < pivot {
+				i++
+			}
+			for s[j] > pivot {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return s[k]
+		}
+	}
+	return s[k]
 }
 
 // boxBlur3 applies one 3x3 box blur from src into dst (edges clamp).
+// Interior pixels take a branch-free 9-tap path whose additions run in the
+// same neighbor order as the general edge path, so results are identical.
 func boxBlur3(src, dst []float64, w, h int) {
+	if w >= 3 && h >= 3 {
+		for y := 1; y < h-1; y++ {
+			row := y * w
+			for x := 1; x < w-1; x++ {
+				i := row + x
+				sum := src[i-w-1] + src[i-w] + src[i-w+1] +
+					src[i-1] + src[i] + src[i+1] +
+					src[i+w-1] + src[i+w] + src[i+w+1]
+				dst[i] = sum / 9
+			}
+		}
+		for y := 0; y < h; y++ {
+			if y == 0 || y == h-1 {
+				for x := 0; x < w; x++ {
+					dst[y*w+x] = blurAt(src, w, h, x, y)
+				}
+			} else {
+				dst[y*w] = blurAt(src, w, h, 0, y)
+				dst[y*w+w-1] = blurAt(src, w, h, w-1, y)
+			}
+		}
+		return
+	}
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
-			sum, n := 0.0, 0
-			for dy := -1; dy <= 1; dy++ {
-				yy := y + dy
-				if yy < 0 || yy >= h {
-					continue
-				}
-				for dx := -1; dx <= 1; dx++ {
-					xx := x + dx
-					if xx < 0 || xx >= w {
-						continue
-					}
-					sum += src[yy*w+xx]
-					n++
-				}
-			}
-			dst[y*w+x] = sum / float64(n)
+			dst[y*w+x] = blurAt(src, w, h, x, y)
 		}
 	}
+}
+
+// blurAt computes the clamped 3x3 mean at (x, y).
+func blurAt(src []float64, w, h, x, y int) float64 {
+	sum, n := 0.0, 0
+	for dy := -1; dy <= 1; dy++ {
+		yy := y + dy
+		if yy < 0 || yy >= h {
+			continue
+		}
+		for dx := -1; dx <= 1; dx++ {
+			xx := x + dx
+			if xx < 0 || xx >= w {
+				continue
+			}
+			sum += src[yy*w+xx]
+			n++
+		}
+	}
+	return sum / float64(n)
 }

@@ -320,7 +320,7 @@ func TestRobustStatsIgnoresBlobOutliers(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		pixels[rng.Intn(len(pixels))] = 500
 	}
-	mean, sigma := robustStats(pixels)
+	mean, sigma := robustStats(pixels, new(scratch))
 	if math.Abs(mean-50) > 2 {
 		t.Errorf("robust mean = %v, want ~50", mean)
 	}

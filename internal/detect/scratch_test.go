@@ -1,0 +1,136 @@
+package detect
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"picoprobe/internal/synth"
+	"picoprobe/internal/tensor"
+)
+
+func blobFrame() *tensor.Dense {
+	s := synth.GenerateSpatiotemporal(synth.SpatiotemporalConfig{
+		Frames: 1, Height: 128, Width: 128, Particles: 6, Seed: 11,
+	})
+	return s.Series.Frame(0)
+}
+
+func sameDetections(a, b []Detection) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Score != b[i].Score || a[i].Box != b[i].Box {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDetectConcurrentPooledScratch verifies that the pooled blur/label/BFS
+// scratch produces the same detections when Detect runs from many
+// goroutines at once (run with -race to catch buffer aliasing).
+func TestDetectConcurrentPooledScratch(t *testing.T) {
+	frame := blobFrame()
+	p := DefaultParams()
+	p.BlurPasses = 2
+	want, err := Detect(frame, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, iters = 8, 25
+	results := make(chan []Detection, goroutines*iters)
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			for i := 0; i < iters; i++ {
+				got, err := Detect(frame, p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				results <- got
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(results)
+	for got := range results {
+		if !sameDetections(got, want) {
+			t.Fatalf("concurrent detection diverged: got %v want %v", got, want)
+		}
+	}
+}
+
+// TestDetectAllocsRegression pins the pooled-scratch behavior: after
+// warm-up, a Detect call with blur enabled must not reallocate its working
+// buffers (the seed implementation copied the frame and allocated a blur
+// temp, labels, queue and two sort buffers on every call).
+func TestDetectAllocsRegression(t *testing.T) {
+	frame := blobFrame()
+	p := DefaultParams()
+	p.BlurPasses = 2
+	for i := 0; i < 3; i++ { // warm the pool
+		if _, err := Detect(frame, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := Detect(frame, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Residual allocations are the detection slices themselves (dets, NMS
+	// copy, kept) — not the O(pixels) scratch.
+	if allocs > 25 {
+		t.Fatalf("Detect allocates %v objects/call; pooled scratch regressed", allocs)
+	}
+}
+
+// TestQuantileSelectMatchesSortedDefinition checks the quickselect
+// quantile against the sorted-slice definition it replaced.
+func TestQuantileSelectMatchesSortedDefinition(t *testing.T) {
+	frame := blobFrame()
+	vals := frame.Data()
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		ref := append([]float64(nil), vals...)
+		sort.Float64s(ref)
+		pos := q * float64(len(ref)-1)
+		lo := int(pos)
+		var want float64
+		if lo+1 >= len(ref) {
+			want = ref[len(ref)-1]
+		} else {
+			frac := pos - float64(lo)
+			want = ref[lo]*(1-frac) + ref[lo+1]*frac
+		}
+		got := quantileSelect(append([]float64(nil), vals...), q)
+		if math.Abs(got-want) != 0 {
+			t.Errorf("q=%v: quantileSelect = %v, sorted definition = %v", q, got, want)
+		}
+	}
+}
+
+// BenchmarkDetectFrameBlurred measures inference with smoothing enabled —
+// the path whose per-call frame copy and blur temp the pooled scratch
+// eliminated. Run with -benchmem to watch the regression.
+func BenchmarkDetectFrameBlurred(b *testing.B) {
+	s := synth.GenerateSpatiotemporal(synth.SpatiotemporalConfig{
+		Frames: 1, Height: 512, Width: 512, Particles: 14, Seed: 3,
+	})
+	frame := s.Series.Frame(0)
+	p := DefaultParams()
+	p.BlurPasses = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Detect(frame, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 
 	"picoprobe/internal/tensor"
 )
@@ -225,44 +226,117 @@ func (d *Dataset) ReadAll() (*tensor.Dense, error) {
 	return d.ReadFrames(0, d.shape[0])
 }
 
+// ChunkRange is the frame extent [Lo, Hi) of one stored chunk. The
+// streaming analysis path iterates Chunks and pulls one range at a time
+// with ReadFramesInto so no stage materializes more than a chunk of data.
+type ChunkRange struct {
+	Lo, Hi int
+}
+
+// Frames returns the number of frames the chunk covers.
+func (c ChunkRange) Frames() int { return c.Hi - c.Lo }
+
+// Chunks returns the dataset's stored chunk frame ranges in ascending
+// order. Reading along these boundaries touches each stored chunk exactly
+// once (no chunk is decompressed twice).
+func (d *Dataset) Chunks() []ChunkRange {
+	out := make([]ChunkRange, len(d.chunks))
+	for i, c := range d.chunks {
+		out[i] = ChunkRange{Lo: c.frameLo, Hi: c.frameHi}
+	}
+	return out
+}
+
 // ReadFrames loads frames [lo, hi) along axis 0, returning a tensor of
 // shape (hi-lo, frame dims...). Chunk CRCs are verified.
 func (d *Dataset) ReadFrames(lo, hi int) (*tensor.Dense, error) {
 	if d.r == nil {
 		return nil, fmt.Errorf("emd: dataset %q is not open for reading", d.name)
 	}
+	// Validate before sizing the output so a bad range cannot trigger a
+	// huge allocation; ReadFramesInto re-checks as its own contract.
 	if lo < 0 || hi > d.shape[0] || lo >= hi {
 		return nil, fmt.Errorf("emd: frame range [%d,%d) invalid for extent %d", lo, hi, d.shape[0])
 	}
-	fe := d.frameElems()
-	out := make([]float64, (hi-lo)*fe)
-	covered := 0
-	for _, c := range d.chunks {
-		if c.frameHi <= lo || c.frameLo >= hi {
-			continue
-		}
-		vals, err := d.readChunk(c)
-		if err != nil {
-			return nil, err
-		}
-		// Intersect [c.frameLo, c.frameHi) with [lo, hi).
-		from := max(lo, c.frameLo)
-		to := min(hi, c.frameHi)
-		srcStart := (from - c.frameLo) * fe
-		dstStart := (from - lo) * fe
-		n := (to - from) * fe
-		copy(out[dstStart:dstStart+n], vals[srcStart:srcStart+n])
-		covered += to - from
-	}
-	if covered != hi-lo {
-		return nil, fmt.Errorf("emd: dataset %q missing frames in [%d,%d)", d.name, lo, hi)
+	out := make([]float64, (hi-lo)*d.frameElems())
+	if err := d.ReadFramesInto(out, lo, hi); err != nil {
+		return nil, err
 	}
 	shape := append(tensor.Shape{hi - lo}, d.shape[1:]...)
 	return tensor.FromData(out, shape...), nil
 }
 
-func (d *Dataset) readChunk(c chunk) ([]float64, error) {
-	stored := make([]byte, c.clen)
+// chunkScratch recycles the compressed-read and gunzip buffers across
+// ReadFramesInto calls; the pool is shared by all open files and safe for
+// concurrent readers.
+var chunkScratch = sync.Pool{New: func() any { return new(chunkBufs) }}
+
+type chunkBufs struct {
+	stored []byte // raw chunk bytes as stored (possibly compressed)
+	plain  []byte // decompressed bytes (gzip datasets only)
+	zr     *gzip.Reader
+}
+
+func (b *chunkBufs) grow(n int64) []byte {
+	if int64(cap(b.stored)) < n {
+		b.stored = make([]byte, n)
+	}
+	return b.stored[:n]
+}
+
+// ReadFramesInto decodes frames [lo, hi) along axis 0 into dst, which must
+// hold exactly (hi-lo) frames' worth of float64 elements. Chunk CRCs are
+// verified. Unlike ReadFrames it allocates nothing on the steady state:
+// chunk and gunzip scratch come from a pool and samples are decoded
+// directly into dst, so a caller looping over Chunks streams an arbitrarily
+// large dataset through one caller-owned buffer.
+func (d *Dataset) ReadFramesInto(dst []float64, lo, hi int) error {
+	if d.r == nil {
+		return fmt.Errorf("emd: dataset %q is not open for reading", d.name)
+	}
+	if lo < 0 || hi > d.shape[0] || lo >= hi {
+		return fmt.Errorf("emd: frame range [%d,%d) invalid for extent %d", lo, hi, d.shape[0])
+	}
+	fe := d.frameElems()
+	if len(dst) != (hi-lo)*fe {
+		return fmt.Errorf("emd: destination holds %d elements, want %d for frames [%d,%d)",
+			len(dst), (hi-lo)*fe, lo, hi)
+	}
+	bufs := chunkScratch.Get().(*chunkBufs)
+	defer chunkScratch.Put(bufs)
+	covered := 0
+	for _, c := range d.chunks {
+		if c.frameHi <= lo || c.frameLo >= hi {
+			continue
+		}
+		raw, err := d.readChunk(c, bufs)
+		if err != nil {
+			return err
+		}
+		// Intersect [c.frameLo, c.frameHi) with [lo, hi) and decode only
+		// the overlapping elements straight into dst.
+		from := max(lo, c.frameLo)
+		to := min(hi, c.frameHi)
+		srcStart := (from - c.frameLo) * fe
+		dstStart := (from - lo) * fe
+		n := (to - from) * fe
+		sz := d.dtype.Size()
+		if err := tensor.DecodeInto(dst[dstStart:dstStart+n], raw[srcStart*sz:(srcStart+n)*sz], d.dtype); err != nil {
+			return err
+		}
+		covered += to - from
+	}
+	if covered != hi-lo {
+		return fmt.Errorf("emd: dataset %q missing frames in [%d,%d)", d.name, lo, hi)
+	}
+	return nil
+}
+
+// readChunk returns the chunk's raw (decompressed, still encoded) bytes.
+// The returned slice aliases bufs and is only valid until the next call
+// with the same bufs.
+func (d *Dataset) readChunk(c chunk, bufs *chunkBufs) ([]byte, error) {
+	stored := bufs.grow(c.clen)
 	if _, err := d.r.r.ReadAt(stored, c.off); err != nil {
 		return nil, fmt.Errorf("emd: read chunk: %w", err)
 	}
@@ -270,22 +344,30 @@ func (d *Dataset) readChunk(c chunk) ([]float64, error) {
 		return nil, fmt.Errorf("emd: chunk CRC mismatch at offset %d (got %08x want %08x)", c.off, got, c.crc)
 	}
 	raw := stored
+	want := (c.frameHi - c.frameLo) * d.frameElems() * d.dtype.Size()
 	if d.compression == "gzip" {
-		zr, err := gzip.NewReader(bytes.NewReader(stored))
-		if err != nil {
+		if bufs.zr == nil {
+			zr, err := gzip.NewReader(bytes.NewReader(stored))
+			if err != nil {
+				return nil, fmt.Errorf("emd: gunzip: %w", err)
+			}
+			bufs.zr = zr
+		} else if err := bufs.zr.Reset(bytes.NewReader(stored)); err != nil {
 			return nil, fmt.Errorf("emd: gunzip: %w", err)
 		}
-		raw, err = io.ReadAll(zr)
-		if err != nil {
+		if cap(bufs.plain) < want+1 {
+			bufs.plain = make([]byte, want+1)
+		}
+		// Read want+1 bytes so an oversized chunk is detected rather than
+		// silently truncated.
+		n, err := io.ReadFull(bufs.zr, bufs.plain[:want+1])
+		if err != io.ErrUnexpectedEOF && err != io.EOF && err != nil {
 			return nil, fmt.Errorf("emd: gunzip read: %w", err)
 		}
-		if err := zr.Close(); err != nil {
-			return nil, fmt.Errorf("emd: gunzip close: %w", err)
-		}
+		raw = bufs.plain[:n]
 	}
-	want := (c.frameHi - c.frameLo) * d.frameElems() * d.dtype.Size()
 	if len(raw) != want {
 		return nil, fmt.Errorf("emd: chunk has %d bytes, want %d", len(raw), want)
 	}
-	return tensor.Decode(raw, d.dtype)
+	return raw, nil
 }

@@ -1,0 +1,194 @@
+package emd
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"picoprobe/internal/tensor"
+)
+
+// writeChunked writes a (T, H, W) float64 dataset in frame batches of the
+// given size (the last chunk is partial when batch does not divide T) and
+// returns the values.
+func writeChunked(t *testing.T, path string, T, H, W, batch int, compression string) []float64 {
+	t.Helper()
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp := w.Root().CreateGroup("data")
+	ds, err := w.CreateDataset(grp, "series", tensor.Float64, tensor.Shape{T, H, W}, DatasetOptions{Compression: compression})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, T*H*W)
+	for i := range vals {
+		vals[i] = float64(i%977) + 0.5
+	}
+	for lo := 0; lo < T; lo += batch {
+		hi := min(lo+batch, T)
+		if err := ds.WriteFrames(tensor.FromData(vals[lo*H*W:hi*H*W], hi-lo, H, W)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+func TestChunksReportStoredRanges(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.emdg")
+	writeChunked(t, path, 10, 3, 2, 4, "")
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := f.Dataset("data/series")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := ds.Chunks()
+	want := []ChunkRange{{0, 4}, {4, 8}, {8, 10}} // partial last chunk
+	if len(chunks) != len(want) {
+		t.Fatalf("chunks = %v, want %v", chunks, want)
+	}
+	for i, c := range chunks {
+		if c != want[i] {
+			t.Fatalf("chunk %d = %v, want %v", i, c, want[i])
+		}
+		if c.Frames() != c.Hi-c.Lo {
+			t.Fatalf("chunk %d Frames() = %d", i, c.Frames())
+		}
+	}
+}
+
+func TestReadFramesIntoChunkBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		batch       int
+		compression string
+	}{
+		{"multi-chunk-partial-tail", 4, ""},
+		{"single-chunk", 10, ""},
+		{"per-frame-chunks", 1, ""},
+		{"gzip-multi-chunk", 3, "gzip"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const T, H, W = 10, 3, 2
+			path := filepath.Join(t.TempDir(), "b.emdg")
+			vals := writeChunked(t, path, T, H, W, tc.batch, tc.compression)
+			f, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			ds, err := f.Dataset("data/series")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fe := H * W
+			// Every [lo, hi) range: spans inside one chunk, crossing chunk
+			// boundaries, full extent.
+			for lo := 0; lo < T; lo++ {
+				for hi := lo + 1; hi <= T; hi++ {
+					dst := make([]float64, (hi-lo)*fe)
+					if err := ds.ReadFramesInto(dst, lo, hi); err != nil {
+						t.Fatalf("ReadFramesInto(%d,%d): %v", lo, hi, err)
+					}
+					for i, v := range dst {
+						if want := vals[lo*fe+i]; v != want {
+							t.Fatalf("range [%d,%d) elem %d = %v, want %v", lo, hi, i, v, want)
+						}
+					}
+				}
+			}
+			// Iterating Chunks covers the dataset exactly.
+			covered := 0
+			for _, c := range ds.Chunks() {
+				covered += c.Frames()
+			}
+			if covered != T {
+				t.Fatalf("chunks cover %d of %d frames", covered, T)
+			}
+		})
+	}
+}
+
+func TestReadFramesIntoValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.emdg")
+	writeChunked(t, path, 4, 2, 2, 2, "")
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, _ := f.Dataset("data/series")
+	if err := ds.ReadFramesInto(make([]float64, 3), 0, 1); err == nil {
+		t.Error("short destination accepted")
+	}
+	if err := ds.ReadFramesInto(make([]float64, 4), 3, 5); err == nil {
+		t.Error("out-of-range frames accepted")
+	}
+	if err := ds.ReadFramesInto(make([]float64, 4), 2, 2); err == nil {
+		t.Error("empty range accepted")
+	}
+	var closed Dataset
+	if err := closed.ReadFramesInto(nil, 0, 1); err == nil {
+		t.Error("unopened dataset accepted")
+	}
+}
+
+// TestReadFramesIntoConcurrent hammers the shared chunk-scratch pool from
+// many goroutines (run with -race to verify the pooled buffers never
+// alias).
+func TestReadFramesIntoConcurrent(t *testing.T) {
+	const T, H, W = 24, 8, 8
+	for _, compression := range []string{"", "gzip"} {
+		t.Run("compression="+compression, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "r.emdg")
+			vals := writeChunked(t, path, T, H, W, 5, compression)
+			f, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			ds, _ := f.Dataset("data/series")
+			fe := H * W
+			var wg sync.WaitGroup
+			errc := make(chan error, 16)
+			for g := 0; g < 16; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					dst := make([]float64, T*fe)
+					for iter := 0; iter < 50; iter++ {
+						lo := rng.Intn(T)
+						hi := lo + 1 + rng.Intn(T-lo)
+						buf := dst[:(hi-lo)*fe]
+						if err := ds.ReadFramesInto(buf, lo, hi); err != nil {
+							errc <- err
+							return
+						}
+						for i, v := range buf {
+							if want := vals[lo*fe+i]; v != want {
+								errc <- fmt.Errorf("range [%d,%d) elem %d = %v, want %v", lo, hi, i, v, want)
+								return
+							}
+						}
+					}
+				}(int64(g))
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"sync"
 
 	"picoprobe/internal/tensor"
 )
@@ -16,6 +17,17 @@ import (
 type DatasetOptions struct {
 	// Compression is "" (raw) or "gzip".
 	Compression string
+}
+
+// writeScratch recycles the per-chunk encode and gzip buffers across
+// WriteFrames calls so streaming a long series allocates per file, not per
+// chunk.
+var writeScratch = sync.Pool{New: func() any { return new(writeBufs) }}
+
+type writeBufs struct {
+	encoded []byte
+	zbuf    bytes.Buffer
+	zw      *gzip.Writer
 }
 
 // Writer creates an EMDG file. Datasets may be written incrementally
@@ -105,18 +117,25 @@ func (d *Dataset) WriteFrames(data *tensor.Dense) error {
 		return fmt.Errorf("emd: writing frames [%d,%d) exceeds extent %d", lo, lo+nFrames, d.shape[0])
 	}
 
-	raw := tensor.Encode(data.Data(), d.dtype)
+	scratch := writeScratch.Get().(*writeBufs)
+	defer writeScratch.Put(scratch)
+	raw := tensor.AppendEncode(scratch.encoded[:0], data.Data(), d.dtype)
+	scratch.encoded = raw
 	stored := raw
 	if d.compression == "gzip" {
-		var buf bytes.Buffer
-		zw := gzip.NewWriter(&buf)
-		if _, err := zw.Write(raw); err != nil {
+		scratch.zbuf.Reset()
+		if scratch.zw == nil {
+			scratch.zw = gzip.NewWriter(&scratch.zbuf)
+		} else {
+			scratch.zw.Reset(&scratch.zbuf)
+		}
+		if _, err := scratch.zw.Write(raw); err != nil {
 			return fmt.Errorf("emd: gzip: %w", err)
 		}
-		if err := zw.Close(); err != nil {
+		if err := scratch.zw.Close(); err != nil {
 			return fmt.Errorf("emd: gzip close: %w", err)
 		}
-		stored = buf.Bytes()
+		stored = scratch.zbuf.Bytes()
 	}
 	off := d.w.off
 	if _, err := d.w.f.Write(stored); err != nil {

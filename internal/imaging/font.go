@@ -106,15 +106,18 @@ func DrawText(img *image.RGBA, x, y int, s string, c RGB, scale int) {
 
 func fillRect(img *image.RGBA, x, y, w, h int, c RGB) {
 	b := img.Bounds()
-	for yy := y; yy < y+h; yy++ {
-		if yy < b.Min.Y || yy >= b.Max.Y {
-			continue
-		}
-		for xx := x; xx < x+w; xx++ {
-			if xx < b.Min.X || xx >= b.Max.X {
-				continue
-			}
-			setRGB(img, xx, yy, c)
+	x0, x1 := max(x, b.Min.X), min(x+w, b.Max.X)
+	y0, y1 := max(y, b.Min.Y), min(y+h, b.Max.Y)
+	if x0 >= x1 || y0 >= y1 {
+		return
+	}
+	for yy := y0; yy < y1; yy++ {
+		row := img.Pix[img.PixOffset(x0, yy):img.PixOffset(x1, yy):img.PixOffset(x1, yy)]
+		for i := 0; i < len(row); i += 4 {
+			row[i] = c.R
+			row[i+1] = c.G
+			row[i+2] = c.B
+			row[i+3] = 255
 		}
 	}
 }

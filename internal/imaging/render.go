@@ -6,12 +6,15 @@
 package imaging
 
 import (
+	"bufio"
 	"fmt"
 	"image"
 	"image/color"
 	"image/png"
+	"io"
 	"math"
 	"os"
+	"sync"
 
 	"picoprobe/internal/geom"
 	"picoprobe/internal/tensor"
@@ -77,10 +80,14 @@ func Heatmap(d *tensor.Dense, cmap Colormap) (*image.RGBA, error) {
 		span = 1
 	}
 	img := image.NewRGBA(image.Rect(0, 0, w, h))
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			setRGB(img, x, y, cmap((d.At(y, x)-lo)/span))
-		}
+	data := d.Data()
+	for i, v := range data {
+		c := cmap((v - lo) / span)
+		o := i * 4
+		img.Pix[o] = c.R
+		img.Pix[o+1] = c.G
+		img.Pix[o+2] = c.B
+		img.Pix[o+3] = 255
 	}
 	return img, nil
 }
@@ -89,10 +96,19 @@ func Heatmap(d *tensor.Dense, cmap Colormap) (*image.RGBA, error) {
 // grayscale image; it is the fast path used by the video conversion
 // pipeline after the fp64→uint8 cast.
 func GrayFrame(pixels []uint8, w, h int) (*image.Gray, error) {
+	return GrayFrameInto(nil, pixels, w, h)
+}
+
+// GrayFrameInto is GrayFrame reusing img's storage when its dimensions
+// already match (img may be nil). Streaming video pipelines pass the
+// previous frame back in so per-frame rendering allocates nothing.
+func GrayFrameInto(img *image.Gray, pixels []uint8, w, h int) (*image.Gray, error) {
 	if len(pixels) != w*h {
 		return nil, fmt.Errorf("imaging: %d pixels for %dx%d frame", len(pixels), w, h)
 	}
-	img := image.NewGray(image.Rect(0, 0, w, h))
+	if img == nil || img.Rect.Dx() != w || img.Rect.Dy() != h {
+		img = image.NewGray(image.Rect(0, 0, w, h))
+	}
 	copy(img.Pix, pixels)
 	return img, nil
 }
@@ -122,11 +138,34 @@ func DrawLabeledBox(img *image.RGBA, b geom.Box, label string, c RGB) {
 
 // ToRGBA converts any image to RGBA for annotation.
 func ToRGBA(src image.Image) *image.RGBA {
+	return ToRGBAInto(nil, src)
+}
+
+// ToRGBAInto converts src to RGBA, reusing dst's storage when its bounds
+// already match (dst may be nil). Grayscale sources take a direct
+// pixel-expansion path instead of the interface-dispatch Set/At loop.
+func ToRGBAInto(dst *image.RGBA, src image.Image) *image.RGBA {
 	if rgba, ok := src.(*image.RGBA); ok {
 		return rgba
 	}
 	b := src.Bounds()
-	dst := image.NewRGBA(b)
+	if dst == nil || dst.Rect != b {
+		dst = image.NewRGBA(b)
+	}
+	if gray, ok := src.(*image.Gray); ok {
+		for y := b.Min.Y; y < b.Max.Y; y++ {
+			srow := gray.Pix[gray.PixOffset(b.Min.X, y) : gray.PixOffset(b.Min.X, y)+b.Dx()]
+			drow := dst.Pix[dst.PixOffset(b.Min.X, y) : dst.PixOffset(b.Min.X, y)+b.Dx()*4]
+			for i, v := range srow {
+				o := i * 4
+				drow[o] = v
+				drow[o+1] = v
+				drow[o+2] = v
+				drow[o+3] = 255
+			}
+		}
+		return dst
+	}
 	for y := b.Min.Y; y < b.Max.Y; y++ {
 		for x := b.Min.X; x < b.Max.X; x++ {
 			dst.Set(x, y, src.At(x, y))
@@ -135,15 +174,87 @@ func ToRGBA(src image.Image) *image.RGBA {
 	return dst
 }
 
+// pngEncoder trades a little artifact size for encode speed: the portal's
+// intensity maps and spectrum plots sit on the fused analysis hot path, and
+// default-compression deflate dominated their cost.
+var pngEncoder = png.Encoder{CompressionLevel: png.BestSpeed, BufferPool: pngBuffers{}}
+
+// pngBuffers adapts a sync.Pool to png.EncoderBufferPool so repeated
+// artifact writes reuse the encoder's internal row buffers.
+type pngBuffers struct{}
+
+var pngBufferPool = sync.Pool{New: func() any { return new(png.EncoderBuffer) }}
+
+func (pngBuffers) Get() *png.EncoderBuffer  { return pngBufferPool.Get().(*png.EncoderBuffer) }
+func (pngBuffers) Put(b *png.EncoderBuffer) { pngBufferPool.Put(b) }
+
+// EncodePNG writes img to w with the fast encoder settings.
+func EncodePNG(w io.Writer, img image.Image) error {
+	if rgba, ok := img.(*image.RGBA); ok {
+		if pal := palettize(rgba); pal != nil {
+			img = pal
+		}
+	}
+	return pngEncoder.Encode(w, img)
+}
+
+// palettize losslessly converts an RGBA image that uses at most 256
+// distinct colors (true for every rendered plot and most small heatmaps)
+// to paletted form, or returns nil if the image is too colorful. Paletted
+// rows are a quarter the size, which quarters the dominant PNG
+// filter+deflate cost of artifact writing.
+func palettize(img *image.RGBA) *image.Paletted {
+	const tableSize = 1024 // power of two, ≥4× max palette for low load
+	var keys [tableSize]uint32
+	var idxs [tableSize]uint8
+	var used [tableSize]bool
+	// One backing array for the palette colors; storing *color.RGBA in the
+	// interface slice avoids a boxing allocation per distinct color.
+	vals := make([]color.RGBA, 0, 256)
+	pal := make(color.Palette, 0, 256)
+	out := image.NewPaletted(img.Rect, nil)
+	w, h := img.Rect.Dx(), img.Rect.Dy()
+	for y := 0; y < h; y++ {
+		src := img.Pix[y*img.Stride : y*img.Stride+w*4]
+		dst := out.Pix[y*out.Stride : y*out.Stride+w]
+		for x := 0; x < w; x++ {
+			o := x * 4
+			key := uint32(src[o]) | uint32(src[o+1])<<8 | uint32(src[o+2])<<16 | uint32(src[o+3])<<24
+			slot := (key * 2654435761) >> 22 % tableSize
+			for used[slot] && keys[slot] != key {
+				slot = (slot + 1) % tableSize
+			}
+			if !used[slot] {
+				if len(pal) == 256 {
+					return nil
+				}
+				used[slot] = true
+				keys[slot] = key
+				idxs[slot] = uint8(len(pal))
+				vals = append(vals, color.RGBA{R: src[o], G: src[o+1], B: src[o+2], A: src[o+3]})
+				pal = append(pal, &vals[len(vals)-1])
+			}
+			dst[x] = idxs[slot]
+		}
+	}
+	out.Palette = pal
+	return out
+}
+
 // SavePNG writes img to path.
 func SavePNG(path string, img image.Image) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("imaging: %w", err)
 	}
-	if err := png.Encode(f, img); err != nil {
+	bw := bufio.NewWriter(f)
+	if err := EncodePNG(bw, img); err != nil {
 		f.Close()
 		return fmt.Errorf("imaging: encode png: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("imaging: %w", err)
 	}
 	return f.Close()
 }

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Entry is one searchable record.
@@ -77,20 +78,29 @@ type Hit struct {
 	Score float64
 }
 
+// doc is one stored record plus the token list its ingest created, kept so
+// removal can delete exactly those postings in O(document terms) however
+// the caller mutates its own maps after Ingest. Token lists up to
+// len(inline) live inside the same allocation as the entry; longer ones
+// spill to the heap.
+type doc struct {
+	entry  Entry
+	terms  []string
+	inline [12]string
+}
+
 // Index is an in-memory inverted index, safe for concurrent use.
 type Index struct {
 	mu       sync.RWMutex
-	docs     map[string]*Entry
+	docs     map[string]*doc
 	postings map[string]map[string]int // term -> id -> term frequency
-	lens     map[string]int            // id -> token count
 }
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
 	return &Index{
-		docs:     map[string]*Entry{},
+		docs:     map[string]*doc{},
 		postings: map[string]map[string]int{},
-		lens:     map[string]int{},
 	}
 }
 
@@ -100,6 +110,12 @@ func (ix *Index) Count() int {
 	defer ix.mu.RUnlock()
 	return len(ix.docs)
 }
+
+// tokenScratch recycles the per-call token slice used by Ingest and
+// Delete so (re)indexing a record allocates no intermediate buffers.
+var tokenScratch = sync.Pool{New: func() any { return new(tokenBuf) }}
+
+type tokenBuf struct{ toks []string }
 
 // Ingest adds or replaces an entry.
 func (ix *Index) Ingest(e Entry) error {
@@ -111,18 +127,12 @@ func (ix *Index) Ingest(e Entry) error {
 	if _, exists := ix.docs[e.ID]; exists {
 		ix.removeLocked(e.ID)
 	}
-	stored := e
-	stored.VisibleTo = append([]string(nil), e.VisibleTo...)
-	ix.docs[e.ID] = &stored
-	// Index Text plus field values so filter-ish terms also rank.
-	var sb strings.Builder
-	sb.WriteString(e.Text)
-	for _, v := range e.Fields {
-		sb.WriteByte(' ')
-		sb.WriteString(v)
-	}
-	tokens := Tokenize(sb.String())
-	ix.lens[e.ID] = len(tokens)
+	d := &doc{entry: e}
+	d.entry.VisibleTo = append([]string(nil), e.VisibleTo...)
+	ix.docs[e.ID] = d
+	sc := tokenScratch.Get().(*tokenBuf)
+	tokens := docTokens(sc.toks[:0], &d.entry)
+	d.terms = append(d.inline[:0], tokens...)
 	for _, tok := range tokens {
 		m := ix.postings[tok]
 		if m == nil {
@@ -131,6 +141,8 @@ func (ix *Index) Ingest(e Entry) error {
 		}
 		m[e.ID]++
 	}
+	sc.toks = tokens
+	tokenScratch.Put(sc)
 	return nil
 }
 
@@ -145,15 +157,36 @@ func (ix *Index) Delete(id string) bool {
 	return true
 }
 
+// removeLocked unindexes the entry by deleting exactly the postings its
+// ingest created (recorded on the doc) — O(document terms), independent
+// of how many documents or distinct terms the index holds (the previous
+// implementation walked every posting list in the index).
 func (ix *Index) removeLocked(id string) {
+	d := ix.docs[id]
 	delete(ix.docs, id)
-	delete(ix.lens, id)
-	for term, m := range ix.postings {
-		delete(m, id)
-		if len(m) == 0 {
-			delete(ix.postings, term)
+	if d == nil {
+		return
+	}
+	for _, tok := range d.terms {
+		if m := ix.postings[tok]; m != nil {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(ix.postings, tok)
+			}
 		}
 	}
+}
+
+// docTokens appends the entry's indexable tokens — free text plus field
+// values, so filter-ish terms also rank — to dst. It is the shared
+// tokenization of Ingest and removeLocked; both must agree for postings to
+// be removable per document.
+func docTokens(dst []string, e *Entry) []string {
+	dst = appendTokens(dst, e.Text)
+	for _, v := range e.Fields {
+		dst = appendTokens(dst, v)
+	}
+	return dst
 }
 
 // Search returns the page of hits selected by q plus the total number of
@@ -180,23 +213,25 @@ func (ix *Index) Search(q Query) ([]Hit, int, error) {
 			}
 			idf := math.Log(1 + n/float64(len(m)))
 			for id, tf := range m {
-				dl := float64(ix.lens[id])
+				dl := float64(len(ix.docs[id].terms))
 				if dl == 0 {
 					dl = 1
 				}
 				scores[id] += float64(tf) / dl * idf
 			}
 		}
+		hits = make([]Hit, 0, len(scores))
 		for id, score := range scores {
-			e := ix.docs[id]
-			if ix.matchLocked(e, q) {
-				hits = append(hits, Hit{Entry: *e, Score: score})
+			d := ix.docs[id]
+			if ix.matchLocked(&d.entry, q) {
+				hits = append(hits, Hit{Entry: d.entry, Score: score})
 			}
 		}
 	} else {
-		for _, e := range ix.docs {
-			if ix.matchLocked(e, q) {
-				hits = append(hits, Hit{Entry: *e})
+		hits = make([]Hit, 0, len(ix.docs))
+		for _, d := range ix.docs {
+			if ix.matchLocked(&d.entry, q) {
+				hits = append(hits, Hit{Entry: d.entry})
 			}
 		}
 	}
@@ -254,14 +289,14 @@ func (ix *Index) Facets(q Query, field string) map[string]int {
 	defer ix.mu.RUnlock()
 	out := map[string]int{}
 	terms := Tokenize(q.Text)
-	for _, e := range ix.docs {
-		if !ix.matchLocked(e, q) {
+	for _, d := range ix.docs {
+		if !ix.matchLocked(&d.entry, q) {
 			continue
 		}
-		if len(terms) > 0 && !ix.anyTermMatchesLocked(e.ID, terms) {
+		if len(terms) > 0 && !ix.anyTermMatchesLocked(d.entry.ID, terms) {
 			continue
 		}
-		if v, ok := e.Fields[field]; ok {
+		if v, ok := d.entry.Fields[field]; ok {
 			out[v]++
 		}
 	}
@@ -281,11 +316,11 @@ func (ix *Index) anyTermMatchesLocked(id string, terms []string) bool {
 func (ix *Index) Get(id, principal string) (Entry, bool) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	e, ok := ix.docs[id]
-	if !ok || !e.visible(principal) {
+	d, ok := ix.docs[id]
+	if !ok || !d.entry.visible(principal) {
 		return Entry{}, false
 	}
-	return *e, true
+	return d.entry, true
 }
 
 // Save writes a JSON-lines snapshot of every entry.
@@ -300,7 +335,7 @@ func (ix *Index) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, id := range ids {
-		if err := enc.Encode(ix.docs[id]); err != nil {
+		if err := enc.Encode(&ix.docs[id].entry); err != nil {
 			return fmt.Errorf("search: save: %w", err)
 		}
 	}
@@ -338,4 +373,45 @@ func Tokenize(text string) []string {
 		}
 	}
 	return out
+}
+
+// appendTokens is Tokenize appending into dst: tokens that are already
+// lowercase are substring views of text, so indexing lowercase input
+// allocates nothing beyond dst growth. The minimum-length filter applies
+// to the lowercased token, exactly as Tokenize's does, so ingest and query
+// agree on which terms exist.
+func appendTokens(dst []string, text string) []string {
+	appendTok := func(raw string) {
+		if tok := lowerToken(raw); len(tok) >= 2 {
+			dst = append(dst, tok)
+		}
+	}
+	start := -1
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			appendTok(text[start:i])
+		}
+		start = -1
+	}
+	if start >= 0 {
+		appendTok(text[start:])
+	}
+	return dst
+}
+
+// lowerToken lowercases tok, returning it unchanged (no allocation) when
+// it is already lowercase ASCII.
+func lowerToken(tok string) string {
+	for i := 0; i < len(tok); i++ {
+		if c := tok[i]; c >= utf8.RuneSelf || (c >= 'A' && c <= 'Z') {
+			return strings.ToLower(tok)
+		}
+	}
+	return tok
 }

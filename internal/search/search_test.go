@@ -305,3 +305,25 @@ func TestPropertyIngestQueryRecall(t *testing.T) {
 		t.Errorf("deleted docs still searchable: %d", total)
 	}
 }
+
+func TestDeleteAfterCallerMutatesFields(t *testing.T) {
+	ix := NewIndex()
+	fields := map[string]string{"kind": "hyperspectral"}
+	if err := ix.Ingest(Entry{ID: "a", Text: "gold film", Fields: fields}); err != nil {
+		t.Fatal(err)
+	}
+	// The caller mutates its map after ingest; removal must still delete
+	// the postings created from the original values.
+	fields["kind"] = "spatiotemporal"
+	if !ix.Delete("a") {
+		t.Fatal("delete failed")
+	}
+	for _, q := range []string{"hyperspectral", "spatiotemporal", "gold"} {
+		if hits, total, _ := ix.Search(Query{Text: q}); total != 0 || len(hits) != 0 {
+			t.Errorf("query %q after delete: total=%d hits=%v", q, total, hits)
+		}
+	}
+	if ix.Count() != 0 {
+		t.Errorf("count = %d after delete", ix.Count())
+	}
+}

@@ -70,7 +70,22 @@ func ParseDType(s string) (DType, error) {
 // Values outside an integer dtype's range are clamped; this mirrors how
 // detector firmware saturates rather than wraps.
 func Encode(values []float64, dt DType) []byte {
-	out := make([]byte, len(values)*dt.Size())
+	return AppendEncode(nil, values, dt)
+}
+
+// AppendEncode serializes values into little-endian bytes of the given
+// dtype, appending to dst and returning the extended slice. Callers on hot
+// paths reuse dst across frames so the encode step allocates nothing once
+// the buffer has grown to chunk size.
+func AppendEncode(dst []byte, values []float64, dt DType) []byte {
+	base := len(dst)
+	need := len(values) * dt.Size()
+	if cap(dst)-base < need {
+		grown := make([]byte, base, base+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	out := dst[base : base+need]
 	switch dt {
 	case Float64:
 		for i, v := range values {
@@ -99,7 +114,7 @@ func Encode(values []float64, dt DType) []byte {
 	default:
 		panic(fmt.Sprintf("tensor: unknown dtype %d", dt))
 	}
-	return out
+	return dst[:base+need]
 }
 
 // Decode widens little-endian bytes of the given dtype to float64.
@@ -109,8 +124,27 @@ func Decode(raw []byte, dt DType) ([]float64, error) {
 		return nil, fmt.Errorf("tensor: %d bytes is not a multiple of %s element size %d",
 			len(raw), dt, sz)
 	}
-	n := len(raw) / sz
-	out := make([]float64, n)
+	out := make([]float64, len(raw)/sz)
+	if err := DecodeInto(out, raw, dt); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto widens little-endian bytes of the given dtype to float64 into
+// dst, which must hold exactly len(raw)/dt.Size() elements. It is the
+// allocation-free core of Decode, used by the streaming EMD reader to fill
+// caller-owned (typically pooled) buffers.
+func DecodeInto(dst []float64, raw []byte, dt DType) error {
+	sz := dt.Size()
+	if len(raw)%sz != 0 {
+		return fmt.Errorf("tensor: %d bytes is not a multiple of %s element size %d",
+			len(raw), dt, sz)
+	}
+	if len(dst) != len(raw)/sz {
+		return fmt.Errorf("tensor: destination holds %d elements, want %d", len(dst), len(raw)/sz)
+	}
+	out := dst
 	switch dt {
 	case Float64:
 		for i := range out {
@@ -137,9 +171,9 @@ func Decode(raw []byte, dt DType) ([]float64, error) {
 			out[i] = float64(int64(binary.LittleEndian.Uint64(raw[i*8:])))
 		}
 	default:
-		return nil, fmt.Errorf("tensor: unknown dtype %d", dt)
+		return fmt.Errorf("tensor: unknown dtype %d", dt)
 	}
-	return out, nil
+	return nil
 }
 
 func clamp(v, lo, hi float64) float64 {

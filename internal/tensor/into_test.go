@@ -1,0 +1,69 @@
+package tensor
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestToUint8IntoReusesBuffer(t *testing.T) {
+	d := FromData([]float64{0, 128, 255, 300}, 4)
+	want := d.ToUint8(0, 255)
+	buf := make([]uint8, 0, 16)
+	got := d.ToUint8Into(buf, 0, 255)
+	if &got[0] != &buf[:1][0] {
+		t.Error("sufficient-capacity buffer was not reused")
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("ToUint8Into = %v, ToUint8 = %v", got, want)
+	}
+	// Short buffer grows transparently.
+	grown := d.ToUint8Into(make([]uint8, 0, 1), 0, 255)
+	if !bytes.Equal(grown, want) {
+		t.Errorf("grown ToUint8Into = %v, want %v", grown, want)
+	}
+}
+
+func TestAppendUint8(t *testing.T) {
+	a := FromData([]float64{0, 255}, 2)
+	b := FromData([]float64{128, 64}, 2)
+	out := a.AppendUint8(nil, 0, 255)
+	out = b.AppendUint8(out, 0, 255)
+	want := append(a.ToUint8(0, 255), b.ToUint8(0, 255)...)
+	if !bytes.Equal(out, want) {
+		t.Errorf("AppendUint8 chain = %v, want %v", out, want)
+	}
+	// Appending into spare capacity must not reallocate.
+	buf := make([]uint8, 0, 8)
+	out = a.AppendUint8(buf, 0, 255)
+	if &out[0] != &buf[:1][0] {
+		t.Error("AppendUint8 reallocated despite spare capacity")
+	}
+}
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	vals := []float64{0, 1.5, -3, 65000, 1e9}
+	for _, dt := range []DType{Float64, Float32, Uint8, Uint16, Int32, Int64} {
+		want := Encode(vals, dt)
+		got := AppendEncode([]byte("prefix"), vals, dt)
+		if string(got[:6]) != "prefix" || !bytes.Equal(got[6:], want) {
+			t.Errorf("%s: AppendEncode mismatch", dt)
+		}
+	}
+}
+
+func TestDecodeIntoValidation(t *testing.T) {
+	raw := Encode([]float64{1, 2, 3}, Float32)
+	dst := make([]float64, 3)
+	if err := DecodeInto(dst, raw, Float32); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
+		t.Errorf("DecodeInto = %v", dst)
+	}
+	if err := DecodeInto(make([]float64, 2), raw, Float32); err == nil {
+		t.Error("short destination accepted")
+	}
+	if err := DecodeInto(dst, raw[:5], Float32); err == nil {
+		t.Error("ragged byte length accepted")
+	}
+}

@@ -250,33 +250,73 @@ func (s Shape) ElemsOr1() int {
 // operation from fp64 to uint8" on the EMD→video path; it is parallelized
 // across chunks.
 func (d *Dense) ToUint8(lo, hi float64) []uint8 {
-	out := make([]uint8, len(d.data))
+	return d.ToUint8Into(nil, lo, hi)
+}
+
+// ToUint8Into is ToUint8 writing into dst, which is reused when its
+// capacity suffices and grown otherwise; the quantized samples are returned
+// as dst[:Elems]. Hot loops pass the previous frame's buffer back in so the
+// cast allocates only once per pipeline, not once per frame.
+func (d *Dense) ToUint8Into(dst []uint8, lo, hi float64) []uint8 {
+	if cap(dst) < len(d.data) {
+		dst = make([]uint8, len(d.data))
+	}
+	out := dst[:len(d.data)]
 	scale := 0.0
 	if hi > lo {
 		scale = 255.0 / (hi - lo)
 	}
-	quantize := func(start, end int) {
-		for i := start; i < end; i++ {
-			v := (d.data[i] - lo) * scale
-			switch {
-			case v <= 0:
-				out[i] = 0
-			case v >= 255:
-				out[i] = 255
-			default:
-				out[i] = uint8(math.Round(v))
-			}
+	// Call quantizeRange directly when the cast will not fan out; building
+	// the closure for parallelRanges costs an allocation per frame.
+	if !shouldParallel(len(d.data), len(d.data)) {
+		quantizeRange(out, d.data, lo, scale, 0, len(d.data))
+	} else {
+		parallelRanges(len(d.data), len(d.data), func(start, end int) {
+			quantizeRange(out, d.data, lo, scale, start, end)
+		})
+	}
+	return out
+}
+
+func quantizeRange(out []uint8, data []float64, lo, scale float64, start, end int) {
+	for i := start; i < end; i++ {
+		v := (data[i] - lo) * scale
+		switch {
+		case v <= 0:
+			out[i] = 0
+		case v >= 255:
+			out[i] = 255
+		default:
+			out[i] = uint8(math.Round(v))
 		}
 	}
-	parallelRanges(len(d.data), len(d.data), quantize)
-	return out
+}
+
+// AppendUint8 quantizes the tensor like ToUint8 and appends the samples to
+// dst, returning the extended slice.
+func (d *Dense) AppendUint8(dst []uint8, lo, hi float64) []uint8 {
+	base := len(dst)
+	if cap(dst)-base < len(d.data) {
+		grown := make([]uint8, base, base+len(d.data))
+		copy(grown, dst)
+		dst = grown
+	}
+	d.ToUint8Into(dst[base:base+len(d.data)], lo, hi)
+	return dst[: base+len(d.data)]
+}
+
+// shouldParallel is the single fan-out policy shared by parallelRanges and
+// the allocation-free fast paths that bypass it: parallelize only when the
+// touched work is large enough and more than one CPU is available.
+func shouldParallel(n, work int) bool {
+	return work >= parallelThreshold && runtime.GOMAXPROCS(0) > 1 && n > 1
 }
 
 // parallelRanges splits [0, n) into contiguous chunks and runs fn on each,
 // in parallel when work (total touched elements) is large enough.
 func parallelRanges(n, work int, fn func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers <= 1 || n <= 1 {
+	if !shouldParallel(n, work) {
 		fn(0, n)
 		return
 	}

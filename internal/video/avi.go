@@ -24,17 +24,30 @@ const (
 )
 
 // Writer assembles an MJPEG AVI file. Frames are JPEG-encoded as they are
-// added; the container is laid out at Close (RIFF requires sizes up
-// front, so chunks are buffered in memory — at JPEG sizes even the paper's
-// 600-frame series is tens of megabytes).
+// added. When the destination supports seeking (e.g. an *os.File) the
+// writer streams: each encoded frame is flushed immediately and the
+// fixed-size RIFF prefix is patched at Close, so memory stays bounded by
+// one frame no matter how long the series runs. For plain io.Writers
+// (pipes, hash sinks) it falls back to buffering the encoded frames until
+// Close, since RIFF wants sizes up front.
 type Writer struct {
 	w             io.Writer
+	ws            io.WriteSeeker // non-nil: streaming mode
 	width, height int
 	fps           int
 	quality       int
-	frames        [][]byte
-	closed        bool
+
+	frames  [][]byte   // buffered mode: encoded JPEG per frame
+	idx     []idxEntry // streaming mode: chunk index for idx1
+	base    int64      // streaming mode: offset of the prefix in ws
+	count   int
+	maxSize uint32 // largest encoded frame
+	moviLen uint32 // bytes inside the movi LIST (including "movi" tag)
+	encBuf  bytes.Buffer
+	closed  bool
 }
+
+type idxEntry struct{ off, size uint32 }
 
 // NewWriter returns a writer producing width x height MJPEG video at the
 // given frame rate. Quality is the JPEG quality (1-100).
@@ -48,7 +61,24 @@ func NewWriter(w io.Writer, width, height, fps, quality int) (*Writer, error) {
 	if quality <= 0 || quality > 100 {
 		quality = 90
 	}
-	return &Writer{w: w, width: width, height: height, fps: fps, quality: quality}, nil
+	vw := &Writer{w: w, width: width, height: height, fps: fps, quality: quality}
+	if ws, ok := w.(io.WriteSeeker); ok {
+		base, err := ws.Seek(0, io.SeekCurrent)
+		if err != nil {
+			// Seekable in type only (e.g. a pipe wrapped in a seeker
+			// interface); fall back to buffered mode.
+			return vw, nil
+		}
+		vw.ws = ws
+		vw.base = base
+		vw.moviLen = 4 // the "movi" list tag
+		// Reserve the prefix with placeholder sizes; Close rewrites it in
+		// place (the prefix length does not depend on the frame count).
+		if _, err := ws.Write(vw.prefix(0)); err != nil {
+			return nil, fmt.Errorf("video: %w", err)
+		}
+	}
+	return vw, nil
 }
 
 // AddFrame JPEG-encodes img and appends it as the next frame. The image
@@ -61,145 +91,225 @@ func (w *Writer) AddFrame(img image.Image) error {
 	if b.Dx() != w.width || b.Dy() != w.height {
 		return fmt.Errorf("video: frame is %dx%d, want %dx%d", b.Dx(), b.Dy(), w.width, w.height)
 	}
-	var buf bytes.Buffer
-	if err := jpeg.Encode(&buf, img, &jpeg.Options{Quality: w.quality}); err != nil {
+	w.encBuf.Reset()
+	if err := jpeg.Encode(&w.encBuf, img, &jpeg.Options{Quality: w.quality}); err != nil {
 		return fmt.Errorf("video: jpeg encode: %w", err)
 	}
-	w.frames = append(w.frames, buf.Bytes())
+	return w.AddEncodedFrame(w.encBuf.Bytes())
+}
+
+// AddEncodedFrame appends an already-JPEG-encoded frame. The caller keeps
+// ownership of data (the writer copies or flushes it before returning), so
+// pipelined encoders can reuse their buffers.
+func (w *Writer) AddEncodedFrame(data []byte) error {
+	if w.closed {
+		return fmt.Errorf("video: writer closed")
+	}
+	size := uint32(len(data))
+	if size > w.maxSize {
+		w.maxSize = size
+	}
+	if w.ws == nil {
+		w.frames = append(w.frames, append([]byte(nil), data...))
+		w.count++
+		return nil
+	}
+	w.idx = append(w.idx, idxEntry{off: w.moviLen, size: size})
+	var hdr [8]byte
+	copy(hdr[:4], "00dc")
+	binary.LittleEndian.PutUint32(hdr[4:], size)
+	if _, err := w.ws.Write(hdr[:]); err != nil {
+		return fmt.Errorf("video: %w", err)
+	}
+	if _, err := w.ws.Write(data); err != nil {
+		return fmt.Errorf("video: %w", err)
+	}
+	w.moviLen += 8 + size
+	if size%2 == 1 {
+		if _, err := w.ws.Write([]byte{0}); err != nil {
+			return fmt.Errorf("video: %w", err)
+		}
+		w.moviLen++
+	}
+	w.count++
 	return nil
 }
 
 // FrameCount returns the number of frames added so far.
-func (w *Writer) FrameCount() int { return len(w.frames) }
+func (w *Writer) FrameCount() int { return w.count }
 
-// Close lays out and writes the complete AVI container.
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU16(b []byte, v uint16) []byte {
+	return binary.LittleEndian.AppendUint16(b, v)
+}
+
+// prefixLen is the fixed length of the container prefix rendered by
+// prefix(): RIFF header (12) + hdrl LIST (8+4+8+56 avih, 12+8+56 strh,
+// 8+40 strf) + movi LIST header (12).
+const prefixLen = 12 + 8 + 4 + (8 + 56) + (12 + (8 + 56) + (8 + 40)) + 12
+
+// prefix renders the fixed-length container prefix — everything from
+// "RIFF" through the movi LIST header — for the current frame count and
+// sizes. riffSize is the RIFF chunk payload size (0 while streaming; the
+// real value is patched at Close).
+func (w *Writer) prefix(riffSize uint32) []byte {
+	b := make([]byte, 0, prefixLen)
+	b = append(b, "RIFF"...)
+	b = appendU32(b, riffSize)
+	b = append(b, "AVI "...)
+
+	// hdrl LIST: avih + strl(strh, strf).
+	const avihLen, strhLen, strfLen = 56, 56, 40
+	hdrlLen := 4 + 8 + avihLen + 12 + 8 + strhLen + 8 + strfLen
+	b = append(b, "LIST"...)
+	b = appendU32(b, uint32(hdrlLen))
+	b = append(b, "hdrl"...)
+
+	// avih: main AVI header (14 dwords).
+	b = append(b, "avih"...)
+	b = appendU32(b, avihLen)
+	b = appendU32(b, uint32(1_000_000/w.fps)) // microseconds per frame
+	b = appendU32(b, w.maxSize*uint32(w.fps)) // max bytes/sec
+	b = appendU32(b, 0)                       // padding granularity
+	b = appendU32(b, avifHasIndex)
+	b = appendU32(b, uint32(w.count))
+	b = appendU32(b, 0) // initial frames
+	b = appendU32(b, 1) // streams
+	b = appendU32(b, w.maxSize)
+	b = appendU32(b, uint32(w.width))
+	b = appendU32(b, uint32(w.height))
+	for i := 0; i < 4; i++ {
+		b = appendU32(b, 0)
+	}
+
+	// strl LIST: strh + strf.
+	b = append(b, "LIST"...)
+	b = appendU32(b, uint32(4+8+strhLen+8+strfLen))
+	b = append(b, "strl"...)
+
+	// strh: stream header.
+	b = append(b, "strh"...)
+	b = appendU32(b, strhLen)
+	b = append(b, "vids"...)
+	b = append(b, "MJPG"...)
+	b = appendU32(b, 0) // flags
+	b = appendU32(b, 0) // priority + language
+	b = appendU32(b, 0) // initial frames
+	b = appendU32(b, 1) // scale
+	b = appendU32(b, uint32(w.fps))
+	b = appendU32(b, 0) // start
+	b = appendU32(b, uint32(w.count))
+	b = appendU32(b, w.maxSize)
+	b = appendU32(b, 0xFFFFFFFF) // quality: default
+	b = appendU32(b, 0)          // sample size
+	b = appendU16(b, 0)
+	b = appendU16(b, 0)
+	b = appendU16(b, uint16(w.width))
+	b = appendU16(b, uint16(w.height))
+
+	// strf: BITMAPINFOHEADER.
+	b = append(b, "strf"...)
+	b = appendU32(b, strfLen)
+	b = appendU32(b, 40)
+	b = appendU32(b, uint32(w.width))
+	b = appendU32(b, uint32(w.height))
+	b = appendU16(b, 1)
+	b = appendU16(b, 24)
+	b = append(b, "MJPG"...)
+	b = appendU32(b, uint32(w.width*w.height*3))
+	b = appendU32(b, 0)
+	b = appendU32(b, 0)
+	b = appendU32(b, 0)
+	b = appendU32(b, 0)
+
+	// movi LIST header; chunks follow (or are already in place).
+	b = append(b, "LIST"...)
+	b = appendU32(b, w.moviLen)
+	b = append(b, "movi"...)
+	return b
+}
+
+// idx1Chunk renders the idx1 index chunk for the given entries.
+func idx1Chunk(idx []idxEntry) []byte {
+	b := make([]byte, 0, 8+16*len(idx))
+	b = append(b, "idx1"...)
+	b = appendU32(b, uint32(16*len(idx)))
+	for _, e := range idx {
+		b = append(b, "00dc"...)
+		b = appendU32(b, aviifKeyframe)
+		b = appendU32(b, e.off)
+		b = appendU32(b, e.size)
+	}
+	return b
+}
+
+// Close completes the container: in streaming mode it appends the index
+// and patches the prefix in place; in buffered mode it lays out and writes
+// the whole file.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
 
-	var movi bytes.Buffer
-	movi.WriteString("movi")
-	type idxEntry struct{ off, size uint32 }
+	if w.ws != nil {
+		idx1 := idx1Chunk(w.idx)
+		if _, err := w.ws.Write(idx1); err != nil {
+			return fmt.Errorf("video: %w", err)
+		}
+		// RIFF payload: everything after the 8-byte RIFF chunk header.
+		riffSize := uint32(prefixLen-8) + (w.moviLen - 4) + uint32(len(idx1))
+		pre := w.prefix(riffSize)
+		if _, err := w.ws.Seek(w.base, io.SeekStart); err != nil {
+			return fmt.Errorf("video: %w", err)
+		}
+		if _, err := w.ws.Write(pre); err != nil {
+			return fmt.Errorf("video: %w", err)
+		}
+		if _, err := w.ws.Seek(0, io.SeekEnd); err != nil {
+			return fmt.Errorf("video: %w", err)
+		}
+		return nil
+	}
+
+	need := 4
+	for _, fr := range w.frames {
+		need += 8 + len(fr) + len(fr)%2
+	}
+	movi := make([]byte, 0, need)
+	movi = append(movi, "movi"...)
 	idx := make([]idxEntry, len(w.frames))
 	for i, fr := range w.frames {
-		idx[i] = idxEntry{off: uint32(movi.Len()), size: uint32(len(fr))}
-		movi.WriteString("00dc")
-		binary.Write(&movi, binary.LittleEndian, uint32(len(fr)))
-		movi.Write(fr)
+		idx[i] = idxEntry{off: uint32(len(movi)), size: uint32(len(fr))}
+		movi = append(movi, "00dc"...)
+		movi = appendU32(movi, uint32(len(fr)))
+		movi = append(movi, fr...)
 		if len(fr)%2 == 1 {
-			movi.WriteByte(0) // RIFF chunks are word aligned
+			movi = append(movi, 0) // RIFF chunks are word aligned
 		}
 	}
+	w.moviLen = uint32(len(movi))
 
-	var idx1 bytes.Buffer
-	for _, e := range idx {
-		idx1.WriteString("00dc")
-		binary.Write(&idx1, binary.LittleEndian, uint32(aviifKeyframe))
-		binary.Write(&idx1, binary.LittleEndian, e.off)
-		binary.Write(&idx1, binary.LittleEndian, e.size)
-	}
+	idx1 := idx1Chunk(idx)
+	riffSize := uint32(prefixLen-8) + (w.moviLen - 4) + uint32(len(idx1))
+	pre := w.prefix(riffSize)
 
-	maxFrame := uint32(0)
-	for _, fr := range w.frames {
-		if uint32(len(fr)) > maxFrame {
-			maxFrame = uint32(len(fr))
-		}
-	}
-
-	// avih: main AVI header (14 dwords).
-	var avih bytes.Buffer
-	putU32 := func(b *bytes.Buffer, v uint32) { binary.Write(b, binary.LittleEndian, v) }
-	putU32(&avih, uint32(1_000_000/w.fps)) // microseconds per frame
-	putU32(&avih, maxFrame*uint32(w.fps))  // max bytes/sec
-	putU32(&avih, 0)                       // padding granularity
-	putU32(&avih, avifHasIndex)
-	putU32(&avih, uint32(len(w.frames)))
-	putU32(&avih, 0) // initial frames
-	putU32(&avih, 1) // streams
-	putU32(&avih, maxFrame)
-	putU32(&avih, uint32(w.width))
-	putU32(&avih, uint32(w.height))
-	for i := 0; i < 4; i++ {
-		putU32(&avih, 0)
-	}
-
-	// strh: stream header.
-	var strh bytes.Buffer
-	strh.WriteString("vids")
-	strh.WriteString("MJPG")
-	putU32(&strh, 0) // flags
-	putU32(&strh, 0) // priority + language
-	putU32(&strh, 0) // initial frames
-	putU32(&strh, 1) // scale
-	putU32(&strh, uint32(w.fps))
-	putU32(&strh, 0) // start
-	putU32(&strh, uint32(len(w.frames)))
-	putU32(&strh, maxFrame)
-	putU32(&strh, 0xFFFFFFFF) // quality: default
-	putU32(&strh, 0)          // sample size
-	binary.Write(&strh, binary.LittleEndian, uint16(0))
-	binary.Write(&strh, binary.LittleEndian, uint16(0))
-	binary.Write(&strh, binary.LittleEndian, uint16(w.width))
-	binary.Write(&strh, binary.LittleEndian, uint16(w.height))
-
-	// strf: BITMAPINFOHEADER.
-	var strf bytes.Buffer
-	putU32(&strf, 40)
-	putU32(&strf, uint32(w.width))
-	putU32(&strf, uint32(w.height))
-	binary.Write(&strf, binary.LittleEndian, uint16(1))
-	binary.Write(&strf, binary.LittleEndian, uint16(24))
-	strf.WriteString("MJPG")
-	putU32(&strf, uint32(w.width*w.height*3))
-	putU32(&strf, 0)
-	putU32(&strf, 0)
-	putU32(&strf, 0)
-	putU32(&strf, 0)
-
-	strl := wrapList("strl", append(wrapChunk("strh", strh.Bytes()), wrapChunk("strf", strf.Bytes())...))
-	hdrl := wrapList("hdrl", append(wrapChunk("avih", avih.Bytes()), strl...))
-
-	var payload bytes.Buffer
-	payload.WriteString("AVI ")
-	payload.Write(hdrl)
-	// movi buffer already starts with its list type; wrap as a LIST chunk.
-	payload.WriteString("LIST")
-	binary.Write(&payload, binary.LittleEndian, uint32(movi.Len()))
-	payload.Write(movi.Bytes())
-	payload.Write(wrapChunk("idx1", idx1.Bytes()))
-
-	if _, err := io.WriteString(w.w, "RIFF"); err != nil {
+	// pre ends with the movi LIST header ("LIST" + size + "movi") and the
+	// movi buffer starts with the same "movi" tag, so emit the prefix
+	// without its trailing tag, then the buffer.
+	if _, err := w.w.Write(pre[:len(pre)-4]); err != nil {
 		return fmt.Errorf("video: %w", err)
 	}
-	if err := binary.Write(w.w, binary.LittleEndian, uint32(payload.Len())); err != nil {
+	if _, err := w.w.Write(movi); err != nil {
 		return fmt.Errorf("video: %w", err)
 	}
-	if _, err := w.w.Write(payload.Bytes()); err != nil {
+	if _, err := w.w.Write(idx1); err != nil {
 		return fmt.Errorf("video: %w", err)
 	}
 	return nil
-}
-
-func wrapChunk(fourcc string, data []byte) []byte {
-	var b bytes.Buffer
-	b.WriteString(fourcc)
-	binary.Write(&b, binary.LittleEndian, uint32(len(data)))
-	b.Write(data)
-	if len(data)%2 == 1 {
-		b.WriteByte(0)
-	}
-	return b.Bytes()
-}
-
-func wrapList(listType string, contents []byte) []byte {
-	var b bytes.Buffer
-	b.WriteString("LIST")
-	binary.Write(&b, binary.LittleEndian, uint32(len(contents)+4))
-	b.WriteString(listType)
-	b.Write(contents)
-	return b.Bytes()
 }
 
 // Info summarizes a parsed AVI file.

@@ -1,8 +1,14 @@
 package video
 
 import (
+	"bytes"
 	"fmt"
+	"image"
+	"image/jpeg"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"picoprobe/internal/imaging"
 	"picoprobe/internal/tensor"
@@ -17,7 +23,8 @@ type ConvertStats struct {
 }
 
 // FrameSource yields successive (H, W) frames; it abstracts over an
-// in-memory tensor and a streaming EMD dataset.
+// in-memory tensor and a streaming EMD dataset. Frame may be called from
+// multiple goroutines concurrently with distinct indices.
 type FrameSource interface {
 	// Frames returns the total frame count.
 	Frames() int
@@ -34,9 +41,22 @@ func (s TensorSource) Frames() int { return s.Series.Shape()[0] }
 // Frame returns frame i as a view.
 func (s TensorSource) Frame(i int) (*tensor.Dense, error) { return s.Series.Frame(i), nil }
 
+// castScratch recycles a frame's quantized pixels and grayscale image
+// across conversions (and across the concurrent encode workers).
+var castScratch = sync.Pool{New: func() any { return new(castBufs) }}
+
+type castBufs struct {
+	pix  []uint8
+	gray *image.Gray
+}
+
 // Convert runs the paper's EMD→video conversion: every fp64 frame is
 // quantized to uint8 against the global intensity range [lo, hi] and
-// JPEG-encoded into an MJPEG AVI written to w.
+// JPEG-encoded into an MJPEG AVI written to w. Frames are cast and encoded
+// by a bounded worker pipeline with order-preserving output, so encoding
+// frame i overlaps the read/cast of frame i+k; with a seekable destination
+// the writer flushes each frame as it completes instead of buffering the
+// whole video.
 func Convert(w io.Writer, src FrameSource, lo, hi float64, fps int) (ConvertStats, error) {
 	n := src.Frames()
 	if n == 0 {
@@ -54,22 +74,127 @@ func Convert(w io.Writer, src FrameSource, lo, hi float64, fps int) (ConvertStat
 	if err != nil {
 		return ConvertStats{}, err
 	}
-	stats := ConvertStats{}
-	for i := 0; i < n; i++ {
+	opts := &jpeg.Options{Quality: 90}
+	var cast atomic.Int64
+	render := func(i int, buf *bytes.Buffer) error {
 		fr, err := src.Frame(i)
 		if err != nil {
-			return stats, err
+			return err
 		}
-		pixels := fr.ToUint8(lo, hi) // the slow fp64→uint8 cast
-		stats.CastElements += len(pixels)
-		img, err := imaging.GrayFrame(pixels, width, height)
+		sc := castScratch.Get().(*castBufs)
+		defer castScratch.Put(sc)
+		sc.pix = fr.ToUint8Into(sc.pix, lo, hi) // the slow fp64→uint8 cast
+		cast.Add(int64(len(sc.pix)))
+		img, err := imaging.GrayFrameInto(sc.gray, sc.pix, width, height)
 		if err != nil {
-			return stats, err
+			return err
 		}
-		if err := vw.AddFrame(img); err != nil {
-			return stats, err
+		sc.gray = img
+		return jpeg.Encode(buf, img, opts)
+	}
+	stats := ConvertStats{}
+	err = EncodeFrames(n, render, func(i int, data []byte) error {
+		if err := vw.AddEncodedFrame(data); err != nil {
+			return err
 		}
 		stats.Frames++
+		return nil
+	})
+	stats.CastElements = int(cast.Load())
+	if err != nil {
+		return stats, err
 	}
 	return stats, vw.Close()
+}
+
+// encodeBufs recycles the pipeline's per-frame JPEG buffers.
+var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// EncodeFrames renders frames 0..n-1 into JPEG buffers on up to
+// GOMAXPROCS workers and calls emit strictly in frame order. render must be
+// safe for concurrent calls with distinct indices; emit runs on the calling
+// goroutine and the data it receives is only valid for the duration of the
+// call. At most ~2×workers frames are in flight, so memory stays bounded
+// regardless of n. The first error is returned after the in-flight work
+// drains.
+func EncodeFrames(n int, render func(i int, buf *bytes.Buffer) error, emit func(i int, data []byte) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		buf := encodeBufs.Get().(*bytes.Buffer)
+		defer encodeBufs.Put(buf)
+		for i := 0; i < n; i++ {
+			buf.Reset()
+			if err := render(i, buf); err != nil {
+				return err
+			}
+			if err := emit(i, buf.Bytes()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type result struct {
+		buf *bytes.Buffer
+		err error
+	}
+	window := workers * 2
+	if window > n {
+		window = n
+	}
+	slots := make([]chan result, window)
+	for i := range slots {
+		slots[i] = make(chan result, 1)
+	}
+	sem := make(chan struct{}, window)
+	// The feeder stops dispatching once an error is recorded, so a failure
+	// on frame k wastes at most the in-flight window, not the whole
+	// series; it reports how many frames it actually dispatched so the
+	// consumer drains exactly those.
+	var stop atomic.Bool
+	dispatched := make(chan int, 1)
+	go func() {
+		i := 0
+		for i < n && !stop.Load() {
+			sem <- struct{}{}
+			if stop.Load() {
+				<-sem
+				break
+			}
+			go func(i int) {
+				buf := encodeBufs.Get().(*bytes.Buffer)
+				buf.Reset()
+				err := render(i, buf)
+				slots[i%window] <- result{buf: buf, err: err}
+			}(i)
+			i++
+		}
+		dispatched <- i
+	}()
+	var firstErr error
+	total := n
+	for consumed := 0; consumed < total; {
+		select {
+		case d := <-dispatched:
+			total = d
+		case r := <-slots[consumed%window]:
+			if firstErr == nil {
+				if r.err != nil {
+					firstErr = r.err
+				} else if err := emit(consumed, r.buf.Bytes()); err != nil {
+					firstErr = err
+				}
+				if firstErr != nil {
+					stop.Store(true)
+				}
+			}
+			encodeBufs.Put(r.buf)
+			<-sem
+			consumed++
+		}
+	}
+	return firstErr
 }

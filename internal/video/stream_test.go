@@ -1,0 +1,146 @@
+package video
+
+import (
+	"bytes"
+	"image"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStreamingMatchesBuffered verifies that the seekable (incremental
+// flush + prefix patch) and buffered (layout at Close) writer paths emit
+// byte-identical containers for the same frames.
+func TestStreamingMatchesBuffered(t *testing.T) {
+	frames := make([]*image.Gray, 5)
+	for i := range frames {
+		img := image.NewGray(image.Rect(0, 0, 48, 32))
+		for p := range img.Pix {
+			img.Pix[p] = uint8((p*7 + i*31) % 256)
+		}
+		frames[i] = img
+	}
+
+	var buffered bytes.Buffer
+	bw, err := NewWriter(&buffered, 48, 32, 25, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.avi")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewWriter(f, 48, 32, 25, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range frames {
+		if err := bw.AddFrame(fr); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.AddFrame(fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buffered.Bytes(), streamed) {
+		t.Fatalf("streaming container (%d bytes) differs from buffered (%d bytes)",
+			len(streamed), buffered.Len())
+	}
+	rd, err := OpenReader(bytes.NewReader(streamed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.FrameCount() != len(frames) {
+		t.Fatalf("frames = %d, want %d", rd.FrameCount(), len(frames))
+	}
+	if info := rd.Info(); info.Width != 48 || info.Height != 32 || info.Frames != len(frames) {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+// TestStreamingWriterAtNonzeroOffset verifies the Close-time prefix patch
+// lands at the offset where the prefix was written, not at absolute 0, so
+// a caller's preamble before the container survives.
+func TestStreamingWriterAtNonzeroOffset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "o.avi")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preamble := []byte("16-byte-preamble")
+	if _, err := f.Write(preamble); err != nil {
+		t.Fatal(err)
+	}
+	vw, err := NewWriter(f, 16, 16, 25, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.AddFrame(image.NewGray(image.Rect(0, 0, 16, 16))); err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, preamble) {
+		t.Fatalf("preamble clobbered: %q", raw[:16])
+	}
+	rd, err := OpenReader(bytes.NewReader(raw[len(preamble):]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.FrameCount() != 1 || rd.Info().Frames != 1 {
+		t.Fatalf("container after preamble: frames=%d info=%+v", rd.FrameCount(), rd.Info())
+	}
+}
+
+// TestAddEncodedFrameCallerOwnsBuffer verifies the writer does not retain
+// the caller's buffer (pipelined encoders reuse theirs immediately).
+func TestAddEncodedFrameCallerOwnsBuffer(t *testing.T) {
+	var out bytes.Buffer
+	w, err := NewWriter(&out, 8, 8, 25, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc bytes.Buffer
+	img := image.NewGray(image.Rect(0, 0, 8, 8))
+	if err := w.AddFrame(img); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), w.frames[0]...)
+	enc.Write(bytes.Repeat([]byte{0xAB}, 64))
+	if err := w.AddEncodedFrame(enc.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc.Bytes() {
+		enc.Bytes()[i] = 0 // clobber the caller buffer
+	}
+	if !bytes.Equal(w.frames[0], first) {
+		t.Fatal("frame 0 mutated")
+	}
+	for _, b := range w.frames[1] {
+		if b != 0xAB {
+			t.Fatal("writer retained caller's buffer instead of copying")
+		}
+	}
+}

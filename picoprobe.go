@@ -22,6 +22,17 @@
 //     discrete-event kernel with a calibrated deployment profile,
 //     regenerating Table 1 and Fig 4.
 //
+// The live analysis functions run on a streaming zero-copy data plane
+// sized for detector-rate ingest: EMD datasets are consumed one stored
+// chunk at a time (emd.Dataset.Chunks / ReadFramesInto decode into pooled
+// buffers), the hyperspectral reductions are fused into a single
+// chunk-parallel pass, spatiotemporal inference is a bounded worker
+// pipeline (read → cast → detect → annotate → JPEG-encode) with
+// order-preserving output, and the AVI writer flushes frames incrementally
+// to seekable destinations — so memory stays bounded by chunk size, not
+// file size, and no per-frame hot loop allocates. See BENCHMARKS.md for
+// how these paths are measured against the paper's bottleneck analysis.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-versus-measured results.
 package picoprobe
