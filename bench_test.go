@@ -508,3 +508,86 @@ func BenchmarkAblationParallelStreams(b *testing.B) {
 		})
 	}
 }
+
+// benchFlowProvider completes each action a fixed virtual duration after
+// invocation, entirely on the kernel clock.
+type benchFlowProvider struct {
+	name string
+	k    *sim.Kernel
+	dur  time.Duration
+	n    int
+	done map[string]time.Time
+}
+
+func (p *benchFlowProvider) Name() string { return p.name }
+
+func (p *benchFlowProvider) Invoke(token string, params map[string]any) (string, error) {
+	p.n++
+	id := fmt.Sprintf("%s-%d", p.name, p.n)
+	p.done[id] = p.k.Now().Add(p.dur)
+	return id, nil
+}
+
+func (p *benchFlowProvider) Status(token, actionID string) (flows.ActionStatus, error) {
+	at := p.done[actionID]
+	if p.k.Now().Before(at) {
+		return flows.ActionStatus{State: flows.StateActive}, nil
+	}
+	return flows.ActionStatus{State: flows.StateSucceeded, Started: at.Add(-p.dur), Completed: at}, nil
+}
+
+// BenchmarkFlowEngineThroughput drives thousands of concurrent simulated
+// flow runs through the engine and reports the completion-detection
+// effort. The batched poller services every action due at an instant in
+// one sweep, so timer wake-ups stay near the per-run poll-schedule length
+// (sub-linear in runs); the per-run-timer baseline (v1's model: each
+// run's poll is its own timer) pays one wake-up per status call. Poll
+// instants and all recorded timings are identical in both modes.
+func BenchmarkFlowEngineThroughput(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		perState bool
+	}{{"batched", false}, {"per-run-timer-baseline", true}} {
+		for _, runs := range []int{100, 1000} {
+			b.Run(fmt.Sprintf("%s-runs-%d", mode.name, runs), func(b *testing.B) {
+				var stats flows.PollStats
+				for i := 0; i < b.N; i++ {
+					k := sim.NewKernel()
+					e := flows.NewEngine(k, flows.Options{
+						Policy:         flows.DefaultExponential(),
+						PerStateTimers: mode.perState,
+					})
+					for name, dur := range map[string]time.Duration{
+						"transfer": 11 * time.Second,
+						"compute":  7 * time.Second,
+						"search":   time.Second,
+					} {
+						e.RegisterProvider(&benchFlowProvider{name: name, k: k, dur: dur, done: map[string]time.Time{}})
+					}
+					def := flows.Definition{Name: "bench", States: []flows.StateDef{
+						{Name: "Transfer", Provider: "transfer"},
+						{Name: "Analysis", Provider: "compute"},
+						{Name: "Publication", Provider: "search"},
+					}}
+					completed := 0
+					for r := 0; r < runs; r++ {
+						if _, err := e.Run("tok", def, nil, func(flows.RunRecord) { completed++ }); err != nil {
+							b.Fatal(err)
+						}
+					}
+					k.Run()
+					if err := k.Err(); err != nil {
+						b.Fatal(err)
+					}
+					if completed != runs {
+						b.Fatalf("completed %d of %d runs", completed, runs)
+					}
+					stats = e.PollStats()
+				}
+				b.ReportMetric(float64(stats.Wakeups), "wakeups")
+				b.ReportMetric(float64(stats.StatusCalls), "status_calls")
+				b.ReportMetric(float64(stats.Wakeups)/float64(runs), "wakeups_per_run")
+			})
+		}
+	}
+}

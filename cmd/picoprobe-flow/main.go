@@ -1,11 +1,13 @@
 // Command picoprobe-flow runs one live end-to-end data flow on a local EMD
-// file: transfer to the storage root, fused analysis on the landed copy,
-// publication to the search index. It prints the per-stage timing record
-// and the produced artifacts.
+// file: transfer to the storage root, analysis on the landed copy,
+// publication to the search index. With -flow fanout the analysis and a
+// thumbnail render run concurrently after the transfer (the DAG flow).
+// It prints the executed DAG with per-state timings and the produced
+// artifacts.
 //
 // Usage:
 //
-//	picoprobe-flow -kind hyperspectral -file sample.emdg [-workdir ./picoprobe-work]
+//	picoprobe-flow -kind hyperspectral -file sample.emdg [-flow fanout] [-workdir ./picoprobe-work]
 package main
 
 import (
@@ -15,13 +17,16 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"picoprobe/internal/core"
+	"picoprobe/internal/flows"
 )
 
 func main() {
 	kind := flag.String("kind", "hyperspectral", "hyperspectral or spatiotemporal")
 	file := flag.String("file", "", "EMD file to process (required)")
+	flowShape := flag.String("flow", "linear", "flow shape: linear (Transfer→Analysis→Publication) or fanout (Transfer→{Analysis∥Thumbnail}→Publication)")
 	workdir := flag.String("workdir", "picoprobe-work", "working directory (instrument/eagle/artifact roots)")
 	flag.Parse()
 	if *file == "" {
@@ -40,6 +45,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var def flows.Definition
+	switch *flowShape {
+	case "linear":
+		def = dep.LiveDefinition(*kind)
+	case "fanout":
+		def = dep.FanOutDefinition(*kind)
+	default:
+		log.Fatalf("unknown -flow %q (want linear or fanout)", *flowShape)
+	}
+
 	// Stage the file into the instrument's transfer directory, as the
 	// acquisition software would.
 	rel := filepath.Base(*file)
@@ -47,15 +62,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rec, err := dep.RunFile(*kind, rel)
+	rec, err := dep.RunDefinition(def, rel)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("flow %s (%s) %s in %v\n", rec.RunID, rec.Flow, rec.Status, rec.Runtime().Round(1e6))
 	for _, st := range rec.States {
-		fmt.Printf("  %-12s action=%s active=%v overhead=%v polls=%d\n",
-			st.Name, st.ActionID, st.Active().Round(1e6), st.Overhead().Round(1e6), st.Polls)
+		after := "-"
+		if len(st.After) > 0 {
+			after = strings.Join(st.After, ",")
+		}
+		fmt.Printf("  %-12s after=%-20s action=%s active=%v overhead=%v polls=%d\n",
+			st.Name, after, st.ActionID, st.Active().Round(1e6), st.Overhead().Round(1e6), st.Polls)
 	}
+	stats := dep.Engine.PollStats()
+	fmt.Printf("completion detection: %d wakeups, %d sweeps, %d status calls\n",
+		stats.Wakeups, stats.Sweeps, stats.StatusCalls)
 	fmt.Printf("indexed records: %d\n", dep.Index.Count())
 	fmt.Printf("artifacts under %s:\n", outDir)
 	filepath.Walk(outDir, func(path string, info os.FileInfo, err error) error {

@@ -1,7 +1,8 @@
 // Command picoprobe-portal serves the DGPF-like data portal over a search
 // index snapshot and an artifact directory. With -demo it first generates
-// and analyzes synthetic hyperspectral and spatiotemporal acquisitions so
-// the portal has something to show.
+// synthetic hyperspectral and spatiotemporal acquisitions and runs them
+// through live flows (the hyperspectral one as the fan-out DAG), so the
+// portal has records to show and /flows has run DAGs to render.
 //
 // Usage:
 //
@@ -10,7 +11,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -20,7 +20,7 @@ import (
 	"time"
 
 	"picoprobe/internal/core"
-	"picoprobe/internal/detect"
+	"picoprobe/internal/flows"
 	"picoprobe/internal/metadata"
 	"picoprobe/internal/portal"
 	"picoprobe/internal/search"
@@ -31,10 +31,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	indexPath := flag.String("index", "", "search index snapshot (JSON lines, from a previous run)")
 	artifacts := flag.String("artifacts", "picoprobe-work/artifacts", "artifact directory to serve")
-	demo := flag.Bool("demo", false, "generate and analyze demo data first")
+	demo := flag.Bool("demo", false, "generate demo data and run it through live flows first")
 	flag.Parse()
 
 	index := search.NewIndex()
+	var engine *flows.Engine
 	if *indexPath != "" {
 		f, err := os.Open(*indexPath)
 		if err != nil {
@@ -48,67 +49,73 @@ func main() {
 		index = loaded
 	}
 	if *demo {
-		if err := seedDemo(index, *artifacts); err != nil {
+		dep, err := seedDemo(*artifacts)
+		if err != nil {
 			log.Fatal(err)
 		}
+		index = dep.Index
+		engine = dep.Engine
 	}
 
-	srv, err := portal.NewServer(portal.Config{Index: index, ArtifactRoot: *artifacts})
+	srv, err := portal.NewServer(portal.Config{Index: index, ArtifactRoot: *artifacts, Flows: engine})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("portal with %d record(s) listening on %s\n", index.Count(), *addr)
+	if engine != nil {
+		fmt.Printf("flow runs under /flows\n")
+	}
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 
-func seedDemo(index *search.Index, artifacts string) error {
-	tmp, err := os.MkdirTemp("", "picoprobe-demo")
+// seedDemo stages two synthetic acquisitions and runs them through the
+// live engine: the hyperspectral file through the fan-out DAG
+// (Transfer → {Analysis ∥ Thumbnail} → Publication), the spatiotemporal
+// one through the straight line.
+func seedDemo(artifacts string) (*core.LiveDeployment, error) {
+	work, err := os.MkdirTemp("", "picoprobe-demo")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer os.RemoveAll(tmp)
+	// The staged EMD copies and the eagle landing zone are only needed
+	// while the flows run (the portal serves from artifacts); clean up on
+	// every path, including seed failures.
+	defer os.RemoveAll(work)
+	instrument := filepath.Join(work, "instrument")
+	if err := os.MkdirAll(instrument, 0o755); err != nil {
+		return nil, err
+	}
 	mic := synth.DefaultMicroscope()
 
 	hs, err := synth.GenerateHyperspectral(synth.HyperspectralConfig{Height: 64, Width: 64, Channels: 256, Seed: 4})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	hsPath := filepath.Join(tmp, "hs.emdg")
-	if err := hs.WriteEMD(hsPath, mic, &metadata.Acquisition{
+	if err := hs.WriteEMD(filepath.Join(instrument, "hs.emdg"), mic, &metadata.Acquisition{
 		SampleName: "polyamide-film-demo", Operator: "demo", Collected: time.Now().UTC(),
 	}); err != nil {
-		return err
+		return nil, err
 	}
-	hsOut, err := core.AnalyzeHyperspectral(hsPath, artifacts)
-	if err != nil {
-		return err
-	}
-	if err := ingest(index, hsOut); err != nil {
-		return err
-	}
-
 	st := synth.GenerateSpatiotemporal(synth.SpatiotemporalConfig{Frames: 24, Height: 96, Width: 96, Particles: 6, Seed: 5})
-	stPath := filepath.Join(tmp, "st.emdg")
-	if err := st.WriteEMD(stPath, mic, &metadata.Acquisition{
+	if err := st.WriteEMD(filepath.Join(instrument, "st.emdg"), mic, &metadata.Acquisition{
 		SampleName: "au-on-carbon-demo", Operator: "demo", Collected: time.Now().UTC(),
 	}); err != nil {
-		return err
+		return nil, err
 	}
-	stOut, err := core.AnalyzeSpatiotemporal(stPath, artifacts, detect.DefaultParams())
-	if err != nil {
-		return err
-	}
-	return ingest(index, stOut)
-}
 
-func ingest(index *search.Index, out *core.AnalysisOutput) error {
-	raw, err := core.SearchEntry(out.Experiment)
+	dep, err := core.NewLiveDeployment(core.LiveOptions{
+		InstrumentRoot: instrument,
+		EagleRoot:      filepath.Join(work, "eagle"),
+		OutDir:         artifacts,
+	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	var entry search.Entry
-	if err := json.Unmarshal(raw, &entry); err != nil {
-		return err
+	if _, err := dep.RunDefinition(dep.FanOutDefinition("hyperspectral"), "hs.emdg"); err != nil {
+		return nil, err
 	}
-	return index.Ingest(entry)
+	if _, err := dep.RunFile("spatiotemporal", "st.emdg"); err != nil {
+		return nil, err
+	}
+	return dep, nil
 }

@@ -1,0 +1,86 @@
+// Fanout: the flow shape the paper's straight-line pipeline could not
+// express. On the simulated facility, each transfer fans out into the
+// full hyperspectral analysis AND a lightweight thumbnail render running
+// concurrently on Polaris, and the publication fans both results back in:
+//
+//	Transfer → {Analysis ∥ Thumbnail} → Publication
+//
+// The example runs the paper's Table 1 hyperspectral protocol through
+// both shapes, shows the overlap in the per-state records of one run,
+// and prints the batched completion detector's effort.
+//
+//	go run ./examples/fanout
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"picoprobe"
+)
+
+func main() {
+	cfg := picoprobe.HyperspectralExperiment()
+	cfg.Duration = 20 * time.Minute
+
+	linear, err := picoprobe.RunExperiment(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.FanOut = true
+	fanout, err := picoprobe.RunExperiment(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. One run's executed DAG: the two branches enter together and
+	//    their provider-side windows overlap.
+	run := fanout.Runs[len(fanout.Runs)/2]
+	fmt.Printf("run %s (%s) %s in %v\n", run.RunID, run.Flow, run.Status, run.Runtime().Round(time.Millisecond))
+	var analysis, thumb picoprobe.StateRecord
+	for _, st := range run.States {
+		after := "-"
+		if len(st.After) > 0 {
+			after = fmt.Sprint(st.After)
+		}
+		fmt.Printf("  %-12s after=%-24s entered=%s active=%-8v detected=%s polls=%d\n",
+			st.Name, after, st.EnteredAt.Format("15:04:05"), st.Active().Round(time.Millisecond),
+			st.DetectedAt.Format("15:04:05"), st.Polls)
+		switch st.Name {
+		case "Analysis":
+			analysis = st
+		case "Thumbnail":
+			thumb = st
+		}
+	}
+	// Overlap of the provider-side active windows:
+	// min(completions) - max(starts).
+	firstEnd := analysis.Completed
+	if thumb.Completed.Before(firstEnd) {
+		firstEnd = thumb.Completed
+	}
+	lastStart := analysis.Started
+	if thumb.Started.After(lastStart) {
+		lastStart = thumb.Started
+	}
+	if overlap := firstEnd.Sub(lastStart); overlap > 0 {
+		fmt.Printf("\nanalysis and thumbnail overlapped for %v — impossible in the v1 ordered list\n",
+			overlap.Round(time.Millisecond))
+	}
+
+	// 2. The extra state costs (almost) no wall time: the thumbnail hides
+	//    inside the analysis window.
+	l, f := linear.Table1(), fanout.Table1()
+	fmt.Printf("\n%-28s %10s %10s\n", "", "linear", "fanout")
+	fmt.Printf("%-28s %10d %10d\n", "runs", l.TotalRuns, f.TotalRuns)
+	fmt.Printf("%-28s %9.1fs %9.1fs\n", "mean flow runtime", l.MeanRuntimeS, f.MeanRuntimeS)
+	fmt.Printf("%-28s %9.1fs %9.1fs\n", "median overhead", l.MedianOverheadS, f.MedianOverheadS)
+	fmt.Printf("\nfanout runs 4 states per flow in ~the runtime of 3: the fourth is free\n")
+
+	// 3. The batched completion detector's effort: one sweep services
+	//    every action due at an instant, across all concurrent runs.
+	ps := fanout.PollStats
+	fmt.Printf("\ncompletion detection: %d status calls served by %d wake-ups (%.1f polls/wakeup)\n",
+		ps.StatusCalls, ps.Wakeups, float64(ps.StatusCalls)/float64(ps.Wakeups))
+}

@@ -113,6 +113,18 @@ func NewLiveDeployment(opts LiveOptions) (*LiveDeployment, error) {
 			return analysisResult(out)
 		},
 	})
+	registry.Register(compute.Function{
+		Name: FnThumbnail,
+		Env:  ComputeEnv,
+		Run: func(args compute.Args) (compute.Result, error) {
+			path, _ := args["path"].(string)
+			rel, err := RenderThumbnail(path, opts.OutDir)
+			if err != nil {
+				return nil, err
+			}
+			return compute.Result{"thumbnail": rel}, nil
+		},
+	})
 	csvc := compute.NewService(issuer, registry, compute.NewLocalExecutor(opts.Workers, nil), time.Now)
 
 	index := search.NewIndex()
@@ -122,8 +134,8 @@ func NewLiveDeployment(opts LiveOptions) (*LiveDeployment, error) {
 		Policy:          opts.Policy,
 		MaxStateRetries: 2,
 	})
-	engine.RegisterProvider(&TransferProvider{Service: tsvc})
-	engine.RegisterProvider(&ComputeProvider{Service: csvc})
+	engine.RegisterProvider(NewTransferProvider(tsvc))
+	engine.RegisterProvider(NewComputeProvider(csvc))
 	engine.RegisterProvider(sprov)
 
 	return &LiveDeployment{
@@ -152,58 +164,85 @@ func analysisResult(out *AnalysisOutput) (compute.Result, error) {
 	}, nil
 }
 
-// LiveDefinition builds the live flow for one use case: Transfer the file
-// from the instrument root to the Eagle root, run the fused analysis
-// function on the landed file, publish the resulting record.
-func (d *LiveDeployment) LiveDefinition(kind string) flows.Definition {
-	fn := FnHyperspectral
-	name := FlowHyperspectral
-	if kind == "spatiotemporal" {
-		fn = FnSpatiotemporal
-		name = FlowSpatiotemporal
-	}
-	eagleRoot := d.Options.EagleRoot
-	return flows.Definition{
-		Name: name,
-		States: []flows.StateDef{
-			{
-				Name:     "Transfer",
-				Provider: "transfer",
-				Params: func(input map[string]any, _ map[string]map[string]any) map[string]any {
-					return map[string]any{
-						"src":      EndpointInstrument,
-						"dst":      EndpointEagle,
-						"rel_path": input["rel_path"],
-					}
-				},
-			},
-			{
-				Name:     "Analysis",
-				Provider: "compute",
-				Params: func(input map[string]any, _ map[string]map[string]any) map[string]any {
-					rel, _ := input["rel_path"].(string)
-					return map[string]any{
-						"function": fn,
-						"args":     map[string]any{"path": eagleRoot + string(os.PathSeparator) + rel},
-					}
-				},
-			},
-			{
-				Name:     "Publication",
-				Provider: "search",
-				Params: func(_ map[string]any, results map[string]map[string]any) map[string]any {
-					entry, _ := results["Analysis"]["entry_json"].(string)
-					return map[string]any{"entry_json": entry}
-				},
-			},
+// liveTransferState moves the input file from the instrument root to the
+// Eagle root.
+func liveTransferState() flows.StateDef {
+	return flows.StateDef{
+		Name:     "Transfer",
+		Provider: "transfer",
+		Params: func(input map[string]any, _ flows.Results) map[string]any {
+			rel, _ := input["rel_path"].(string)
+			return flows.Pack(TransferParams{Src: EndpointInstrument, Dst: EndpointEagle, RelPath: rel})
 		},
 	}
 }
 
-// RunFile executes the full flow for one file already present in the
-// instrument root (relative path), blocking until the run completes.
-func (d *LiveDeployment) RunFile(kind, relPath string) (flows.RunRecord, error) {
-	def := d.LiveDefinition(kind)
+// liveComputeState invokes fn on the landed copy of the input file.
+func (d *LiveDeployment) liveComputeState(name, fn string, after ...string) flows.StateDef {
+	eagleRoot := d.Options.EagleRoot
+	return flows.StateDef{
+		Name:     name,
+		Provider: "compute",
+		After:    after,
+		Params: func(input map[string]any, _ flows.Results) map[string]any {
+			rel, _ := input["rel_path"].(string)
+			return flows.Pack(ComputeParams{
+				Function: fn,
+				Args:     compute.Args{"path": eagleRoot + string(os.PathSeparator) + rel},
+			})
+		},
+	}
+}
+
+// livePublishState publishes the entry produced by the Analysis state.
+func livePublishState(after ...string) flows.StateDef {
+	return flows.StateDef{
+		Name:     "Publication",
+		Provider: "search",
+		After:    after,
+		Params: func(_ map[string]any, results flows.Results) map[string]any {
+			entry, _ := results["Analysis"]["entry_json"].(string)
+			return flows.Pack(SearchParams{EntryJSON: entry})
+		},
+	}
+}
+
+// LiveDefinition builds the live flow for one use case: Transfer the file
+// from the instrument root to the Eagle root, run the fused analysis
+// function on the landed file, publish the resulting record.
+func (d *LiveDeployment) LiveDefinition(kind string) flows.Definition {
+	name, fn := simFlowName(kind)
+	return flows.Definition{
+		Name: name,
+		States: []flows.StateDef{
+			liveTransferState(),
+			d.liveComputeState("Analysis", fn),
+			livePublishState(),
+		},
+	}
+}
+
+// FanOutDefinition builds the live DAG flow: after the transfer lands,
+// the fused analysis and a thumbnail render run concurrently on the same
+// landed file, and the publication fans both results back in.
+//
+//	Transfer → {Analysis ∥ Thumbnail} → Publication
+func (d *LiveDeployment) FanOutDefinition(kind string) flows.Definition {
+	name, fn := simFlowName(kind)
+	return flows.Definition{
+		Name: name + "-fanout",
+		States: []flows.StateDef{
+			liveTransferState(),
+			d.liveComputeState("Analysis", fn, "Transfer"),
+			d.liveComputeState("Thumbnail", FnThumbnail, "Transfer"),
+			livePublishState("Analysis", "Thumbnail"),
+		},
+	}
+}
+
+// RunDefinition executes one flow definition for a file already present
+// in the instrument root, blocking until the run completes.
+func (d *LiveDeployment) RunDefinition(def flows.Definition, relPath string) (flows.RunRecord, error) {
 	done := make(chan flows.RunRecord, 1)
 	_, err := d.Engine.Run(d.Token, def, map[string]any{"rel_path": relPath}, func(r flows.RunRecord) {
 		done <- r
@@ -216,4 +255,11 @@ func (d *LiveDeployment) RunFile(kind, relPath string) (flows.RunRecord, error) 
 		return rec, fmt.Errorf("core: flow %s failed: %s", rec.RunID, rec.Error)
 	}
 	return rec, nil
+}
+
+// RunFile executes the full straight-line flow for one file already
+// present in the instrument root (relative path), blocking until the run
+// completes.
+func (d *LiveDeployment) RunFile(kind, relPath string) (flows.RunRecord, error) {
+	return d.RunDefinition(d.LiveDefinition(kind), relPath)
 }

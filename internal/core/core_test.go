@@ -401,3 +401,138 @@ func TestAblationParallelStreamsSpeedTransfer(t *testing.T) {
 		t.Errorf("4-stream transfer active %.1f should beat %.1f", s4[0].ActiveMedS, s1[0].ActiveMedS)
 	}
 }
+
+// TestFanOutExperimentOverlaps is the scenario the v1 ordered-list API
+// could not express, run through the full simulated facility: the
+// analysis and thumbnail states execute concurrently after each transfer
+// (overlap visible in the StateRecord timings) and the publication fans
+// both results in.
+func TestFanOutExperimentOverlaps(t *testing.T) {
+	cfg := shortExperiment(HyperspectralExperiment(), 15*time.Minute)
+	cfg.FanOut = true
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) == 0 {
+		t.Fatal("no runs")
+	}
+	overlapped := 0
+	for _, run := range res.Runs {
+		if run.Status != flows.StateSucceeded {
+			t.Fatalf("run %s: %s", run.RunID, run.Error)
+		}
+		byName := map[string]flows.StateRecord{}
+		for _, st := range run.States {
+			byName[st.Name] = st
+		}
+		an, th, pub := byName["Analysis"], byName["Thumbnail"], byName["Publication"]
+		if an.Name == "" || th.Name == "" || pub.Name == "" {
+			t.Fatalf("run %s missing DAG states: %+v", run.RunID, run.States)
+		}
+		// Fan-out: both branches enter at the same instant, right after
+		// the transfer is detected.
+		if !an.EnteredAt.Equal(th.EnteredAt) {
+			t.Errorf("run %s branches not concurrent: %v vs %v", run.RunID, an.EnteredAt, th.EnteredAt)
+		}
+		// Provider-side active windows overlap when both branches got a
+		// node (2-node Polaris pool; count rather than require all).
+		if an.Started.Before(th.Completed) && th.Started.Before(an.Completed) {
+			overlapped++
+		}
+		// Fan-in: publication waits for the slower branch.
+		slower := an.DetectedAt
+		if th.DetectedAt.After(slower) {
+			slower = th.DetectedAt
+		}
+		if pub.EnteredAt.Before(slower) {
+			t.Errorf("run %s published before both branches: %v < %v", run.RunID, pub.EnteredAt, slower)
+		}
+	}
+	if overlapped == 0 {
+		t.Error("no run overlapped its analysis and thumbnail active windows")
+	}
+	// The fan-out flow must not be slower than the same work in a line.
+	line := cfg
+	line.FanOut = false
+	base, err := RunExperiment(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fo, lin := res.Table1(), base.Table1(); fo.MeanRuntimeS >= lin.MeanRuntimeS+5 {
+		t.Errorf("fan-out mean %.1fs much slower than linear %.1fs", fo.MeanRuntimeS, lin.MeanRuntimeS)
+	}
+}
+
+func TestRenderThumbnailProducts(t *testing.T) {
+	dir := t.TempDir()
+	outDir := t.TempDir()
+	hs := writeHyperspectralFile(t, dir, "hs.emdg")
+	rel, err := RenderThumbnail(hs, outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(filepath.Join(outDir, rel))
+	if err != nil || st.Size() == 0 {
+		t.Errorf("hyperspectral thumbnail: %v", err)
+	}
+	sp := writeSpatiotemporalFile(t, dir, "st.emdg")
+	rel, err = RenderThumbnail(sp, outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(filepath.Join(outDir, rel)); err != nil || st.Size() == 0 {
+		t.Errorf("spatiotemporal thumbnail: %v", err)
+	}
+	if _, err := RenderThumbnail(filepath.Join(dir, "missing.emdg"), outDir); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestLiveFanOutFlow runs the DAG flow end to end on real files: the
+// thumbnail PNG and the full analysis products both land, and the fan-in
+// publication sees both branch results.
+func TestLiveFanOutFlow(t *testing.T) {
+	instrument := t.TempDir()
+	eagle := t.TempDir()
+	outDir := t.TempDir()
+	writeHyperspectralFile(t, instrument, "hs.emdg")
+	dep, err := NewLiveDeployment(LiveOptions{
+		InstrumentRoot: instrument,
+		EagleRoot:      eagle,
+		OutDir:         outDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := dep.RunDefinition(dep.FanOutDefinition("hyperspectral"), "hs.emdg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.States) != 4 {
+		t.Fatalf("states = %d", len(rec.States))
+	}
+	var thumbRel string
+	for _, st := range rec.States {
+		if st.Name != "Thumbnail" {
+			continue
+		}
+		if len(st.After) != 1 || st.After[0] != "Transfer" {
+			t.Errorf("thumbnail deps = %v", st.After)
+		}
+	}
+	runRec, _ := dep.Engine.Record(rec.RunID)
+	if runRec.Status != flows.StateSucceeded {
+		t.Fatal(runRec.Error)
+	}
+	// The thumbnail product is on disk where its result says.
+	hits, total, err := dep.Index.Search(search.Query{Text: "polyamide"})
+	if err != nil || total != 1 {
+		t.Fatalf("search total = %d, err = %v", total, err)
+	}
+	id := hits[0].Entry.ID
+	thumbRel = filepath.Join(id, "thumbnail.png")
+	if st, err := os.Stat(filepath.Join(outDir, thumbRel)); err != nil || st.Size() == 0 {
+		t.Errorf("thumbnail missing: %v", err)
+	}
+}

@@ -46,6 +46,11 @@ type ExperimentConfig struct {
 	// compute states instead of the paper's fused single function
 	// (ablation).
 	SplitCompute bool
+	// FanOut runs the DAG flow instead of the paper's straight line:
+	// Transfer → {Analysis ∥ Thumbnail} → Publication, the overlap shape
+	// the v1 ordered-list API could not express. Incompatible with
+	// SplitCompute.
+	FanOut bool
 	// DisableNodeReuse releases compute nodes after every task (ablation).
 	DisableNodeReuse bool
 	// CompressionRatio enables on-instrument compression before transfer
@@ -93,6 +98,9 @@ type ExperimentResult struct {
 	IndexedRecords int
 	// SchedulerStats summarizes node provisioning activity.
 	SchedulerStats scheduler.Stats
+	// PollStats is the engine's completion-detection effort (batched
+	// sweeps vs status round trips).
+	PollStats flows.PollStats
 }
 
 // Table1Row is one column of the paper's Table 1.
@@ -215,6 +223,9 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 	if cfg.Duration <= 0 || cfg.StartPeriod <= 0 || cfg.FileBytes <= 0 {
 		return nil, fmt.Errorf("core: experiment needs positive duration, period and file size")
 	}
+	if cfg.FanOut && cfg.SplitCompute {
+		return nil, fmt.Errorf("core: FanOut and SplitCompute are mutually exclusive")
+	}
 	p := cfg.Profile
 
 	k := sim.NewKernel()
@@ -270,6 +281,7 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 	registry.Register(compute.Function{Name: FnSpatiotemporal, Env: ComputeEnv, Cost: costFor(p.SpatiotemporalBps)})
 	registry.Register(compute.Function{Name: FnMetadataOnly, Env: ComputeEnv, Cost: costFor(p.MetadataOnlyBps)})
 	registry.Register(compute.Function{Name: FnImageOnlyHS, Env: ComputeEnv, Cost: costFor(p.HyperspectralBps)})
+	registry.Register(compute.Function{Name: FnThumbnail, Env: ComputeEnv, Cost: costFor(p.ThumbnailBps)})
 	csvc := compute.NewService(issuer, registry, &compute.SchedExecutor{Sched: sched}, k.Now)
 
 	index := search.NewIndex()
@@ -281,11 +293,14 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		StatusLatency:   p.StatusLatency,
 		MaxStateRetries: 2,
 	})
-	engine.RegisterProvider(&TransferProvider{Service: tsvc})
-	engine.RegisterProvider(&ComputeProvider{Service: csvc})
+	engine.RegisterProvider(NewTransferProvider(tsvc))
+	engine.RegisterProvider(NewComputeProvider(csvc))
 	engine.RegisterProvider(sprov)
 
 	def := SimDefinition(cfg.Kind, cfg.SplitCompute)
+	if cfg.FanOut {
+		def = FanOutSimDefinition(cfg.Kind)
+	}
 
 	// Wire bytes shrink when on-instrument compression is enabled (paper
 	// future work); the compression pass itself costs user-machine time
@@ -346,88 +361,120 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		Runs:           runs,
 		IndexedRecords: index.Count(),
 		SchedulerStats: sched.Stats(),
+		PollStats:      engine.PollStats(),
 	}, nil
+}
+
+// simFlowName returns the flow and fused-analysis function names for one
+// use case.
+func simFlowName(kind string) (flowName, fn string) {
+	if kind == "spatiotemporal" {
+		return FlowSpatiotemporal, FnSpatiotemporal
+	}
+	return FlowHyperspectral, FnHyperspectral
+}
+
+// simTransferState is the shared Data Transfer step of the simulated
+// flows; its params are built through the typed codec.
+func simTransferState() flows.StateDef {
+	return flows.StateDef{
+		Name:     "Transfer",
+		Provider: "transfer",
+		Params: func(input map[string]any, _ flows.Results) map[string]any {
+			rel, _ := input["rel_path"].(string)
+			bytes, _ := input["bytes"].(float64)
+			return flows.Pack(TransferParams{
+				Src:     EndpointInstrument,
+				Dst:     EndpointEagle,
+				RelPath: rel,
+				Bytes:   int64(bytes),
+			})
+		},
+	}
+}
+
+// simPublishState is the shared Data Publication step.
+func simPublishState(kind string, after ...string) flows.StateDef {
+	return flows.StateDef{
+		Name:     "Publication",
+		Provider: "search",
+		After:    after,
+		Params: func(input map[string]any, _ flows.Results) map[string]any {
+			entry := fmt.Sprintf(`{"id":"sim-%s-%v","text":"%s simulated run","date":%q,"fields":{"kind":%q}}`,
+				kind, input["run_idx"], kind, input["started"], kind)
+			return flows.Pack(SearchParams{EntryJSON: entry})
+		},
+	}
+}
+
+// simComputeState builds one compute step invoking fn on the staged
+// file's (uncompressed) byte count.
+func simComputeState(name, fn string, after ...string) flows.StateDef {
+	return flows.StateDef{
+		Name:     name,
+		Provider: "compute",
+		After:    after,
+		Params: func(input map[string]any, _ flows.Results) map[string]any {
+			bytes := input["bytes"]
+			if ab, ok := input["analysis_bytes"]; ok {
+				bytes = ab
+			}
+			return flows.Pack(ComputeParams{
+				Function: fn,
+				Args:     compute.Args{"bytes": bytes, "rel_path": input["rel_path"]},
+			})
+		},
+	}
 }
 
 // SimDefinition builds the simulated flow definition for one use case. The
 // three states mirror the paper's Data Transfer → Data Analysis → Data
 // Publication pipeline; with split=true the analysis stage is divided into
 // separate metadata-extraction and image-processing functions (the
-// configuration the paper avoided by fusing them).
+// configuration the paper avoided by fusing them). Both shapes declare no
+// dependencies and run as ordered lists through the v1 shim.
 func SimDefinition(kind string, split bool) flows.Definition {
-	fn := FnHyperspectral
-	flowName := FlowHyperspectral
-	if kind == "spatiotemporal" {
-		fn = FnSpatiotemporal
-		flowName = FlowSpatiotemporal
-	}
-	transferState := flows.StateDef{
-		Name:     "Transfer",
-		Provider: "transfer",
-		Params: func(input map[string]any, _ map[string]map[string]any) map[string]any {
-			return map[string]any{
-				"src":      EndpointInstrument,
-				"dst":      EndpointEagle,
-				"rel_path": input["rel_path"],
-				"bytes":    input["bytes"],
-			}
-		},
-	}
-	publishState := flows.StateDef{
-		Name:     "Publication",
-		Provider: "search",
-		Params: func(input map[string]any, _ map[string]map[string]any) map[string]any {
-			entry := fmt.Sprintf(`{"id":"sim-%s-%v","text":"%s simulated run","date":%q,"fields":{"kind":%q}}`,
-				kind, input["run_idx"], kind, input["started"], kind)
-			return map[string]any{"entry_json": entry}
-		},
-	}
-	computeArgs := func(input map[string]any) map[string]any {
-		bytes := input["bytes"]
-		if ab, ok := input["analysis_bytes"]; ok {
-			bytes = ab
-		}
-		return map[string]any{"bytes": bytes, "rel_path": input["rel_path"]}
-	}
+	flowName, fn := simFlowName(kind)
 	if !split {
 		return flows.Definition{
 			Name: flowName,
 			States: []flows.StateDef{
-				transferState,
-				{
-					Name:     "Analysis",
-					Provider: "compute",
-					Params: func(input map[string]any, _ map[string]map[string]any) map[string]any {
-						return map[string]any{"function": fn, "args": computeArgs(input)}
-					},
-				},
-				publishState,
+				simTransferState(),
+				simComputeState("Analysis", fn),
+				simPublishState(kind),
 			},
 		}
+	}
+	imageFn := FnImageOnlyHS
+	if kind == "spatiotemporal" {
+		imageFn = FnSpatiotemporal
 	}
 	return flows.Definition{
 		Name: flowName + "-split",
 		States: []flows.StateDef{
-			transferState,
-			{
-				Name:     "MetadataExtraction",
-				Provider: "compute",
-				Params: func(input map[string]any, _ map[string]map[string]any) map[string]any {
-					return map[string]any{"function": FnMetadataOnly, "args": computeArgs(input)}
-				},
-			},
-			{
-				Name:     "Analysis",
-				Provider: "compute",
-				Params: func(input map[string]any, _ map[string]map[string]any) map[string]any {
-					imageFn := FnImageOnlyHS
-					if kind == "spatiotemporal" {
-						imageFn = FnSpatiotemporal
-					}
-					return map[string]any{"function": imageFn, "args": computeArgs(input)}
-				},
-			},
-			publishState,
+			simTransferState(),
+			simComputeState("MetadataExtraction", FnMetadataOnly),
+			simComputeState("Analysis", imageFn),
+			simPublishState(kind),
+		},
+	}
+}
+
+// FanOutSimDefinition builds the DAG flow the v1 ordered-list API could
+// not express: after the transfer lands, the full analysis and a
+// lightweight thumbnail render run concurrently on the same file, and
+// the publication fans both results back in.
+//
+//	Transfer → {Analysis ∥ Thumbnail} → Publication
+func FanOutSimDefinition(kind string) flows.Definition {
+	flowName, fn := simFlowName(kind)
+	return flows.Definition{
+		Name: flowName + "-fanout",
+		States: []flows.StateDef{
+			simTransferState(),
+			simComputeState("Analysis", fn, "Transfer"),
+			simComputeState("Thumbnail", FnThumbnail, "Transfer"),
+			simPublishState(kind, "Analysis", "Thumbnail"),
 		},
 	}
 }

@@ -61,6 +61,10 @@ type Profile struct {
 	// MetadataOnly is the cost of a standalone metadata-extraction pass
 	// (used by the fused-vs-split ablation; it re-reads the EMD file).
 	MetadataOnlyBps float64
+	// ThumbnailBps is the processing rate of the lightweight thumbnail
+	// render that the fan-out flow runs concurrently with the full
+	// analysis (it reads the file once and renders one small image).
+	ThumbnailBps float64
 	// PublishCost is the search-ingest action's service-side time.
 	PublishCost time.Duration
 
@@ -113,6 +117,7 @@ func DefaultProfile() Profile {
 		HyperspectralBps:  20e6,
 		SpatiotemporalBps: 28e6,
 		MetadataOnlyBps:   150e6,
+		ThumbnailBps:      120e6,
 		PublishCost:       time.Second,
 
 		StateOverhead: 4500 * time.Millisecond,
@@ -144,5 +149,6 @@ const (
 	FnSpatiotemporal = "picoprobe_spatiotemporal_inference"
 	FnMetadataOnly   = "picoprobe_metadata_extraction"
 	FnImageOnlyHS    = "picoprobe_hyperspectral_image_only"
+	FnThumbnail      = "picoprobe_thumbnail_render"
 	ComputeEnv       = "picoprobe-analysis"
 )

@@ -14,187 +14,195 @@ import (
 	"picoprobe/internal/transfer"
 )
 
-// TransferProvider adapts the transfer service to the flows engine. Params:
-// "src", "dst" (endpoint IDs), "rel_path" (file), "bytes" (int64, used by
-// the simulated mover).
-type TransferProvider struct {
-	Service *transfer.Service
+// The action providers adapt the substrate services to the flows engine
+// through flows.TypedProvider: each service declares its param and result
+// structs once (json tags name the wire keys) and the flows codec handles
+// the map encoding and weak numeric coercion that v1 hand-rolled per
+// provider.
+
+// TransferParams are the typed parameters of the "transfer" action.
+type TransferParams struct {
+	// Src/Dst are registered endpoint IDs.
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+	// RelPath is the file to move, relative to the endpoint roots.
+	RelPath string `json:"rel_path"`
+	// Bytes sizes the file for the simulated mover (live transfers stat
+	// the real file instead).
+	Bytes int64 `json:"bytes,omitempty"`
 }
 
-// Name implements flows.ActionProvider.
-func (p *TransferProvider) Name() string { return "transfer" }
-
-// Invoke implements flows.ActionProvider.
-func (p *TransferProvider) Invoke(token string, params map[string]any) (string, error) {
-	src, _ := params["src"].(string)
-	dst, _ := params["dst"].(string)
-	rel, _ := params["rel_path"].(string)
-	if src == "" || dst == "" || rel == "" {
-		return "", fmt.Errorf("core: transfer params need src, dst and rel_path")
-	}
-	var bytes int64
-	switch v := params["bytes"].(type) {
-	case int64:
-		bytes = v
-	case int:
-		bytes = int64(v)
-	case float64:
-		bytes = int64(v)
-	}
-	return p.Service.Submit(token, src, dst, []transfer.FileSpec{{RelPath: rel, Bytes: bytes}})
+// TransferResult is the "transfer" action's result.
+type TransferResult struct {
+	TaskID     string `json:"task_id"`
+	BytesMoved int64  `json:"bytes_moved"`
 }
 
-// Status implements flows.ActionProvider.
-func (p *TransferProvider) Status(token, actionID string) (flows.ActionStatus, error) {
-	view, err := p.Service.Status(token, actionID)
-	if err != nil {
-		return flows.ActionStatus{}, err
-	}
-	st := flows.ActionStatus{
-		Started:   view.Started,
-		Completed: view.Completed,
-		Error:     view.Error,
-		Result: map[string]any{
-			"task_id":     view.ID,
-			"bytes_moved": view.BytesMoved,
+// NewTransferProvider adapts the transfer service to the flows engine.
+func NewTransferProvider(svc *transfer.Service) flows.ActionProvider {
+	return flows.NewTypedProvider("transfer",
+		func(token string, p TransferParams) (string, error) {
+			if p.Src == "" || p.Dst == "" || p.RelPath == "" {
+				return "", fmt.Errorf("core: transfer params need src, dst and rel_path")
+			}
+			return svc.Submit(token, p.Src, p.Dst, []transfer.FileSpec{{RelPath: p.RelPath, Bytes: p.Bytes}})
 		},
-	}
-	switch view.Status {
-	case transfer.StatusSucceeded:
-		st.State = flows.StateSucceeded
-	case transfer.StatusFailed:
-		st.State = flows.StateFailed
-	default:
-		st.State = flows.StateActive
-	}
-	return st, nil
+		func(token, actionID string) (flows.TypedStatus[TransferResult], error) {
+			view, err := svc.Status(token, actionID)
+			if err != nil {
+				return flows.TypedStatus[TransferResult]{}, err
+			}
+			st := flows.TypedStatus[TransferResult]{
+				Started:   view.Started,
+				Completed: view.Completed,
+				Error:     view.Error,
+				Result:    TransferResult{TaskID: view.ID, BytesMoved: view.BytesMoved},
+			}
+			switch view.Status {
+			case transfer.StatusSucceeded:
+				st.State = flows.StateSucceeded
+			case transfer.StatusFailed:
+				st.State = flows.StateFailed
+			default:
+				st.State = flows.StateActive
+			}
+			return st, nil
+		})
 }
 
-// ComputeProvider adapts the compute service. Params: "function" (name)
-// and "args" (map).
-type ComputeProvider struct {
-	Service *compute.Service
+// ComputeParams are the typed parameters of the "compute" action.
+type ComputeParams struct {
+	// Function names the registered function to run.
+	Function string `json:"function"`
+	// Args is the function's argument map.
+	Args compute.Args `json:"args,omitempty"`
 }
 
-// Name implements flows.ActionProvider.
-func (p *ComputeProvider) Name() string { return "compute" }
-
-// Invoke implements flows.ActionProvider.
-func (p *ComputeProvider) Invoke(token string, params map[string]any) (string, error) {
-	fn, _ := params["function"].(string)
-	if fn == "" {
-		return "", fmt.Errorf("core: compute params need a function name")
-	}
-	var args compute.Args
-	if m, ok := params["args"].(map[string]any); ok {
-		args = m
-	}
-	return p.Service.Submit(token, fn, args)
+// ComputeResult is the "compute" action's result: the function's own
+// output map plus the endpoint's node accounting (first-flow penalties).
+type ComputeResult struct {
+	NodeID      int  `json:"node_id"`
+	Provisioned bool `json:"provisioned"`
+	Warmed      bool `json:"warmed"`
+	// Output carries the function's result entries at the top level of
+	// the wire map, as v1 merged them.
+	Output map[string]any `json:",inline"`
 }
 
-// Status implements flows.ActionProvider.
-func (p *ComputeProvider) Status(token, actionID string) (flows.ActionStatus, error) {
-	view, err := p.Service.Status(token, actionID)
-	if err != nil {
-		return flows.ActionStatus{}, err
-	}
-	st := flows.ActionStatus{
-		Started:   view.Started,
-		Completed: view.Completed,
-		Error:     view.Error,
-		Result:    map[string]any(view.Result),
-	}
-	if st.Result == nil {
-		st.Result = map[string]any{}
-	}
-	st.Result["node_id"] = view.NodeID
-	st.Result["provisioned"] = view.Provisioned
-	st.Result["warmed"] = view.Warmed
-	switch view.Status {
-	case compute.StatusSucceeded:
-		st.State = flows.StateSucceeded
-	case compute.StatusFailed:
-		st.State = flows.StateFailed
-	default:
-		st.State = flows.StateActive
-	}
-	return st, nil
+// NewComputeProvider adapts the compute service to the flows engine.
+func NewComputeProvider(svc *compute.Service) flows.ActionProvider {
+	return flows.NewTypedProvider("compute",
+		func(token string, p ComputeParams) (string, error) {
+			if p.Function == "" {
+				return "", fmt.Errorf("core: compute params need a function name")
+			}
+			return svc.Submit(token, p.Function, p.Args)
+		},
+		func(token, actionID string) (flows.TypedStatus[ComputeResult], error) {
+			view, err := svc.Status(token, actionID)
+			if err != nil {
+				return flows.TypedStatus[ComputeResult]{}, err
+			}
+			st := flows.TypedStatus[ComputeResult]{
+				Started:   view.Started,
+				Completed: view.Completed,
+				Error:     view.Error,
+				Result: ComputeResult{
+					NodeID:      view.NodeID,
+					Provisioned: view.Provisioned,
+					Warmed:      view.Warmed,
+					Output:      view.Result,
+				},
+			}
+			switch view.Status {
+			case compute.StatusSucceeded:
+				st.State = flows.StateSucceeded
+			case compute.StatusFailed:
+				st.State = flows.StateFailed
+			default:
+				st.State = flows.StateActive
+			}
+			return st, nil
+		})
 }
 
-// SearchProvider is the publication action: it ingests an experiment entry
-// into the search index after a modeled service-side cost (the paper runs
-// this lightweight step on a Polaris login node). Params: "entry_json"
-// (serialized search.Entry).
-type SearchProvider struct {
+// SearchParams are the typed parameters of the "search" publication
+// action.
+type SearchParams struct {
+	// EntryJSON is the serialized search.Entry to ingest.
+	EntryJSON string `json:"entry_json"`
+}
+
+// SearchResult is the "search" action's result.
+type SearchResult struct {
+	RecordID string `json:"record_id"`
+}
+
+// searchService is the publication action body: it ingests an experiment
+// entry into the search index after a modeled service-side cost (the
+// paper runs this lightweight step on a Polaris login node).
+type searchService struct {
 	mu      sync.Mutex
 	rt      sim.Runtime
 	issuer  *auth.Issuer
 	index   *search.Index
 	cost    time.Duration
-	actions map[string]*searchAction
+	actions map[string]*flows.TypedStatus[SearchResult]
 	nextID  int
 }
 
-type searchAction struct {
-	status flows.ActionStatus
+// NewSearchProvider returns a publication provider writing into index
+// with the given service-side ingest cost.
+func NewSearchProvider(rt sim.Runtime, issuer *auth.Issuer, index *search.Index, cost time.Duration) flows.ActionProvider {
+	s := &searchService{rt: rt, issuer: issuer, index: index, cost: cost,
+		actions: map[string]*flows.TypedStatus[SearchResult]{}}
+	return flows.NewTypedProvider("search", s.invoke, s.status)
 }
 
-// NewSearchProvider returns a publication provider writing into index with
-// the given service-side ingest cost.
-func NewSearchProvider(rt sim.Runtime, issuer *auth.Issuer, index *search.Index, cost time.Duration) *SearchProvider {
-	return &SearchProvider{rt: rt, issuer: issuer, index: index, cost: cost, actions: map[string]*searchAction{}}
-}
-
-// Name implements flows.ActionProvider.
-func (p *SearchProvider) Name() string { return "search" }
-
-// Invoke implements flows.ActionProvider.
-func (p *SearchProvider) Invoke(token string, params map[string]any) (string, error) {
-	if _, err := p.issuer.Verify(token, auth.ScopeSearchIngest); err != nil {
+func (s *searchService) invoke(token string, p SearchParams) (string, error) {
+	if _, err := s.issuer.Verify(token, auth.ScopeSearchIngest); err != nil {
 		return "", err
 	}
-	raw, _ := params["entry_json"].(string)
 	var entry search.Entry
-	if raw != "" {
-		if err := json.Unmarshal([]byte(raw), &entry); err != nil {
+	if p.EntryJSON != "" {
+		if err := json.Unmarshal([]byte(p.EntryJSON), &entry); err != nil {
 			return "", fmt.Errorf("core: bad entry_json: %w", err)
 		}
 	}
-	p.mu.Lock()
-	p.nextID++
-	id := fmt.Sprintf("ingest-%06d", p.nextID)
-	act := &searchAction{status: flows.ActionStatus{State: flows.StateActive, Started: p.rt.Now()}}
-	p.actions[id] = act
-	p.mu.Unlock()
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("ingest-%06d", s.nextID)
+	act := &flows.TypedStatus[SearchResult]{State: flows.StateActive, Started: s.rt.Now()}
+	s.actions[id] = act
+	s.mu.Unlock()
 
-	p.rt.AfterFunc(p.cost, func() {
-		p.mu.Lock()
-		defer p.mu.Unlock()
+	s.rt.AfterFunc(s.cost, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
 		if entry.ID != "" {
-			if err := p.index.Ingest(entry); err != nil {
-				act.status.State = flows.StateFailed
-				act.status.Error = err.Error()
-				act.status.Completed = p.rt.Now()
+			if err := s.index.Ingest(entry); err != nil {
+				act.State = flows.StateFailed
+				act.Error = err.Error()
+				act.Completed = s.rt.Now()
 				return
 			}
 		}
-		act.status.State = flows.StateSucceeded
-		act.status.Completed = p.rt.Now()
-		act.status.Result = map[string]any{"record_id": entry.ID}
+		act.State = flows.StateSucceeded
+		act.Completed = s.rt.Now()
+		act.Result = SearchResult{RecordID: entry.ID}
 	})
 	return id, nil
 }
 
-// Status implements flows.ActionProvider.
-func (p *SearchProvider) Status(token, actionID string) (flows.ActionStatus, error) {
-	if _, err := p.issuer.Verify(token, auth.ScopeSearchIngest); err != nil {
-		return flows.ActionStatus{}, err
+func (s *searchService) status(token, actionID string) (flows.TypedStatus[SearchResult], error) {
+	if _, err := s.issuer.Verify(token, auth.ScopeSearchIngest); err != nil {
+		return flows.TypedStatus[SearchResult]{}, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	act, ok := p.actions[actionID]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	act, ok := s.actions[actionID]
 	if !ok {
-		return flows.ActionStatus{}, fmt.Errorf("core: unknown ingest action %q", actionID)
+		return flows.TypedStatus[SearchResult]{}, fmt.Errorf("core: unknown ingest action %q", actionID)
 	}
-	return act.status, nil
+	return *act, nil
 }

@@ -29,7 +29,7 @@ func simWorld(t *testing.T) (*sim.Kernel, *auth.Issuer, string) {
 func TestTransferProviderParamValidation(t *testing.T) {
 	k, issuer, token := simWorld(t)
 	svc := transfer.NewService(issuer, &transfer.LiveMover{}, k.Now, transfer.Options{})
-	p := &TransferProvider{Service: svc}
+	p := NewTransferProvider(svc)
 	if p.Name() != "transfer" {
 		t.Error("name")
 	}
@@ -48,7 +48,7 @@ func TestTransferProviderLifecycle(t *testing.T) {
 	svc := transfer.NewService(issuer, mover, k.Now, transfer.Options{})
 	svc.RegisterEndpoint(transfer.Endpoint{ID: "src"})
 	svc.RegisterEndpoint(transfer.Endpoint{ID: "dst"})
-	p := &TransferProvider{Service: svc}
+	p := NewTransferProvider(svc)
 
 	var id string
 	k.Spawn("client", func(ctx sim.Context) {
@@ -107,7 +107,7 @@ func TestComputeProviderLifecycle(t *testing.T) {
 	})
 	sched := scheduler.New(k, scheduler.Config{Nodes: 1, ReuseNodes: true})
 	svc := compute.NewService(issuer, reg, &compute.SchedExecutor{Sched: sched}, k.Now)
-	p := &ComputeProvider{Service: svc}
+	p := NewComputeProvider(svc)
 	if p.Name() != "compute" {
 		t.Error("name")
 	}

@@ -8,17 +8,18 @@ import (
 	"sync"
 )
 
-// checkpoint is the persisted progress of one run.
+// checkpoint is the persisted progress of one run: the set of completed
+// states (in completion order) and their results.
 type checkpoint struct {
-	RunID           string                    `json:"run_id"`
-	Flow            string                    `json:"flow"`
-	Input           map[string]any            `json:"input"`
-	CompletedStates int                       `json:"completed_states"`
-	Results         map[string]map[string]any `json:"results"`
+	RunID   string                    `json:"run_id"`
+	Flow    string                    `json:"flow"`
+	Input   map[string]any            `json:"input"`
+	Done    []string                  `json:"done"`
+	Results map[string]map[string]any `json:"results"`
 }
 
 // CheckpointStore persists per-run progress to a directory, one JSON file
-// per run, so interrupted flows can resume after the state they last
+// per run, so interrupted flows can resume after the states they last
 // completed (the paper's checkpointing requirement for resuming
 // experimentation after a reboot or on a subsequent day).
 type CheckpointStore struct {
@@ -60,11 +61,20 @@ func (c *CheckpointStore) Load(runID string) (checkpoint, error) {
 	if err != nil {
 		return checkpoint{}, fmt.Errorf("flows: no checkpoint for %q: %w", runID, err)
 	}
-	var cp checkpoint
+	// Detect the v1 format (ordered-prefix count) so a run checkpointed
+	// by an old build fails loudly instead of silently restarting from
+	// state zero.
+	var cp struct {
+		checkpoint
+		CompletedStates int `json:"completed_states"`
+	}
 	if err := json.Unmarshal(raw, &cp); err != nil {
 		return checkpoint{}, fmt.Errorf("flows: corrupt checkpoint for %q: %w", runID, err)
 	}
-	return cp, nil
+	if cp.CompletedStates > 0 && len(cp.Done) == 0 {
+		return checkpoint{}, fmt.Errorf("flows: checkpoint for %q uses the v1 completed_states format and cannot be resumed", runID)
+	}
+	return cp.checkpoint, nil
 }
 
 // Pending lists run IDs with outstanding checkpoints.

@@ -1,0 +1,319 @@
+package flows
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"time"
+)
+
+// Pack and Unpack are the typed codec between provider param/result
+// structs and the engine's map-based wire format (the stand-in for the
+// JSON bodies Globus Flows exchanges with action providers). Field names
+// come from `json` tags ("rel_path", "bytes_moved", ...); untagged
+// exported fields use their Go name. Supported tag options:
+//
+//   - "omitempty" — Pack skips zero values.
+//   - "inline" on a map[string]any field — Pack merges the map's entries
+//     into the top level; Unpack collects keys no other field claimed.
+//
+// Unpack applies the weak numeric coercion the ad-hoc v1 providers
+// hand-rolled (any int/uint/float into any numeric field, truncating),
+// so params survive JSON checkpoint round trips that turn int64 into
+// float64.
+
+// Pack converts a typed params/results struct (or pointer to one) into
+// the engine's wire map. Maps with string keys pass through as a copy;
+// nil and empty structs produce an empty map. Values are kept native
+// (an int64 field arrives as an int64, not a float64); nested structs
+// become nested maps.
+func Pack(v any) map[string]any {
+	out := map[string]any{}
+	if v == nil {
+		return out
+	}
+	rv := reflect.ValueOf(v)
+	for rv.Kind() == reflect.Pointer {
+		if rv.IsNil() {
+			return out
+		}
+		rv = rv.Elem()
+	}
+	if rv.Kind() == reflect.Map && rv.Type().Key().Kind() == reflect.String {
+		iter := rv.MapRange()
+		for iter.Next() {
+			out[iter.Key().String()] = iter.Value().Interface()
+		}
+		return out
+	}
+	if rv.Kind() != reflect.Struct {
+		panic(fmt.Sprintf("flows: Pack needs a struct or string-keyed map, got %T", v))
+	}
+	packStruct(rv, out)
+	return out
+}
+
+func packStruct(rv reflect.Value, out map[string]any) {
+	t := rv.Type()
+	// Declared fields win over inline entries regardless of field order:
+	// v1 providers force-set their accounting keys (node_id, warmed, ...)
+	// after merging function output, and the codec keeps that precedence.
+	claimed := map[string]bool{}
+	var inlines []reflect.Value
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name, opts := fieldTag(f)
+		if name == "-" {
+			continue
+		}
+		fv := rv.Field(i)
+		if opts["inline"] && fv.Kind() == reflect.Map {
+			inlines = append(inlines, fv)
+			continue
+		}
+		claimed[name] = true
+		if opts["omitempty"] && fv.IsZero() {
+			continue
+		}
+		out[name] = packValue(fv)
+	}
+	for _, fv := range inlines {
+		iter := fv.MapRange()
+		for iter.Next() {
+			if k := iter.Key().String(); !claimed[k] {
+				out[k] = iter.Value().Interface()
+			}
+		}
+	}
+}
+
+func packValue(fv reflect.Value) any {
+	if fv.Kind() == reflect.Pointer {
+		if fv.IsNil() {
+			return nil
+		}
+		fv = fv.Elem()
+	}
+	// time.Time and time.Duration stay native; they round-trip through
+	// JSON checkpoints on their own.
+	if fv.Kind() == reflect.Struct && fv.Type() != reflect.TypeOf(time.Time{}) {
+		nested := map[string]any{}
+		packStruct(fv, nested)
+		return nested
+	}
+	return fv.Interface()
+}
+
+// Unpack decodes the engine's wire map into a typed params/results
+// struct. dst must be a non-nil pointer to a struct (or to a
+// string-keyed map, which receives a shallow copy). Missing keys leave
+// fields zero; unknown keys go to an inline field if one exists and are
+// ignored otherwise; a value that cannot be coerced is an error.
+func Unpack(m map[string]any, dst any) error {
+	rv := reflect.ValueOf(dst)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("flows: Unpack needs a non-nil pointer, got %T", dst)
+	}
+	rv = rv.Elem()
+	if rv.Kind() == reflect.Map && rv.Type().Key().Kind() == reflect.String {
+		return assignValue(rv.Addr().Elem(), m, "")
+	}
+	if rv.Kind() != reflect.Struct {
+		return fmt.Errorf("flows: Unpack needs a pointer to struct or map, got %T", dst)
+	}
+	return unpackStruct(m, rv)
+}
+
+func unpackStruct(m map[string]any, rv reflect.Value) error {
+	t := rv.Type()
+	var inline reflect.Value
+	claimed := map[string]bool{}
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name, opts := fieldTag(f)
+		if name == "-" {
+			continue
+		}
+		if opts["inline"] && rv.Field(i).Kind() == reflect.Map {
+			inline = rv.Field(i)
+			continue
+		}
+		claimed[name] = true
+		src, ok := m[name]
+		if !ok || src == nil {
+			continue
+		}
+		if err := assignValue(rv.Field(i), src, name); err != nil {
+			return err
+		}
+	}
+	if inline.IsValid() {
+		rest := reflect.MakeMap(inline.Type())
+		for k, v := range m {
+			if !claimed[k] {
+				rest.SetMapIndex(reflect.ValueOf(k), reflect.ValueOf(&v).Elem())
+			}
+		}
+		if rest.Len() > 0 {
+			inline.Set(rest)
+		}
+	}
+	return nil
+}
+
+// assignValue coerces src into dst, mirroring the weak conversions the
+// v1 providers applied by hand (numeric kinds interconvert, truncating).
+func assignValue(dst reflect.Value, src any, field string) error {
+	if src == nil {
+		return nil
+	}
+	sv := reflect.ValueOf(src)
+	if dst.Kind() == reflect.Pointer {
+		if dst.IsNil() {
+			dst.Set(reflect.New(dst.Type().Elem()))
+		}
+		return assignValue(dst.Elem(), src, field)
+	}
+	if sv.Type().AssignableTo(dst.Type()) {
+		dst.Set(sv)
+		return nil
+	}
+	fail := func() error {
+		return fmt.Errorf("flows: field %q: cannot use %T as %s", field, src, dst.Type())
+	}
+	switch dst.Type() {
+	case reflect.TypeOf(time.Time{}):
+		if s, ok := src.(string); ok {
+			t, err := time.Parse(time.RFC3339Nano, s)
+			if err != nil {
+				return fmt.Errorf("flows: field %q: %w", field, err)
+			}
+			dst.Set(reflect.ValueOf(t))
+			return nil
+		}
+		return fail()
+	case reflect.TypeOf(time.Duration(0)):
+		if s, ok := src.(string); ok {
+			d, err := time.ParseDuration(s)
+			if err != nil {
+				return fmt.Errorf("flows: field %q: %w", field, err)
+			}
+			dst.SetInt(int64(d))
+			return nil
+		}
+		// Numeric durations fall through to the kind switch (nanoseconds).
+	}
+	switch dst.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		n, ok := asInt64(sv)
+		if !ok {
+			return fail()
+		}
+		dst.SetInt(n)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		n, ok := asInt64(sv)
+		if !ok || n < 0 {
+			return fail()
+		}
+		dst.SetUint(uint64(n))
+	case reflect.Float32, reflect.Float64:
+		f, ok := asFloat64(sv)
+		if !ok {
+			return fail()
+		}
+		dst.SetFloat(f)
+	case reflect.String:
+		if sv.Kind() != reflect.String {
+			return fail()
+		}
+		dst.SetString(sv.String())
+	case reflect.Bool:
+		if sv.Kind() != reflect.Bool {
+			return fail()
+		}
+		dst.SetBool(sv.Bool())
+	case reflect.Slice:
+		if sv.Kind() != reflect.Slice {
+			return fail()
+		}
+		out := reflect.MakeSlice(dst.Type(), sv.Len(), sv.Len())
+		for i := 0; i < sv.Len(); i++ {
+			if err := assignValue(out.Index(i), sv.Index(i).Interface(), field); err != nil {
+				return err
+			}
+		}
+		dst.Set(out)
+	case reflect.Map:
+		if sv.Kind() != reflect.Map || dst.Type().Key().Kind() != reflect.String ||
+			sv.Type().Key().Kind() != reflect.String {
+			return fail()
+		}
+		out := reflect.MakeMapWithSize(dst.Type(), sv.Len())
+		iter := sv.MapRange()
+		for iter.Next() {
+			ev := reflect.New(dst.Type().Elem()).Elem()
+			if err := assignValue(ev, iter.Value().Interface(), field); err != nil {
+				return err
+			}
+			out.SetMapIndex(iter.Key().Convert(dst.Type().Key()), ev)
+		}
+		dst.Set(out)
+	case reflect.Struct:
+		nested, ok := src.(map[string]any)
+		if !ok {
+			return fail()
+		}
+		return unpackStruct(nested, dst)
+	default:
+		return fail()
+	}
+	return nil
+}
+
+func asInt64(v reflect.Value) (int64, bool) {
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return v.Int(), true
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return int64(v.Uint()), true
+	case reflect.Float32, reflect.Float64:
+		return int64(v.Float()), true
+	}
+	return 0, false
+}
+
+func asFloat64(v reflect.Value) (float64, bool) {
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return float64(v.Int()), true
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return float64(v.Uint()), true
+	case reflect.Float32, reflect.Float64:
+		return v.Float(), true
+	}
+	return 0, false
+}
+
+// fieldTag resolves a struct field's wire name and tag options.
+func fieldTag(f reflect.StructField) (string, map[string]bool) {
+	tag := f.Tag.Get("json")
+	if tag == "" {
+		return f.Name, nil
+	}
+	parts := strings.Split(tag, ",")
+	opts := make(map[string]bool, len(parts)-1)
+	for _, o := range parts[1:] {
+		opts[o] = true
+	}
+	name := parts[0]
+	if name == "" {
+		name = f.Name
+	}
+	return name, opts
+}

@@ -1,0 +1,249 @@
+package flows
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"picoprobe/internal/sim"
+)
+
+type codecParams struct {
+	Src     string         `json:"src"`
+	Bytes   int64          `json:"bytes"`
+	Streams int            `json:"streams,omitempty"`
+	Ratio   float64        `json:"ratio"`
+	Verify  bool           `json:"verify"`
+	Labels  []string       `json:"labels"`
+	Args    map[string]any `json:"args"`
+	Nested  codecNested    `json:"nested"`
+	Skip    string         `json:"-"`
+}
+
+type codecNested struct {
+	Depth int `json:"depth"`
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	in := codecParams{
+		Src:    "picoprobe-user",
+		Bytes:  91_000_000,
+		Ratio:  0.25,
+		Verify: true,
+		Labels: []string{"a", "b"},
+		Args:   map[string]any{"path": "/x"},
+		Nested: codecNested{Depth: 3},
+		Skip:   "never",
+	}
+	m := Pack(in)
+	if m["src"] != "picoprobe-user" {
+		t.Errorf("src = %v", m["src"])
+	}
+	if v, ok := m["bytes"].(int64); !ok || v != 91_000_000 {
+		t.Errorf("bytes = %#v, want native int64", m["bytes"])
+	}
+	if _, ok := m["streams"]; ok {
+		t.Error("omitempty zero field packed")
+	}
+	if _, ok := m["-"]; ok || m["Skip"] != nil {
+		t.Error("json:\"-\" field packed")
+	}
+	if nested, ok := m["nested"].(map[string]any); !ok || nested["depth"] != 3 {
+		t.Errorf("nested = %#v", m["nested"])
+	}
+
+	var out codecParams
+	if err := Unpack(m, &out); err != nil {
+		t.Fatal(err)
+	}
+	in.Skip = ""
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestUnpackWeakNumericCoercion(t *testing.T) {
+	// The coercions the v1 providers hand-rolled: JSON-ish float64 and
+	// plain int both land in an int64 field (truncating, like int64(v)).
+	for _, src := range []any{float64(1_000_000.9), int(1_000_000), int64(1_000_000), uint32(1_000_000)} {
+		var out codecParams
+		if err := Unpack(map[string]any{"bytes": src}, &out); err != nil {
+			t.Fatalf("%T: %v", src, err)
+		}
+		if out.Bytes != 1_000_000 {
+			t.Errorf("%T → bytes = %d", src, out.Bytes)
+		}
+	}
+	var out codecParams
+	if err := Unpack(map[string]any{"ratio": int(2)}, &out); err != nil || out.Ratio != 2 {
+		t.Errorf("int → float: %v, %v", out.Ratio, err)
+	}
+	// Mismatched kinds are errors, not silent zeros.
+	if err := Unpack(map[string]any{"src": 42}, &out); err == nil {
+		t.Error("int into string accepted")
+	}
+	if err := Unpack(map[string]any{"verify": "yes"}, &out); err == nil {
+		t.Error("string into bool accepted")
+	}
+	// Missing and nil keys leave fields zero.
+	if err := Unpack(map[string]any{"src": nil}, &out); err != nil {
+		t.Errorf("nil value: %v", err)
+	}
+}
+
+func TestUnpackTimeAndDuration(t *testing.T) {
+	type timed struct {
+		At  time.Time     `json:"at"`
+		For time.Duration `json:"for"`
+	}
+	now := time.Date(2023, 6, 1, 9, 0, 0, 0, time.UTC)
+	var out timed
+	if err := Unpack(map[string]any{"at": now, "for": time.Second}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.At.Equal(now) || out.For != time.Second {
+		t.Errorf("native: %+v", out)
+	}
+	// JSON round-trip forms: RFC3339 string and float nanoseconds.
+	out = timed{}
+	if err := Unpack(map[string]any{"at": "2023-06-01T09:00:00Z", "for": float64(2e9)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.At.Equal(now) || out.For != 2*time.Second {
+		t.Errorf("json forms: %+v", out)
+	}
+	out = timed{}
+	if err := Unpack(map[string]any{"for": "1m30s"}, &out); err != nil || out.For != 90*time.Second {
+		t.Errorf("duration string: %+v, %v", out, err)
+	}
+}
+
+type inlineResult struct {
+	NodeID int            `json:"node_id"`
+	Output map[string]any `json:",inline"`
+}
+
+func TestPackUnpackInline(t *testing.T) {
+	m := Pack(inlineResult{NodeID: 3, Output: map[string]any{"entry_json": "{}", "products": 2}})
+	if m["node_id"] != 3 || m["entry_json"] != "{}" || m["products"] != 2 {
+		t.Errorf("inline pack = %#v", m)
+	}
+	// Declared fields win over colliding inline keys (v1 providers
+	// force-set their accounting keys after merging function output).
+	clash := Pack(inlineResult{NodeID: 3, Output: map[string]any{"node_id": 99}})
+	if clash["node_id"] != 3 {
+		t.Errorf("inline key overrode declared field: %#v", clash)
+	}
+	var out inlineResult
+	if err := Unpack(m, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.NodeID != 3 {
+		t.Errorf("node_id = %d", out.NodeID)
+	}
+	if !reflect.DeepEqual(out.Output, map[string]any{"entry_json": "{}", "products": 2}) {
+		t.Errorf("inline unpack = %#v", out.Output)
+	}
+}
+
+func TestPackMapPassThrough(t *testing.T) {
+	src := map[string]any{"a": 1}
+	m := Pack(src)
+	if m["a"] != 1 {
+		t.Errorf("map pack = %#v", m)
+	}
+	m["b"] = 2
+	if _, ok := src["b"]; ok {
+		t.Error("Pack aliased the source map")
+	}
+	if got := Pack(nil); len(got) != 0 {
+		t.Errorf("Pack(nil) = %#v", got)
+	}
+	var dst map[string]any
+	if err := Unpack(map[string]any{"x": "y"}, &dst); err != nil || dst["x"] != "y" {
+		t.Errorf("map unpack = %#v, %v", dst, err)
+	}
+}
+
+// typedEcho is a minimal typed provider: it records the decoded params
+// and completes after a fixed duration with a typed result.
+type typedEchoParams struct {
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+type typedEchoResult struct {
+	Stored int64 `json:"stored"`
+}
+
+func TestTypedProviderThroughEngine(t *testing.T) {
+	k := sim.NewKernel()
+	var got typedEchoParams
+	done := map[string]time.Time{}
+	p := NewTypedProvider("echo",
+		func(token string, params typedEchoParams) (string, error) {
+			if params.Path == "" {
+				return "", fmt.Errorf("echo: missing path")
+			}
+			got = params
+			id := "echo-1"
+			at := k.Now().Add(time.Second)
+			done[id] = at
+			return id, nil
+		},
+		func(token, actionID string) (TypedStatus[typedEchoResult], error) {
+			if at, ok := done[actionID]; ok && !k.Now().Before(at) {
+				return TypedStatus[typedEchoResult]{
+					State:     StateSucceeded,
+					Result:    typedEchoResult{Stored: got.Bytes},
+					Started:   at.Add(-time.Second),
+					Completed: at,
+				}, nil
+			}
+			return TypedStatus[typedEchoResult]{State: StateActive}, nil
+		})
+	e := NewEngine(k, Options{Policy: Constant{Interval: time.Second}})
+	e.RegisterProvider(p)
+	def := Definition{Name: "typed", States: []StateDef{{
+		Name: "Echo", Provider: "echo",
+		Params: func(input map[string]any, _ Results) map[string]any {
+			// Float input (as a JSON-ish flow input would carry) must land
+			// in the int64 param field.
+			return map[string]any{"path": input["path"], "bytes": input["bytes"]}
+		},
+	}}}
+	var final RunRecord
+	e.Run("tok", def, map[string]any{"path": "/data/x.emdg", "bytes": float64(91e6)}, func(r RunRecord) { final = r })
+	k.Run()
+	if final.Status != StateSucceeded {
+		t.Fatalf("status = %s (%s)", final.Status, final.Error)
+	}
+	if got.Path != "/data/x.emdg" || got.Bytes != 91_000_000 {
+		t.Errorf("decoded params = %+v", got)
+	}
+	// The typed result is packed back onto the wire with native types.
+	rec, _ := e.Record(final.RunID)
+	if rec.States[0].Name != "Echo" {
+		t.Fatalf("state = %+v", rec.States[0])
+	}
+	// And bad params surface as invoke errors with the provider name.
+	if _, err := p.Invoke("tok", map[string]any{"path": 7}); err == nil {
+		t.Error("mistyped params accepted")
+	}
+}
+
+func TestTypedProviderResultOnWire(t *testing.T) {
+	p := NewTypedProvider("r",
+		func(string, typedEchoParams) (string, error) { return "id", nil },
+		func(string, string) (TypedStatus[typedEchoResult], error) {
+			return TypedStatus[typedEchoResult]{State: StateSucceeded, Result: typedEchoResult{Stored: 42}}, nil
+		})
+	st, err := p.Status("tok", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := st.Result["stored"].(int64); !ok || v != 42 {
+		t.Errorf("wire result = %#v, want native int64", st.Result["stored"])
+	}
+}

@@ -1,20 +1,30 @@
 // Package flows is the research-process-automation engine standing in for
-// Globus Flows / Gladier: a flow definition is an ordered list of action
-// states (Transfer → Compute → Search-ingest in this repository), and the
-// engine runs each state by invoking its action provider and then polling
-// for completion with a configurable backoff policy.
+// Globus Flows / Gladier. A flow definition is a typed DAG of action
+// states: each state names the action provider it drives (Transfer,
+// Compute, Search-ingest in this repository) and the states it runs
+// After; states whose dependencies are met execute concurrently, and a
+// state with several dependencies fans their results back in. A
+// definition that declares no dependencies at all is interpreted as the
+// v1 ordered list (see Definition.Linear), so straight-line paper flows
+// keep their exact semantics.
 //
-// The polling client is deliberately faithful to the paper's deployment:
-// the default policy is the exponential backoff the paper measures (1 s,
-// doubling, capped at 10 min) and per-state timings are recorded exactly
-// the way the paper's Fig 4 decomposes them — service-side "active" time
-// per step versus flow-orchestration overhead (state-transition costs plus
-// completion-detection lag). Alternative policies (constant, linear,
-// idealized push) support the "we are working to improve this" ablation.
+// The completion-detection client is deliberately faithful to the paper's
+// deployment: providers are polled with a configurable backoff policy
+// (default: the exponential 1 s doubling to 10 min the paper measures)
+// and per-state timings are recorded exactly the way the paper's Fig 4
+// decomposes them — service-side "active" time per step versus
+// flow-orchestration overhead (state-transition costs plus
+// completion-detection lag). Policies, timeouts and retry budgets can be
+// overridden per state. Detection itself is batched: the engine keeps one
+// deadline queue across all runs and one sweep services every action that
+// is due at a tick, instead of dedicating a timer to every run
+// (Options.PerStateTimers restores the v1 timer-per-action baseline for
+// comparison). Poll instants are identical in both modes; only the number
+// of timer wake-ups changes.
 //
 // Engines run identically under the simulation kernel and the live
-// runtime; runs are cooperative processes that only touch time through
-// sim.Context.
+// runtime; all execution is event-driven through sim.Runtime.AfterFunc,
+// so the engine never blocks a goroutine per run.
 package flows
 
 import (
@@ -36,6 +46,9 @@ const (
 	StateFailed    State = "FAILED"
 )
 
+// Results maps completed state names to their action results.
+type Results = map[string]map[string]any
+
 // ActionStatus is a provider's report on one action.
 type ActionStatus struct {
 	State  State
@@ -50,31 +63,99 @@ type ActionStatus struct {
 
 // ActionProvider is one service the engine can drive (transfer, compute,
 // search ingest). Invoke must return quickly with an action ID; Status
-// must be cheap and non-blocking — the engine does the waiting.
+// must be cheap and non-blocking — the engine does the waiting. See
+// TypedProvider for the strongly typed adapter.
 type ActionProvider interface {
 	Name() string
 	Invoke(token string, params map[string]any) (string, error)
 	Status(token, actionID string) (ActionStatus, error)
 }
 
-// StateDef is one step of a flow definition.
+// NoRetries disables retries for a state (StateDef.Retries); the zero
+// value inherits the engine's Options.MaxStateRetries.
+const NoRetries = -1
+
+// StateDef is one node of a flow definition.
 type StateDef struct {
 	// Name labels the step ("Transfer", "Analysis", "Publication").
 	Name string
 	// Provider names the registered ActionProvider to drive.
 	Provider string
+	// After lists the states that must complete before this one starts.
+	// States with no unmet dependencies run concurrently. If no state in
+	// the definition declares After, the definition is executed as an
+	// ordered list (the v1 semantics; see Definition.Linear).
+	After []string
 	// Params builds the action parameters from the flow input and the
-	// results of previously completed states (keyed by state name).
-	Params func(input map[string]any, results map[string]map[string]any) map[string]any
+	// results of completed states (keyed by state name). It is called once
+	// per state entry, after every dependency has completed, and must not
+	// mutate its arguments. Use Pack to build the map from a typed struct.
+	Params func(input map[string]any, results Results) map[string]any
+	// Policy overrides the engine's completion-polling backoff for this
+	// state (nil inherits Options.Policy).
+	Policy Policy
+	// Timeout bounds one invocation attempt, measured from invocation to
+	// completion detection; an attempt still active at the deadline is
+	// failed (and retried if budget remains). Zero means no timeout.
+	Timeout time.Duration
+	// Retries overrides Options.MaxStateRetries for this state: positive
+	// values are extra invocation attempts, NoRetries disables retries,
+	// and zero inherits the engine default.
+	Retries int
 }
 
-// Definition is an ordered flow of action states.
+// Definition is a flow: a named DAG of action states.
 type Definition struct {
 	Name   string
 	States []StateDef
+
+	// explicit marks the dependency declarations as authoritative even
+	// when empty (set by Linear and DAG); without it, a definition with no
+	// After edges anywhere is chained into the v1 ordered list.
+	explicit bool
 }
 
-// Validate checks structural sanity of the definition.
+// Linear returns a copy of d in which each state depends on its
+// predecessor, reproducing the v1 ordered-list semantics regardless of
+// any After declarations. It is the migration shim for v1 flows.
+func (d Definition) Linear() Definition {
+	out := d
+	out.explicit = true
+	out.States = append([]StateDef(nil), d.States...)
+	for i := range out.States {
+		if i == 0 {
+			out.States[i].After = nil
+			continue
+		}
+		out.States[i].After = []string{out.States[i-1].Name}
+	}
+	return out
+}
+
+// DAG marks d's dependency declarations as authoritative even when no
+// state declares any — the one shape the implicit v1 fallback cannot
+// express (every state a root, all running concurrently).
+func (d Definition) DAG() Definition {
+	d.explicit = true
+	return d
+}
+
+// normalized returns the definition the engine executes: d itself when
+// its dependencies are authoritative, the v1 chain otherwise.
+func (d Definition) normalized() Definition {
+	if d.explicit {
+		return d
+	}
+	for _, s := range d.States {
+		if len(s.After) > 0 {
+			return d
+		}
+	}
+	return d.Linear()
+}
+
+// Validate checks structural sanity of the definition: named, non-empty,
+// unique state names, dependencies that exist, and no dependency cycles.
 func (d Definition) Validate() error {
 	if d.Name == "" {
 		return errors.New("flows: definition missing name")
@@ -82,17 +163,54 @@ func (d Definition) Validate() error {
 	if len(d.States) == 0 {
 		return errors.New("flows: definition has no states")
 	}
-	seen := map[string]bool{}
-	for _, s := range d.States {
+	index := make(map[string]int, len(d.States))
+	for i, s := range d.States {
 		switch {
 		case s.Name == "":
 			return errors.New("flows: state missing name")
 		case s.Provider == "":
 			return fmt.Errorf("flows: state %q missing provider", s.Name)
-		case seen[s.Name]:
+		}
+		if _, dup := index[s.Name]; dup {
 			return fmt.Errorf("flows: duplicate state %q", s.Name)
 		}
-		seen[s.Name] = true
+		index[s.Name] = i
+	}
+	indeg := make([]int, len(d.States))
+	dependents := make([][]int, len(d.States))
+	for i, s := range d.States {
+		for _, dep := range s.After {
+			j, ok := index[dep]
+			if !ok {
+				return fmt.Errorf("flows: state %q depends on unknown state %q", s.Name, dep)
+			}
+			if j == i {
+				return fmt.Errorf("flows: state %q depends on itself", s.Name)
+			}
+			indeg[i]++
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+	// Kahn's algorithm: every state must be reachable from the roots.
+	queue := make([]int, 0, len(d.States))
+	for i, n := range indeg {
+		if n == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, j := range dependents[i] {
+			if indeg[j]--; indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if seen != len(d.States) {
+		return fmt.Errorf("flows: definition %q has a dependency cycle", d.Name)
 	}
 	return nil
 }
@@ -102,6 +220,8 @@ type StateRecord struct {
 	Name     string
 	Provider string
 	ActionID string
+	// After lists the state's dependencies as executed (post v1-chaining).
+	After []string
 	// EnteredAt is when the engine began the state (before orchestration
 	// overhead).
 	EnteredAt time.Time
@@ -131,7 +251,8 @@ func (r StateRecord) Overhead() time.Duration {
 	return 0
 }
 
-// RunRecord is the full account of one flow run.
+// RunRecord is the full account of one flow run. States appear in
+// completion order (for concurrent states, detection order).
 type RunRecord struct {
 	RunID     string
 	Flow      string
@@ -146,7 +267,9 @@ type RunRecord struct {
 // Runtime returns the end-to-end wall time of the run.
 func (r RunRecord) Runtime() time.Duration { return r.EndedAt.Sub(r.StartedAt) }
 
-// TotalActive sums provider-side active time across states.
+// TotalActive sums provider-side active time across states. Concurrent
+// states each contribute their full active window, so TotalActive can
+// exceed Runtime for fan-out flows.
 func (r RunRecord) TotalActive() time.Duration {
 	var t time.Duration
 	for _, s := range r.States {
@@ -167,7 +290,7 @@ func (r RunRecord) TotalOverhead() time.Duration {
 // Options configures an engine.
 type Options struct {
 	// Policy is the completion-polling backoff (default: the paper's
-	// exponential 1s doubling to 10min).
+	// exponential 1s doubling to 10min). Per-state StateDef.Policy wins.
 	Policy Policy
 	// StateOverhead models per-state orchestration cost (flow-service
 	// state evaluation, auth, action invocation round trips).
@@ -175,11 +298,16 @@ type Options struct {
 	// StatusLatency is the service round-trip added to every poll.
 	StatusLatency time.Duration
 	// MaxStateRetries re-invokes a failed action this many extra times
-	// before failing the flow.
+	// before failing the flow. Per-state StateDef.Retries wins.
 	MaxStateRetries int
 	// Checkpoints, when non-nil, persists per-state progress so
 	// interrupted runs can be resumed.
 	Checkpoints *CheckpointStore
+	// PerStateTimers disables batched completion detection and dedicates
+	// a timer to every active action — the v1 baseline the batched
+	// sweeper is benchmarked against. Poll instants are identical; only
+	// timer wake-up counts differ.
+	PerStateTimers bool
 }
 
 // Engine runs flows against registered action providers.
@@ -191,6 +319,7 @@ type Engine struct {
 	runs      map[string]*RunRecord
 	order     []string
 	nextID    int
+	poller    poller
 }
 
 // NewEngine returns an engine on the given runtime.
@@ -198,12 +327,14 @@ func NewEngine(rt sim.Runtime, opts Options) *Engine {
 	if opts.Policy == nil {
 		opts.Policy = DefaultExponential()
 	}
-	return &Engine{
+	e := &Engine{
 		rt:        rt,
 		opts:      opts,
 		providers: map[string]ActionProvider{},
 		runs:      map[string]*RunRecord{},
 	}
+	e.poller.e = e
+	return e
 }
 
 // RegisterProvider adds an action provider.
@@ -213,14 +344,21 @@ func (e *Engine) RegisterProvider(p ActionProvider) {
 	e.providers[p.Name()] = p
 }
 
+// PollStats reports the engine's completion-detection effort so far.
+func (e *Engine) PollStats() PollStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.poller.stats
+}
+
 // Run starts a flow run and returns its run ID immediately. onDone (may be
 // nil) receives the final record when the run reaches a terminal state.
 func (e *Engine) Run(token string, def Definition, input map[string]any, onDone func(RunRecord)) (string, error) {
-	return e.start(token, def, input, 0, nil, "", onDone)
+	return e.start(token, def, input, nil, nil, "", onDone)
 }
 
-// Resume continues a checkpointed run from its first incomplete state. The
-// definition must match the one originally used.
+// Resume continues a checkpointed run from its first incomplete states.
+// The definition must match the one originally used.
 func (e *Engine) Resume(token string, def Definition, runID string, onDone func(RunRecord)) error {
 	if e.opts.Checkpoints == nil {
 		return errors.New("flows: engine has no checkpoint store")
@@ -232,15 +370,56 @@ func (e *Engine) Resume(token string, def Definition, runID string, onDone func(
 	if cp.Flow != def.Name {
 		return fmt.Errorf("flows: checkpoint is for flow %q, not %q", cp.Flow, def.Name)
 	}
-	_, err = e.start(token, def, cp.Input, cp.CompletedStates, cp.Results, runID, onDone)
+	_, err = e.start(token, def, cp.Input, cp.Done, cp.Results, runID, onDone)
 	return err
 }
 
-func (e *Engine) start(token string, def Definition, input map[string]any, fromState int,
-	results map[string]map[string]any, runID string, onDone func(RunRecord)) (string, error) {
+func (e *Engine) start(token string, def Definition, input map[string]any, preDone []string,
+	results Results, runID string, onDone func(RunRecord)) (string, error) {
 	if err := def.Validate(); err != nil {
 		return "", err
 	}
+	def = def.normalized()
+
+	x := &runExec{
+		e:          e,
+		token:      token,
+		def:        def,
+		results:    results,
+		onDone:     onDone,
+		waiting:    make(map[string]int, len(def.States)),
+		dependents: make(map[string][]string, len(def.States)),
+		done:       make(map[string]bool, len(preDone)),
+		remaining:  len(def.States),
+	}
+	if x.results == nil {
+		x.results = Results{}
+	}
+	index := make(map[string]*StateDef, len(def.States))
+	for i := range def.States {
+		s := &def.States[i]
+		index[s.Name] = s
+		x.waiting[s.Name] = len(s.After)
+		for _, dep := range s.After {
+			x.dependents[dep] = append(x.dependents[dep], s.Name)
+		}
+	}
+	x.states = index
+	for _, name := range preDone {
+		if _, ok := index[name]; !ok {
+			return "", fmt.Errorf("flows: checkpoint state %q not in definition %q", name, def.Name)
+		}
+		if x.done[name] {
+			continue
+		}
+		x.done[name] = true
+		x.doneOrder = append(x.doneOrder, name)
+		x.remaining--
+		for _, child := range x.dependents[name] {
+			x.waiting[child]--
+		}
+	}
+
 	e.mu.Lock()
 	for _, s := range def.States {
 		if _, ok := e.providers[s.Provider]; !ok {
@@ -253,112 +432,39 @@ func (e *Engine) start(token string, def Definition, input map[string]any, fromS
 		runID = fmt.Sprintf("run-%06d", e.nextID)
 	}
 	rec := &RunRecord{RunID: runID, Flow: def.Name, Input: input, Status: StateActive, StartedAt: e.rt.Now()}
-	e.runs[runID] = rec
-	e.order = append(e.order, runID)
-	e.mu.Unlock()
-
-	if results == nil {
-		results = map[string]map[string]any{}
+	if _, known := e.runs[runID]; !known {
+		// A resume on the engine that already ran this ID (failed
+		// in-process, retried from its checkpoint) replaces the record
+		// in place rather than listing the run twice.
+		e.order = append(e.order, runID)
 	}
-	e.rt.Spawn("flow/"+runID, func(ctx sim.Context) {
-		e.execute(ctx, token, def, rec, fromState, results, onDone)
-	})
-	return runID, nil
-}
-
-func (e *Engine) execute(ctx sim.Context, token string, def Definition, rec *RunRecord,
-	fromState int, results map[string]map[string]any, onDone func(RunRecord)) {
-	fail := func(sr StateRecord, msg string) {
-		e.mu.Lock()
-		rec.States = append(rec.States, sr)
-		rec.Status = StateFailed
-		rec.Error = msg
-		rec.EndedAt = ctx.Now()
+	e.runs[runID] = rec
+	x.rec = rec
+	var ready []string
+	if x.remaining == 0 {
+		// Fully checkpointed run: nothing left to execute.
+		x.finished = true
+		rec.Status = StateSucceeded
+		rec.EndedAt = e.rt.Now()
 		final := *rec
 		e.mu.Unlock()
+		_ = e.opts.Checkpoints.remove(runID)
 		if onDone != nil {
-			onDone(final)
+			e.rt.AfterFunc(0, func() { onDone(final) })
+		}
+		return runID, nil
+	}
+	for _, s := range def.States {
+		if !x.done[s.Name] && x.waiting[s.Name] == 0 {
+			ready = append(ready, s.Name)
 		}
 	}
-
-	for i := fromState; i < len(def.States); i++ {
-		stateDef := def.States[i]
-		provider := e.provider(stateDef.Provider)
-		sr := StateRecord{Name: stateDef.Name, Provider: stateDef.Provider, EnteredAt: ctx.Now()}
-
-		// Orchestration cost: state evaluation, auth, invocation round
-		// trips to the cloud-hosted flow service.
-		ctx.Sleep(e.opts.StateOverhead)
-
-		var params map[string]any
-		if stateDef.Params != nil {
-			params = stateDef.Params(rec.Input, results)
-		}
-
-		succeeded := false
-		for attempt := 0; attempt <= e.opts.MaxStateRetries; attempt++ {
-			sr.Attempts = attempt + 1
-			actionID, err := provider.Invoke(token, params)
-			if err != nil {
-				sr.Error = err.Error()
-				continue
-			}
-			sr.ActionID = actionID
-			sr.InvokedAt = ctx.Now()
-
-			// Poll with the backoff policy until terminal.
-			status := ActionStatus{State: StateActive}
-			for poll := 0; status.State == StateActive; poll++ {
-				ctx.Sleep(e.opts.Policy.Next(poll) + e.opts.StatusLatency)
-				status, err = provider.Status(token, actionID)
-				sr.Polls++
-				if err != nil {
-					status = ActionStatus{State: StateFailed, Error: err.Error()}
-				}
-			}
-			sr.Started = status.Started
-			sr.Completed = status.Completed
-			sr.DetectedAt = ctx.Now()
-			if status.State == StateSucceeded {
-				results[stateDef.Name] = status.Result
-				succeeded = true
-				break
-			}
-			sr.Error = status.Error
-		}
-		if !succeeded {
-			fail(sr, fmt.Sprintf("state %q failed after %d attempts: %s", stateDef.Name, sr.Attempts, sr.Error))
-			return
-		}
-
-		e.mu.Lock()
-		rec.States = append(rec.States, sr)
-		snapshot := checkpoint{
-			RunID:           rec.RunID,
-			Flow:            rec.Flow,
-			Input:           rec.Input,
-			CompletedStates: i + 1,
-			Results:         results,
-		}
-		e.mu.Unlock()
-		if e.opts.Checkpoints != nil {
-			// Checkpoint persistence failures must not kill the flow; the
-			// run continues and only resumability is lost.
-			_ = e.opts.Checkpoints.save(snapshot)
-		}
-	}
-
-	e.mu.Lock()
-	rec.Status = StateSucceeded
-	rec.EndedAt = ctx.Now()
-	final := *rec
 	e.mu.Unlock()
-	if e.opts.Checkpoints != nil {
-		_ = e.opts.Checkpoints.remove(rec.RunID)
+
+	for _, name := range ready {
+		x.enterState(name)
 	}
-	if onDone != nil {
-		onDone(final)
-	}
+	return runID, nil
 }
 
 func (e *Engine) provider(name string) ActionProvider {
@@ -387,4 +493,259 @@ func (e *Engine) Runs() []RunRecord {
 		out = append(out, *e.runs[id])
 	}
 	return out
+}
+
+// runExec is the execution state of one in-flight run. All mutable fields
+// are guarded by the engine mutex; provider calls and user callbacks are
+// made outside it.
+type runExec struct {
+	e     *Engine
+	token string
+	def   Definition
+	rec   *RunRecord
+
+	states     map[string]*StateDef
+	waiting    map[string]int      // state -> unmet dependency count
+	dependents map[string][]string // state -> states waiting on it
+	results    Results
+	done       map[string]bool
+	doneOrder  []string // completion order, persisted in checkpoints
+	remaining  int      // states not yet completed
+	finished   bool
+	onDone     func(RunRecord)
+}
+
+// enterState begins one state: it stamps EnteredAt, pays the modeled
+// orchestration overhead, then invokes the action.
+func (x *runExec) enterState(name string) {
+	e := x.e
+	e.mu.Lock()
+	if x.finished {
+		e.mu.Unlock()
+		return
+	}
+	sd := x.states[name]
+	s := &stateRun{
+		x:  x,
+		sd: sd,
+		sr: StateRecord{Name: sd.Name, Provider: sd.Provider, After: sd.After, EnteredAt: e.rt.Now()},
+	}
+	s.policy = sd.Policy
+	if s.policy == nil {
+		s.policy = e.opts.Policy
+	}
+	s.retries = e.opts.MaxStateRetries
+	if sd.Retries > 0 {
+		s.retries = sd.Retries
+	} else if sd.Retries == NoRetries {
+		s.retries = 0
+	}
+	e.mu.Unlock()
+	// Orchestration cost: state evaluation, auth, invocation round trips
+	// to the cloud-hosted flow service.
+	e.rt.AfterFunc(e.opts.StateOverhead, s.invoke)
+}
+
+// stateTerminal handles a state's terminal action status (after retries
+// are exhausted, for failures).
+func (x *runExec) stateTerminal(s *stateRun, succeeded bool) {
+	e := x.e
+	if !succeeded {
+		x.fail(s.sr)
+		return
+	}
+	e.mu.Lock()
+	if x.finished {
+		e.mu.Unlock()
+		return
+	}
+	name := s.sd.Name
+	x.done[name] = true
+	x.doneOrder = append(x.doneOrder, name)
+	x.remaining--
+	x.rec.States = append(x.rec.States, s.sr)
+	var ready []string
+	for _, child := range x.dependents[name] {
+		if x.waiting[child]--; x.waiting[child] == 0 {
+			ready = append(ready, child)
+		}
+	}
+	runDone := x.remaining == 0
+	var final RunRecord
+	var snapshot checkpoint
+	if runDone {
+		x.finished = true
+		x.rec.Status = StateSucceeded
+		x.rec.EndedAt = e.rt.Now()
+		final = *x.rec
+	} else if e.opts.Checkpoints != nil {
+		// Copy the results map: save() marshals outside the lock while
+		// concurrent sibling states keep writing x.results.
+		results := make(Results, len(x.results))
+		for k, v := range x.results {
+			results[k] = v
+		}
+		snapshot = checkpoint{
+			RunID:   x.rec.RunID,
+			Flow:    x.rec.Flow,
+			Input:   x.rec.Input,
+			Done:    append([]string(nil), x.doneOrder...),
+			Results: results,
+		}
+	}
+	e.mu.Unlock()
+
+	if e.opts.Checkpoints != nil {
+		if runDone {
+			_ = e.opts.Checkpoints.remove(x.rec.RunID)
+		} else {
+			// Checkpoint persistence failures must not kill the flow; the
+			// run continues and only resumability is lost.
+			_ = e.opts.Checkpoints.save(snapshot)
+		}
+	}
+	for _, child := range ready {
+		x.enterState(child)
+	}
+	if runDone && x.onDone != nil {
+		x.onDone(final)
+	}
+}
+
+// fail terminates the run on a state failure. Sibling states still in
+// flight are abandoned: their poller entries are dropped at the next
+// sweep and they do not appear in the record.
+func (x *runExec) fail(sr StateRecord) {
+	e := x.e
+	e.mu.Lock()
+	if x.finished {
+		e.mu.Unlock()
+		return
+	}
+	x.finished = true
+	x.rec.States = append(x.rec.States, sr)
+	x.rec.Status = StateFailed
+	x.rec.Error = fmt.Sprintf("state %q failed after %d attempts: %s", sr.Name, sr.Attempts, sr.Error)
+	x.rec.EndedAt = e.rt.Now()
+	final := *x.rec
+	e.mu.Unlock()
+	if x.onDone != nil {
+		x.onDone(final)
+	}
+}
+
+// resultsSnapshot returns a shallow copy of the results map so Params
+// builders can read it without racing concurrent state completions.
+func (x *runExec) resultsSnapshot() Results {
+	e := x.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(Results, len(x.results))
+	for k, v := range x.results {
+		out[k] = v
+	}
+	return out
+}
+
+// stateRun drives one state's invoke/poll/retry lifecycle.
+type stateRun struct {
+	x       *runExec
+	sd      *StateDef
+	sr      StateRecord
+	policy  Policy
+	retries int
+	params  map[string]any
+
+	// poller bookkeeping (guarded by the engine mutex).
+	pollN     int
+	timeoutAt time.Time // zero = no timeout
+	at        time.Time // next poll deadline
+	seq       uint64
+}
+
+// invoke builds params (once) and submits the action, retrying failed
+// submissions immediately up to the retry budget, then registers the
+// action with the completion poller.
+func (s *stateRun) invoke() {
+	x, e := s.x, s.x.e
+	e.mu.Lock()
+	if x.finished {
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+	if s.params == nil && s.sd.Params != nil && s.sr.Attempts == 0 {
+		s.params = s.sd.Params(x.rec.Input, x.resultsSnapshot())
+	}
+	provider := e.provider(s.sd.Provider)
+	for {
+		s.sr.Attempts++
+		actionID, err := provider.Invoke(x.token, s.params)
+		if err != nil {
+			s.sr.Error = err.Error()
+			if s.sr.Attempts > s.retries {
+				x.stateTerminal(s, false)
+				return
+			}
+			continue
+		}
+		s.sr.ActionID = actionID
+		s.sr.InvokedAt = e.rt.Now()
+		break
+	}
+	s.pollN = 0
+	s.timeoutAt = time.Time{}
+	if s.sd.Timeout > 0 {
+		s.timeoutAt = s.sr.InvokedAt.Add(s.sd.Timeout)
+	}
+	e.poller.add(s, s.nextDeadline(s.sr.InvokedAt))
+}
+
+// nextDeadline computes the next poll instant from now, clamped to the
+// attempt timeout so expiry is detected exactly on time.
+func (s *stateRun) nextDeadline(now time.Time) time.Time {
+	at := now.Add(s.policy.Next(s.pollN) + s.x.e.opts.StatusLatency)
+	if !s.timeoutAt.IsZero() && at.After(s.timeoutAt) {
+		at = s.timeoutAt
+	}
+	return at
+}
+
+// handleStatus processes one poll result; it returns the state to the
+// poller when the action is still active.
+func (s *stateRun) handleStatus(status ActionStatus, err error) {
+	x, e := s.x, s.x.e
+	now := e.rt.Now()
+	if err != nil {
+		status = ActionStatus{State: StateFailed, Error: err.Error()}
+	}
+	if status.State == StateActive {
+		if !s.timeoutAt.IsZero() && !now.Before(s.timeoutAt) {
+			status = ActionStatus{
+				State: StateFailed,
+				Error: fmt.Sprintf("attempt %d still active after %v timeout", s.sr.Attempts, s.sd.Timeout),
+			}
+		} else {
+			s.pollN++
+			e.poller.add(s, s.nextDeadline(now))
+			return
+		}
+	}
+	s.sr.Started = status.Started
+	s.sr.Completed = status.Completed
+	s.sr.DetectedAt = now
+	if status.State == StateSucceeded {
+		e.mu.Lock()
+		x.results[s.sd.Name] = status.Result
+		e.mu.Unlock()
+		x.stateTerminal(s, true)
+		return
+	}
+	s.sr.Error = status.Error
+	if s.sr.Attempts <= s.retries {
+		// Re-invoke immediately; Polls keeps accumulating across attempts.
+		s.invoke()
+		return
+	}
+	x.stateTerminal(s, false)
 }

@@ -1,0 +1,196 @@
+package portal
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"picoprobe/internal/flows"
+	"picoprobe/internal/search"
+	"picoprobe/internal/sim"
+)
+
+// flowProvider completes each action after a fixed virtual duration.
+type flowProvider struct {
+	name string
+	k    *sim.Kernel
+	dur  time.Duration
+	done map[string]time.Time
+	n    int
+}
+
+func (p *flowProvider) Name() string { return p.name }
+
+func (p *flowProvider) Invoke(token string, params map[string]any) (string, error) {
+	p.n++
+	id := p.name + "-" + string(rune('0'+p.n))
+	p.done[id] = p.k.Now().Add(p.dur)
+	return id, nil
+}
+
+func (p *flowProvider) Status(token, actionID string) (flows.ActionStatus, error) {
+	at := p.done[actionID]
+	if p.k.Now().Before(at) {
+		return flows.ActionStatus{State: flows.StateActive}, nil
+	}
+	return flows.ActionStatus{
+		State:     flows.StateSucceeded,
+		Result:    map[string]any{"from": p.name},
+		Started:   at.Add(-p.dur),
+		Completed: at,
+	}, nil
+}
+
+// flowsServer runs one diamond DAG flow on a sim kernel and serves the
+// portal over the engine.
+func flowsServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	k := sim.NewKernel()
+	e := flows.NewEngine(k, flows.Options{Policy: flows.Constant{Interval: time.Second}})
+	for name, dur := range map[string]time.Duration{
+		"transfer": 2 * time.Second,
+		"compute":  8 * time.Second,
+		"thumb":    3 * time.Second,
+		"search":   time.Second,
+	} {
+		e.RegisterProvider(&flowProvider{name: name, k: k, dur: dur, done: map[string]time.Time{}})
+	}
+	def := flows.Definition{
+		Name: "diamond",
+		States: []flows.StateDef{
+			{Name: "Transfer", Provider: "transfer"},
+			{Name: "Analysis", Provider: "compute", After: []string{"Transfer"}},
+			{Name: "Thumbnail", Provider: "thumb", After: []string{"Transfer"}},
+			{Name: "Publication", Provider: "search", After: []string{"Analysis", "Thumbnail"}},
+		},
+	}
+	runID, err := e.Run("tok", def, map[string]any{"rel_path": "a.emdg"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if err := k.Err(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(Config{Index: search.NewIndex(), Flows: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, runID
+}
+
+func TestFlowsListPage(t *testing.T) {
+	srv, runID := flowsServer(t)
+	res, body := get(t, srv, "/flows", "")
+	if res.StatusCode != 200 {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	for _, want := range []string{runID, "diamond", "SUCCEEDED", "Overhead"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("flows page missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestFlowRunPageShowsDAG(t *testing.T) {
+	srv, runID := flowsServer(t)
+	res, body := get(t, srv, "/flows/run/"+runID, "")
+	if res.StatusCode != 200 {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	// Every state row with its dependencies (the executed DAG).
+	for _, want := range []string{"Transfer", "Analysis", "Thumbnail", "Publication",
+		"Analysis, Thumbnail", "rel_path"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("run page missing %q:\n%s", want, body)
+		}
+	}
+	if res, _ := get(t, srv, "/flows/run/bogus", ""); res.StatusCode != 404 {
+		t.Errorf("bogus run status = %d", res.StatusCode)
+	}
+}
+
+func TestAPIFlows(t *testing.T) {
+	srv, runID := flowsServer(t)
+	res, body := get(t, srv, "/api/flows", "")
+	if res.StatusCode != 200 {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	var list struct {
+		Total int `json:"total"`
+		Runs  []struct {
+			RunID     string  `json:"run_id"`
+			Status    string  `json:"status"`
+			RuntimeS  float64 `json:"runtime_s"`
+			OverheadS float64 `json:"overhead_s"`
+			States    int     `json:"states"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Total != 1 || list.Runs[0].RunID != runID || list.Runs[0].States != 4 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	res, body = get(t, srv, "/api/flows/run/"+runID, "")
+	if res.StatusCode != 200 {
+		t.Fatalf("run status = %d", res.StatusCode)
+	}
+	var run struct {
+		Status string `json:"status"`
+		States []struct {
+			Name    string   `json:"name"`
+			After   []string `json:"after"`
+			ActiveS float64  `json:"active_s"`
+			Polls   int      `json:"polls"`
+		} `json:"states"`
+	}
+	if err := json.Unmarshal([]byte(body), &run); err != nil {
+		t.Fatal(err)
+	}
+	if run.Status != "SUCCEEDED" || len(run.States) != 4 {
+		t.Fatalf("run = %+v", run)
+	}
+	byName := map[string][]string{}
+	for _, st := range run.States {
+		byName[st.Name] = st.After
+		if st.Polls == 0 && st.Name != "" {
+			t.Errorf("state %s has no polls", st.Name)
+		}
+	}
+	if got := byName["Publication"]; len(got) != 2 {
+		t.Errorf("Publication after = %v", got)
+	}
+	if res, _ := get(t, srv, "/api/flows/run/bogus", ""); res.StatusCode != 404 {
+		t.Errorf("bogus api run status = %d", res.StatusCode)
+	}
+}
+
+func TestFlowsRoutesAbsentWithoutEngine(t *testing.T) {
+	srv, _ := newServer(t, "")
+	if res, _ := get(t, srv, "/flows", ""); res.StatusCode != 404 {
+		t.Errorf("flows without engine = %d", res.StatusCode)
+	}
+}
+
+// TestFlowsRequireAuthOnAuthenticatedPortal: run records (inputs, action
+// IDs, errors) have no per-run ACLs, so a portal with an issuer only
+// serves them to authenticated principals.
+func TestFlowsRequireAuthOnAuthenticatedPortal(t *testing.T) {
+	base, runID := flowsServer(t)
+	ix, iss, tok := seeded(t)
+	srv, err := NewServer(Config{Index: ix, Issuer: iss, Flows: base.cfg.Flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, url := range []string{"/flows", "/flows/run/" + runID, "/api/flows", "/api/flows/run/" + runID} {
+		if res, _ := get(t, srv, url, ""); res.StatusCode != 403 {
+			t.Errorf("anonymous %s = %d, want 403", url, res.StatusCode)
+		}
+		if res, _ := get(t, srv, url, tok); res.StatusCode != 200 {
+			t.Errorf("authenticated %s = %d, want 200", url, res.StatusCode)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"picoprobe/internal/auth"
+	"picoprobe/internal/flows"
 	"picoprobe/internal/search"
 )
 
@@ -33,6 +34,10 @@ type Config struct {
 	// Issuer, when non-nil, authenticates bearer tokens to derive the
 	// querying principal; anonymous requests see public records only.
 	Issuer *auth.Issuer
+	// Flows, when non-nil, exposes the engine's run records: /flows lists
+	// runs, /flows/run/{id} renders one run's executed DAG with per-state
+	// timings, and /api/flows[/run/{id}] serve the JSON twins.
+	Flows *flows.Engine
 	// Title is the portal heading.
 	Title string
 }
@@ -56,6 +61,12 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/record/", s.handleRecord)
 	s.mux.HandleFunc("/api/search", s.handleAPISearch)
 	s.mux.HandleFunc("/api/record/", s.handleAPIRecord)
+	if cfg.Flows != nil {
+		s.mux.HandleFunc("/flows", s.handleFlows)
+		s.mux.HandleFunc("/flows/run/", s.handleFlowRun)
+		s.mux.HandleFunc("/api/flows", s.handleAPIFlows)
+		s.mux.HandleFunc("/api/flows/run/", s.handleAPIFlowRun)
+	}
 	if cfg.ArtifactRoot != "" {
 		fs := http.FileServer(http.Dir(cfg.ArtifactRoot))
 		s.mux.Handle("/artifacts/", http.StripPrefix("/artifacts/", fs))

@@ -302,7 +302,7 @@ func (d *Dense) AppendUint8(dst []uint8, lo, hi float64) []uint8 {
 		dst = grown
 	}
 	d.ToUint8Into(dst[base:base+len(d.data)], lo, hi)
-	return dst[: base+len(d.data)]
+	return dst[:base+len(d.data)]
 }
 
 // shouldParallel is the single fan-out policy shared by parallelRanges and

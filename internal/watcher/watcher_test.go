@@ -50,9 +50,14 @@ func TestDetectsNewFile(t *testing.T) {
 	}
 }
 
+// TestGrowingFileSettlesFirst drives the poll loop directly instead of
+// racing a ticker against file appends (the timer-based version was
+// flaky under -race on loaded 1-vCPU machines): each write is followed
+// by exactly one poll, so the settle counting is fully deterministic.
 func TestGrowingFileSettlesFirst(t *testing.T) {
 	dir := t.TempDir()
-	w, err := New(dir, Options{Interval: 10 * time.Millisecond, SettlePolls: 3})
+	// The interval is irrelevant — polls are issued by hand.
+	w, err := New(dir, Options{Interval: time.Hour, SettlePolls: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,22 +66,43 @@ func TestGrowingFileSettlesFirst(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Start()
-	defer w.Stop()
-	// Keep appending for a while; no event may arrive while growing.
-	for i := 0; i < 5; i++ {
-		f.Write(make([]byte, 100))
-		f.Sync()
+	noEvent := func(when string) {
+		t.Helper()
 		select {
 		case e := <-w.Events():
-			t.Fatalf("premature event while growing: %+v", e)
-		case <-time.After(12 * time.Millisecond):
+			t.Fatalf("premature event %s: %+v", when, e)
+		default:
 		}
 	}
+	// While the file grows, every poll sees a new size and must not
+	// announce it.
+	for i := 0; i < 5; i++ {
+		if _, err := f.Write(make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		w.poll()
+		noEvent("while growing")
+	}
 	f.Close()
-	events := collect(t, w, 1, 2*time.Second)
-	if events[0].Size != 500 {
-		t.Errorf("final size = %d, want 500", events[0].Size)
+	// Stable size: the file settles only after SettlePolls unchanged
+	// polls, and not one sooner.
+	for i := 0; i < 3; i++ {
+		noEvent("before settle polls elapsed")
+		w.poll()
+	}
+	select {
+	case e := <-w.Events():
+		if e.Size != 500 {
+			t.Errorf("final size = %d, want 500", e.Size)
+		}
+	default:
+		t.Fatal("no event after settle polls elapsed")
+	}
+	if w.Processed() != 1 {
+		t.Errorf("processed = %d", w.Processed())
 	}
 }
 

@@ -8,9 +8,20 @@
 // managed transfer service that moves them to a storage endpoint; a
 // federated compute service that runs the fused analysis+metadata
 // functions on batch-scheduled nodes; a search index and portal that make
-// the results FAIR; and a flow-orchestration engine that drives the three
+// the results FAIR; and a flow-orchestration engine that drives the
 // stages with the polling-backoff client whose overhead the paper
 // measures.
+//
+// Flows are typed DAGs: states declare explicit After dependencies,
+// independent states run concurrently with fan-in of results, and
+// params/results move through generics-based typed providers instead of
+// hand-cast maps. The paper's straight-line flows run unchanged through
+// the v1 ordered-list shim (FlowDefinition.Linear), while DAG shapes —
+// like the fan-out example's Transfer → {Analysis ∥ Thumbnail} →
+// Publication — overlap their states on the facility. Completion
+// detection is batched engine-wide: one poll sweep services every due
+// action across all runs per tick, so thousands of concurrent runs cost
+// wake-ups proportional to distinct poll instants, not runs.
 //
 // Two execution modes share all orchestration code:
 //
@@ -80,6 +91,23 @@ type (
 	DetectorParams = detect.Params
 	// Experiment is the DataCite-flavoured metadata record.
 	Experiment = metadata.Experiment
+)
+
+// Flow orchestration (the typed DAG API).
+type (
+	// FlowDefinition is a named DAG of action states; definitions without
+	// dependency declarations execute as v1 ordered lists.
+	FlowDefinition = flows.Definition
+	// FlowState is one node of a flow definition, with per-state policy,
+	// timeout and retry overrides.
+	FlowState = flows.StateDef
+	// RunRecord is the full timing account of one flow run.
+	RunRecord = flows.RunRecord
+	// StateRecord is the engine's timing account of one executed state
+	// (the paper's Fig 4 active-vs-overhead decomposition inputs).
+	StateRecord = flows.StateRecord
+	// FlowPollStats is the engine's completion-detection effort.
+	FlowPollStats = flows.PollStats
 )
 
 // Backoff policies for the flows engine (the paper's exponential default
