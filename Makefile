@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench ci
+.PHONY: all build vet test race bench-smoke bench linkcheck ci
 
 all: ci
 
@@ -24,4 +24,9 @@ bench-smoke:
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./...
 
-ci: build vet test bench-smoke
+# Validate every relative link and anchor in the repository's Markdown
+# (dangling DESIGN.md references have bitten us before).
+linkcheck:
+	$(GO) run ./tools/linkcheck
+
+ci: build vet test bench-smoke linkcheck

@@ -591,3 +591,34 @@ func BenchmarkFlowEngineThroughput(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFederatedPlacement measures the federation layer's queue-wait
+// win under the contention workload (flows every ~12 s, ~32 s of analysis
+// per flow): "pinned-1" routes every flow to one facility — today's
+// single-implicit-backend behavior — while "federated-3" spreads the same
+// workload across three facilities of the same total node count with
+// queue-wait-aware least-ECT placement. The paper frames completion lag
+// as detection overhead; at scale the scheduler queue is the same kind of
+// latency, and placement is the lever that removes it. The reported
+// p50/p95 compute queue waits are the paper-comparable metrics.
+func BenchmarkFederatedPlacement(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		pin  bool
+	}{{"pinned-1", true}, {"federated-3", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var res *FederatedResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = RunFederatedExperiment(FederationContentionScenario(mode.pin))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(res.Runs)), "runs")
+			b.ReportMetric(res.QueueWaitP50.Seconds(), "queue_wait_p50_s")
+			b.ReportMetric(res.QueueWaitP95.Seconds(), "queue_wait_p95_s")
+			b.ReportMetric(float64(res.Placement.Failovers), "failovers")
+		})
+	}
+}

@@ -1,12 +1,19 @@
 // Command picoprobe-experiment regenerates the paper's evaluation (Table 1
 // and the Fig 4 stage decomposition) on the simulated facility, printing
-// measured values side by side with the published ones.
+// measured values side by side with the published ones. With -facilities
+// N > 1 it runs the federated evaluation instead: flows are placed across
+// N facilities by least estimated completion time (queue-wait aware),
+// with sticky placement and automatic failover; -outage takes the primary
+// facility down mid-experiment, -pin restores the single-implicit-backend
+// baseline over the same facility set, and -budget bounds the queue wait
+// a placed run tolerates before failing over.
 //
 // Usage:
 //
 //	picoprobe-experiment [-kind both|hyperspectral|spatiotemporal]
 //	    [-duration 1h] [-policy exponential|constant|linear|push]
 //	    [-split] [-noreuse] [-detail]
+//	    [-facilities 1] [-pin] [-outage] [-budget 0]
 package main
 
 import (
@@ -27,6 +34,10 @@ func main() {
 	split := flag.Bool("split", false, "run metadata extraction and image processing as separate compute states (ablation)")
 	noreuse := flag.Bool("noreuse", false, "release compute nodes after every task (ablation)")
 	detail := flag.Bool("detail", false, "print the per-stage Fig 4 decomposition")
+	facilities := flag.Int("facilities", 1, "number of simulated facilities (1-3); >1 enables federated placement")
+	pin := flag.Bool("pin", false, "pin every flow to the first facility (the single-backend baseline ablation)")
+	outage := flag.Bool("outage", false, "take the primary facility down from minute 20:30 to 40:00")
+	budget := flag.Duration("budget", 0, "queue-wait budget before a placed run fails over (0 = disabled)")
 	flag.Parse()
 
 	var pol flows.Policy
@@ -43,12 +54,31 @@ func main() {
 		log.Fatalf("unknown policy %q", *policy)
 	}
 
-	run := func(cfg core.ExperimentConfig) *core.ExperimentResult {
+	if *outage && *facilities < 2 {
+		log.Fatal("-outage requires -facilities >= 2: taking down the only facility has nowhere to fail over and simply fails the runs launched during the window")
+	}
+	if *pin && *budget > 0 {
+		log.Fatal("-pin and -budget are contradictory: budget failover re-routes pinned runs, so the numbers would no longer measure the single-backend baseline")
+	}
+	federated := *facilities > 1 || *pin || *outage || *budget > 0
+	run := func(cfg core.ExperimentConfig) *core.FederatedResult {
 		cfg.Duration = *duration
 		cfg.Policy = pol
 		cfg.SplitCompute = *split
 		cfg.DisableNodeReuse = *noreuse
-		res, err := core.RunExperiment(cfg)
+		fcfg := core.FederatedConfig{
+			ExperimentConfig: cfg,
+			Facilities:       core.DefaultFederationSpecs(*facilities),
+			QueueWaitBudget:  *budget,
+		}
+		if *outage {
+			fcfg.Facilities[0].OutageStart = 20*time.Minute + 30*time.Second
+			fcfg.Facilities[0].OutageEnd = 40 * time.Minute
+		}
+		if *pin {
+			fcfg.PinTo = fcfg.Facilities[0].ID
+		}
+		res, err := core.RunFederatedExperiment(fcfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,28 +86,37 @@ func main() {
 	}
 
 	var rows []core.Table1Row
-	var details []string
+	var details, federation []string
+	collect := func(label string, cfg core.ExperimentConfig, paper core.Table1Row) {
+		res := run(cfg)
+		rows = append(rows, res.Table1(), paper)
+		details = append(details, core.FormatStages(label, res.Stages()))
+		if federated {
+			federation = append(federation, core.FormatFacilities(res))
+		}
+	}
 	if *kind == "both" || *kind == "hyperspectral" {
-		res := run(core.HyperspectralExperiment())
-		rows = append(rows, res.Table1(), core.PaperTable1Hyperspectral)
-		details = append(details, core.FormatStages("hyperspectral", res.Stages()))
+		collect("hyperspectral", core.HyperspectralExperiment(), core.PaperTable1Hyperspectral)
 	}
 	if *kind == "both" || *kind == "spatiotemporal" {
-		res := run(core.SpatiotemporalExperiment())
-		rows = append(rows, res.Table1(), core.PaperTable1Spatiotemporal)
-		details = append(details, core.FormatStages("spatiotemporal", res.Stages()))
+		collect("spatiotemporal", core.SpatiotemporalExperiment(), core.PaperTable1Spatiotemporal)
 	}
 	if len(rows) == 0 {
 		log.Fatalf("unknown kind %q", *kind)
 	}
 
-	fmt.Printf("Simulated %v evaluation (policy=%s split=%v noreuse=%v)\n\n", *duration, *policy, *split, *noreuse)
+	fmt.Printf("Simulated %v evaluation (policy=%s split=%v noreuse=%v facilities=%d pin=%v outage=%v budget=%v)\n\n",
+		*duration, *policy, *split, *noreuse, *facilities, *pin, *outage, *budget)
 	fmt.Println(core.FormatTable1(rows...))
 	if *detail {
 		for _, d := range details {
 			fmt.Println()
 			fmt.Println(d)
 		}
+	}
+	for _, f := range federation {
+		fmt.Println()
+		fmt.Println(f)
 	}
 	os.Exit(0)
 }

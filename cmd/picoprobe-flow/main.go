@@ -5,9 +5,15 @@
 // It prints the executed DAG with per-state timings and the produced
 // artifacts.
 //
+// With -facility the transfer and compute states carry an explicit
+// facility constraint (flows.StateDef.Facility): federation-aware
+// providers honor it, and the single-facility live deployment validates
+// it against its one facility.
+//
 // Usage:
 //
-//	picoprobe-flow -kind hyperspectral -file sample.emdg [-flow fanout] [-workdir ./picoprobe-work]
+//	picoprobe-flow -kind hyperspectral -file sample.emdg [-flow fanout]
+//	    [-facility alcf-eagle] [-workdir ./picoprobe-work]
 package main
 
 import (
@@ -27,6 +33,7 @@ func main() {
 	kind := flag.String("kind", "hyperspectral", "hyperspectral or spatiotemporal")
 	file := flag.String("file", "", "EMD file to process (required)")
 	flowShape := flag.String("flow", "linear", "flow shape: linear (Transfer→Analysis→Publication) or fanout (Transfer→{Analysis∥Thumbnail}→Publication)")
+	facilityID := flag.String("facility", "", "facility constraint for the transfer/compute states (live deployments have one facility: "+core.EndpointEagle+")")
 	workdir := flag.String("workdir", "picoprobe-work", "working directory (instrument/eagle/artifact roots)")
 	flag.Parse()
 	if *file == "" {
@@ -53,6 +60,17 @@ func main() {
 		def = dep.FanOutDefinition(*kind)
 	default:
 		log.Fatalf("unknown -flow %q (want linear or fanout)", *flowShape)
+	}
+	if *facilityID != "" {
+		if *facilityID != core.EndpointEagle {
+			log.Fatalf("unknown facility %q (this live deployment has one facility: %s)", *facilityID, core.EndpointEagle)
+		}
+		for i := range def.States {
+			if def.States[i].Provider != "search" {
+				def.States[i].Facility = *facilityID
+			}
+		}
+		fmt.Printf("placement: constrained to facility %s\n", *facilityID)
 	}
 
 	// Stage the file into the instrument's transfer directory, as the

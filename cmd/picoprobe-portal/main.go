@@ -2,11 +2,14 @@
 // index snapshot and an artifact directory. With -demo it first generates
 // synthetic hyperspectral and spatiotemporal acquisitions and runs them
 // through live flows (the hyperspectral one as the fan-out DAG), so the
-// portal has records to show and /flows has run DAGs to render.
+// portal has records to show and /flows has run DAGs to render. With
+// -federation it additionally runs the simulated federated scenario
+// (three facilities, mid-experiment outage) and serves the resulting
+// per-facility load and placements under /facilities.
 //
 // Usage:
 //
-//	picoprobe-portal -demo -addr :8080
+//	picoprobe-portal -demo -federation -addr :8080
 //	picoprobe-portal -index index.jsonl -artifacts ./artifacts -addr :8080
 package main
 
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"picoprobe/internal/core"
+	"picoprobe/internal/facility"
 	"picoprobe/internal/flows"
 	"picoprobe/internal/metadata"
 	"picoprobe/internal/portal"
@@ -32,10 +36,12 @@ func main() {
 	indexPath := flag.String("index", "", "search index snapshot (JSON lines, from a previous run)")
 	artifacts := flag.String("artifacts", "picoprobe-work/artifacts", "artifact directory to serve")
 	demo := flag.Bool("demo", false, "generate demo data and run it through live flows first")
+	federation := flag.Bool("federation", false, "run the simulated federated scenario and serve /facilities")
 	flag.Parse()
 
 	index := search.NewIndex()
 	var engine *flows.Engine
+	var registry *facility.Registry
 	if *indexPath != "" {
 		f, err := os.Open(*indexPath)
 		if err != nil {
@@ -56,14 +62,26 @@ func main() {
 		index = dep.Index
 		engine = dep.Engine
 	}
+	if *federation {
+		res, err := core.RunFederatedExperiment(core.FederatedScenario())
+		if err != nil {
+			log.Fatal(err)
+		}
+		registry = res.Registry
+		fmt.Printf("federated scenario: %d runs, %d failover(s), %d re-stage(s)\n",
+			len(res.Runs), res.Placement.Failovers, res.Placement.Restages)
+	}
 
-	srv, err := portal.NewServer(portal.Config{Index: index, ArtifactRoot: *artifacts, Flows: engine})
+	srv, err := portal.NewServer(portal.Config{Index: index, ArtifactRoot: *artifacts, Flows: engine, Facilities: registry})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("portal with %d record(s) listening on %s\n", index.Count(), *addr)
 	if engine != nil {
 		fmt.Printf("flow runs under /flows\n")
+	}
+	if registry != nil {
+		fmt.Printf("facilities under /facilities\n")
 	}
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -5,15 +5,9 @@ import (
 	"math/rand"
 	"time"
 
-	"picoprobe/internal/auth"
-	"picoprobe/internal/compute"
 	"picoprobe/internal/flows"
-	"picoprobe/internal/netsim"
 	"picoprobe/internal/scheduler"
-	"picoprobe/internal/search"
-	"picoprobe/internal/sim"
 	"picoprobe/internal/stats"
-	"picoprobe/internal/transfer"
 )
 
 // Endpoint IDs of the simulated deployment.
@@ -215,154 +209,21 @@ func (j *jitterSource) factor() float64 {
 }
 
 // RunExperiment executes one simulated evaluation run and returns its
-// records. The entire virtual hour completes in milliseconds of real time.
+// records. The entire virtual hour completes in milliseconds of real
+// time. It is the N=1 degenerate case of the federation harness: the
+// federated experiment with exactly the paper's single facility produces
+// a bit-identical event timeline (same run counts, per-run runtimes and
+// per-state timings), so the Table 1 / Fig 4 reproductions are served by
+// the same code path that scales to multi-facility placement.
 func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
-	if cfg.Kind != "hyperspectral" && cfg.Kind != "spatiotemporal" {
-		return nil, fmt.Errorf("core: unknown experiment kind %q", cfg.Kind)
-	}
-	if cfg.Duration <= 0 || cfg.StartPeriod <= 0 || cfg.FileBytes <= 0 {
-		return nil, fmt.Errorf("core: experiment needs positive duration, period and file size")
-	}
-	if cfg.FanOut && cfg.SplitCompute {
-		return nil, fmt.Errorf("core: FanOut and SplitCompute are mutually exclusive")
-	}
-	p := cfg.Profile
-
-	k := sim.NewKernel()
-	issuer := auth.NewIssuer([]byte("sim-deployment"), k.Now)
-	token, err := issuer.Issue("flows@picoprobe", []string{
-		auth.ScopeTransfer, auth.ScopeCompute, auth.ScopeSearchIngest, auth.ScopeFlowsRun,
-	}, cfg.Duration*4+time.Hour)
+	res, err := RunFederatedExperiment(FederatedConfig{
+		ExperimentConfig: cfg,
+		Facilities:       DefaultFederationSpecs(1),
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	// Network: user switch -> lab backbone -> Eagle ingest.
-	net := netsim.New(k)
-	siteSwitch := net.AddLink("site-switch", p.SiteSwitchBps)
-	backbone := net.AddLink("anl-backbone", p.BackboneBps)
-	eagle := net.AddLink("eagle-ingest", p.EagleIngestBps)
-	path := []*netsim.Link{siteSwitch, backbone, eagle}
-
-	txJitter := &jitterSource{rng: rand.New(rand.NewSource(p.JitterSeed)), width: p.TransferJitter}
-	mover := &transfer.SimMover{
-		Kernel:  k,
-		Network: net,
-		RouteFor: func(src, dst *transfer.Endpoint) transfer.Route {
-			return transfer.Route{
-				Path:      path,
-				StreamCap: p.StreamCapBps * txJitter.factor(),
-				SetupTime: p.TransferSetup,
-				Streams:   cfg.ParallelStreams,
-			}
-		},
-	}
-	tsvc := transfer.NewService(issuer, mover, k.Now, transfer.Options{})
-	tsvc.RegisterEndpoint(transfer.Endpoint{ID: EndpointInstrument, Name: "PicoProbe user machine"})
-	tsvc.RegisterEndpoint(transfer.Endpoint{ID: EndpointEagle, Name: "ALCF Eagle"})
-
-	sched := scheduler.New(k, scheduler.Config{
-		Nodes:          p.PolarisNodes,
-		ProvisionDelay: p.ProvisionDelay,
-		CacheWarmup:    p.CacheWarmup,
-		IdleTimeout:    p.NodeIdleTimeout,
-		ReuseNodes:     !cfg.DisableNodeReuse,
-	})
-	cmpJitter := &jitterSource{rng: rand.New(rand.NewSource(p.JitterSeed + 1)), width: p.ComputeJitter}
-	registry := compute.NewRegistry()
-	costFor := func(rate float64) func(compute.Args) time.Duration {
-		return func(args compute.Args) time.Duration {
-			bytes, _ := args["bytes"].(float64)
-			d := p.AnalysisBase + time.Duration(bytes/rate*float64(time.Second))
-			return time.Duration(float64(d) * cmpJitter.factor())
-		}
-	}
-	registry.Register(compute.Function{Name: FnHyperspectral, Env: ComputeEnv, Cost: costFor(p.HyperspectralBps)})
-	registry.Register(compute.Function{Name: FnSpatiotemporal, Env: ComputeEnv, Cost: costFor(p.SpatiotemporalBps)})
-	registry.Register(compute.Function{Name: FnMetadataOnly, Env: ComputeEnv, Cost: costFor(p.MetadataOnlyBps)})
-	registry.Register(compute.Function{Name: FnImageOnlyHS, Env: ComputeEnv, Cost: costFor(p.HyperspectralBps)})
-	registry.Register(compute.Function{Name: FnThumbnail, Env: ComputeEnv, Cost: costFor(p.ThumbnailBps)})
-	csvc := compute.NewService(issuer, registry, &compute.SchedExecutor{Sched: sched}, k.Now)
-
-	index := search.NewIndex()
-	sprov := NewSearchProvider(k, issuer, index, p.PublishCost)
-
-	engine := flows.NewEngine(k, flows.Options{
-		Policy:          cfg.Policy,
-		StateOverhead:   p.StateOverhead,
-		StatusLatency:   p.StatusLatency,
-		MaxStateRetries: 2,
-	})
-	engine.RegisterProvider(NewTransferProvider(tsvc))
-	engine.RegisterProvider(NewComputeProvider(csvc))
-	engine.RegisterProvider(sprov)
-
-	def := SimDefinition(cfg.Kind, cfg.SplitCompute)
-	if cfg.FanOut {
-		def = FanOutSimDefinition(cfg.Kind)
-	}
-
-	// Wire bytes shrink when on-instrument compression is enabled (paper
-	// future work); the compression pass itself costs user-machine time
-	// in each generation cycle.
-	wireBytes := float64(cfg.FileBytes)
-	var compressTime time.Duration
-	if cfg.CompressionRatio > 0 {
-		wireBytes *= cfg.CompressionRatio
-		bps := cfg.CompressionBps
-		if bps <= 0 {
-			bps = 60e6 // a typical single-core lz-class compressor
-		}
-		compressTime = time.Duration(float64(cfg.FileBytes) / bps * float64(time.Second))
-	}
-
-	// The periodic copy application (paper Sec 3.3): each cycle stages a
-	// file into the watched transfer directory (size/StagingBps), pays the
-	// fixed watcher-settle and flow-start costs, launches the flow, then
-	// sleeps the nominal start period.
-	start := k.Now()
-	k.Spawn("copy-app", func(ctx sim.Context) {
-		runIdx := 0
-		for {
-			staging := time.Duration(float64(cfg.FileBytes)/p.StagingBps*float64(time.Second)) + p.CycleFixed
-			ctx.Sleep(staging + compressTime)
-			if ctx.Now().Sub(start) > cfg.Duration {
-				return
-			}
-			input := map[string]any{
-				"rel_path": fmt.Sprintf("%s-%04d.emdg", cfg.Kind, runIdx),
-				// bytes on the wire (post-compression) vs bytes the
-				// analysis must still chew through.
-				"bytes":          wireBytes,
-				"analysis_bytes": float64(cfg.FileBytes),
-				"run_idx":        runIdx,
-				"started":        ctx.Now().Format(time.RFC3339Nano),
-			}
-			if _, err := engine.Run(token, def, input, nil); err != nil {
-				panic(err) // configuration error; surfaced via kernel.Err
-			}
-			runIdx++
-			ctx.Sleep(cfg.StartPeriod)
-		}
-	})
-
-	k.Run()
-	if err := k.Err(); err != nil {
-		return nil, err
-	}
-	runs := engine.Runs()
-	for _, run := range runs {
-		if run.Status == flows.StateActive {
-			return nil, fmt.Errorf("core: run %s never completed", run.RunID)
-		}
-	}
-	return &ExperimentResult{
-		Config:         cfg,
-		Runs:           runs,
-		IndexedRecords: index.Count(),
-		SchedulerStats: sched.Stats(),
-		PollStats:      engine.PollStats(),
-	}, nil
+	return &res.ExperimentResult, nil
 }
 
 // simFlowName returns the flow and fused-analysis function names for one
@@ -372,25 +233,6 @@ func simFlowName(kind string) (flowName, fn string) {
 		return FlowSpatiotemporal, FnSpatiotemporal
 	}
 	return FlowHyperspectral, FnHyperspectral
-}
-
-// simTransferState is the shared Data Transfer step of the simulated
-// flows; its params are built through the typed codec.
-func simTransferState() flows.StateDef {
-	return flows.StateDef{
-		Name:     "Transfer",
-		Provider: "transfer",
-		Params: func(input map[string]any, _ flows.Results) map[string]any {
-			rel, _ := input["rel_path"].(string)
-			bytes, _ := input["bytes"].(float64)
-			return flows.Pack(TransferParams{
-				Src:     EndpointInstrument,
-				Dst:     EndpointEagle,
-				RelPath: rel,
-				Bytes:   int64(bytes),
-			})
-		},
-	}
 }
 
 // simPublishState is the shared Data Publication step.
@@ -403,78 +245,6 @@ func simPublishState(kind string, after ...string) flows.StateDef {
 			entry := fmt.Sprintf(`{"id":"sim-%s-%v","text":"%s simulated run","date":%q,"fields":{"kind":%q}}`,
 				kind, input["run_idx"], kind, input["started"], kind)
 			return flows.Pack(SearchParams{EntryJSON: entry})
-		},
-	}
-}
-
-// simComputeState builds one compute step invoking fn on the staged
-// file's (uncompressed) byte count.
-func simComputeState(name, fn string, after ...string) flows.StateDef {
-	return flows.StateDef{
-		Name:     name,
-		Provider: "compute",
-		After:    after,
-		Params: func(input map[string]any, _ flows.Results) map[string]any {
-			bytes := input["bytes"]
-			if ab, ok := input["analysis_bytes"]; ok {
-				bytes = ab
-			}
-			return flows.Pack(ComputeParams{
-				Function: fn,
-				Args:     compute.Args{"bytes": bytes, "rel_path": input["rel_path"]},
-			})
-		},
-	}
-}
-
-// SimDefinition builds the simulated flow definition for one use case. The
-// three states mirror the paper's Data Transfer → Data Analysis → Data
-// Publication pipeline; with split=true the analysis stage is divided into
-// separate metadata-extraction and image-processing functions (the
-// configuration the paper avoided by fusing them). Both shapes declare no
-// dependencies and run as ordered lists through the v1 shim.
-func SimDefinition(kind string, split bool) flows.Definition {
-	flowName, fn := simFlowName(kind)
-	if !split {
-		return flows.Definition{
-			Name: flowName,
-			States: []flows.StateDef{
-				simTransferState(),
-				simComputeState("Analysis", fn),
-				simPublishState(kind),
-			},
-		}
-	}
-	imageFn := FnImageOnlyHS
-	if kind == "spatiotemporal" {
-		imageFn = FnSpatiotemporal
-	}
-	return flows.Definition{
-		Name: flowName + "-split",
-		States: []flows.StateDef{
-			simTransferState(),
-			simComputeState("MetadataExtraction", FnMetadataOnly),
-			simComputeState("Analysis", imageFn),
-			simPublishState(kind),
-		},
-	}
-}
-
-// FanOutSimDefinition builds the DAG flow the v1 ordered-list API could
-// not express: after the transfer lands, the full analysis and a
-// lightweight thumbnail render run concurrently on the same file, and
-// the publication fans both results back in.
-//
-//	Transfer → {Analysis ∥ Thumbnail} → Publication
-func FanOutSimDefinition(kind string) flows.Definition {
-	flowName, fn := simFlowName(kind)
-	return flows.Definition{
-		Name: flowName + "-fanout",
-		States: []flows.StateDef{
-			simTransferState(),
-			simComputeState("Analysis", fn, "Transfer"),
-			simComputeState("Thumbnail", FnThumbnail, "Transfer"),
-			simPublishState(kind, "Analysis", "Thumbnail"),
 		},
 	}
 }

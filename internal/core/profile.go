@@ -3,8 +3,11 @@
 // services (transfer, compute, search, flows) into the two production data
 // flows — hyperspectral and spatiotemporal — provides the real analysis
 // functions those flows execute, and contains the experiment harness that
-// regenerates the paper's evaluation (Table 1 and Fig 4) on the simulated
-// facility.
+// regenerates the paper's evaluation (Table 1 and Fig 4). The simulated
+// harness is federated (RunFederatedExperiment): N facilities share the
+// flow load through queue-wait-aware placement with sticky runs, failover
+// and re-stage accounting, and RunExperiment is its bit-identical N=1
+// degenerate case.
 package core
 
 import "time"
@@ -68,6 +71,14 @@ type Profile struct {
 	// PublishCost is the search-ingest action's service-side time.
 	PublishCost time.Duration
 
+	// --- federation (multi-facility placement) ---
+
+	// InterFacilityBps is the effective facility-to-facility transfer rate
+	// used to charge re-staging when a run fails over after its data
+	// landed elsewhere (an ESnet-class path shared with production
+	// traffic, so well below the 200 Gbps backbone).
+	InterFacilityBps float64
+
 	// --- orchestration ---
 
 	// StateOverhead is per-state flow-service cost (state evaluation,
@@ -119,6 +130,8 @@ func DefaultProfile() Profile {
 		MetadataOnlyBps:   150e6,
 		ThumbnailBps:      120e6,
 		PublishCost:       time.Second,
+
+		InterFacilityBps: 400e6,
 
 		StateOverhead: 4500 * time.Millisecond,
 		StatusLatency: 100 * time.Millisecond,

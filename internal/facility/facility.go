@@ -1,0 +1,186 @@
+// Package facility is the multi-facility federation layer: it models N
+// compute facilities (each with its own batch-scheduled node pool, network
+// path from the instrument, and planned outage windows) and places flow
+// work across them. The placement policy is least-estimated-completion-time
+// over live queue-wait statistics (scheduler.Scheduler.EstimateWait), with
+// sticky placement for multi-state runs so data staged at one facility is
+// not re-staged gratuitously, and automatic failover to the next-best
+// facility when a run's target is down or its queue-wait estimate exceeds
+// the configured budget — the queue-wait-aware federation strategy of
+// Bicer et al. and the transfer-failover resilience of Welborn et al.
+// (PAPERS.md). With a single registered facility the registry degenerates
+// to today's pinned behavior: every decision lands on that facility and
+// the event timeline is unchanged.
+package facility
+
+import (
+	"fmt"
+	"time"
+
+	"picoprobe/internal/netsim"
+	"picoprobe/internal/scheduler"
+	"picoprobe/internal/sim"
+)
+
+// Window is a half-open interval [Start, End) during which a facility is
+// unreachable: no new placements are routed to it, and runs placed there
+// fail over at their next state entry. Work already executing drains
+// normally (in-flight transfers and jobs complete).
+type Window struct {
+	Start, End time.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t time.Time) bool {
+	return !t.Before(w.Start) && t.Before(w.End)
+}
+
+// Config describes one facility.
+type Config struct {
+	// ID uniquely names the facility; it doubles as the default transfer
+	// endpoint ID.
+	ID string
+	// Name is the human-readable label.
+	Name string
+	// Endpoint is the transfer endpoint ID data lands on (default: ID).
+	Endpoint string
+	// Sched sizes the facility's compute node pool.
+	Sched scheduler.Config
+	// Path is the network route from the instrument to the facility's
+	// storage ingest.
+	Path []*netsim.Link
+	// StreamCapBps is the effective per-transfer stream throughput toward
+	// this facility.
+	StreamCapBps float64
+	// TransferSetup is the per-task fixed transfer cost.
+	TransferSetup time.Duration
+	// Outages lists planned unavailability windows.
+	Outages []Window
+}
+
+// Facility is one member of a federation: a compute pool plus the network
+// profile used to reach it.
+type Facility struct {
+	cfg Config
+	// Sched is the facility's batch scheduler; the compute executor for
+	// this facility submits jobs to it.
+	Sched *scheduler.Scheduler
+}
+
+// New builds a facility and its scheduler on the given runtime.
+func New(rt sim.Runtime, cfg Config) (*Facility, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("facility: config missing ID")
+	}
+	if cfg.Endpoint == "" {
+		cfg.Endpoint = cfg.ID
+	}
+	if cfg.Name == "" {
+		cfg.Name = cfg.ID
+	}
+	return &Facility{cfg: cfg, Sched: scheduler.New(rt, cfg.Sched)}, nil
+}
+
+// ID returns the facility's unique identifier.
+func (f *Facility) ID() string { return f.cfg.ID }
+
+// Name returns the facility's display name.
+func (f *Facility) Name() string { return f.cfg.Name }
+
+// Endpoint returns the transfer endpoint ID data lands on.
+func (f *Facility) Endpoint() string { return f.cfg.Endpoint }
+
+// Path returns the network route from the instrument to the facility.
+func (f *Facility) Path() []*netsim.Link { return f.cfg.Path }
+
+// StreamCap returns the per-transfer stream cap in bits per second.
+func (f *Facility) StreamCap() float64 { return f.cfg.StreamCapBps }
+
+// TransferSetup returns the fixed per-task transfer cost.
+func (f *Facility) TransferSetup() time.Duration { return f.cfg.TransferSetup }
+
+// Up reports whether the facility is reachable at t (outside every outage
+// window).
+func (f *Facility) Up(t time.Time) bool {
+	for _, w := range f.cfg.Outages {
+		if w.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// EstimateTransfer returns the uncontended lower bound for moving bytes to
+// this facility: the fixed setup cost plus the stream-cap-limited wire
+// time. The placement policy uses it as the transfer half of the
+// estimated completion time.
+func (f *Facility) EstimateTransfer(bytes int64) time.Duration {
+	d := f.cfg.TransferSetup
+	if bytes > 0 && f.cfg.StreamCapBps > 0 {
+		d += time.Duration(float64(bytes) * 8 / f.cfg.StreamCapBps * float64(time.Second))
+	}
+	return d
+}
+
+// Status is a point-in-time snapshot of one facility, as served by the
+// portal's /facilities view.
+type Status struct {
+	ID       string       `json:"id"`
+	Name     string       `json:"name"`
+	Up       bool         `json:"up"`
+	Nodes    int          `json:"nodes"`
+	Busy     int          `json:"busy"`
+	Idle     int          `json:"idle"`
+	Queued   int          `json:"queue_depth"`
+	EstWaitS float64      `json:"est_queue_wait_s"`
+	JobsRun  int          `json:"jobs_run"`
+	Waits    WaitSummary  `json:"queue_wait"`
+	Placed   int          `json:"placements"`
+	Failed   int          `json:"failovers_from"`
+	Stream   float64      `json:"stream_cap_bps"`
+	Outages  []WindowJSON `json:"outages,omitempty"`
+}
+
+// WaitSummary is the queue-wait distribution of completed jobs.
+type WaitSummary struct {
+	P50S float64 `json:"p50_s"`
+	P95S float64 `json:"p95_s"`
+	MaxS float64 `json:"max_s"`
+}
+
+// WindowJSON is a Window with wire-friendly timestamps.
+type WindowJSON struct {
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// snapshot builds the facility's Status at time now.
+func (f *Facility) snapshot(now time.Time, placed, failedFrom int) Status {
+	st := f.Sched.Stats()
+	w := f.Sched.QueueWaits()
+	out := Status{
+		ID:       f.cfg.ID,
+		Name:     f.cfg.Name,
+		Up:       f.Up(now),
+		Nodes:    st.Busy + st.Idle + st.Cold + st.Provisioning,
+		Busy:     st.Busy,
+		Idle:     st.Idle,
+		Queued:   st.Queued,
+		EstWaitS: f.Sched.EstimateWait().Seconds(),
+		JobsRun:  st.JobsRun,
+		Placed:   placed,
+		Failed:   failedFrom,
+		Stream:   f.cfg.StreamCapBps,
+	}
+	if w.Count() > 0 {
+		out.Waits = WaitSummary{
+			P50S: w.Percentile(50).Seconds(),
+			P95S: w.Percentile(95).Seconds(),
+			MaxS: w.Max().Seconds(),
+		}
+	}
+	for _, o := range f.cfg.Outages {
+		out.Outages = append(out.Outages, WindowJSON{Start: o.Start, End: o.End})
+	}
+	return out
+}

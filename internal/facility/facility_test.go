@@ -1,0 +1,323 @@
+package facility
+
+import (
+	"testing"
+	"time"
+
+	"picoprobe/internal/scheduler"
+	"picoprobe/internal/sim"
+)
+
+func testFacility(t *testing.T, rt sim.Runtime, id string, nodes int, streamCap float64, outages ...Window) *Facility {
+	t.Helper()
+	f, err := New(rt, Config{
+		ID:   id,
+		Name: id,
+		Sched: scheduler.Config{
+			Nodes:          nodes,
+			ProvisionDelay: 45 * time.Second,
+			CacheWarmup:    30 * time.Second,
+			ReuseNodes:     true,
+		},
+		StreamCapBps:  streamCap,
+		TransferSetup: 2 * time.Second,
+		Outages:       outages,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRegistryValidation(t *testing.T) {
+	k := sim.NewKernel()
+	if _, err := New(k, Config{}); err == nil {
+		t.Error("facility without ID accepted")
+	}
+	r := NewRegistry(k, 0)
+	a := testFacility(t, k, "a", 1, 80e6)
+	if err := r.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(testFacility(t, k, "a", 1, 80e6)); err == nil {
+		t.Error("duplicate facility accepted")
+	}
+	if _, err := r.Place("run-1", "nowhere", 0); err == nil {
+		t.Error("unknown constraint accepted")
+	}
+}
+
+func TestLeastECTPlacementPrefersFasterLink(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, 0)
+	fast := testFacility(t, k, "fast", 1, 80e6)
+	slow := testFacility(t, k, "slow", 1, 20e6)
+	r.Add(fast)
+	r.Add(slow)
+	dec, err := r.Place("run-1", "", 91_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Facility.ID() != "fast" || dec.Reason != ReasonLeastECT {
+		t.Errorf("decision = %s/%s, want fast/least-ect", dec.Facility.ID(), dec.Reason)
+	}
+}
+
+func TestLeastECTPlacementAvoidsQueuedFacility(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, 0)
+	a := testFacility(t, k, "a", 1, 80e6)
+	b := testFacility(t, k, "b", 1, 80e6)
+	r.Add(a)
+	r.Add(b)
+	// Back up facility a with a long job plus a queued one.
+	a.Sched.Submit("e", 10*time.Minute, func(scheduler.JobReport) {})
+	a.Sched.Submit("e", 10*time.Minute, func(scheduler.JobReport) {})
+	dec, err := r.Place("run-1", "", 91_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Facility.ID() != "b" {
+		t.Errorf("placed at %s despite a's queue", dec.Facility.ID())
+	}
+	k.Run()
+}
+
+func TestStickyPlacementAcrossStates(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, 0)
+	r.Add(testFacility(t, k, "a", 1, 80e6))
+	r.Add(testFacility(t, k, "b", 1, 80e6))
+	first, err := r.Place("run-1", "", 91_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Place("run-1", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Facility.ID() != first.Facility.ID() || second.Reason != ReasonSticky {
+		t.Errorf("second state moved: %s/%s", second.Facility.ID(), second.Reason)
+	}
+}
+
+func TestConstraintWinsOverBestChoice(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, 0)
+	r.Add(testFacility(t, k, "fast", 1, 80e6))
+	r.Add(testFacility(t, k, "slow", 1, 10e6))
+	dec, err := r.Place("run-1", "slow", 91_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Facility.ID() != "slow" || dec.Reason != ReasonConstraint {
+		t.Errorf("decision = %s/%s, want slow/constraint", dec.Facility.ID(), dec.Reason)
+	}
+}
+
+func TestOutageFailoverAndReturn(t *testing.T) {
+	k := sim.NewKernel()
+	epoch := k.Now()
+	out := Window{Start: epoch.Add(10 * time.Minute), End: epoch.Add(20 * time.Minute)}
+	r := NewRegistry(k, 0)
+	a := testFacility(t, k, "a", 1, 80e6, out)
+	b := testFacility(t, k, "b", 1, 20e6)
+	r.Add(a)
+	r.Add(b)
+
+	// Before the outage the run lands on a (faster link).
+	dec, _ := r.Place("run-1", "", 91_000_000)
+	if dec.Facility.ID() != "a" {
+		t.Fatalf("initial placement = %s", dec.Facility.ID())
+	}
+	// Inside the window a sticky state fails over to b.
+	k.RunFor(15 * time.Minute)
+	dec, err := r.Place("run-1", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Facility.ID() != "b" || dec.Reason != ReasonFailoverOutage || dec.From != "a" {
+		t.Errorf("failover decision = %+v", dec)
+	}
+	// The sticky placement moved with the failover.
+	dec, _ = r.Place("run-1", "", 0)
+	if dec.Facility.ID() != "b" || dec.Reason != ReasonSticky {
+		t.Errorf("post-failover decision = %s/%s", dec.Facility.ID(), dec.Reason)
+	}
+	// Fresh runs during the window avoid a entirely.
+	dec, _ = r.Place("run-2", "", 91_000_000)
+	if dec.Facility.ID() != "b" {
+		t.Errorf("fresh placement during outage = %s", dec.Facility.ID())
+	}
+	// After the window new runs return to a.
+	k.RunFor(10 * time.Minute)
+	dec, _ = r.Place("run-3", "", 91_000_000)
+	if dec.Facility.ID() != "a" {
+		t.Errorf("post-outage placement = %s", dec.Facility.ID())
+	}
+	st := r.Stats()
+	if st.Failovers != 1 || st.OutageFailovers != 1 || st.FailoversFrom["a"] != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBudgetFailover(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, time.Minute)
+	a := testFacility(t, k, "a", 1, 80e6)
+	b := testFacility(t, k, "b", 1, 80e6)
+	r.Add(a)
+	r.Add(b)
+	dec, _ := r.Place("run-1", "", 91_000_000)
+	if dec.Facility.ID() != "a" {
+		t.Fatalf("initial placement = %s", dec.Facility.ID())
+	}
+	// Blow a's queue-wait estimate past the one-minute budget.
+	for i := 0; i < 3; i++ {
+		a.Sched.Submit("e", 10*time.Minute, func(scheduler.JobReport) {})
+	}
+	dec, err := r.Place("run-1", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Facility.ID() != "b" || dec.Reason != ReasonFailoverBudget || dec.From != "a" {
+		t.Errorf("budget failover decision = %+v", dec)
+	}
+	if st := r.Stats(); st.BudgetFailovers != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	k.Run()
+}
+
+// TestBudgetFailoverDeclinesWorseDestination: exceeding the budget does
+// not justify moving to a facility whose queue is even longer — the run
+// stays put instead of paying a re-stage for a worse wait.
+func TestBudgetFailoverDeclinesWorseDestination(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, time.Minute)
+	a := testFacility(t, k, "a", 1, 80e6)
+	b := testFacility(t, k, "b", 1, 80e6)
+	r.Add(a)
+	r.Add(b)
+	dec, _ := r.Place("run-1", "", 91_000_000)
+	if dec.Facility.ID() != "a" {
+		t.Fatalf("initial placement = %s", dec.Facility.ID())
+	}
+	// a goes over budget; b is backed up even further.
+	for i := 0; i < 3; i++ {
+		a.Sched.Submit("e", 10*time.Minute, func(scheduler.JobReport) {})
+	}
+	for i := 0; i < 6; i++ {
+		b.Sched.Submit("e", 10*time.Minute, func(scheduler.JobReport) {})
+	}
+	dec, err := r.Place("run-1", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Facility.ID() != "a" || dec.Reason != ReasonSticky {
+		t.Errorf("decision = %s/%s, want a/sticky (b is worse)", dec.Facility.ID(), dec.Reason)
+	}
+	if st := r.Stats(); st.Failovers != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	k.Run()
+}
+
+func TestBudgetFailoverStaysPutWhenAlone(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, time.Minute)
+	a := testFacility(t, k, "a", 1, 80e6)
+	r.Add(a)
+	r.Place("run-1", "", 91_000_000)
+	for i := 0; i < 3; i++ {
+		a.Sched.Submit("e", 10*time.Minute, func(scheduler.JobReport) {})
+	}
+	// Over budget but nowhere else to go: the run stays.
+	dec, err := r.Place("run-1", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Facility.ID() != "a" || dec.Reason != ReasonSticky {
+		t.Errorf("decision = %s/%s, want a/sticky", dec.Facility.ID(), dec.Reason)
+	}
+	if st := r.Stats(); st.Failovers != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	k.Run()
+}
+
+func TestAllFacilitiesDown(t *testing.T) {
+	k := sim.NewKernel()
+	epoch := k.Now()
+	out := Window{Start: epoch, End: epoch.Add(time.Hour)}
+	r := NewRegistry(k, 0)
+	r.Add(testFacility(t, k, "a", 1, 80e6, out))
+	if _, err := r.Place("run-1", "", 0); err == nil {
+		t.Error("placement succeeded with every facility down")
+	}
+}
+
+func TestLandingTracksRestageSource(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, 0)
+	r.Add(testFacility(t, k, "a", 1, 80e6))
+	r.Add(testFacility(t, k, "b", 1, 80e6))
+	if got := r.Landed("run-1"); got != "" {
+		t.Errorf("landed before any transfer = %q", got)
+	}
+	// Moving before anything landed is a no-op (nothing to re-stage).
+	if from, moved := r.MoveLanding("run-1", "b"); moved || from != "" {
+		t.Errorf("move before landing = (%q, %v)", from, moved)
+	}
+	r.RecordLanding("run-1", "a")
+	if got := r.Landed("run-1"); got != "a" {
+		t.Errorf("landed = %q", got)
+	}
+	// First move re-stages and reports the source exactly once.
+	if from, moved := r.MoveLanding("run-1", "b"); !moved || from != "a" {
+		t.Errorf("move = (%q, %v), want (a, true)", from, moved)
+	}
+	// A concurrent sibling arriving at the same facility must not charge
+	// a second re-stage.
+	if _, moved := r.MoveLanding("run-1", "b"); moved {
+		t.Error("duplicate move charged a second re-stage")
+	}
+	if st := r.Stats(); st.Restages != 1 {
+		t.Errorf("restages = %d, want 1", st.Restages)
+	}
+}
+
+func TestSnapshotReflectsLoadAndOutage(t *testing.T) {
+	k := sim.NewKernel()
+	epoch := k.Now()
+	out := Window{Start: epoch, End: epoch.Add(time.Hour)}
+	r := NewRegistry(k, 0)
+	a := testFacility(t, k, "a", 2, 80e6)
+	b := testFacility(t, k, "b", 1, 20e6, out)
+	r.Add(a)
+	r.Add(b)
+	r.Place("run-1", "", 91_000_000)
+	a.Sched.Submit("e", 10*time.Second, func(scheduler.JobReport) {})
+	a.Sched.Submit("e", 10*time.Second, func(scheduler.JobReport) {})
+	a.Sched.Submit("e", 10*time.Second, func(scheduler.JobReport) {})
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot size = %d", len(snap))
+	}
+	// All three jobs are still queued at t=0 while the two cold nodes
+	// provision on their behalf.
+	if snap[0].ID != "a" || !snap[0].Up || snap[0].Nodes != 2 || snap[0].Queued != 3 {
+		t.Errorf("a status = %+v", snap[0])
+	}
+	if snap[0].Placed != 1 {
+		t.Errorf("a placements = %d", snap[0].Placed)
+	}
+	if snap[1].ID != "b" || snap[1].Up || len(snap[1].Outages) != 1 {
+		t.Errorf("b status = %+v", snap[1])
+	}
+	k.Run()
+	snap = r.Snapshot()
+	if snap[0].JobsRun != 3 || snap[0].Waits.MaxS <= 0 {
+		t.Errorf("post-run a status = %+v", snap[0])
+	}
+}

@@ -1,0 +1,290 @@
+package facility
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"picoprobe/internal/sim"
+)
+
+// Reason explains a placement decision.
+type Reason string
+
+// Placement reasons.
+const (
+	// ReasonLeastECT is a fresh placement by minimum estimated completion
+	// time (transfer estimate + queue-wait estimate).
+	ReasonLeastECT Reason = "least-ect"
+	// ReasonSticky keeps a run at its previously placed facility.
+	ReasonSticky Reason = "sticky"
+	// ReasonConstraint honors an explicit facility constraint.
+	ReasonConstraint Reason = "constraint"
+	// ReasonFailoverOutage re-routes because the target facility is down.
+	ReasonFailoverOutage Reason = "failover-outage"
+	// ReasonFailoverBudget re-routes because the target's queue-wait
+	// estimate exceeds the budget.
+	ReasonFailoverBudget Reason = "failover-budget"
+)
+
+// Decision is the outcome of one placement call.
+type Decision struct {
+	Facility *Facility
+	Reason   Reason
+	// Wait is the chosen facility's queue-wait estimate at decision time.
+	Wait time.Duration
+	// From names the facility the run was re-routed away from (failovers
+	// only).
+	From string
+}
+
+// Stats aggregates registry activity.
+type Stats struct {
+	// Decisions counts Place calls.
+	Decisions int
+	// Failovers counts re-routed placements, split by cause.
+	Failovers       int
+	OutageFailovers int
+	BudgetFailovers int
+	// Restages counts runs whose staged data had to move to another
+	// facility after a failover.
+	Restages int
+	// RunsByFacility counts distinct runs routed to each facility; a run
+	// that fails over is counted at both its facilities.
+	RunsByFacility map[string]int
+	// FailoversFrom counts re-routes away from each facility.
+	FailoversFrom map[string]int
+}
+
+// Registry holds the federation's facilities and places runs across them.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu     sync.Mutex
+	rt     sim.Runtime
+	budget time.Duration
+	order  []*Facility
+	byID   map[string]*Facility
+	sticky map[string]string // run key -> facility ID
+	landed map[string]string // run key -> facility holding its staged data
+	stats  Stats
+}
+
+// NewRegistry returns an empty registry. budget bounds the queue-wait
+// estimate a sticky or constrained target may accumulate before the run
+// fails over to the next-best facility; 0 disables budget failover.
+func NewRegistry(rt sim.Runtime, budget time.Duration) *Registry {
+	return &Registry{
+		rt:     rt,
+		budget: budget,
+		byID:   map[string]*Facility{},
+		sticky: map[string]string{},
+		landed: map[string]string{},
+		stats: Stats{
+			RunsByFacility: map[string]int{},
+			FailoversFrom:  map[string]int{},
+		},
+	}
+}
+
+// Add registers a facility. Registration order breaks placement ties.
+func (r *Registry) Add(f *Facility) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byID[f.ID()]; dup {
+		return fmt.Errorf("facility: duplicate facility %q", f.ID())
+	}
+	r.byID[f.ID()] = f
+	r.order = append(r.order, f)
+	return nil
+}
+
+// Get looks up a facility by ID.
+func (r *Registry) Get(id string) (*Facility, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byID[id]
+	return f, ok
+}
+
+// Facilities returns the registered facilities in registration order.
+func (r *Registry) Facilities() []*Facility {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Facility(nil), r.order...)
+}
+
+// Place decides where one flow state of run runKey executes. constraint,
+// when non-empty, pins the state to a named facility; otherwise the run's
+// sticky placement is reused, and a run seen for the first time is placed
+// at the facility with the least estimated completion time for moving
+// bytes and queueing a job. A sticky or constrained target that is down,
+// or whose queue-wait estimate exceeds the budget, triggers failover to
+// the next-best up facility (re-routing is recorded and the run's sticky
+// placement moves with it); a budget violation moves the run only when
+// the destination is itself under budget and waiting less, since a
+// re-route also costs a re-stage. Place returns an error only when every
+// facility is down.
+func (r *Registry) Place(runKey, constraint string, bytes int64) (Decision, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Decisions++
+	now := r.rt.Now()
+
+	want, reason := "", Reason("")
+	if constraint != "" {
+		want, reason = constraint, ReasonConstraint
+	} else if id, ok := r.sticky[runKey]; ok {
+		want, reason = id, ReasonSticky
+	}
+	if want != "" {
+		f, ok := r.byID[want]
+		if !ok {
+			return Decision{}, fmt.Errorf("facility: unknown facility %q", want)
+		}
+		wait := f.Sched.EstimateWait()
+		if f.Up(now) && (r.budget <= 0 || wait <= r.budget) {
+			r.commitLocked(runKey, f)
+			return Decision{Facility: f, Reason: reason, Wait: wait}, nil
+		}
+		// Failover: the target is down or over budget.
+		why := ReasonFailoverOutage
+		if f.Up(now) {
+			why = ReasonFailoverBudget
+		}
+		best, bestWait := r.bestLocked(now, bytes, want)
+		if why == ReasonFailoverBudget && best != nil {
+			// A budget violation only justifies moving when the
+			// destination is actually better: under the budget itself and
+			// waiting less than the over-budget target. Re-routing to a
+			// facility with an even longer queue would add a re-stage on
+			// top of a worse wait.
+			if bestWait > r.budget || bestWait >= wait {
+				best = nil
+			}
+		}
+		if best == nil {
+			if why == ReasonFailoverBudget {
+				// Nowhere better to go: stay put rather than stall the run.
+				r.commitLocked(runKey, f)
+				return Decision{Facility: f, Reason: reason, Wait: wait}, nil
+			}
+			return Decision{}, fmt.Errorf("facility: all facilities down at %v", now)
+		}
+		r.stats.Failovers++
+		if why == ReasonFailoverOutage {
+			r.stats.OutageFailovers++
+		} else {
+			r.stats.BudgetFailovers++
+		}
+		r.stats.FailoversFrom[want]++
+		r.commitLocked(runKey, best)
+		return Decision{Facility: best, Reason: why, Wait: bestWait, From: want}, nil
+	}
+
+	best, bestWait := r.bestLocked(now, bytes, "")
+	if best == nil {
+		return Decision{}, fmt.Errorf("facility: all facilities down at %v", now)
+	}
+	r.commitLocked(runKey, best)
+	return Decision{Facility: best, Reason: ReasonLeastECT, Wait: bestWait}, nil
+}
+
+// bestLocked returns the up facility (excluding exclude) with the least
+// estimated completion time and its queue-wait component, or nil when
+// none is up. Ties go to registration order. EstimateWait is an
+// O(queue × nodes) replay, so the wait is computed once per candidate
+// and returned for reuse.
+func (r *Registry) bestLocked(now time.Time, bytes int64, exclude string) (*Facility, time.Duration) {
+	var best *Facility
+	var bestECT, bestWait time.Duration
+	for _, f := range r.order {
+		if f.ID() == exclude || !f.Up(now) {
+			continue
+		}
+		wait := f.Sched.EstimateWait()
+		ect := f.EstimateTransfer(bytes) + wait
+		if best == nil || ect < bestECT {
+			best, bestECT, bestWait = f, ect, wait
+		}
+	}
+	return best, bestWait
+}
+
+// commitLocked records the run's (possibly new) sticky placement.
+func (r *Registry) commitLocked(runKey string, f *Facility) {
+	if r.sticky[runKey] != f.ID() {
+		r.sticky[runKey] = f.ID()
+		r.stats.RunsByFacility[f.ID()]++
+	}
+}
+
+// RecordLanding notes that runKey's staged data now lives at facilityID
+// (the transfer provider's initial landing), so later states can detect
+// cross-facility re-staging. Re-stages themselves go through MoveLanding,
+// which also does the accounting.
+func (r *Registry) RecordLanding(runKey, facilityID string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.landed[runKey] = facilityID
+}
+
+// Landed returns the facility holding runKey's staged data ("" if none).
+func (r *Registry) Landed(runKey string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.landed[runKey]
+}
+
+// MoveLanding atomically relocates runKey's staged data to facilityID and
+// reports where it moved from. It returns moved=false — and records
+// nothing — when no data has landed yet or it already lives there, so
+// concurrent states of one run (a fan-out's parallel branches) charge at
+// most one re-stage per physical move.
+func (r *Registry) MoveLanding(runKey, facilityID string) (from string, moved bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.landed[runKey]
+	if !ok || old == facilityID {
+		return "", false
+	}
+	r.landed[runKey] = facilityID
+	r.stats.Restages++
+	return old, true
+}
+
+// Stats returns a copy of the registry's placement counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.stats
+	out.RunsByFacility = make(map[string]int, len(r.stats.RunsByFacility))
+	for k, v := range r.stats.RunsByFacility {
+		out.RunsByFacility[k] = v
+	}
+	out.FailoversFrom = make(map[string]int, len(r.stats.FailoversFrom))
+	for k, v := range r.stats.FailoversFrom {
+		out.FailoversFrom[k] = v
+	}
+	return out
+}
+
+// Snapshot returns every facility's current Status in registration order.
+func (r *Registry) Snapshot() []Status {
+	r.mu.Lock()
+	order := append([]*Facility(nil), r.order...)
+	placed := make(map[string]int, len(r.stats.RunsByFacility))
+	for k, v := range r.stats.RunsByFacility {
+		placed[k] = v
+	}
+	failed := make(map[string]int, len(r.stats.FailoversFrom))
+	for k, v := range r.stats.FailoversFrom {
+		failed[k] = v
+	}
+	now := r.rt.Now()
+	r.mu.Unlock()
+	out := make([]Status, 0, len(order))
+	for _, f := range order {
+		out = append(out, f.snapshot(now, placed[f.ID()], failed[f.ID()]))
+	}
+	return out
+}

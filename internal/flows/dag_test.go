@@ -412,3 +412,56 @@ func TestLegacyCheckpointRejected(t *testing.T) {
 		t.Errorf("legacy checkpoint load err = %v", err)
 	}
 }
+
+// TestFacilityConstraintForwardedToParams verifies the federation hook:
+// a state's Facility constraint reaches the provider as the "facility"
+// param key, overriding whatever the Params builder produced there, and
+// states without a constraint are untouched.
+func TestFacilityConstraintForwardedToParams(t *testing.T) {
+	k := sim.NewKernel()
+	e := NewEngine(k, Options{Policy: Constant{Interval: time.Second}})
+	prov := newFake("transfer", k, time.Second)
+	e.RegisterProvider(prov)
+	def := Definition{
+		Name: "constrained",
+		States: []StateDef{
+			{
+				Name: "Pinned", Provider: "transfer", Facility: "olcf-orion",
+				Params: func(map[string]any, Results) map[string]any {
+					return map[string]any{"facility": "stale", "rel": "a.emdg"}
+				},
+			},
+			// No Params builder at all: the constraint must still arrive.
+			{Name: "BarePinned", Provider: "transfer", Facility: "alcf-eagle"},
+			{Name: "Free", Provider: "transfer",
+				Params: func(map[string]any, Results) map[string]any {
+					return map[string]any{"rel": "b.emdg"}
+				},
+			},
+		},
+	}
+	if _, err := e.Run("tok", def, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if err := k.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// No After edges: the definition runs as the v1 chain, so the
+	// provider sees Pinned, BarePinned, Free in order.
+	if len(prov.params) != 3 {
+		t.Fatalf("invocations = %d", len(prov.params))
+	}
+	if got := prov.params[0]["facility"]; got != "olcf-orion" {
+		t.Errorf("Pinned facility param = %v, want constraint to win", got)
+	}
+	if got := prov.params[0]["rel"]; got != "a.emdg" {
+		t.Errorf("Pinned params lost builder keys: %v", prov.params[0])
+	}
+	if got := prov.params[1]["facility"]; got != "alcf-eagle" {
+		t.Errorf("BarePinned facility param = %v", got)
+	}
+	if _, ok := prov.params[2]["facility"]; ok {
+		t.Error("unconstrained state received a facility param")
+	}
+}

@@ -91,6 +91,13 @@ type StateDef struct {
 	// per state entry, after every dependency has completed, and must not
 	// mutate its arguments. Use Pack to build the map from a typed struct.
 	Params func(input map[string]any, results Results) map[string]any
+	// Facility optionally constrains where this state's action executes:
+	// when set, the engine adds it to the built params under the
+	// "facility" key, overriding whatever Params produced there.
+	// Facility-aware providers (the federation layer) honor the
+	// constraint; others ignore the key. Empty inherits the run's
+	// placement.
+	Facility string
 	// Policy overrides the engine's completion-polling backoff for this
 	// state (nil inherits Options.Policy).
 	Policy Policy
@@ -674,8 +681,16 @@ func (s *stateRun) invoke() {
 		return
 	}
 	e.mu.Unlock()
-	if s.params == nil && s.sd.Params != nil && s.sr.Attempts == 0 {
-		s.params = s.sd.Params(x.rec.Input, x.resultsSnapshot())
+	if s.params == nil && s.sr.Attempts == 0 {
+		if s.sd.Params != nil {
+			s.params = s.sd.Params(x.rec.Input, x.resultsSnapshot())
+		}
+		if s.sd.Facility != "" {
+			if s.params == nil {
+				s.params = map[string]any{}
+			}
+			s.params["facility"] = s.sd.Facility
+		}
 	}
 	provider := e.provider(s.sd.Provider)
 	for {

@@ -21,6 +21,7 @@ type fakeProvider struct {
 	invokes  int
 	actions  map[string]*fakeAction
 	nextID   int
+	params   []map[string]any // params of each invocation, in order
 }
 
 type fakeAction struct {
@@ -37,6 +38,7 @@ func (f *fakeProvider) Invoke(token string, params map[string]any) (string, erro
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.invokes++
+	f.params = append(f.params, params)
 	if f.failNext > 0 {
 		f.failNext--
 		return "", fmt.Errorf("%s: injected invoke failure", f.name)

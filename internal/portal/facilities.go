@@ -1,0 +1,99 @@
+package portal
+
+import (
+	"html/template"
+	"net/http"
+	"time"
+
+	"picoprobe/internal/stats"
+)
+
+// The facility views expose the federation layer's per-facility state:
+// /facilities renders a load table (pool occupancy, queue depth, live
+// queue-wait estimate, placements and failovers), /api/facilities serves
+// the JSON twin. Unlike the flow-run views these carry no run inputs or
+// per-record data, only aggregate facility load, so they are served to
+// anonymous requests even on authenticated portals.
+
+func (s *Server) handleFacilities(w http.ResponseWriter, r *http.Request) {
+	snap := s.cfg.Facilities.Snapshot()
+	data := facilitiesData{Title: s.cfg.Title, Total: len(snap)}
+	for _, f := range snap {
+		row := facilityRowData{
+			ID:      f.ID,
+			Name:    f.Name,
+			Up:      f.Up,
+			Nodes:   f.Nodes,
+			Busy:    f.Busy,
+			Idle:    f.Idle,
+			Queued:  f.Queued,
+			EstWait: formatSeconds(f.EstWaitS),
+			Jobs:    f.JobsRun,
+			WaitP50: formatSeconds(f.Waits.P50S),
+			WaitP95: formatSeconds(f.Waits.P95S),
+			Placed:  f.Placed,
+			Failed:  f.Failed,
+			Stream:  stats.FormatRate(f.Stream),
+		}
+		data.Facilities = append(data.Facilities, row)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := facilitiesTmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleAPIFacilities(w http.ResponseWriter, r *http.Request) {
+	snap := s.cfg.Facilities.Snapshot()
+	resp := struct {
+		Total      int `json:"total"`
+		Facilities any `json:"facilities"`
+	}{Total: len(snap), Facilities: snap}
+	writeJSON(w, resp)
+}
+
+func formatSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Millisecond).String()
+}
+
+type facilityRowData struct {
+	ID, Name         string
+	Up               bool
+	Nodes            int
+	Busy, Idle       int
+	Queued           int
+	EstWait          string
+	Jobs             int
+	WaitP50, WaitP95 string
+	Placed, Failed   int
+	Stream           string
+}
+
+type facilitiesData struct {
+	Title      string
+	Total      int
+	Facilities []facilityRowData
+}
+
+var facilitiesTmpl = template.Must(template.New("facilities").Parse(`<!DOCTYPE html>
+<html><head><title>Facilities — {{.Title}}</title>
+<style>body{font-family:sans-serif;margin:2em}table{border-collapse:collapse}
+td,th{border:1px solid #ccc;padding:4px 8px}.down{color:#b00}</style></head>
+<body>
+<p><a href="/">&larr; back to search</a></p>
+<h1>Facilities</h1>
+<p>{{.Total}} facilit(ies) in the federation</p>
+<table><tr><th>Facility</th><th>Status</th><th>Nodes (busy/idle)</th>
+<th>Queue depth</th><th>Est. wait</th><th>Jobs run</th>
+<th>Wait p50</th><th>Wait p95</th><th>Runs placed</th>
+<th>Failovers from</th><th>Stream cap</th></tr>
+{{range .Facilities}}<tr{{if not .Up}} class="down"{{end}}>
+  <td>{{.Name}} ({{.ID}})</td>
+  <td>{{if .Up}}up{{else}}DOWN{{end}}</td>
+  <td>{{.Nodes}} ({{.Busy}}/{{.Idle}})</td>
+  <td>{{.Queued}}</td><td>{{.EstWait}}</td><td>{{.Jobs}}</td>
+  <td>{{.WaitP50}}</td><td>{{.WaitP95}}</td>
+  <td>{{.Placed}}</td><td>{{.Failed}}</td><td>{{.Stream}}</td>
+</tr>{{end}}
+</table>
+</body></html>`))

@@ -1,0 +1,113 @@
+package portal
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"picoprobe/internal/facility"
+	"picoprobe/internal/scheduler"
+	"picoprobe/internal/search"
+	"picoprobe/internal/sim"
+)
+
+func federationFixture(t *testing.T) (*facility.Registry, *sim.Kernel) {
+	t.Helper()
+	k := sim.NewKernel()
+	reg := facility.NewRegistry(k, 0)
+	mk := func(id string, outage bool) *facility.Facility {
+		cfg := facility.Config{
+			ID:   id,
+			Name: strings.ToUpper(id),
+			Sched: scheduler.Config{
+				Nodes:          2,
+				ProvisionDelay: 45 * time.Second,
+				CacheWarmup:    30 * time.Second,
+				ReuseNodes:     true,
+			},
+			StreamCapBps:  82e6,
+			TransferSetup: 2 * time.Second,
+		}
+		if outage {
+			cfg.Outages = []facility.Window{{Start: k.Now(), End: k.Now().Add(time.Hour)}}
+		}
+		f, err := facility.New(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Add(f); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a := mk("alcf-eagle", false)
+	mk("olcf-orion", true)
+	reg.Place("run-1", "", 91_000_000)
+	a.Sched.Submit("env", 10*time.Second, func(scheduler.JobReport) {})
+	k.Run()
+	return reg, k
+}
+
+func TestFacilitiesView(t *testing.T) {
+	reg, _ := federationFixture(t)
+	srv, err := NewServer(Config{Index: search.NewIndex(), Facilities: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/facilities", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"ALCF-EAGLE", "OLCF-ORION", "DOWN", "Runs placed"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("facilities page missing %q", want)
+		}
+	}
+}
+
+func TestFacilitiesAPI(t *testing.T) {
+	reg, _ := federationFixture(t)
+	srv, err := NewServer(Config{Index: search.NewIndex(), Facilities: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/api/facilities", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp struct {
+		Total      int               `json:"total"`
+		Facilities []facility.Status `json:"facilities"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 2 || len(resp.Facilities) != 2 {
+		t.Fatalf("total = %d, facilities = %d", resp.Total, len(resp.Facilities))
+	}
+	eagle := resp.Facilities[0]
+	if eagle.ID != "alcf-eagle" || !eagle.Up || eagle.JobsRun != 1 || eagle.Placed != 1 {
+		t.Errorf("eagle status = %+v", eagle)
+	}
+	orion := resp.Facilities[1]
+	if orion.Up || len(orion.Outages) != 1 {
+		t.Errorf("orion status = %+v", orion)
+	}
+}
+
+func TestFacilitiesRoutesAbsentWithoutRegistry(t *testing.T) {
+	srv, err := NewServer(Config{Index: search.NewIndex()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/facilities", nil))
+	if rec.Code != 404 {
+		t.Errorf("facilities without registry: status = %d, want 404", rec.Code)
+	}
+}

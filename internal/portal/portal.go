@@ -5,9 +5,12 @@
 // date of the associated experiment"), browse facets, and open per-record
 // pages that render the analysis products (intensity maps, spectra,
 // annotated video) produced by the compute stage — the paper's Fig 2.
-// Requests may carry a bearer token; the authenticated principal scopes
-// which records are discoverable, mirroring Globus Search's
-// visibility-filtered queries.
+// Optional views expose the orchestration side: flow-run DAGs with the
+// paper's active-vs-overhead timing decomposition (/flows), and the
+// federation's per-facility load, queue depth and placements
+// (/facilities), each with a JSON twin under /api. Requests may carry a
+// bearer token; the authenticated principal scopes which records are
+// discoverable, mirroring Globus Search's visibility-filtered queries.
 package portal
 
 import (
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"picoprobe/internal/auth"
+	"picoprobe/internal/facility"
 	"picoprobe/internal/flows"
 	"picoprobe/internal/search"
 )
@@ -38,6 +42,10 @@ type Config struct {
 	// runs, /flows/run/{id} renders one run's executed DAG with per-state
 	// timings, and /api/flows[/run/{id}] serve the JSON twins.
 	Flows *flows.Engine
+	// Facilities, when non-nil, exposes the federation registry:
+	// /facilities renders per-facility load, queue depth and placements,
+	// /api/facilities serves the JSON twin.
+	Facilities *facility.Registry
 	// Title is the portal heading.
 	Title string
 }
@@ -66,6 +74,10 @@ func NewServer(cfg Config) (*Server, error) {
 		s.mux.HandleFunc("/flows/run/", s.handleFlowRun)
 		s.mux.HandleFunc("/api/flows", s.handleAPIFlows)
 		s.mux.HandleFunc("/api/flows/run/", s.handleAPIFlowRun)
+	}
+	if cfg.Facilities != nil {
+		s.mux.HandleFunc("/facilities", s.handleFacilities)
+		s.mux.HandleFunc("/api/facilities", s.handleAPIFacilities)
 	}
 	if cfg.ArtifactRoot != "" {
 		fs := http.FileServer(http.Dir(cfg.ArtifactRoot))

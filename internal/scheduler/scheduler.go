@@ -1,12 +1,15 @@
-// Package scheduler models the batch scheduler behind the Polaris compute
-// endpoint (PBS in the paper). Jobs queue for a bounded pool of nodes;
-// cold nodes pay a provisioning delay (the PBS queue wait plus node
+// Package scheduler models the batch scheduler behind one compute
+// endpoint (PBS on Polaris in the paper). Jobs queue for a bounded pool of
+// nodes; cold nodes pay a provisioning delay (the PBS queue wait plus node
 // startup), the first job of each software environment on a node
 // additionally pays an environment cache warm-up (the paper's "cache the
 // Python libraries required for analysis"), and idle nodes are reclaimed
 // after a timeout. Subsequent jobs reuse warm nodes — the mechanism behind
 // the paper's observation that maximum flow runtimes belong to the first
-// flows while later flows reuse provisioned nodes.
+// flows while later flows reuse provisioned nodes. Stats exposes live pool
+// gauges and EstimateWait predicts the queue wait of the next submission,
+// the numbers the facility federation layer (internal/facility) uses for
+// queue-wait-aware placement across endpoints.
 //
 // The scheduler is written against sim.Runtime, so the identical logic
 // runs in simulated experiments (virtual time) and live deployments
@@ -19,6 +22,7 @@ import (
 	"time"
 
 	"picoprobe/internal/sim"
+	"picoprobe/internal/stats"
 )
 
 // Config sizes the node pool and its delays.
@@ -54,11 +58,20 @@ type JobReport struct {
 // QueueWait returns how long the job waited for a node.
 func (r JobReport) QueueWait() time.Duration { return r.Started.Sub(r.Queued) }
 
-// Stats aggregates scheduler activity.
+// Stats aggregates scheduler activity: cumulative counters plus live pool
+// gauges snapshotted at the moment of the call. The gauges are what the
+// federation layer's placement policy consumes.
 type Stats struct {
+	// Cumulative counters.
 	JobsRun    int
 	Provisions int
 	Warmups    int
+	// Live gauges (state at snapshot time).
+	Queued       int // jobs waiting for a node
+	Busy         int // nodes executing a job
+	Idle         int // warm nodes ready for work
+	Cold         int // released nodes that would pay the provision delay
+	Provisioning int // nodes currently being provisioned
 }
 
 type nodeState int
@@ -76,6 +89,11 @@ type node struct {
 	warmed    map[string]bool
 	idleGen   int // invalidates stale idle-timeout callbacks
 	provision bool
+	// busyUntil / readyAt are the known future instants at which a busy
+	// node finishes its job or a provisioning node comes up; EstimateWait
+	// replays dispatch against them.
+	busyUntil time.Time
+	readyAt   time.Time
 }
 
 type job struct {
@@ -93,6 +111,7 @@ type Scheduler struct {
 	nodes []*node
 	queue []*job
 	stats Stats
+	waits stats.DurationStats
 }
 
 // New returns a scheduler with the given pool configuration.
@@ -100,18 +119,126 @@ func New(rt sim.Runtime, cfg Config) *Scheduler {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
 	}
-	s := &Scheduler{rt: rt, cfg: cfg}
+	s := &Scheduler{rt: rt, cfg: cfg, waits: stats.NewDurationStats()}
 	for i := 0; i < cfg.Nodes; i++ {
 		s.nodes = append(s.nodes, &node{id: i, state: nodeCold, warmed: map[string]bool{}})
 	}
 	return s
 }
 
-// Stats returns a snapshot of aggregate counters.
+// Stats returns a snapshot of the aggregate counters and live pool gauges.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.Queued = len(s.queue)
+	for _, n := range s.nodes {
+		switch n.state {
+		case nodeBusy:
+			st.Busy++
+		case nodeIdle:
+			st.Idle++
+		case nodeCold:
+			st.Cold++
+		case nodeProvisioning:
+			st.Provisioning++
+		}
+	}
+	return st
+}
+
+// QueueWaits returns the accumulated queue-wait distribution of completed
+// jobs (one sample per job, recorded at completion). The returned summary
+// is a private copy: callers may compute order statistics concurrently
+// without racing the scheduler (or each other — Summary sorts in place).
+func (s *Scheduler) QueueWaits() stats.DurationStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := stats.NewDurationStats()
+	for _, v := range s.waits.S.Samples() {
+		out.S.Add(v)
+	}
+	return out
+}
+
+// EstimateWait predicts how long a job submitted at this instant would
+// wait for a node, by deterministically replaying dispatch over the known
+// pool state: idle nodes are free now, busy nodes free up when their
+// current job (including warm-up) completes, provisioning nodes come up at
+// their provision deadline, and cold nodes could be provisioned
+// immediately. Queued jobs are assigned FIFO to the earliest-available
+// node first, exactly as dispatch will assign them. With node reuse
+// disabled the estimate additionally charges the provision delay and the
+// environment re-warm a released (cold, wiped) node pays before its next
+// job. The estimate is exact under the simulation kernel as long as no
+// new submissions arrive first.
+func (s *Scheduler) EstimateWait() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.rt.Now()
+	type slot struct {
+		at     time.Time
+		warmed map[string]bool
+	}
+	avail := make([]slot, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		switch n.state {
+		case nodeIdle:
+			avail = append(avail, slot{at: now, warmed: n.warmed})
+		case nodeBusy:
+			at := n.busyUntil
+			warmed := n.warmed
+			if !s.cfg.ReuseNodes {
+				// The node is released cold after its job: the next start
+				// pays a fresh provision and the warm set is wiped.
+				at = at.Add(s.cfg.ProvisionDelay)
+				warmed = nil
+			}
+			avail = append(avail, slot{at: at, warmed: warmed})
+		case nodeProvisioning:
+			avail = append(avail, slot{at: n.readyAt})
+		case nodeCold:
+			avail = append(avail, slot{at: now.Add(s.cfg.ProvisionDelay)})
+		}
+	}
+	earliest := func() int {
+		best := 0
+		for i := 1; i < len(avail); i++ {
+			if avail[i].at.Before(avail[best].at) {
+				best = i
+			}
+		}
+		return best
+	}
+	for _, j := range s.queue {
+		i := earliest()
+		start := avail[i].at
+		if start.Before(now) {
+			start = now
+		}
+		occupied := j.dur
+		if !avail[i].warmed[j.env] {
+			occupied += s.cfg.CacheWarmup
+			// Copy-on-write: never mutate the live node's warm set.
+			warmed := make(map[string]bool, len(avail[i].warmed)+1)
+			for k := range avail[i].warmed {
+				warmed[k] = true
+			}
+			warmed[j.env] = true
+			avail[i].warmed = warmed
+		}
+		end := start.Add(occupied)
+		if !s.cfg.ReuseNodes {
+			end = end.Add(s.cfg.ProvisionDelay)
+			avail[i].warmed = nil
+		}
+		avail[i].at = end
+	}
+	wait := avail[earliest()].at.Sub(now)
+	if wait < 0 {
+		wait = 0
+	}
+	return wait
 }
 
 // QueueLen returns the number of jobs waiting for a node.
@@ -157,6 +284,7 @@ func (s *Scheduler) dispatchLocked() {
 			break
 		}
 		n.state = nodeProvisioning
+		n.readyAt = s.rt.Now().Add(s.cfg.ProvisionDelay)
 		s.stats.Provisions++
 		node := n
 		s.rt.AfterFunc(s.cfg.ProvisionDelay, func() {
@@ -192,6 +320,7 @@ func (s *Scheduler) runLocked(n *node, j *job) {
 	provisioned := n.provision
 	n.provision = false
 	started := s.rt.Now()
+	n.busyUntil = started.Add(total)
 	s.rt.AfterFunc(total, func() {
 		s.mu.Lock()
 		s.stats.JobsRun++
@@ -203,6 +332,7 @@ func (s *Scheduler) runLocked(n *node, j *job) {
 			Warmed:      warmed,
 			Provisioned: provisioned,
 		}
+		s.waits.Add(report.QueueWait())
 		if s.cfg.ReuseNodes {
 			n.state = nodeIdle
 			n.idleGen++

@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -196,6 +197,175 @@ func TestStatsCounts(t *testing.T) {
 	}
 	if st.Provisions == 0 || st.Warmups == 0 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestStatsGaugesUnderContention pins the live pool gauges the federation
+// placement policy consumes, at several instants of a saturated timeline.
+func TestStatsGaugesUnderContention(t *testing.T) {
+	k := sim.NewKernel()
+	c := cfg()
+	c.Nodes = 1
+	c.IdleTimeout = 0 // keep the node warm so the final gauges are stable
+	s := New(k, c)
+	for i := 0; i < 3; i++ {
+		s.Submit("e", 10*time.Second, func(JobReport) {})
+	}
+	// t=0: all three queued, the single node provisioning on their behalf.
+	st := s.Stats()
+	if st.Queued != 3 || st.Provisioning != 1 || st.Busy != 0 {
+		t.Errorf("t=0 gauges = %+v", st)
+	}
+	// t=70s: provision (60s) done, job 1 running its warmup, two queued.
+	k.RunFor(70 * time.Second)
+	st = s.Stats()
+	if st.Queued != 2 || st.Busy != 1 || st.Provisioning != 0 {
+		t.Errorf("t=70 gauges = %+v", st)
+	}
+	k.Run()
+	st = s.Stats()
+	if st.Queued != 0 || st.Busy != 0 || st.Idle != 1 || st.JobsRun != 3 {
+		t.Errorf("final gauges = %+v", st)
+	}
+}
+
+// TestEstimateWaitUnderContention asserts the queue-wait predictor is
+// exact while jobs are queued: the estimate at each instant must equal
+// the wait a job submitted at that instant actually experiences.
+func TestEstimateWaitUnderContention(t *testing.T) {
+	k := sim.NewKernel()
+	c := cfg()
+	c.Nodes = 1
+	s := New(k, c)
+	for i := 0; i < 3; i++ {
+		s.Submit("e", 10*time.Second, func(JobReport) {})
+	}
+	// Replay at t=0: provision ends at 60, job 1 occupies 60..100
+	// (30s warmup + 10s run), job 2 100..110, job 3 110..120.
+	if got := s.EstimateWait(); got != 120*time.Second {
+		t.Errorf("t=0 estimate = %v, want 120s", got)
+	}
+	k.RunFor(70 * time.Second)
+	// t=70: job 1 busy until 100, two queued behind it.
+	if got := s.EstimateWait(); got != 50*time.Second {
+		t.Errorf("t=70 estimate = %v, want 50s", got)
+	}
+	// The estimate must match the measured wait of the next submission.
+	predicted := s.EstimateWait()
+	var rep JobReport
+	s.Submit("e", 10*time.Second, func(r JobReport) { rep = r })
+	k.Run()
+	if got := rep.QueueWait(); got != predicted {
+		t.Errorf("measured wait %v != predicted %v", got, predicted)
+	}
+}
+
+func TestEstimateWaitIdleAndColdNodes(t *testing.T) {
+	k := sim.NewKernel()
+	c := cfg() // 2 nodes
+	c.IdleTimeout = 0
+	s := New(k, c)
+	// Warm up one node.
+	s.Submit("e", 10*time.Second, func(JobReport) {})
+	k.Run()
+	// One idle warm node, one cold: next job starts immediately.
+	if got := s.EstimateWait(); got != 0 {
+		t.Errorf("idle estimate = %v, want 0", got)
+	}
+	// Occupy the warm node; the next job then takes whichever frees first:
+	// the busy node (10s) vs a cold provision (60s).
+	s.Submit("e", 10*time.Second, func(JobReport) {})
+	if got := s.EstimateWait(); got != 10*time.Second {
+		t.Errorf("busy-vs-cold estimate = %v, want 10s", got)
+	}
+	k.Run()
+}
+
+// TestEstimateWaitNoReuse pins the no-reuse replay: a released node comes
+// back cold with its warm set wiped, so every subsequent start pays the
+// provision delay and a fresh environment warm-up.
+func TestEstimateWaitNoReuse(t *testing.T) {
+	k := sim.NewKernel()
+	c := cfg()
+	c.Nodes = 1
+	c.ReuseNodes = false
+	s := New(k, c)
+	s.Submit("e", 10*time.Second, func(JobReport) {})
+	// Job 1 occupies 60 (provision) + 30 (warmup) + 10 = until t=100.
+	k.RunFor(70 * time.Second)
+	var rep JobReport
+	s.Submit("e", 10*time.Second, func(r JobReport) { rep = r })
+	// Job 2: node released cold at 100, re-provisioned by 160, warmup+run
+	// 160..200. A third job would then wait for another provision: 260.
+	if got := s.EstimateWait(); got != 190*time.Second {
+		t.Errorf("no-reuse estimate = %v, want 190s", got)
+	}
+	predicted := s.EstimateWait()
+	var rep3 JobReport
+	s.Submit("e", 10*time.Second, func(r JobReport) { rep3 = r })
+	k.Run()
+	if got := rep.QueueWait(); got != 90*time.Second {
+		t.Errorf("job 2 wait = %v, want 90s", got)
+	}
+	if got := rep3.QueueWait(); got != predicted {
+		t.Errorf("job 3 measured wait %v != predicted %v", got, predicted)
+	}
+}
+
+func TestQueueWaitDistribution(t *testing.T) {
+	k := sim.NewKernel()
+	c := cfg()
+	c.Nodes = 1
+	s := New(k, c)
+	for i := 0; i < 3; i++ {
+		s.Submit("e", 10*time.Second, func(JobReport) {})
+	}
+	k.Run()
+	w := s.QueueWaits()
+	if w.Count() != 3 {
+		t.Fatalf("wait samples = %d", w.Count())
+	}
+	// Waits are 60 (provision), 100, 110 seconds (see
+	// TestQueueingWhenPoolSaturated).
+	if got := w.Min(); got != 60*time.Second {
+		t.Errorf("min wait = %v", got)
+	}
+	if got := w.Max(); got != 110*time.Second {
+		t.Errorf("max wait = %v", got)
+	}
+	if got := w.Median(); got != 100*time.Second {
+		t.Errorf("median wait = %v", got)
+	}
+}
+
+// TestQueueWaitsSnapshotIsPrivate: QueueWaits hands out copies, so
+// concurrent readers (portal handlers computing percentiles, which sort
+// in place) never race the scheduler or each other, and mutating a
+// snapshot does not leak into the accumulator.
+func TestQueueWaitsSnapshotIsPrivate(t *testing.T) {
+	k := sim.NewKernel()
+	c := cfg()
+	c.Nodes = 1
+	s := New(k, c)
+	for i := 0; i < 3; i++ {
+		s.Submit("e", 10*time.Second, func(JobReport) {})
+	}
+	k.Run()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := s.QueueWaits()
+			_ = w.Percentile(95)
+			_ = w.Max()
+		}()
+	}
+	wg.Wait()
+	w := s.QueueWaits()
+	w.Add(time.Hour)
+	if got := s.QueueWaits().Count(); got != 3 {
+		t.Errorf("accumulator count = %d after snapshot mutation, want 3", got)
 	}
 }
 

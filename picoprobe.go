@@ -33,6 +33,13 @@
 //     discrete-event kernel with a calibrated deployment profile,
 //     regenerating Table 1 and Fig 4.
 //
+// The simulated deployment is federated (RunFederatedExperiment): N
+// facilities, each with its own batch-scheduled node pool and network
+// path, share the flow load through queue-wait-aware least-estimated-
+// completion-time placement with sticky runs, outage/budget failover and
+// re-stage accounting. RunExperiment is the N=1 degenerate case, so the
+// paper reproductions run through the identical placement machinery.
+//
 // The live analysis functions run on a streaming zero-copy data plane
 // sized for detector-rate ingest: EMD datasets are consumed one stored
 // chunk at a time (emd.Dataset.Chunks / ReadFramesInto decode into pooled
@@ -69,6 +76,16 @@ type (
 	Table1Row = core.Table1Row
 	// StageRow is one bar group of the paper's Fig 4.
 	StageRow = core.StageRow
+)
+
+// Federation (multi-facility placement).
+type (
+	// FacilitySpec describes one simulated facility of a federation.
+	FacilitySpec = core.FacilitySpec
+	// FederatedConfig parameterizes a federated evaluation run.
+	FederatedConfig = core.FederatedConfig
+	// FederatedResult carries run records plus placement telemetry.
+	FederatedResult = core.FederatedResult
 )
 
 // Live deployment (real files, real analysis).
@@ -139,6 +156,30 @@ func SpatiotemporalExperiment() ExperimentConfig { return core.SpatiotemporalExp
 func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 	return core.RunExperiment(cfg)
 }
+
+// RunFederatedExperiment executes a simulated evaluation across N
+// facilities with queue-wait-aware placement and failover; N=1 matches
+// RunExperiment bit for bit.
+func RunFederatedExperiment(cfg FederatedConfig) (*FederatedResult, error) {
+	return core.RunFederatedExperiment(cfg)
+}
+
+// FederatedScenario returns the showcase federated configuration: three
+// asymmetric facilities with a mid-experiment outage of the primary.
+func FederatedScenario() FederatedConfig { return core.FederatedScenario() }
+
+// DefaultFederationSpecs returns the first n stock simulated facilities.
+func DefaultFederationSpecs(n int) []FacilitySpec { return core.DefaultFederationSpecs(n) }
+
+// FederationContentionScenario returns the queue-wait benchmark workload
+// (pin=true gives the pinned single-backend baseline over the same
+// facilities).
+func FederationContentionScenario(pin bool) FederatedConfig {
+	return core.FederationContentionScenario(pin)
+}
+
+// FormatFacilities renders a federated result's per-facility summary.
+func FormatFacilities(res *FederatedResult) string { return core.FormatFacilities(res) }
 
 // FormatTable1 renders experiment rows the way the paper's Table 1 does.
 func FormatTable1(rows ...Table1Row) string { return core.FormatTable1(rows...) }

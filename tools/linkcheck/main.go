@@ -1,0 +1,208 @@
+// Command linkcheck validates the repository's Markdown cross-references:
+// every relative link must resolve to an existing file, and every anchor
+// (in-file or cross-file) must match a heading in its target document.
+// External (http/https/mailto) links are not fetched. It runs as part of
+// `make ci` because dangling DESIGN.md/EXPERIMENTS.md references have
+// already rotted once before PR 2 backfilled them.
+//
+// Usage:
+//
+//	go run ./tools/linkcheck [root]
+//
+// Exit status is non-zero when any link is broken; each problem is
+// reported as file:line: message.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// skipDirs are never descended into.
+var skipDirs = map[string]bool{
+	".git":           true,
+	".github":        false, // workflow docs may hold links worth checking
+	"picoprobe-work": true,
+	"testdata":       true,
+}
+
+// linkRe matches inline Markdown links and images: [text](target) with an
+// optional title. Reference-style links are rare enough here to skip.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile(`^(#{1,6})\s+(.*?)\s*#*\s*$`)
+
+type document struct {
+	path    string
+	anchors map[string]bool
+	// links as (line number, raw target) pairs.
+	links []linkRef
+}
+
+type linkRef struct {
+	line   int
+	target string
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(2)
+	}
+
+	// ordered is the fixed set of documents whose links are checked;
+	// anchorDocs additionally caches on-demand parses of link targets
+	// outside the walk (those are anchor sources only, never iterated).
+	var ordered []*document
+	anchorDocs := map[string]*document{}
+	for _, f := range files {
+		doc, err := parse(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		abs, _ := filepath.Abs(f)
+		anchorDocs[abs] = doc
+		ordered = append(ordered, doc)
+	}
+
+	broken := 0
+	report := func(doc *document, l linkRef, msg string) {
+		fmt.Fprintf(os.Stderr, "%s:%d: %s (%s)\n", doc.path, l.line, msg, l.target)
+		broken++
+	}
+	for _, doc := range ordered {
+		for _, l := range doc.links {
+			target := l.target
+			switch {
+			case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue
+			case strings.HasPrefix(target, "#"):
+				if !doc.anchors[strings.ToLower(strings.TrimPrefix(target, "#"))] {
+					report(doc, l, "missing in-file anchor")
+				}
+				continue
+			}
+			file, anchor, _ := strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(doc.path), file)
+			info, err := os.Stat(resolved)
+			if err != nil {
+				report(doc, l, "missing file")
+				continue
+			}
+			if anchor == "" {
+				continue
+			}
+			if info.IsDir() || !strings.EqualFold(filepath.Ext(resolved), ".md") {
+				report(doc, l, "anchor into a non-Markdown target")
+				continue
+			}
+			abs, _ := filepath.Abs(resolved)
+			targetDoc, ok := anchorDocs[abs]
+			if !ok {
+				// A Markdown file outside the scanned tree; parse on demand.
+				targetDoc, err = parse(resolved)
+				if err != nil {
+					report(doc, l, "unreadable target")
+					continue
+				}
+				anchorDocs[abs] = targetDoc
+			}
+			if !targetDoc.anchors[strings.ToLower(anchor)] {
+				report(doc, l, "missing anchor in "+file)
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s) across %d Markdown file(s)\n", broken, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d Markdown file(s) clean\n", len(files))
+}
+
+// parse extracts a document's heading anchors and outbound links, ignoring
+// fenced code blocks.
+func parse(path string) (*document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	doc := &document{path: path, anchors: map[string]bool{}}
+	seen := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	inFence := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(text), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		if m := headingRe.FindStringSubmatch(text); m != nil {
+			slug := slugify(m[2])
+			// GitHub disambiguates duplicate headings with -1, -2, ...
+			if n := seen[slug]; n > 0 {
+				doc.anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+			} else {
+				doc.anchors[slug] = true
+			}
+			seen[slug]++
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+			doc.links = append(doc.links, linkRef{line: line, target: m[1]})
+		}
+	}
+	return doc, sc.Err()
+}
+
+// slugify reproduces GitHub's heading-anchor algorithm closely enough for
+// this repository: lowercase, backtick/asterisk markup stripped,
+// punctuation removed, spaces to hyphens. Literal underscores are kept —
+// GitHub preserves them in anchors (a `restage_bytes` heading anchors as
+// #restage_bytes).
+func slugify(heading string) string {
+	h := strings.NewReplacer("`", "", "*", "").Replace(heading)
+	var sb strings.Builder
+	for _, r := range strings.ToLower(h) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		case r == ' ', r == '-':
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}
