@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench linkcheck ci
+.PHONY: all build vet test race bench-smoke bench bench-portal linkcheck ci
 
 all: ci
 
@@ -16,8 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The catalog serving benchmarks (BENCHMARKS.md "Portal serving"): one
+# execution each, with allocation counts. Raise -benchtime (e.g.
+# BENCHFLAGS='-benchtime 2s -count 5') when recording benchstat pairs.
+bench-portal:
+	$(GO) test -run NONE -bench 'BenchmarkPortalQueryThroughput|BenchmarkSearchTopK' -benchtime 1x -benchmem $(BENCHFLAGS) .
+
 # Compile and execute every benchmark exactly once so perf-critical paths
-# at least get exercised on every PR without burning CI minutes.
+# (including the portal serving pair above) get exercised on every PR
+# without burning CI minutes.
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
 

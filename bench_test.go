@@ -6,9 +6,17 @@
 package picoprobe
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
+	"net/http/httptest"
 	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,6 +26,7 @@ import (
 	"picoprobe/internal/flows"
 	"picoprobe/internal/metadata"
 	"picoprobe/internal/netsim"
+	"picoprobe/internal/portal"
 	"picoprobe/internal/search"
 	"picoprobe/internal/sim"
 	"picoprobe/internal/synth"
@@ -434,6 +443,157 @@ func BenchmarkSearchIngestAndQuery(b *testing.B) {
 		if _, total, _ := ix.Search(search.Query{Text: "gold film"}); total != 500 {
 			b.Fatal("unexpected result count")
 		}
+	}
+}
+
+// portalCampaignEntries builds a deterministic synthetic campaign of n
+// catalog records: free text drawn from a mixed domain/background
+// vocabulary, kind/sample/title filter fields, a numeric beam energy and
+// a minute-spaced date axis — the shape the portal serves at scale.
+func portalCampaignEntries(n int) []search.Entry {
+	vocab := []string{
+		"gold", "lead", "film", "carbon", "polyamide", "nanoparticle",
+		"vacancy", "lattice", "probe", "beam", "stage", "vacuum",
+		"spectrum", "intensity", "drift", "grid", "reference", "capture",
+	}
+	for i := 0; len(vocab) < 400; i++ {
+		vocab = append(vocab, fmt.Sprintf("word-%03d", i))
+	}
+	payload, _ := json.Marshal(map[string]any{
+		"products": []map[string]any{
+			{"name": "Intensity map", "path": "x/intensity.png", "kind": "intensity_png"},
+			{"name": "Spectrum", "path": "x/spectrum.png", "kind": "spectrum_png"},
+		},
+		"note": "synthetic campaign record for the serving benchmarks",
+	})
+	rng := rand.New(rand.NewSource(42))
+	base := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	kinds := [2]string{"hyperspectral", "spatiotemporal"}
+	entries := make([]search.Entry, n)
+	for i := range entries {
+		words := make([]string, 12)
+		for j := range words {
+			words[j] = vocab[rng.Intn(len(vocab))]
+		}
+		entries[i] = search.Entry{
+			ID:   fmt.Sprintf("exp-%06d", i),
+			Text: strings.Join(words, " "),
+			Fields: map[string]string{
+				"kind":   kinds[i%2],
+				"sample": fmt.Sprintf("sample-%04d", i%977),
+				"title":  "campaign run " + words[0],
+			},
+			Numbers: map[string]float64{"beam_kev": 80 + float64(rng.Intn(12))*20},
+			Date:    base.Add(time.Duration(i) * time.Minute),
+			Payload: payload,
+		}
+	}
+	return entries
+}
+
+// portalCampaign memoizes the 100k-record corpus across benchmarks (each
+// benchmark still builds its own index from it).
+var portalCampaign = sync.OnceValue(func() []search.Entry {
+	return portalCampaignEntries(100_000)
+})
+
+// BenchmarkPortalQueryThroughput measures the portal's query path at
+// campaign scale under sustained ingest churn: 100k records served through
+// the real /api/search handler while a writer continuously re-ingests
+// random records, the regime a multi-facility campaign puts the catalog
+// in. The custom p50_us metric is the paper-comparable quantity (query
+// latency a portal user sees while the beam line keeps publishing).
+func BenchmarkPortalQueryThroughput(b *testing.B) {
+	entries := portalCampaign()
+	ix := search.NewIndex()
+	if err := ix.IngestBatch(entries); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := portal.NewServer(portal.Config{Index: ix})
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths := []string{
+		"/api/search?q=gold+film",
+		"/api/search?q=word-123+word-250+vacancy",
+		"/api/search", // match-all: recency-ordered first page
+		"/api/search?q=gold&kind=hyperspectral",
+		"/api/search?q=polyamide+lead+capture&limit=50",
+	}
+
+	stop := make(chan struct{})
+	var churned atomic.Int64
+	go func() {
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := ix.Ingest(entries[rng.Intn(len(entries))]); err != nil {
+				panic(err)
+			}
+			churned.Add(1)
+			runtime.Gosched()
+		}
+	}()
+
+	var mu sync.Mutex
+	var latencies []time.Duration
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 1024)
+		i := 0
+		for pb.Next() {
+			req := httptest.NewRequest("GET", paths[i%len(paths)], nil)
+			i++
+			rec := httptest.NewRecorder()
+			start := time.Now()
+			srv.ServeHTTP(rec, req)
+			local = append(local, time.Since(start))
+			if rec.Code != 200 {
+				panic(fmt.Sprintf("status %d", rec.Code))
+			}
+		}
+		mu.Lock()
+		latencies = append(latencies, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	close(stop)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if len(latencies) > 0 {
+		b.ReportMetric(float64(latencies[len(latencies)/2].Microseconds()), "p50_us")
+		b.ReportMetric(float64(latencies[len(latencies)*99/100].Microseconds()), "p99_us")
+	}
+	b.ReportMetric(float64(churned.Load()), "churn_ingests")
+}
+
+// BenchmarkSearchTopK isolates page retrieval over a 100k-record index:
+// ranked text queries and the match-all recency listing, each returning
+// only the first page (limit 20). This is the heap-vs-sort comparison —
+// the pre-refactor implementation sorted every match to emit 20 hits.
+func BenchmarkSearchTopK(b *testing.B) {
+	ix := search.NewIndex()
+	if err := ix.IngestBatch(portalCampaign()); err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		q    search.Query
+	}{
+		{"text-top20", search.Query{Text: "gold film", Limit: 20}},
+		{"match-all-top20", search.Query{Limit: 20}},
+		{"deep-page", search.Query{Text: "gold", Limit: 20, Offset: 400}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, total, err := ix.Search(bc.q); err != nil || total == 0 {
+					b.Fatalf("total=%d err=%v", total, err)
+				}
+			}
+		})
 	}
 }
 

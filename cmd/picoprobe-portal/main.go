@@ -5,12 +5,15 @@
 // portal has records to show and /flows has run DAGs to render. With
 // -federation it additionally runs the simulated federated scenario
 // (three facilities, mid-experiment outage) and serves the resulting
-// per-facility load and placements under /facilities.
+// per-facility load and placements under /facilities. With -pprof it
+// additionally serves net/http/pprof on a localhost side port, so the
+// catalog serving paths can be profiled against the live binary.
 //
 // Usage:
 //
 //	picoprobe-portal -demo -federation -addr :8080
 //	picoprobe-portal -index index.jsonl -artifacts ./artifacts -addr :8080
+//	picoprobe-portal -demo -pprof localhost:6060
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof side port
 	"os"
 	"path/filepath"
 	"time"
@@ -37,7 +41,18 @@ func main() {
 	artifacts := flag.String("artifacts", "picoprobe-work/artifacts", "artifact directory to serve")
 	demo := flag.Bool("demo", false, "generate demo data and run it through live flows first")
 	federation := flag.Bool("federation", false, "run the simulated federated scenario and serve /facilities")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The profiler rides the DefaultServeMux on its own listener, so
+		// profiling the live serving benchmarks never exposes /debug/pprof
+		// through the portal itself. Bind it to localhost.
+		go func() {
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	index := search.NewIndex()
 	var engine *flows.Engine

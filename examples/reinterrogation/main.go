@@ -62,7 +62,9 @@ func main() {
 	fmt.Printf("published %d experiment records across 28 days\n\n", index.Count())
 
 	show := func(label string, q search.Query) {
-		hits, total, err := index.Search(q)
+		// List rendering wants three columns, so use the projected read
+		// path (no payload copy per hit) — the same call the portal makes.
+		hits, total, err := index.SearchProjected(q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -72,7 +74,7 @@ func main() {
 				fmt.Printf("  ... and %d more\n", total-3)
 				break
 			}
-			fmt.Printf("  %s %s %s\n", h.Entry.ID, h.Entry.Date.Format("2006-01-02"), h.Entry.Fields["kind"])
+			fmt.Printf("  %s %s %s\n", h.ID, h.Date.Format("2006-01-02"), h.Fields["kind"])
 		}
 		fmt.Println()
 	}

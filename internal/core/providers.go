@@ -177,18 +177,22 @@ func (s *searchService) invoke(token string, p SearchParams) (string, error) {
 	s.mu.Unlock()
 
 	s.rt.AfterFunc(s.cost, func() {
+		// Ingest outside the provider lock: the index serializes its own
+		// writers, and holding s.mu across the copy-on-write publish would
+		// stall concurrent Status polls of unrelated actions.
+		var ingestErr error
+		if entry.ID != "" {
+			ingestErr = s.index.Ingest(entry)
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		if entry.ID != "" {
-			if err := s.index.Ingest(entry); err != nil {
-				act.State = flows.StateFailed
-				act.Error = err.Error()
-				act.Completed = s.rt.Now()
-				return
-			}
+		act.Completed = s.rt.Now()
+		if ingestErr != nil {
+			act.State = flows.StateFailed
+			act.Error = ingestErr.Error()
+			return
 		}
 		act.State = flows.StateSucceeded
-		act.Completed = s.rt.Now()
 		act.Result = SearchResult{RecordID: entry.ID}
 	})
 	return id, nil

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	"picoprobe/internal/facility"
 	"picoprobe/internal/stats"
 )
 
@@ -45,6 +46,9 @@ func (s *Server) handleFacilities(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAPIFacilities(w http.ResponseWriter, r *http.Request) {
 	snap := s.cfg.Facilities.Snapshot()
+	if snap == nil {
+		snap = []facility.Status{} // clients get "facilities": [], never null
+	}
 	resp := struct {
 		Total      int `json:"total"`
 		Facilities any `json:"facilities"`

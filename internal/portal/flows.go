@@ -104,7 +104,7 @@ func (s *Server) handleAPIFlows(w http.ResponseWriter, r *http.Request) {
 	resp := struct {
 		Total int      `json:"total"`
 		Runs  []apiRun `json:"runs"`
-	}{Total: len(runs)}
+	}{Total: len(runs), Runs: make([]apiRun, 0, len(runs))}
 	for _, rec := range runs {
 		resp.Runs = append(resp.Runs, apiRun{
 			RunID:     rec.RunID,
@@ -171,6 +171,7 @@ func flowRunJSON(rec flows.RunRecord) any {
 		StartedAt: rec.StartedAt,
 		EndedAt:   rec.EndedAt,
 		RuntimeS:  rec.Runtime().Seconds(),
+		States:    make([]apiState, 0, len(rec.States)),
 		Error:     rec.Error,
 	}
 	for _, st := range rec.States {

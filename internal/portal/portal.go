@@ -14,12 +14,14 @@
 package portal
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"html/template"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"picoprobe/internal/auth"
@@ -144,7 +146,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := s.buildQuery(r)
-	hits, total, err := s.cfg.Index.Search(q)
+	// The result table renders five columns; projected hits skip the
+	// per-hit payload and entry copies.
+	hits, total, err := s.cfg.Index.SearchProjected(q)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -159,10 +163,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, h := range hits {
 		data.Hits = append(data.Hits, hitData{
-			ID:    h.Entry.ID,
-			Date:  h.Entry.Date.Format("2006-01-02 15:04:05"),
-			Kind:  h.Entry.Fields["kind"],
-			Title: h.Entry.Fields["title"],
+			ID:    h.ID,
+			Date:  h.Date.Format("2006-01-02 15:04:05"),
+			Kind:  h.Fields["kind"],
+			Title: h.Fields["title"],
 			Score: fmt.Sprintf("%.3f", h.Score),
 		})
 	}
@@ -221,7 +225,7 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAPISearch(w http.ResponseWriter, r *http.Request) {
 	q := s.buildQuery(r)
-	hits, total, err := s.cfg.Index.Search(q)
+	hits, total, err := s.cfg.Index.SearchProjected(q)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -235,9 +239,9 @@ func (s *Server) handleAPISearch(w http.ResponseWriter, r *http.Request) {
 	resp := struct {
 		Total int      `json:"total"`
 		Hits  []apiHit `json:"hits"`
-	}{Total: total}
+	}{Total: total, Hits: make([]apiHit, 0, len(hits))}
 	for _, h := range hits {
-		resp.Hits = append(resp.Hits, apiHit{ID: h.Entry.ID, Score: h.Score, Date: h.Entry.Date, Fields: h.Entry.Fields})
+		resp.Hits = append(resp.Hits, apiHit{ID: h.ID, Score: h.Score, Date: h.Date, Fields: h.Fields})
 	}
 	writeJSON(w, resp)
 }
@@ -252,13 +256,35 @@ func (s *Server) handleAPIRecord(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, entry)
 }
 
+// jsonBufPool recycles response buffers across API requests; buffers that
+// grew past poolBufMax (one unusually large response) are dropped rather
+// than pinned forever.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const poolBufMax = 1 << 20
+
+// writeJSON encodes v compactly into a pooled buffer and writes the
+// response in one shot. Encoding before writing means an encode failure
+// can still produce a clean 500 — the historical implementation streamed
+// into the ResponseWriter and could only append an error to a committed
+// 200 and a partial body.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= poolBufMax {
+			buf.Reset()
+			jsonBufPool.Put(buf)
+		}
+	}()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"response encoding failed"}` + "\n"))
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Write(buf.Bytes())
 }
 
 func sortedKeys[V any](m map[string]V) []string {

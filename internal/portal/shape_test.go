@@ -1,0 +1,83 @@
+package portal
+
+import (
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"picoprobe/internal/flows"
+	"picoprobe/internal/search"
+	"picoprobe/internal/sim"
+)
+
+// The /api/* list endpoints promise JSON arrays: a query with zero
+// results must serialize as [] — never null, which breaks typed clients.
+
+func TestAPISearchEmptyHitsIsArray(t *testing.T) {
+	srv, err := NewServer(Config{Index: search.NewIndex()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, url := range []string{"/api/search", "/api/search?q=nothing-matches"} {
+		res, body := get(t, srv, url, "")
+		if res.StatusCode != 200 {
+			t.Fatalf("%s status = %d", url, res.StatusCode)
+		}
+		if !strings.Contains(body, `"hits":[]`) {
+			t.Errorf("%s: zero hits did not serialize as []:\n%s", url, body)
+		}
+		if strings.Contains(body, "null") {
+			t.Errorf("%s: response contains null:\n%s", url, body)
+		}
+	}
+}
+
+func TestAPIFlowsEmptyRunsIsArray(t *testing.T) {
+	e := flows.NewEngine(sim.NewKernel(), flows.Options{})
+	srv, err := NewServer(Config{Index: search.NewIndex(), Flows: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, body := get(t, srv, "/api/flows", "")
+	if res.StatusCode != 200 {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if !strings.Contains(body, `"runs":[]`) {
+		t.Errorf("zero runs did not serialize as []:\n%s", body)
+	}
+}
+
+// writeJSON must never commit a 200 before the body is known good: an
+// encode failure produces a clean 500 with an error body, nothing else.
+func TestWriteJSONEncodeErrorIsClean500(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, map[string]float64{"bad": math.NaN()}) // NaN is unencodable
+	if rec.Code != 500 {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "encoding failed") {
+		t.Errorf("body = %q", body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("error Content-Type = %q, want application/json", ct)
+	}
+}
+
+// A successful writeJSON response is written in one shot with an exact
+// Content-Length and compact encoding.
+func TestWriteJSONContentLength(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, map[string]int{"n": 1})
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if got := rec.Header().Get("Content-Length"); got != strconv.Itoa(len(body)) {
+		t.Errorf("Content-Length = %q for %d-byte body", got, len(body))
+	}
+	if body != "{\"n\":1}\n" {
+		t.Errorf("body = %q, want compact encoding", body)
+	}
+}

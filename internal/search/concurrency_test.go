@@ -1,0 +1,312 @@
+package search
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentHammer drives Ingest, Delete, Search, SearchProjected,
+// Facets, Get and Save concurrently over the snapshot index. Under -race
+// this asserts the copy-on-write publish discipline: readers only ever
+// touch immutable snapshots, so no synchronization bugs can hide. Result
+// sanity (every hit visible to its principal, page ≤ total) is checked on
+// every read.
+func TestConcurrentHammer(t *testing.T) {
+	ix := NewIndex()
+	vocab := []string{"gold", "lead", "film", "carbon", "probe", "beam", "stage", "vacuum"}
+	entry := func(rng *rand.Rand, id string) Entry {
+		e := Entry{
+			ID:     id,
+			Text:   vocab[rng.Intn(len(vocab))] + " " + vocab[rng.Intn(len(vocab))],
+			Fields: map[string]string{"kind": vocab[rng.Intn(2)]},
+			Date:   time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(rng.Intn(100)) * time.Hour),
+		}
+		if rng.Intn(3) == 0 {
+			e.VisibleTo = []string{"owner@anl.gov"}
+		}
+		return e
+	}
+
+	// Seed so readers have something to chew on from the start.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		if err := ix.Ingest(entry(rng, fmt.Sprintf("doc-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		writers = 4
+		readers = 6
+		ops     = 400
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				id := fmt.Sprintf("doc-%03d", rng.Intn(250))
+				switch rng.Intn(3) {
+				case 0:
+					ix.Delete(id)
+				default:
+					if err := ix.Ingest(entry(rng, id)); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(int64(10 + w))
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			principals := []string{"", "owner@anl.gov"}
+			for i := 0; i < ops; i++ {
+				p := principals[rng.Intn(2)]
+				switch rng.Intn(5) {
+				case 0:
+					q := Query{Text: vocab[rng.Intn(len(vocab))], Principal: p, Limit: 20}
+					hits, total, err := ix.Search(q)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if len(hits) > total {
+						errc <- fmt.Errorf("page %d > total %d", len(hits), total)
+						return
+					}
+					for _, h := range hits {
+						if !h.Entry.visible(p) {
+							errc <- fmt.Errorf("hit %s not visible to %q", h.Entry.ID, p)
+							return
+						}
+					}
+				case 1:
+					if _, _, err := ix.SearchProjected(Query{Principal: p, Limit: 5}); err != nil {
+						errc <- err
+						return
+					}
+				case 2:
+					ix.Facets(Query{Principal: p}, "kind")
+				case 3:
+					id := fmt.Sprintf("doc-%03d", rng.Intn(250))
+					if e, ok := ix.Get(id, p); ok && !e.visible(p) {
+						errc <- fmt.Errorf("Get leaked %s to %q", id, p)
+						return
+					}
+				case 4:
+					if err := ix.Save(io.Discard); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(int64(100 + r))
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestACLRevokedByReingest asserts the visibility contract across
+// replacement: once a record is re-ingested with an ACL that excludes a
+// principal, that principal can never see it again — not via Search, not
+// via Get, not via Facets, and not in any snapshot taken afterwards.
+func TestACLRevokedByReingest(t *testing.T) {
+	ix := NewIndex()
+	e := Entry{
+		ID:        "exp-1",
+		Text:      "restricted gold film",
+		Fields:    map[string]string{"kind": "hyperspectral"},
+		Date:      time.Date(2023, 6, 5, 0, 0, 0, 0, time.UTC),
+		VisibleTo: []string{"alice@anl.gov", "bob@anl.gov"},
+	}
+	if err := ix.Ingest(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, total, _ := ix.Search(Query{Text: "gold", Principal: "alice@anl.gov"}); total != 1 {
+		t.Fatalf("alice should see the record before revocation, total=%d", total)
+	}
+
+	// Revoke alice by re-ingesting with bob-only visibility.
+	e.VisibleTo = []string{"bob@anl.gov"}
+	if err := ix.Ingest(e); err != nil {
+		t.Fatal(err)
+	}
+	checks := func(principal string, want int) {
+		t.Helper()
+		if _, total, _ := ix.Search(Query{Text: "gold", Principal: principal}); total != want {
+			t.Errorf("Search as %q: total = %d, want %d", principal, total, want)
+		}
+		if _, total, _ := ix.Search(Query{Principal: principal}); total != want {
+			t.Errorf("match-all as %q: total = %d, want %d", principal, total, want)
+		}
+		if f := ix.Facets(Query{Principal: principal}, "kind"); f["hyperspectral"] != want {
+			t.Errorf("Facets as %q = %v, want count %d", principal, f, want)
+		}
+		if _, ok := ix.Get("exp-1", principal); ok != (want == 1) {
+			t.Errorf("Get as %q: ok = %v", principal, ok)
+		}
+	}
+	checks("alice@anl.gov", 0)
+	checks("bob@anl.gov", 1)
+	checks("", 0)
+
+	// The revocation survives a snapshot round-trip and a later mutation
+	// of the caller's original slice.
+	e.VisibleTo[0] = "alice@anl.gov" // caller mutates its slice post-ingest
+	checks("alice@anl.gov", 0)
+}
+
+// TestHugeOffsetDoesNotPanic pins the heap-bound overflow guard: a
+// client-supplied offset near MaxInt (reachable through /api/search)
+// must yield an empty page and the right total, never a panic.
+func TestHugeOffsetDoesNotPanic(t *testing.T) {
+	ix := NewIndex()
+	for i := 0; i < 5; i++ {
+		if err := ix.Ingest(Entry{ID: fmt.Sprintf("d%d", i), Text: "gold film"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, off := range []int{math.MaxInt, math.MaxInt - 5, math.MaxInt - 100} {
+		hits, total, err := ix.Search(Query{Text: "gold", Offset: off, Limit: 20})
+		if err != nil || len(hits) != 0 || total != 5 {
+			t.Fatalf("offset %d: hits=%d total=%d err=%v", off, len(hits), total, err)
+		}
+	}
+	if hits, total, _ := ix.Search(Query{Text: "gold", Offset: -3, Limit: 20}); len(hits) != 5 || total != 5 {
+		t.Fatalf("negative offset: hits=%d total=%d", len(hits), total)
+	}
+}
+
+// TestGetStableAcrossReingest pins replacement atomicity on the
+// lock-free Get path: while a writer re-ingests the same ID in a tight
+// loop, a concurrent reader must never observe the record missing.
+func TestGetStableAcrossReingest(t *testing.T) {
+	ix := NewIndex()
+	e := Entry{ID: "hot", Text: "gold film probe"}
+	if err := ix.Ingest(e); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	misses := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				misses <- n
+				return
+			default:
+			}
+			if _, ok := ix.Get("hot", ""); !ok {
+				n++
+			}
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		if err := ix.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if n := <-misses; n != 0 {
+		t.Fatalf("Get missed an always-present record %d time(s) during re-ingest", n)
+	}
+}
+
+// TestDictCompaction grows the vocabulary far past the spill-map fold
+// threshold through single-record ingests (the live publication path) and
+// asserts every term — pre-fold, post-fold, and spilled-again — still
+// resolves, including after deletes.
+func TestDictCompaction(t *testing.T) {
+	ix := NewIndex()
+	const docs = 900 // 4 unique terms each ≈ 3600 terms, several folds
+	for i := 0; i < docs; i++ {
+		e := Entry{
+			ID:   fmt.Sprintf("doc-%04d", i),
+			Text: fmt.Sprintf("alpha%04d beta%04d gamma%04d shared", i, i, i),
+			Date: time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Minute),
+		}
+		if err := ix.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range []int{0, 1, docs / 2, docs - 2, docs - 1} {
+		if _, total, _ := ix.Search(Query{Text: fmt.Sprintf("beta%04d", i)}); total != 1 {
+			t.Errorf("beta%04d: total = %d, want 1", i, total)
+		}
+	}
+	if _, total, _ := ix.Search(Query{Text: "shared", Limit: docs}); total != docs {
+		t.Errorf("shared term total = %d, want %d", total, docs)
+	}
+	if !ix.Delete("doc-0000") {
+		t.Fatal("delete failed")
+	}
+	if _, total, _ := ix.Search(Query{Text: "alpha0000"}); total != 0 {
+		t.Error("deleted doc still searchable via compacted term")
+	}
+}
+
+// TestIngestBatch pins batch/single-write equivalence: a batch (including
+// in-batch replacement of the same ID) must leave the index in exactly
+// the state sequential Ingest calls would.
+func TestIngestBatch(t *testing.T) {
+	day := func(d int) time.Time { return time.Date(2023, 6, d, 12, 0, 0, 0, time.UTC) }
+	entries := []Entry{
+		{ID: "a", Text: "gold film probe", Fields: map[string]string{"kind": "x"}, Date: day(1)},
+		{ID: "b", Text: "gold lead", Date: day(2)},
+		{ID: "c", Text: "carbon grid", Date: day(3), VisibleTo: []string{"alice@anl.gov"}},
+		{ID: "a", Text: "replaced within batch", Date: day(4)}, // later wins
+	}
+	batched := NewIndex()
+	if err := batched.IngestBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	serial := NewIndex()
+	for _, e := range entries {
+		if err := serial.Ingest(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batched.Count() != 3 || serial.Count() != 3 {
+		t.Fatalf("counts = %d/%d, want 3", batched.Count(), serial.Count())
+	}
+	for _, q := range []Query{
+		{Text: "gold"}, {Text: "replaced"}, {Text: "film"},
+		{}, {Principal: "alice@anl.gov"}, {Text: "carbon", Principal: "alice@anl.gov"},
+	} {
+		bh, bt, _ := batched.Search(q)
+		sh, st, _ := serial.Search(q)
+		if bt != st || len(bh) != len(sh) {
+			t.Fatalf("query %+v: batch %d/%d serial %d/%d", q, bt, len(bh), st, len(sh))
+		}
+		for i := range bh {
+			if bh[i].Entry.ID != sh[i].Entry.ID || bh[i].Score != sh[i].Score {
+				t.Fatalf("query %+v hit %d: %s/%g vs %s/%g",
+					q, i, bh[i].Entry.ID, bh[i].Score, sh[i].Entry.ID, sh[i].Score)
+			}
+		}
+	}
+	// Batch rejects a missing ID without applying anything.
+	fresh := NewIndex()
+	if err := fresh.IngestBatch([]Entry{{ID: "ok", Text: "x y"}, {}}); err == nil {
+		t.Fatal("batch with missing ID accepted")
+	}
+	if fresh.Count() != 0 {
+		t.Fatalf("failed batch left %d entries", fresh.Count())
+	}
+}

@@ -1,0 +1,183 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRankingEquivalence pins the sharded snapshot index to the legacy
+// reference implementation: over randomized corpora (random text, fields,
+// numbers, dates, ACLs, plus a churn phase of re-ingests and deletes) and
+// a randomized query mix, both implementations must return identical
+// hits, bitwise-identical scores, identical ordering, totals, facet
+// counts and Get results — for anonymous and ACL-filtered principals.
+func TestRankingEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			vocab := []string{
+				"gold", "lead", "film", "carbon", "probe", "beam", "stage",
+				"vacuum", "grid", "drift", "lattice", "vacancy", "Spectrum",
+				"Intensity", "polyamide", "nano-particle", "300keV", "ref",
+			}
+			kinds := []string{"hyperspectral", "spatiotemporal", "calibration"}
+			principals := []string{"", "alice@anl.gov", "bob@anl.gov", "eve@other.org"}
+
+			newIx := NewIndex()
+			oldIx := newLegacyIndex()
+			apply := func(e Entry) {
+				if err := newIx.Ingest(e); err != nil {
+					t.Fatal(err)
+				}
+				if err := oldIx.Ingest(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			randomEntry := func(id string) Entry {
+				nWords := rng.Intn(9)
+				words := ""
+				for i := 0; i < nWords; i++ {
+					words += vocab[rng.Intn(len(vocab))] + " "
+				}
+				e := Entry{
+					ID:     id,
+					Text:   words,
+					Fields: map[string]string{"kind": kinds[rng.Intn(len(kinds))]},
+					Date:   time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(rng.Intn(96)) * time.Hour),
+				}
+				if rng.Intn(2) == 0 {
+					e.Fields["sample"] = fmt.Sprintf("s-%d", rng.Intn(10))
+				}
+				if rng.Intn(2) == 0 {
+					e.Numbers = map[string]float64{"beam_kev": float64(rng.Intn(5)) * 100}
+				}
+				if rng.Intn(3) == 0 { // restricted to 1-2 principals
+					e.VisibleTo = []string{principals[1+rng.Intn(3)]}
+					if rng.Intn(2) == 0 {
+						e.VisibleTo = append(e.VisibleTo, principals[1+rng.Intn(3)])
+					}
+				}
+				return e
+			}
+
+			const docs = 120
+			for i := 0; i < docs; i++ {
+				apply(randomEntry(fmt.Sprintf("doc-%03d", i)))
+			}
+			// Churn: re-ingests (changed content and ACLs) and deletes.
+			for i := 0; i < 60; i++ {
+				id := fmt.Sprintf("doc-%03d", rng.Intn(docs))
+				if rng.Intn(4) == 0 {
+					if newIx.Delete(id) != oldIx.Delete(id) {
+						t.Fatalf("delete divergence for %s", id)
+					}
+				} else {
+					apply(randomEntry(id))
+				}
+			}
+			if got, want := newIx.Count(), len(oldIx.docs); got != want {
+				t.Fatalf("count = %d, want %d", got, want)
+			}
+
+			randomQuery := func() Query {
+				q := Query{Principal: principals[rng.Intn(len(principals))]}
+				switch rng.Intn(4) {
+				case 0: // match-all
+				case 1:
+					q.Text = vocab[rng.Intn(len(vocab))]
+				case 2:
+					w := vocab[rng.Intn(len(vocab))]
+					q.Text = w + " " + vocab[rng.Intn(len(vocab))]
+					if rng.Intn(3) == 0 {
+						q.Text += " " + w // duplicated term doubles its contribution
+					}
+				case 3:
+					q.Text = "unseen-term-xyzzy " + vocab[rng.Intn(len(vocab))]
+				}
+				if rng.Intn(3) == 0 {
+					q.Filters = map[string]string{"kind": kinds[rng.Intn(len(kinds))]}
+				}
+				if rng.Intn(4) == 0 {
+					q.NumRange = map[string][2]float64{"beam_kev": {0, float64(rng.Intn(5)) * 100}}
+				}
+				if rng.Intn(4) == 0 {
+					q.From = time.Date(2023, 6, 1+rng.Intn(3), 0, 0, 0, 0, time.UTC)
+					q.To = q.From.Add(time.Duration(rng.Intn(72)) * time.Hour)
+				}
+				switch rng.Intn(3) {
+				case 0:
+					q.Limit = 1 + rng.Intn(docs+20) // exercises offsets beyond the end
+					q.Offset = rng.Intn(docs / 2)
+				case 1:
+					q.Limit = 10
+				}
+				return q
+			}
+
+			for i := 0; i < 400; i++ {
+				q := randomQuery()
+				newHits, newTotal, err1 := newIx.Search(q)
+				oldHits, oldTotal, err2 := oldIx.Search(q)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("query %d: errs %v %v", i, err1, err2)
+				}
+				if newTotal != oldTotal || len(newHits) != len(oldHits) {
+					t.Fatalf("query %d (%+v): total %d/%d, page %d/%d",
+						i, q, newTotal, oldTotal, len(newHits), len(oldHits))
+				}
+				for j := range newHits {
+					nh, oh := newHits[j], oldHits[j]
+					if nh.Entry.ID != oh.Entry.ID {
+						t.Fatalf("query %d (%+v) hit %d: id %s != %s", i, q, j, nh.Entry.ID, oh.Entry.ID)
+					}
+					if math.Float64bits(nh.Score) != math.Float64bits(oh.Score) {
+						t.Fatalf("query %d hit %d (%s): score %v != %v (not bit-identical)",
+							i, j, nh.Entry.ID, nh.Score, oh.Score)
+					}
+					if !nh.Entry.Date.Equal(oh.Entry.Date) || nh.Entry.Text != oh.Entry.Text {
+						t.Fatalf("query %d hit %d: entry content diverged", i, j)
+					}
+				}
+				// Projected hits agree with the full hits column-for-column.
+				proj, projTotal, _ := newIx.SearchProjected(q)
+				if projTotal != newTotal || len(proj) != len(newHits) {
+					t.Fatalf("query %d: projected page %d/%d total %d/%d", i, len(proj), len(newHits), projTotal, newTotal)
+				}
+				for j := range proj {
+					if proj[j].ID != newHits[j].Entry.ID ||
+						math.Float64bits(proj[j].Score) != math.Float64bits(newHits[j].Score) {
+						t.Fatalf("query %d: projected hit %d diverged", i, j)
+					}
+				}
+
+				for _, field := range []string{"kind", "sample", "missing"} {
+					nf := newIx.Facets(q, field)
+					of := oldIx.Facets(q, field)
+					if len(nf) != len(of) {
+						t.Fatalf("query %d facets(%s): %v != %v", i, field, nf, of)
+					}
+					for k, v := range of {
+						if nf[k] != v {
+							t.Fatalf("query %d facets(%s)[%s]: %d != %d", i, field, k, nf[k], v)
+						}
+					}
+				}
+			}
+
+			// Get parity across every ID (live and deleted) and principal.
+			for i := 0; i < docs; i++ {
+				id := fmt.Sprintf("doc-%03d", i)
+				for _, p := range principals {
+					ne, nok := newIx.Get(id, p)
+					oe, ook := oldIx.Get(id, p)
+					if nok != ook || (nok && ne.ID != oe.ID) {
+						t.Fatalf("Get(%s, %q): %v/%v", id, p, nok, ook)
+					}
+				}
+			}
+		})
+	}
+}

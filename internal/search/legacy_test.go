@@ -1,0 +1,181 @@
+package search
+
+// The pre-snapshot reference implementation (the seed's single-map,
+// RWMutex-guarded index), kept verbatim as the ranking oracle: the
+// equivalence test below asserts the sharded snapshot index returns
+// bit-identical hits, scores, ordering, totals and facet counts over
+// randomized corpora and query mixes, including ACL-filtered principals.
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+type legacyDoc struct {
+	entry Entry
+	terms []string
+}
+
+type legacyIndex struct {
+	mu       sync.RWMutex
+	docs     map[string]*legacyDoc
+	postings map[string]map[string]int // term -> id -> term frequency
+}
+
+func newLegacyIndex() *legacyIndex {
+	return &legacyIndex{
+		docs:     map[string]*legacyDoc{},
+		postings: map[string]map[string]int{},
+	}
+}
+
+func (ix *legacyIndex) Ingest(e Entry) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, exists := ix.docs[e.ID]; exists {
+		ix.removeLocked(e.ID)
+	}
+	d := &legacyDoc{entry: e}
+	d.entry.VisibleTo = append([]string(nil), e.VisibleTo...)
+	ix.docs[e.ID] = d
+	d.terms = docTokens(nil, &d.entry)
+	for _, tok := range d.terms {
+		m := ix.postings[tok]
+		if m == nil {
+			m = map[string]int{}
+			ix.postings[tok] = m
+		}
+		m[e.ID]++
+	}
+	return nil
+}
+
+func (ix *legacyIndex) Delete(id string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docs[id]; !ok {
+		return false
+	}
+	ix.removeLocked(id)
+	return true
+}
+
+func (ix *legacyIndex) removeLocked(id string) {
+	d := ix.docs[id]
+	delete(ix.docs, id)
+	if d == nil {
+		return
+	}
+	for _, tok := range d.terms {
+		if m := ix.postings[tok]; m != nil {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(ix.postings, tok)
+			}
+		}
+	}
+}
+
+func (ix *legacyIndex) Search(q Query) ([]Hit, int, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	limit := q.Limit
+	if limit <= 0 {
+		limit = 10
+	}
+
+	var hits []Hit
+	terms := Tokenize(q.Text)
+	if len(terms) > 0 {
+		scores := map[string]float64{}
+		n := float64(len(ix.docs))
+		for _, term := range terms {
+			m := ix.postings[term]
+			if len(m) == 0 {
+				continue
+			}
+			idf := math.Log(1 + n/float64(len(m)))
+			for id, tf := range m {
+				dl := float64(len(ix.docs[id].terms))
+				if dl == 0 {
+					dl = 1
+				}
+				scores[id] += float64(tf) / dl * idf
+			}
+		}
+		hits = make([]Hit, 0, len(scores))
+		for id, score := range scores {
+			d := ix.docs[id]
+			if match(&d.entry, &q) {
+				hits = append(hits, Hit{Entry: d.entry, Score: score})
+			}
+		}
+	} else {
+		hits = make([]Hit, 0, len(ix.docs))
+		for _, d := range ix.docs {
+			if match(&d.entry, &q) {
+				hits = append(hits, Hit{Entry: d.entry})
+			}
+		}
+	}
+
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		if !hits[i].Entry.Date.Equal(hits[j].Entry.Date) {
+			return hits[i].Entry.Date.After(hits[j].Entry.Date)
+		}
+		return hits[i].Entry.ID < hits[j].Entry.ID
+	})
+
+	total := len(hits)
+	if q.Offset >= len(hits) {
+		return nil, total, nil
+	}
+	hits = hits[q.Offset:]
+	if len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits, total, nil
+}
+
+func (ix *legacyIndex) Facets(q Query, field string) map[string]int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := map[string]int{}
+	terms := Tokenize(q.Text)
+	for _, d := range ix.docs {
+		if !match(&d.entry, &q) {
+			continue
+		}
+		if len(terms) > 0 && !ix.anyTermMatchesLocked(d.entry.ID, terms) {
+			continue
+		}
+		if v, ok := d.entry.Fields[field]; ok {
+			out[v]++
+		}
+	}
+	return out
+}
+
+func (ix *legacyIndex) anyTermMatchesLocked(id string, terms []string) bool {
+	for _, t := range terms {
+		if _, ok := ix.postings[t][id]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (ix *legacyIndex) Get(id, principal string) (Entry, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	d, ok := ix.docs[id]
+	if !ok || !d.entry.visible(principal) {
+		return Entry{}, false
+	}
+	return d.entry, true
+}

@@ -5,17 +5,19 @@
 // date ranges, and facets — all under per-principal visibility ACLs so
 // query results only ever contain records the caller is allowed to
 // discover. The index persists to a JSON-lines snapshot.
+//
+// The index is built for concurrent serving at campaign scale: documents
+// are sharded by ID hash, writers mutate private build state under a
+// writer lock and atomically publish immutable per-shard snapshots, and
+// queries run lock-free against whatever snapshots they grab — sustained
+// ingest never blocks a read. Ranked retrieval walks sorted posting
+// slices over an interned term dictionary and keeps only the requested
+// page in a bounded top-k heap. See DESIGN.md §7.
 package search
 
 import (
-	"bufio"
 	"encoding/json"
-	"fmt"
-	"io"
-	"math"
-	"sort"
 	"strings"
-	"sync"
 	"time"
 	"unicode"
 	"unicode/utf8"
@@ -72,193 +74,27 @@ type Query struct {
 	Limit, Offset int
 }
 
-// Hit is one search result.
+// Hit is one search result carrying the full entry, payload included.
+// List pages that only render a few columns should prefer
+// SearchProjected, which skips the payload copy per hit.
 type Hit struct {
 	Entry Entry
 	Score float64
 }
 
-// doc is one stored record plus the token list its ingest created, kept so
-// removal can delete exactly those postings in O(document terms) however
-// the caller mutates its own maps after Ingest. Token lists up to
-// len(inline) live inside the same allocation as the entry; longer ones
-// spill to the heap.
-type doc struct {
-	entry  Entry
-	terms  []string
-	inline [12]string
+// ProjectedHit is the payload-free view of a hit for list pages: exactly
+// the columns the portal's result table and /api/search render. The
+// Fields map aliases the stored entry (as Hit.Entry's maps do) and must
+// not be mutated.
+type ProjectedHit struct {
+	ID     string
+	Score  float64
+	Date   time.Time
+	Fields map[string]string
 }
 
-// Index is an in-memory inverted index, safe for concurrent use.
-type Index struct {
-	mu       sync.RWMutex
-	docs     map[string]*doc
-	postings map[string]map[string]int // term -> id -> term frequency
-}
-
-// NewIndex returns an empty index.
-func NewIndex() *Index {
-	return &Index{
-		docs:     map[string]*doc{},
-		postings: map[string]map[string]int{},
-	}
-}
-
-// Count returns the number of indexed entries.
-func (ix *Index) Count() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.docs)
-}
-
-// tokenScratch recycles the per-call token slice used by Ingest and
-// Delete so (re)indexing a record allocates no intermediate buffers.
-var tokenScratch = sync.Pool{New: func() any { return new(tokenBuf) }}
-
-type tokenBuf struct{ toks []string }
-
-// Ingest adds or replaces an entry.
-func (ix *Index) Ingest(e Entry) error {
-	if e.ID == "" {
-		return fmt.Errorf("search: entry missing id")
-	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if _, exists := ix.docs[e.ID]; exists {
-		ix.removeLocked(e.ID)
-	}
-	d := &doc{entry: e}
-	d.entry.VisibleTo = append([]string(nil), e.VisibleTo...)
-	ix.docs[e.ID] = d
-	sc := tokenScratch.Get().(*tokenBuf)
-	tokens := docTokens(sc.toks[:0], &d.entry)
-	d.terms = append(d.inline[:0], tokens...)
-	for _, tok := range tokens {
-		m := ix.postings[tok]
-		if m == nil {
-			m = map[string]int{}
-			ix.postings[tok] = m
-		}
-		m[e.ID]++
-	}
-	sc.toks = tokens
-	tokenScratch.Put(sc)
-	return nil
-}
-
-// Delete removes an entry, reporting whether it existed.
-func (ix *Index) Delete(id string) bool {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if _, ok := ix.docs[id]; !ok {
-		return false
-	}
-	ix.removeLocked(id)
-	return true
-}
-
-// removeLocked unindexes the entry by deleting exactly the postings its
-// ingest created (recorded on the doc) — O(document terms), independent
-// of how many documents or distinct terms the index holds (the previous
-// implementation walked every posting list in the index).
-func (ix *Index) removeLocked(id string) {
-	d := ix.docs[id]
-	delete(ix.docs, id)
-	if d == nil {
-		return
-	}
-	for _, tok := range d.terms {
-		if m := ix.postings[tok]; m != nil {
-			delete(m, id)
-			if len(m) == 0 {
-				delete(ix.postings, tok)
-			}
-		}
-	}
-}
-
-// docTokens appends the entry's indexable tokens — free text plus field
-// values, so filter-ish terms also rank — to dst. It is the shared
-// tokenization of Ingest and removeLocked; both must agree for postings to
-// be removable per document.
-func docTokens(dst []string, e *Entry) []string {
-	dst = appendTokens(dst, e.Text)
-	for _, v := range e.Fields {
-		dst = appendTokens(dst, v)
-	}
-	return dst
-}
-
-// Search returns the page of hits selected by q plus the total number of
-// matching entries.
-func (ix *Index) Search(q Query) ([]Hit, int, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-
-	limit := q.Limit
-	if limit <= 0 {
-		limit = 10
-	}
-
-	var hits []Hit
-	terms := Tokenize(q.Text)
-	if len(terms) > 0 {
-		// Ranked retrieval: union of posting lists, TF-IDF scores.
-		scores := map[string]float64{}
-		n := float64(len(ix.docs))
-		for _, term := range terms {
-			m := ix.postings[term]
-			if len(m) == 0 {
-				continue
-			}
-			idf := math.Log(1 + n/float64(len(m)))
-			for id, tf := range m {
-				dl := float64(len(ix.docs[id].terms))
-				if dl == 0 {
-					dl = 1
-				}
-				scores[id] += float64(tf) / dl * idf
-			}
-		}
-		hits = make([]Hit, 0, len(scores))
-		for id, score := range scores {
-			d := ix.docs[id]
-			if ix.matchLocked(&d.entry, q) {
-				hits = append(hits, Hit{Entry: d.entry, Score: score})
-			}
-		}
-	} else {
-		hits = make([]Hit, 0, len(ix.docs))
-		for _, d := range ix.docs {
-			if ix.matchLocked(&d.entry, q) {
-				hits = append(hits, Hit{Entry: d.entry})
-			}
-		}
-	}
-
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		if !hits[i].Entry.Date.Equal(hits[j].Entry.Date) {
-			return hits[i].Entry.Date.After(hits[j].Entry.Date)
-		}
-		return hits[i].Entry.ID < hits[j].Entry.ID
-	})
-
-	total := len(hits)
-	if q.Offset >= len(hits) {
-		return nil, total, nil
-	}
-	hits = hits[q.Offset:]
-	if len(hits) > limit {
-		hits = hits[:limit]
-	}
-	return hits, total, nil
-}
-
-// matchLocked applies ACL, filters and ranges (not text ranking).
-func (ix *Index) matchLocked(e *Entry, q Query) bool {
+// match applies ACL, filters and ranges (not text ranking).
+func match(e *Entry, q *Query) bool {
 	if !e.visible(q.Principal) {
 		return false
 	}
@@ -282,82 +118,16 @@ func (ix *Index) matchLocked(e *Entry, q Query) bool {
 	return true
 }
 
-// Facets counts the distinct values of a field across every entry matching
-// q (ignoring pagination), for the portal's sidebar.
-func (ix *Index) Facets(q Query, field string) map[string]int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	out := map[string]int{}
-	terms := Tokenize(q.Text)
-	for _, d := range ix.docs {
-		if !ix.matchLocked(&d.entry, q) {
-			continue
-		}
-		if len(terms) > 0 && !ix.anyTermMatchesLocked(d.entry.ID, terms) {
-			continue
-		}
-		if v, ok := d.entry.Fields[field]; ok {
-			out[v]++
-		}
+// docTokens appends the entry's indexable tokens — free text plus field
+// values, so filter-ish terms also rank — to dst. It is the shared
+// tokenization of ingest and removal; both must agree for postings to be
+// removable per document.
+func docTokens(dst []string, e *Entry) []string {
+	dst = appendTokens(dst, e.Text)
+	for _, v := range e.Fields {
+		dst = appendTokens(dst, v)
 	}
-	return out
-}
-
-func (ix *Index) anyTermMatchesLocked(id string, terms []string) bool {
-	for _, t := range terms {
-		if _, ok := ix.postings[t][id]; ok {
-			return true
-		}
-	}
-	return false
-}
-
-// Get returns an entry by ID, honoring the ACL.
-func (ix *Index) Get(id, principal string) (Entry, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	d, ok := ix.docs[id]
-	if !ok || !d.entry.visible(principal) {
-		return Entry{}, false
-	}
-	return d.entry, true
-}
-
-// Save writes a JSON-lines snapshot of every entry.
-func (ix *Index) Save(w io.Writer) error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	ids := make([]string, 0, len(ix.docs))
-	for id := range ix.docs {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for _, id := range ids {
-		if err := enc.Encode(&ix.docs[id].entry); err != nil {
-			return fmt.Errorf("search: save: %w", err)
-		}
-	}
-	return bw.Flush()
-}
-
-// Load replaces the index contents with a snapshot written by Save.
-func Load(r io.Reader) (*Index, error) {
-	ix := NewIndex()
-	dec := json.NewDecoder(r)
-	for {
-		var e Entry
-		if err := dec.Decode(&e); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("search: load: %w", err)
-		}
-		if err := ix.Ingest(e); err != nil {
-			return nil, err
-		}
-	}
-	return ix, nil
+	return dst
 }
 
 // Tokenize lowercases and splits text on non-alphanumeric boundaries,
@@ -376,7 +146,7 @@ func Tokenize(text string) []string {
 }
 
 // appendTokens is Tokenize appending into dst: tokens that are already
-// lowercase are substring views of text, so indexing lowercase input
+// lowercase are substring views of text, so tokenizing lowercase input
 // allocates nothing beyond dst growth. The minimum-length filter applies
 // to the lowercased token, exactly as Tokenize's does, so ingest and query
 // agree on which terms exist.
