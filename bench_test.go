@@ -11,6 +11,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -20,6 +21,7 @@ import (
 	"testing"
 	"time"
 
+	"picoprobe/internal/auth"
 	"picoprobe/internal/core"
 	"picoprobe/internal/detect"
 	"picoprobe/internal/emd"
@@ -31,6 +33,7 @@ import (
 	"picoprobe/internal/sim"
 	"picoprobe/internal/synth"
 	"picoprobe/internal/tensor"
+	"picoprobe/internal/transfer"
 	"picoprobe/internal/video"
 )
 
@@ -665,6 +668,227 @@ func BenchmarkAblationParallelStreams(b *testing.B) {
 				row = res.Table1()
 			}
 			b.ReportMetric(row.MeanRuntimeS, "mean_runtime_s")
+		})
+	}
+}
+
+// --- ingest data plane -------------------------------------------------
+
+// benchIngestCampaign runs one many-file detector campaign through the
+// simulated transfer service — 24 files of 256 MB as a single batched
+// task over the paper's stream-capped network — and returns the virtual
+// makespan. The framing (whole-file vs chunked, stream count) is the
+// variable the ingest benchmarks sweep.
+func benchIngestCampaign(b *testing.B, chunkBytes int64, streams int) time.Duration {
+	b.Helper()
+	iss := auth.NewIssuer([]byte("bench"), nil)
+	tok, err := iss.Issue("bench", []string{auth.ScopeTransfer}, 24*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sim.NewKernel()
+	net := netsim.New(k)
+	// The paper's front half: 1 Gbps user-machine switch, 80 Mbit/s
+	// effective per-stream WAN throughput.
+	link := net.AddLink("site-switch", 1e9)
+	mover := &transfer.SimMover{
+		Kernel:  k,
+		Network: net,
+		RouteFor: func(src, dst *transfer.Endpoint) transfer.Route {
+			return transfer.Route{
+				Path:       []*netsim.Link{link},
+				StreamCap:  80e6,
+				SetupTime:  2 * time.Second,
+				Streams:    streams,
+				ChunkBytes: chunkBytes,
+			}
+		},
+	}
+	svc := transfer.NewService(iss, mover, k.Now, transfer.Options{})
+	svc.RegisterEndpoint(transfer.Endpoint{ID: "instrument"})
+	svc.RegisterEndpoint(transfer.Endpoint{ID: "eagle"})
+	files := make([]transfer.FileSpec, 24)
+	for i := range files {
+		files[i] = transfer.FileSpec{RelPath: fmt.Sprintf("burst-%02d.emdg", i), Bytes: 256_000_000}
+	}
+	var id string
+	k.Spawn("campaign", func(ctx sim.Context) {
+		id, err = svc.Submit(tok, "instrument", "eagle", files)
+		if err != nil {
+			b.Error(err)
+		}
+	})
+	k.Run()
+	if err := k.Err(); err != nil {
+		b.Fatal(err)
+	}
+	view, err := svc.Status(tok, id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if view.Status != transfer.StatusSucceeded {
+		b.Fatalf("campaign %s: %s", view.Status, view.Error)
+	}
+	return view.Completed.Sub(view.Submitted)
+}
+
+// BenchmarkIngestCampaign measures the acquisition→HPC ingest data plane
+// on a many-file campaign (24 × 256 MB, one batched task): the seed's
+// single-stream whole-file framing against the chunked multi-stream
+// engine. The virtual makespan_s metric is the paper-comparable quantity
+// (Welborn et al.'s sustained instrument→facility throughput); ns/op
+// measures the simulator itself.
+func BenchmarkIngestCampaign(b *testing.B) {
+	for _, bc := range []struct {
+		name       string
+		chunkBytes int64
+		streams    int
+	}{
+		{"whole-file-1-stream", 0, 1},
+		{"chunked-32MB-4-streams", 32_000_000, 4},
+		{"chunked-32MB-8-streams", 32_000_000, 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var makespan time.Duration
+			for i := 0; i < b.N; i++ {
+				makespan = benchIngestCampaign(b, bc.chunkBytes, bc.streams)
+			}
+			b.ReportMetric(makespan.Seconds(), "makespan_s")
+			b.ReportMetric(24*256/makespan.Seconds(), "throughput_MBps")
+		})
+	}
+}
+
+// BenchmarkIngestKillResume measures the retry cost of a transfer killed
+// mid-flight: with the chunk manifest the resubmitted task re-moves only
+// unverified chunks; without it, every byte crosses the wire again. The
+// re_moved_mb metric is the recovery cost the resume machinery exists to
+// minimize (real files on disk, 64 × 128 KB chunks, killed halfway).
+func BenchmarkIngestKillResume(b *testing.B) {
+	const (
+		fileMB = 8
+		chunk  = 128 << 10
+		kill   = 32 // of 64 chunks
+	)
+	iss := auth.NewIssuer([]byte("bench"), nil)
+	tok, err := iss.Issue("bench", []string{auth.ScopeTransfer}, 24*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, fileMB<<20)
+	rand.New(rand.NewSource(7)).Read(payload)
+
+	waitDone := func(svc *transfer.Service, id string) transfer.TaskView {
+		for {
+			view, err := svc.Status(tok, id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if view.Status != transfer.StatusActive {
+				return view
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for _, resume := range []struct {
+		name     string
+		manifest bool
+	}{{"manifest-resume", true}, {"restart-from-scratch", false}} {
+		b.Run(resume.name, func(b *testing.B) {
+			var reMoved int64
+			for i := 0; i < b.N; i++ {
+				srcRoot, dstRoot := b.TempDir(), b.TempDir()
+				manDir := ""
+				if resume.manifest {
+					manDir = b.TempDir()
+				}
+				if err := os.WriteFile(filepath.Join(srcRoot, "f.emdg"), payload, 0o644); err != nil {
+					b.Fatal(err)
+				}
+				svc1 := transfer.NewService(iss, &transfer.LiveMover{
+					Checksum: true, ChunkBytes: chunk, Streams: 1,
+					ManifestDir: manDir, KillAfterChunks: kill,
+				}, time.Now, transfer.Options{MaxAttempts: 1})
+				svc1.RegisterEndpoint(transfer.Endpoint{ID: "src", Root: srcRoot})
+				svc1.RegisterEndpoint(transfer.Endpoint{ID: "dst", Root: dstRoot})
+				id1, err := svc1.Submit(tok, "src", "dst", []transfer.FileSpec{{RelPath: "f.emdg"}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v := waitDone(svc1, id1); v.Status != transfer.StatusFailed {
+					b.Fatalf("kill did not fire: %s", v.Status)
+				}
+				// "Reboot": a fresh service and mover; only the manifest
+				// directory (when enabled) survives.
+				svc2 := transfer.NewService(iss, &transfer.LiveMover{
+					Checksum: true, ChunkBytes: chunk, Streams: 1, ManifestDir: manDir,
+				}, time.Now, transfer.Options{})
+				svc2.RegisterEndpoint(transfer.Endpoint{ID: "src", Root: srcRoot})
+				svc2.RegisterEndpoint(transfer.Endpoint{ID: "dst", Root: dstRoot})
+				id2, err := svc2.Submit(tok, "src", "dst", []transfer.FileSpec{{RelPath: "f.emdg"}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				v2 := waitDone(svc2, id2)
+				if v2.Status != transfer.StatusSucceeded {
+					b.Fatalf("recovery failed: %s", v2.Error)
+				}
+				reMoved = v2.BytesCopied
+			}
+			b.ReportMetric(float64(reMoved)/1e6, "re_moved_mb")
+		})
+	}
+}
+
+// BenchmarkIngestChecksumAblation measures what per-chunk SHA-256 plus
+// the verified merge cost on the real copy path: a 32 MB file in 1 MB
+// chunks over 4 streams, with integrity verification on and off (the
+// Globus Transfer checksum toggle). Metric: end-to-end copy throughput.
+func BenchmarkIngestChecksumAblation(b *testing.B) {
+	iss := auth.NewIssuer([]byte("bench"), nil)
+	tok, err := iss.Issue("bench", []string{auth.ScopeTransfer}, 24*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const size = 32 << 20
+	payload := make([]byte, size)
+	rand.New(rand.NewSource(9)).Read(payload)
+	for _, checksum := range []bool{true, false} {
+		name := "checksum-on"
+		if !checksum {
+			name = "checksum-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			srcRoot := b.TempDir()
+			if err := os.WriteFile(filepath.Join(srcRoot, "f.emdg"), payload, 0o644); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				svc := transfer.NewService(iss, &transfer.LiveMover{
+					Checksum: checksum, ChunkBytes: 1 << 20, Streams: 4,
+				}, time.Now, transfer.Options{})
+				svc.RegisterEndpoint(transfer.Endpoint{ID: "src", Root: srcRoot})
+				svc.RegisterEndpoint(transfer.Endpoint{ID: "dst", Root: b.TempDir()})
+				id, err := svc.Submit(tok, "src", "dst", []transfer.FileSpec{{RelPath: "f.emdg"}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					view, err := svc.Status(tok, id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if view.Status == transfer.StatusSucceeded {
+						break
+					}
+					if view.Status == transfer.StatusFailed {
+						b.Fatal(view.Error)
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
 		})
 	}
 }

@@ -1,14 +1,24 @@
 // Command picoprobe-watch is the instrument-side trigger application: it
 // watches a transfer directory (with settle detection and a restart-safe
-// checkpoint) and starts a live flow for every new EMD file — the paper's
-// watchdog-based application, wired to the in-process deployment.
+// checkpoint), coalesces settled files into multi-file batches under a
+// bytes-in-flight budget, and starts one live batch flow per batch — the
+// paper's watchdog-based application, wired to the in-process deployment
+// over the chunked resumable ingest data plane.
 //
 // Usage:
 //
-//	picoprobe-watch -dir ./instrument -kind hyperspectral [-workdir ./picoprobe-work] [-count 0]
+//	picoprobe-watch -dir ./instrument -kind hyperspectral [-workdir ./picoprobe-work]
+//	               [-batch-files 8] [-batch-bytes N] [-linger 500ms] [-inflight N]
+//	               [-chunk 64MB] [-streams 4] [-count 0]
 //
-// With -count N the command exits after N flows (useful for scripted
-// demos); 0 means run until interrupted.
+// Batching: settled files arriving within -linger of each other coalesce
+// into one flow (at most -batch-files files / -batch-bytes bytes per
+// batch), and new batches are withheld while more than -inflight bytes
+// are still being processed. Transfers move in -chunk-sized chunks over
+// -streams concurrent streams with manifest-based resume; -chunk 0
+// restores whole-file single-stream framing. With -count N the command
+// exits after N files (useful for scripted demos); 0 means run until
+// interrupted.
 package main
 
 import (
@@ -16,6 +26,8 @@ import (
 	"fmt"
 	"log"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"picoprobe/internal/core"
 	"picoprobe/internal/watcher"
@@ -26,16 +38,24 @@ func main() {
 	kind := flag.String("kind", "hyperspectral", "hyperspectral or spatiotemporal")
 	workdir := flag.String("workdir", "picoprobe-work", "working directory for eagle/artifact roots")
 	pattern := flag.String("pattern", "*.emdg", "file glob to react to")
-	count := flag.Int("count", 0, "exit after this many flows (0 = forever)")
+	count := flag.Int("count", 0, "exit after this many files (0 = forever)")
+	batchFiles := flag.Int("batch-files", 8, "max files coalesced into one batch flow")
+	batchBytes := flag.Int64("batch-bytes", 2<<30, "max bytes per batch (0 = uncapped)")
+	linger := flag.Duration("linger", 500*time.Millisecond, "quiet period before a below-threshold batch flushes")
+	inflight := flag.Int64("inflight", 4<<30, "bytes-in-flight backpressure budget (0 = unlimited)")
+	chunk := flag.Int64("chunk", 64<<20, "transfer chunk size in bytes (0 = whole-file framing)")
+	streams := flag.Int("streams", 4, "concurrent transfer streams per task")
 	flag.Parse()
 	if *dir == "" {
 		log.Fatal("-dir is required")
 	}
 
 	dep, err := core.NewLiveDeployment(core.LiveOptions{
-		InstrumentRoot: *dir,
-		EagleRoot:      filepath.Join(*workdir, "eagle"),
-		OutDir:         filepath.Join(*workdir, "artifacts"),
+		InstrumentRoot:     *dir,
+		EagleRoot:          filepath.Join(*workdir, "eagle"),
+		OutDir:             filepath.Join(*workdir, "artifacts"),
+		TransferChunkBytes: *chunk,
+		TransferStreams:    *streams,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -50,24 +70,41 @@ func main() {
 	}
 	w.Start()
 	defer w.Stop()
+	batcher := watcher.NewBatcher(w.Events(), watcher.BatchOptions{
+		MaxBatchFiles: *batchFiles,
+		MaxBatchBytes: *batchBytes,
+		Linger:        *linger,
+		BudgetBytes:   *inflight,
+	})
 
-	fmt.Printf("watching %s for %s files (checkpointed; restart-safe)\n", *dir, *pattern)
+	fmt.Printf("watching %s for %s files (checkpointed; batches of ≤%d files, %d-byte chunks × %d streams)\n",
+		*dir, *pattern, *batchFiles, *chunk, *streams)
 	ran := 0
-	for ev := range w.Events() {
-		rel, err := filepath.Rel(*dir, ev.Path)
-		if err != nil {
-			log.Printf("skipping %s: %v", ev.Path, err)
+	for batch := range batcher.Batches() {
+		rels := make([]string, 0, len(batch.Files))
+		for _, ev := range batch.Files {
+			rel, err := filepath.Rel(*dir, ev.Path)
+			if err != nil {
+				log.Printf("skipping %s: %v", ev.Path, err)
+				continue
+			}
+			rels = append(rels, rel)
+		}
+		if len(rels) == 0 {
+			batcher.Done(batch)
 			continue
 		}
-		fmt.Printf("new file %s (%d bytes) — starting %s flow\n", rel, ev.Size, *kind)
-		rec, err := dep.RunFile(*kind, rel)
+		fmt.Printf("batch #%d: %d file(s), %d bytes (%s) — starting %s batch flow\n",
+			batch.Seq, len(rels), batch.Bytes, strings.Join(rels, ", "), *kind)
+		rec, err := dep.RunBatch(*kind, rels)
+		batcher.Done(batch)
 		if err != nil {
 			log.Printf("flow failed: %v", err)
 			continue
 		}
 		fmt.Printf("  %s %s in %v; %d records indexed\n",
 			rec.RunID, rec.Status, rec.Runtime().Round(1e6), dep.Index.Count())
-		ran++
+		ran += len(rels)
 		if *count > 0 && ran >= *count {
 			return
 		}

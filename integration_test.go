@@ -230,3 +230,86 @@ func TestBandwidthSweepShape(t *testing.T) {
 			u.MedianOverheadPct, b.MedianOverheadPct)
 	}
 }
+
+// TestBatchedWatcherPipeline runs the reworked acquisition-side ingest
+// data plane end to end: a detector burst settles under the watcher, the
+// batcher coalesces it into one multi-file batch under a bytes-in-flight
+// budget, a single chunked multi-stream transfer task moves every file,
+// the analyses run as concurrent DAG states, and one batched publication
+// indexes the records.
+func TestBatchedWatcherPipeline(t *testing.T) {
+	instrument := t.TempDir()
+	workdir := t.TempDir()
+	dep, err := NewLiveDeployment(LiveOptions{
+		InstrumentRoot:     instrument,
+		EagleRoot:          filepath.Join(workdir, "eagle"),
+		OutDir:             filepath.Join(workdir, "artifacts"),
+		TransferChunkBytes: 64 << 10,
+		TransferStreams:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The burst lands before the watcher starts, so every file settles
+	// together and the batcher sees them as one group.
+	writeAcquisition(t, instrument, "burst-a.emdg", "burst-sample-a", 11)
+	writeAcquisition(t, instrument, "burst-b.emdg", "burst-sample-b", 12)
+	writeAcquisition(t, instrument, "burst-c.emdg", "burst-sample-c", 13)
+
+	w, err := watcher.New(instrument, watcher.Options{
+		Interval:    5 * time.Millisecond,
+		SettlePolls: 2,
+		Pattern:     "*.emdg",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	defer w.Stop()
+	b := watcher.NewBatcher(w.Events(), watcher.BatchOptions{
+		MaxBatchFiles: 8,
+		Linger:        100 * time.Millisecond,
+		BudgetBytes:   1 << 30,
+	})
+
+	processed := 0
+	deadline := time.After(60 * time.Second)
+	for processed < 3 {
+		select {
+		case batch := <-b.Batches():
+			rels := make([]string, 0, len(batch.Files))
+			for _, ev := range batch.Files {
+				rel, err := filepath.Rel(instrument, ev.Path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rels = append(rels, rel)
+			}
+			rec, err := dep.RunBatch("hyperspectral", rels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One transfer + one publication + one analysis per file.
+			if want := len(rels) + 2; len(rec.States) != want {
+				t.Fatalf("batch of %d ran %d states, want %d", len(rels), len(rec.States), want)
+			}
+			processed += len(rels)
+			b.Done(batch)
+		case <-deadline:
+			t.Fatalf("timed out with %d of 3 files processed", processed)
+		}
+	}
+	if st := b.Stats(); st.Batches >= 3 {
+		t.Errorf("burst not coalesced: %d batches for 3 files", st.Batches)
+	}
+	if dep.Index.Count() != 3 {
+		t.Errorf("indexed = %d, want 3", dep.Index.Count())
+	}
+	// The batched transfers moved every file through chunked tasks.
+	for _, task := range dep.Transfer.Tasks() {
+		if task.Status != "SUCCEEDED" {
+			t.Errorf("task %s: %s (%s)", task.ID, task.Status, task.Error)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"picoprobe/internal/auth"
@@ -34,6 +35,14 @@ type LiveOptions struct {
 	DetectorParams *detect.Params
 	// Workers bounds concurrent compute tasks (default 2).
 	Workers int
+	// TransferChunkBytes splits each transfer into fixed-size chunks moved
+	// over TransferStreams concurrent streams with per-chunk verification
+	// and manifest-based resume (DESIGN.md §8). 0 keeps whole-file framing
+	// — the degenerate single-chunk plan.
+	TransferChunkBytes int64
+	// TransferStreams bounds the concurrent chunk-copy workers per
+	// transfer task (default 1).
+	TransferStreams int
 }
 
 // LiveDeployment is a fully wired in-process deployment of the PicoProbe
@@ -80,7 +89,14 @@ func NewLiveDeployment(opts LiveOptions) (*LiveDeployment, error) {
 		return nil, err
 	}
 
-	tsvc := transfer.NewService(issuer, &transfer.LiveMover{Checksum: true}, time.Now, transfer.Options{})
+	tsvc := transfer.NewService(issuer, &transfer.LiveMover{
+		Checksum:   true,
+		ChunkBytes: opts.TransferChunkBytes,
+		Streams:    opts.TransferStreams,
+		// Manifests live beside the destination root so a redeployed
+		// service resumes partial transfers.
+		ManifestDir: filepath.Join(opts.EagleRoot, ".picoprobe-manifests"),
+	}, time.Now, transfer.Options{})
 	if err := tsvc.RegisterEndpoint(transfer.Endpoint{ID: EndpointInstrument, Name: "PicoProbe user machine", Root: opts.InstrumentRoot}); err != nil {
 		return nil, err
 	}
@@ -262,4 +278,63 @@ func (d *LiveDeployment) RunDefinition(def flows.Definition, relPath string) (fl
 // completes.
 func (d *LiveDeployment) RunFile(kind, relPath string) (flows.RunRecord, error) {
 	return d.RunDefinition(d.LiveDefinition(kind), relPath)
+}
+
+// BatchDefinition builds the multi-file DAG flow the watcher's batcher
+// feeds: one chunked transfer task moves every file of the batch, the
+// per-file analyses run concurrently on the landed copies, and a single
+// publication state ingests all their records through one IngestBatch —
+// the batched catalog publication of the ingest data plane.
+//
+//	Transfer(all files) → {Analysis-00 ∥ Analysis-01 ∥ …} → Publication
+func (d *LiveDeployment) BatchDefinition(kind string, relPaths []string) flows.Definition {
+	name, fn := simFlowName(kind)
+	eagleRoot := d.Options.EagleRoot
+	rels := append([]string(nil), relPaths...)
+
+	states := []flows.StateDef{{
+		Name:     "Transfer",
+		Provider: "transfer",
+		Params: func(_ map[string]any, _ flows.Results) map[string]any {
+			return flows.Pack(TransferParams{Src: EndpointInstrument, Dst: EndpointEagle, RelPaths: rels})
+		},
+	}}
+	analyses := make([]string, len(rels))
+	for i, rel := range rels {
+		stateName := fmt.Sprintf("Analysis-%02d", i)
+		analyses[i] = stateName
+		path := eagleRoot + string(os.PathSeparator) + rel
+		states = append(states, flows.StateDef{
+			Name:     stateName,
+			Provider: "compute",
+			After:    []string{"Transfer"},
+			Params: func(_ map[string]any, _ flows.Results) map[string]any {
+				return flows.Pack(ComputeParams{Function: fn, Args: compute.Args{"path": path}})
+			},
+		})
+	}
+	states = append(states, flows.StateDef{
+		Name:     "Publication",
+		Provider: "search",
+		After:    analyses,
+		Params: func(_ map[string]any, results flows.Results) map[string]any {
+			entries := make([]string, 0, len(analyses))
+			for _, a := range analyses {
+				if entry, _ := results[a]["entry_json"].(string); entry != "" {
+					entries = append(entries, entry)
+				}
+			}
+			return flows.Pack(SearchParams{EntriesJSON: entries})
+		},
+	})
+	return flows.Definition{Name: name + "-batch", States: states}
+}
+
+// RunBatch executes the batch flow for files already present in the
+// instrument root, blocking until the run completes.
+func (d *LiveDeployment) RunBatch(kind string, relPaths []string) (flows.RunRecord, error) {
+	if len(relPaths) == 0 {
+		return flows.RunRecord{}, fmt.Errorf("core: batch needs at least one file")
+	}
+	return d.RunDefinition(d.BatchDefinition(kind, relPaths), relPaths[0])
 }

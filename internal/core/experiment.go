@@ -57,6 +57,12 @@ type ExperimentConfig struct {
 	// ParallelStreams splits each transfer across this many GridFTP-style
 	// streams (the paper's future-work item 3). 0 means 1.
 	ParallelStreams int
+	// TransferChunkBytes switches transfers to chunked framing: each task
+	// becomes a flat list of fixed-size chunks pipelined through a window
+	// of ParallelStreams concurrent flows, with chunk-level resume on
+	// retry (the ingest data plane, DESIGN.md §8). 0 keeps whole-file
+	// framing — the configuration the Table 1 reproductions pin.
+	TransferChunkBytes int64
 }
 
 // HyperspectralExperiment returns the paper's hyperspectral Table 1

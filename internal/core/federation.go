@@ -556,10 +556,11 @@ func RunFederatedExperiment(cfg FederatedConfig) (*FederatedResult, error) {
 		RouteFor: func(src, dst *transfer.Endpoint) transfer.Route {
 			fac := byEndpoint[dst.ID]
 			return transfer.Route{
-				Path:      fac.Path(),
-				StreamCap: fac.StreamCap() * txJitter.factor(),
-				SetupTime: fac.TransferSetup(),
-				Streams:   cfg.ParallelStreams,
+				Path:       fac.Path(),
+				StreamCap:  fac.StreamCap() * txJitter.factor(),
+				SetupTime:  fac.TransferSetup(),
+				Streams:    cfg.ParallelStreams,
+				ChunkBytes: cfg.TransferChunkBytes,
 			}
 		},
 	}

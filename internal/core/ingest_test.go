@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"picoprobe/internal/auth"
+	"picoprobe/internal/flows"
+	"picoprobe/internal/search"
+	"picoprobe/internal/sim"
+)
+
+// TestChunkedExperimentDegeneracy pins the rework's central promise: the
+// chunk engine configured degenerately (one chunk >= the file size, a
+// single stream) reproduces the whole-file experiment timeline
+// bit-identically — same run count, same per-run runtimes, same per-state
+// timings — so the Table 1 / Fig 4 reproductions are untouched by the
+// ingest data plane.
+func TestChunkedExperimentDegeneracy(t *testing.T) {
+	for _, kind := range []string{"hyperspectral", "spatiotemporal"} {
+		t.Run(kind, func(t *testing.T) {
+			cfg := shortExperiment(HyperspectralExperiment(), 15*time.Minute)
+			if kind == "spatiotemporal" {
+				cfg = shortExperiment(SpatiotemporalExperiment(), 15*time.Minute)
+			}
+			base, err := RunExperiment(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chunked := cfg
+			chunked.TransferChunkBytes = cfg.FileBytes * 2 // one chunk per file
+			chunked.ParallelStreams = 1
+			got, err := RunExperiment(chunked)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Runs) != len(base.Runs) {
+				t.Fatalf("run counts differ: chunked %d vs whole-file %d", len(got.Runs), len(base.Runs))
+			}
+			for i := range base.Runs {
+				b, g := base.Runs[i], got.Runs[i]
+				if g.Runtime() != b.Runtime() {
+					t.Fatalf("run %d runtime differs: chunked %v vs whole-file %v", i, g.Runtime(), b.Runtime())
+				}
+				for j := range b.States {
+					bs, gs := b.States[j], g.States[j]
+					if gs.Name != bs.Name || !gs.DetectedAt.Equal(bs.DetectedAt) || gs.Active() != bs.Active() {
+						t.Fatalf("run %d state %s differs: %+v vs %+v", i, bs.Name, gs, bs)
+					}
+				}
+			}
+			if got.IndexedRecords != base.IndexedRecords {
+				t.Errorf("indexed records differ: %d vs %d", got.IndexedRecords, base.IndexedRecords)
+			}
+		})
+	}
+}
+
+// TestChunkedMultiStreamAcceleratesTransfer: chunked framing over several
+// streams must beat the whole-file single-stream transfer stage (the
+// stream cap, not the links, binds the paper's deployment).
+func TestChunkedMultiStreamAcceleratesTransfer(t *testing.T) {
+	base := shortExperiment(SpatiotemporalExperiment(), 15*time.Minute)
+	whole, err := RunExperiment(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked := base
+	chunked.TransferChunkBytes = 64_000_000
+	chunked.ParallelStreams = 4
+	fast, err := RunExperiment(chunked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeRow, fastRow := whole.Table1(), fast.Table1()
+	if fastRow.TotalRuns < wholeRow.TotalRuns {
+		t.Errorf("chunked runs = %d < whole-file %d", fastRow.TotalRuns, wholeRow.TotalRuns)
+	}
+	transferMed := func(res *ExperimentResult) float64 {
+		for _, s := range res.Stages() {
+			if s.Name == "Transfer" {
+				return s.ActiveMedS
+			}
+		}
+		t.Fatal("no Transfer stage")
+		return 0
+	}
+	w, f := transferMed(whole), transferMed(fast)
+	if f >= w*0.5 {
+		t.Errorf("chunked 4-stream transfer med %.1fs not well below whole-file %.1fs", f, w)
+	}
+}
+
+// TestPublicationBatchingCoalesces drives three publication actions due
+// at the same kernel instant and checks they land in the index through a
+// single IngestBatch, with each action still completing exactly at its
+// own invoke+cost instant.
+func TestPublicationBatchingCoalesces(t *testing.T) {
+	k := sim.NewKernel()
+	issuer := auth.NewIssuer([]byte("t"), k.Now)
+	token, err := issuer.Issue("t", []string{auth.ScopeSearchIngest}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index := search.NewIndex()
+	const cost = 3 * time.Second
+	prov, stats := NewSearchProviderWithStats(k, issuer, index, cost)
+
+	var ids []string
+	var invokedAt time.Time
+	k.Spawn("pub", func(ctx sim.Context) {
+		ctx.Sleep(time.Second)
+		invokedAt = ctx.Now()
+		for i := 0; i < 3; i++ {
+			id, err := prov.Invoke(token, map[string]any{
+				"entry_json": fmt.Sprintf(`{"id":"rec-%d","text":"batched publication","date":"2023-06-05T00:00:00Z"}`, i),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids = append(ids, id)
+		}
+	})
+	k.Run()
+	if err := k.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if index.Count() != 3 {
+		t.Fatalf("index count = %d, want 3", index.Count())
+	}
+	st := stats()
+	if st.Actions != 3 || st.Batches != 1 || st.Entries != 3 || st.MaxBatch != 3 {
+		t.Errorf("publish stats = %+v, want 3 actions coalesced into 1 batch of 3", st)
+	}
+	for _, id := range ids {
+		as, err := prov.Status(token, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if as.State != flows.StateSucceeded {
+			t.Fatalf("action %s state = %s (%s)", id, as.State, as.Error)
+		}
+		if got := as.Completed.Sub(invokedAt); got != cost {
+			t.Errorf("action %s completed %v after invoke, want exactly %v", id, got, cost)
+		}
+	}
+}
+
+// TestPublicationSequentialUnchanged pins the degenerate publication
+// path: actions invoked at distinct instants each flush alone (batch size
+// 1) and complete exactly cost after their own invocation — the
+// pre-batching timeline.
+func TestPublicationSequentialUnchanged(t *testing.T) {
+	k := sim.NewKernel()
+	issuer := auth.NewIssuer([]byte("t"), k.Now)
+	token, err := issuer.Issue("t", []string{auth.ScopeSearchIngest}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index := search.NewIndex()
+	prov, stats := NewSearchProviderWithStats(k, issuer, index, 2*time.Second)
+	k.Spawn("pub", func(ctx sim.Context) {
+		for i := 0; i < 3; i++ {
+			if _, err := prov.Invoke(token, map[string]any{
+				"entry_json": fmt.Sprintf(`{"id":"seq-%d","text":"x","date":"2023-06-05T00:00:00Z"}`, i),
+			}); err != nil {
+				t.Error(err)
+			}
+			ctx.Sleep(10 * time.Second)
+		}
+	})
+	k.Run()
+	if st := stats(); st.Batches != 3 || st.MaxBatch != 1 {
+		t.Errorf("publish stats = %+v, want 3 solo batches", st)
+	}
+	if index.Count() != 3 {
+		t.Errorf("index count = %d", index.Count())
+	}
+}
+
+// TestLiveBatchFlow runs the watcher-batch shape end to end on a real
+// deployment: one chunked multi-stream transfer task carries two files,
+// the analyses run as concurrent DAG states, and one publication ingests
+// both records through IngestBatch.
+func TestLiveBatchFlow(t *testing.T) {
+	instrument, eagle, outDir := t.TempDir(), t.TempDir(), t.TempDir()
+	writeHyperspectralFile(t, instrument, "a.emdg")
+	writeHyperspectralFile(t, instrument, "b.emdg")
+
+	dep, err := NewLiveDeployment(LiveOptions{
+		InstrumentRoot:     instrument,
+		EagleRoot:          eagle,
+		OutDir:             outDir,
+		TransferChunkBytes: 64 << 10,
+		TransferStreams:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := dep.RunBatch("hyperspectral", []string{"a.emdg", "b.emdg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != flows.StateSucceeded {
+		t.Fatal(rec.Error)
+	}
+	wantStates := []string{"Transfer", "Analysis-00", "Analysis-01", "Publication"}
+	if len(rec.States) != len(wantStates) {
+		t.Fatalf("states = %d, want %d", len(rec.States), len(wantStates))
+	}
+	seen := map[string]bool{}
+	for _, s := range rec.States {
+		seen[s.Name] = true
+	}
+	for _, name := range wantStates {
+		if !seen[name] {
+			t.Errorf("missing state %s", name)
+		}
+	}
+	for _, name := range []string{"a.emdg", "b.emdg"} {
+		if _, err := os.Stat(filepath.Join(eagle, name)); err != nil {
+			t.Errorf("%s not landed on Eagle", name)
+		}
+	}
+	// Both files analyzed under the same sample produce the same record
+	// ID, so the batch publication must have replaced, not duplicated.
+	if dep.Index.Count() < 1 {
+		t.Errorf("index count = %d", dep.Index.Count())
+	}
+	// One transfer task, two files, chunked.
+	tasks := dep.Transfer.Tasks()
+	if len(tasks) != 1 {
+		t.Fatalf("transfer tasks = %d, want 1 (batched)", len(tasks))
+	}
+	if tasks[0].ChunksTotal < 2 {
+		t.Errorf("chunks total = %d, want chunked framing", tasks[0].ChunksTotal)
+	}
+}

@@ -1,6 +1,11 @@
 package transfer
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -256,5 +261,519 @@ func TestTasksSnapshot(t *testing.T) {
 	waitFor(t, svc, tok, id, StatusSucceeded)
 	if got := svc.Tasks(); len(got) != 1 || got[0].ID != id {
 		t.Errorf("Tasks() = %+v", got)
+	}
+}
+
+// --- chunk engine tests ----------------------------------------------
+
+func wholeSHA256(t *testing.T, path string) string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+func writeRandom(t *testing.T, path string, n int, seed int64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	payload := make([]byte, n)
+	rng.Read(payload)
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+// TestChunkedCopyMatchesWholeFile pins the degeneracy the rework promises:
+// a chunked multi-stream copy produces byte-identical destination content
+// and the identical whole-file checksum as the whole-file single-stream
+// configuration (which is itself the pre-chunking behavior).
+func TestChunkedCopyMatchesWholeFile(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	srcRoot := t.TempDir()
+	payload := writeRandom(t, filepath.Join(srcRoot, "burst.emdg"), 100_001, 1) // odd size: remainder chunk
+	want := wholeSHA256(t, filepath.Join(srcRoot, "burst.emdg"))
+
+	configs := []LiveMover{
+		{Checksum: true}, // degenerate: whole file, single stream
+		{Checksum: true, ChunkBytes: 4 << 10, Streams: 1},
+		{Checksum: true, ChunkBytes: 4 << 10, Streams: 4},
+		{Checksum: true, ChunkBytes: 1 << 20, Streams: 3}, // chunk > file: single chunk again
+	}
+	for i := range configs {
+		dstRoot := t.TempDir()
+		svc := NewService(iss, &configs[i], time.Now, Options{})
+		svc.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+		svc.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+		id, err := svc.Submit(tok, "src", "dst", []FileSpec{{RelPath: "burst.emdg"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		view := waitFor(t, svc, tok, id, StatusSucceeded)
+		got, err := os.ReadFile(filepath.Join(dstRoot, "burst.emdg"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("config %d: content mismatch", i)
+		}
+		if view.BytesMoved != int64(len(payload)) || view.BytesCopied != int64(len(payload)) {
+			t.Errorf("config %d: moved=%d copied=%d", i, view.BytesMoved, view.BytesCopied)
+		}
+		if sum := wholeSHA256(t, filepath.Join(dstRoot, "burst.emdg")); sum != want {
+			t.Errorf("config %d: checksum drifted", i)
+		}
+	}
+}
+
+// TestMultiFileChunkedTask moves several files in one task (the shape the
+// watcher's batcher produces) through the chunk engine.
+func TestMultiFileChunkedTask(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	srcRoot, dstRoot := t.TempDir(), t.TempDir()
+	sizes := []int{10_000, 1, 65_536}
+	var specs []FileSpec
+	var total int64
+	payloads := map[string][]byte{}
+	for i, n := range sizes {
+		rel := filepath.Join("burst", fmt.Sprintf("f%d.emdg", i))
+		os.MkdirAll(filepath.Join(srcRoot, "burst"), 0o755)
+		payloads[rel] = writeRandom(t, filepath.Join(srcRoot, rel), n, int64(i+10))
+		specs = append(specs, FileSpec{RelPath: rel})
+		total += int64(n)
+	}
+	svc := NewService(iss, &LiveMover{Checksum: true, ChunkBytes: 8 << 10, Streams: 3}, time.Now, Options{})
+	svc.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	id, err := svc.Submit(tok, "src", "dst", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := waitFor(t, svc, tok, id, StatusSucceeded)
+	if view.BytesMoved != total {
+		t.Errorf("bytes moved = %d, want %d", view.BytesMoved, total)
+	}
+	for rel, want := range payloads {
+		got, err := os.ReadFile(filepath.Join(dstRoot, rel))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Errorf("%s: content mismatch (err=%v)", rel, err)
+		}
+	}
+}
+
+// TestKillMidTransferResumesInService is the kill-mid-transfer pin: an
+// attempt dies after 3 of 8 chunks, the service's retry resumes from the
+// manifest, and the retry cost is exactly the remaining chunks — every
+// byte of the file crosses the wire exactly once.
+func TestKillMidTransferResumesInService(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	srcRoot, dstRoot := t.TempDir(), t.TempDir()
+	const chunk = 8 << 10
+	payload := writeRandom(t, filepath.Join(srcRoot, "f.emdg"), 8*chunk, 2)
+	mover := &LiveMover{Checksum: true, ChunkBytes: chunk, Streams: 1, KillAfterChunks: 3}
+	svc := NewService(iss, mover, time.Now, Options{MaxAttempts: 2})
+	svc.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	id, err := svc.Submit(tok, "src", "dst", []FileSpec{{RelPath: "f.emdg"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := waitFor(t, svc, tok, id, StatusSucceeded)
+	if view.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", view.Attempts)
+	}
+	if view.ChunksTotal != 8 || view.ChunksMoved != 8 || view.ChunksSkipped != 3 {
+		t.Errorf("chunks total/moved/skipped = %d/%d/%d, want 8/8/3",
+			view.ChunksTotal, view.ChunksMoved, view.ChunksSkipped)
+	}
+	if view.BytesCopied != int64(len(payload)) {
+		t.Errorf("bytes copied = %d, want %d (resume must not re-copy verified chunks)",
+			view.BytesCopied, len(payload))
+	}
+	got, err := os.ReadFile(filepath.Join(dstRoot, "f.emdg"))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Errorf("content mismatch after resume (err=%v)", err)
+	}
+}
+
+// TestManifestResumesAcrossServices pins resume across a service restart:
+// service 1 dies mid-transfer (task FAILED, manifest persisted), a brand
+// new service with a fresh mover over the same manifest directory is
+// handed the same task and re-moves only the unverified chunks.
+func TestManifestResumesAcrossServices(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	srcRoot, dstRoot, manDir := t.TempDir(), t.TempDir(), t.TempDir()
+	const chunk = 8 << 10
+	payload := writeRandom(t, filepath.Join(srcRoot, "f.emdg"), 8*chunk, 3)
+
+	svc1 := NewService(iss, &LiveMover{
+		Checksum: true, ChunkBytes: chunk, Streams: 1,
+		ManifestDir: manDir, KillAfterChunks: 3,
+	}, time.Now, Options{MaxAttempts: 1})
+	svc1.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc1.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	id1, err := svc1.Submit(tok, "src", "dst", []FileSpec{{RelPath: "f.emdg"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := waitFor(t, svc1, tok, id1, StatusFailed)
+	if v1.ChunksMoved != 3 {
+		t.Fatalf("first service moved %d chunks, want 3", v1.ChunksMoved)
+	}
+
+	// "Reboot": everything about the first service is gone except the
+	// manifest directory and the partially landed destination file.
+	svc2 := NewService(iss, &LiveMover{
+		Checksum: true, ChunkBytes: chunk, Streams: 1, ManifestDir: manDir,
+	}, time.Now, Options{})
+	svc2.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc2.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	id2, err := svc2.Submit(tok, "src", "dst", []FileSpec{{RelPath: "f.emdg"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := waitFor(t, svc2, tok, id2, StatusSucceeded)
+	if v2.ChunksSkipped != 3 || v2.ChunksMoved != 5 {
+		t.Errorf("resumed skipped/moved = %d/%d, want 3/5", v2.ChunksSkipped, v2.ChunksMoved)
+	}
+	if v2.BytesCopied != int64(5*chunk) {
+		t.Errorf("resumed bytes copied = %d, want %d", v2.BytesCopied, 5*chunk)
+	}
+	got, err := os.ReadFile(filepath.Join(dstRoot, "f.emdg"))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Errorf("content mismatch after cross-service resume (err=%v)", err)
+	}
+	if entries, err := os.ReadDir(manDir); err != nil || len(entries) != 0 {
+		t.Errorf("manifest not cleaned up after success: %d files (err=%v)", len(entries), err)
+	}
+}
+
+// TestResumeRecopiesCorruptedChunk: a chunk the manifest claims verified
+// but whose destination bytes no longer match is demoted and re-copied,
+// not trusted.
+func TestResumeRecopiesCorruptedChunk(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	srcRoot, dstRoot, manDir := t.TempDir(), t.TempDir(), t.TempDir()
+	const chunk = 8 << 10
+	payload := writeRandom(t, filepath.Join(srcRoot, "f.emdg"), 4*chunk, 4)
+
+	svc1 := NewService(iss, &LiveMover{
+		Checksum: true, ChunkBytes: chunk, Streams: 1,
+		ManifestDir: manDir, KillAfterChunks: 3,
+	}, time.Now, Options{MaxAttempts: 1})
+	svc1.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc1.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	id1, _ := svc1.Submit(tok, "src", "dst", []FileSpec{{RelPath: "f.emdg"}})
+	waitFor(t, svc1, tok, id1, StatusFailed)
+
+	// Corrupt the second landed chunk on disk.
+	f, err := os.OpenFile(filepath.Join(dstRoot, "f.emdg"), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("CORRUPTED"), chunk+100); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	svc2 := NewService(iss, &LiveMover{
+		Checksum: true, ChunkBytes: chunk, Streams: 1, ManifestDir: manDir,
+	}, time.Now, Options{})
+	svc2.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc2.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	id2, _ := svc2.Submit(tok, "src", "dst", []FileSpec{{RelPath: "f.emdg"}})
+	v2 := waitFor(t, svc2, tok, id2, StatusSucceeded)
+	if v2.ChunksSkipped != 2 || v2.ChunksMoved != 2 {
+		t.Errorf("skipped/moved = %d/%d, want 2/2 (corrupted chunk must be re-copied)",
+			v2.ChunksSkipped, v2.ChunksMoved)
+	}
+	got, err := os.ReadFile(filepath.Join(dstRoot, "f.emdg"))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Errorf("content mismatch after corruption recovery (err=%v)", err)
+	}
+}
+
+// TestChunkedWithoutChecksum exercises the ablation: no digests, no merge
+// pass, still chunked, parallel and correct.
+func TestChunkedWithoutChecksum(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	srcRoot, dstRoot := t.TempDir(), t.TempDir()
+	payload := writeRandom(t, filepath.Join(srcRoot, "f.emdg"), 50_000, 5)
+	svc := NewService(iss, &LiveMover{ChunkBytes: 4 << 10, Streams: 4}, time.Now, Options{})
+	svc.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	id, _ := svc.Submit(tok, "src", "dst", []FileSpec{{RelPath: "f.emdg"}})
+	waitFor(t, svc, tok, id, StatusSucceeded)
+	got, err := os.ReadFile(filepath.Join(dstRoot, "f.emdg"))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Errorf("content mismatch (err=%v)", err)
+	}
+}
+
+// TestChunkPoolConcurrentTasks hammers the chunk worker pool and the
+// shared manifest store with concurrent tasks (run under -race in CI).
+func TestChunkPoolConcurrentTasks(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	srcRoot, dstRoot := t.TempDir(), t.TempDir()
+	mover := &LiveMover{Checksum: true, ChunkBytes: 4 << 10, Streams: 4, ManifestDir: t.TempDir()}
+	svc := NewService(iss, mover, time.Now, Options{})
+	svc.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	const tasks = 6
+	ids := make([]string, tasks)
+	payloads := make([][]byte, tasks)
+	for i := 0; i < tasks; i++ {
+		rel := fmt.Sprintf("t%d.emdg", i)
+		payloads[i] = writeRandom(t, filepath.Join(srcRoot, rel), 40_000+i*777, int64(100+i))
+		var err error
+		ids[i], err = svc.Submit(tok, "src", "dst", []FileSpec{{RelPath: rel}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, id := range ids {
+		waitFor(t, svc, tok, id, StatusSucceeded)
+		got, err := os.ReadFile(filepath.Join(dstRoot, fmt.Sprintf("t%d.emdg", i)))
+		if err != nil || !bytes.Equal(got, payloads[i]) {
+			t.Errorf("task %d: content mismatch (err=%v)", i, err)
+		}
+	}
+}
+
+// --- simulated chunk engine ------------------------------------------
+
+// simTransfer runs one simulated task through the given route and returns
+// its final view.
+func simTransfer(t *testing.T, route Route, files []FileSpec, mutate func(*SimMover)) TaskView {
+	t.Helper()
+	iss, tok := issuerAndToken(t)
+	k := sim.NewKernel()
+	net := netsim.New(k)
+	link := net.AddLink("switch", 1e9)
+	route.Path = []*netsim.Link{link}
+	mover := &SimMover{
+		Kernel:   k,
+		Network:  net,
+		RouteFor: func(src, dst *Endpoint) Route { return route },
+	}
+	if mutate != nil {
+		mutate(mover)
+	}
+	svc := NewService(iss, mover, k.Now, Options{MaxAttempts: 3})
+	svc.RegisterEndpoint(Endpoint{ID: "a"})
+	svc.RegisterEndpoint(Endpoint{ID: "b"})
+	var id string
+	k.Spawn("client", func(ctx sim.Context) {
+		var err error
+		id, err = svc.Submit(tok, "a", "b", files)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	if err := k.Err(); err != nil {
+		t.Fatal(err)
+	}
+	view, err := svc.Status(tok, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+// TestSimChunkedDegeneracy pins the sim-side degeneracy: chunk >= file
+// size with a single stream produces the exact completion instant of the
+// whole-file single-stream framing.
+func TestSimChunkedDegeneracy(t *testing.T) {
+	files := []FileSpec{{RelPath: "hs.emdg", Bytes: 91_000_000}}
+	base := Route{StreamCap: 80e6, SetupTime: 2 * time.Second}
+	whole := simTransfer(t, base, files, nil)
+	chunkRoute := base
+	chunkRoute.ChunkBytes = 200_000_000 // > file size: one chunk
+	chunkRoute.Streams = 1
+	chunked := simTransfer(t, chunkRoute, files, nil)
+	d1 := whole.Completed.Sub(whole.Submitted)
+	d2 := chunked.Completed.Sub(chunked.Submitted)
+	if d1 != d2 {
+		t.Errorf("degenerate chunked transfer took %v, whole-file took %v (must be identical)", d2, d1)
+	}
+	if whole.Status != StatusSucceeded || chunked.Status != StatusSucceeded {
+		t.Errorf("status = %s / %s", whole.Status, chunked.Status)
+	}
+	if chunked.BytesMoved != 91_000_000 {
+		t.Errorf("bytes moved = %d", chunked.BytesMoved)
+	}
+}
+
+// TestSimChunkedMultiStreamTiming checks the analytic chunk-window math:
+// 80 MB in 10 MB chunks over 2 streams capped at 80 Mbit/s each is 4
+// two-chunk rounds of 1 s — half the single-stream wire time.
+func TestSimChunkedMultiStreamTiming(t *testing.T) {
+	files := []FileSpec{{RelPath: "f", Bytes: 80_000_000}}
+	view := simTransfer(t, Route{
+		StreamCap: 80e6, SetupTime: time.Second, ChunkBytes: 10_000_000, Streams: 2,
+	}, files, nil)
+	got := view.Completed.Sub(view.Submitted)
+	want := time.Second + 4*time.Second // setup + 4 rounds of 2 parallel 1 s chunks
+	if diff := got - want; diff < -100*time.Millisecond || diff > 100*time.Millisecond {
+		t.Errorf("chunked multi-stream transfer took %v, want ~%v", got, want)
+	}
+	if view.ChunksTotal != 8 || view.ChunksMoved != 8 {
+		t.Errorf("chunks = %d/%d, want 8/8", view.ChunksMoved, view.ChunksTotal)
+	}
+}
+
+// TestSimChunkKillResume pins chunk-level resume in the simulator: the
+// first attempt dies after 3 of 8 chunks, the retry re-moves only the
+// remaining 5, and the completion instant reflects exactly that.
+func TestSimChunkKillResume(t *testing.T) {
+	files := []FileSpec{{RelPath: "f", Bytes: 80_000_000}}
+	view := simTransfer(t, Route{
+		StreamCap: 80e6, SetupTime: 2 * time.Second, ChunkBytes: 10_000_000, Streams: 1,
+	}, files, func(m *SimMover) { m.FailAfterChunks = 3 })
+	if view.Status != StatusSucceeded || view.Attempts != 2 {
+		t.Fatalf("status=%s attempts=%d, want SUCCEEDED/2", view.Status, view.Attempts)
+	}
+	got := view.Completed.Sub(view.Submitted)
+	// 2 s setup + 3 chunks, then 2 s setup + 5 resumed chunks (1 s each).
+	want := 2*time.Second + 3*time.Second + 2*time.Second + 5*time.Second
+	if diff := got - want; diff < -100*time.Millisecond || diff > 100*time.Millisecond {
+		t.Errorf("kill/resume transfer took %v, want ~%v (resume must skip landed chunks)", got, want)
+	}
+	if view.ChunksSkipped != 3 || view.ChunksMoved != 8 {
+		t.Errorf("skipped/moved = %d/%d, want 3/8", view.ChunksSkipped, view.ChunksMoved)
+	}
+	if view.BytesCopied != 80_000_000 {
+		t.Errorf("bytes copied = %d, want 80000000 (each chunk crosses once)", view.BytesCopied)
+	}
+}
+
+// TestNoChecksumResumeDetectsLostDestination: with checksumming off the
+// manifest records written-but-unverified chunks; if the destination
+// file vanishes between attempts, resume must NOT trust the manifest
+// (the full-size file the new attempt creates is all zeros) — every
+// chunk is re-copied.
+func TestNoChecksumResumeDetectsLostDestination(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	srcRoot, dstRoot, manDir := t.TempDir(), t.TempDir(), t.TempDir()
+	const chunk = 8 << 10
+	payload := writeRandom(t, filepath.Join(srcRoot, "f.emdg"), 4*chunk, 6)
+
+	svc1 := NewService(iss, &LiveMover{
+		ChunkBytes: chunk, Streams: 1, ManifestDir: manDir, KillAfterChunks: 2,
+	}, time.Now, Options{MaxAttempts: 1})
+	svc1.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc1.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	id1, _ := svc1.Submit(tok, "src", "dst", []FileSpec{{RelPath: "f.emdg"}})
+	waitFor(t, svc1, tok, id1, StatusFailed)
+
+	// The destination is lost entirely.
+	if err := os.Remove(filepath.Join(dstRoot, "f.emdg")); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2 := NewService(iss, &LiveMover{
+		ChunkBytes: chunk, Streams: 1, ManifestDir: manDir,
+	}, time.Now, Options{})
+	svc2.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc2.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	id2, _ := svc2.Submit(tok, "src", "dst", []FileSpec{{RelPath: "f.emdg"}})
+	v2 := waitFor(t, svc2, tok, id2, StatusSucceeded)
+	if v2.ChunksSkipped != 0 || v2.ChunksMoved != 4 {
+		t.Errorf("skipped/moved = %d/%d, want 0/4 (lost dst must not be trusted)",
+			v2.ChunksSkipped, v2.ChunksMoved)
+	}
+	got, err := os.ReadFile(filepath.Join(dstRoot, "f.emdg"))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Errorf("content mismatch after dst loss (err=%v)", err)
+	}
+}
+
+// TestRewrittenSourceInvalidatesManifest: a source file rewritten (same
+// size, new content, new mtime) between attempts must not resume against
+// the old content's chunks — the fingerprint changes, the transfer
+// restarts, and the destination matches the NEW source.
+func TestRewrittenSourceInvalidatesManifest(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	srcRoot, dstRoot, manDir := t.TempDir(), t.TempDir(), t.TempDir()
+	const chunk = 8 << 10
+	srcPath := filepath.Join(srcRoot, "f.emdg")
+	writeRandom(t, srcPath, 4*chunk, 7)
+	os.Chtimes(srcPath, time.Unix(1000, 0), time.Unix(1000, 0))
+
+	svc1 := NewService(iss, &LiveMover{
+		Checksum: true, ChunkBytes: chunk, Streams: 1,
+		ManifestDir: manDir, KillAfterChunks: 2,
+	}, time.Now, Options{MaxAttempts: 1})
+	svc1.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc1.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	id1, _ := svc1.Submit(tok, "src", "dst", []FileSpec{{RelPath: "f.emdg"}})
+	waitFor(t, svc1, tok, id1, StatusFailed)
+
+	// Rewrite the source: same size, different bytes, different mtime.
+	newPayload := writeRandom(t, srcPath, 4*chunk, 8)
+	os.Chtimes(srcPath, time.Unix(2000, 0), time.Unix(2000, 0))
+
+	svc2 := NewService(iss, &LiveMover{
+		Checksum: true, ChunkBytes: chunk, Streams: 1, ManifestDir: manDir,
+	}, time.Now, Options{})
+	svc2.RegisterEndpoint(Endpoint{ID: "src", Root: srcRoot})
+	svc2.RegisterEndpoint(Endpoint{ID: "dst", Root: dstRoot})
+	id2, _ := svc2.Submit(tok, "src", "dst", []FileSpec{{RelPath: "f.emdg"}})
+	v2 := waitFor(t, svc2, tok, id2, StatusSucceeded)
+	if v2.ChunksSkipped != 0 || v2.ChunksMoved != 4 {
+		t.Errorf("skipped/moved = %d/%d, want 0/4 (rewritten source must not resume)",
+			v2.ChunksSkipped, v2.ChunksMoved)
+	}
+	got, err := os.ReadFile(filepath.Join(dstRoot, "f.emdg"))
+	if err != nil || !bytes.Equal(got, newPayload) {
+		t.Errorf("destination does not match the rewritten source (err=%v)", err)
+	}
+}
+
+// TestSimMoverForgetsFailedTaskProgress: a permanently failed chunked
+// task's resume state is dropped (the service's taskForgetter hook), so
+// long fault-heavy experiments do not accumulate orphaned progress maps.
+func TestSimMoverForgetsFailedTaskProgress(t *testing.T) {
+	files := []FileSpec{{RelPath: "f", Bytes: 40_000_000}}
+	var mover *SimMover
+	view := simTransfer(t, Route{
+		StreamCap: 80e6, ChunkBytes: 10_000_000, Streams: 1,
+	}, files, func(m *SimMover) {
+		m.FailNext = 3 // exhausts MaxAttempts(3) before any chunk moves
+		mover = m
+	})
+	if view.Status != StatusFailed {
+		t.Fatalf("status = %s, want FAILED", view.Status)
+	}
+	if n := len(mover.progress); n != 0 {
+		t.Errorf("failed task left %d progress entries", n)
+	}
+}
+
+// TestSimChunkKillResumeMultiStream pins the attempt report's accounting
+// when the kill fires with chunks still in flight: the aborting attempt
+// drains them, counts them as moved, and the resumed attempt skips them
+// — BytesCopied across attempts equals the file exactly, never less.
+func TestSimChunkKillResumeMultiStream(t *testing.T) {
+	files := []FileSpec{{RelPath: "f", Bytes: 80_000_000}}
+	view := simTransfer(t, Route{
+		StreamCap: 80e6, ChunkBytes: 10_000_000, Streams: 2,
+	}, files, func(m *SimMover) { m.FailAfterChunks = 3 })
+	if view.Status != StatusSucceeded || view.Attempts != 2 {
+		t.Fatalf("status=%s attempts=%d, want SUCCEEDED/2", view.Status, view.Attempts)
+	}
+	// The kill fires on the 3rd completion while the 4th chunk is in
+	// flight; the attempt drains it, so 4 chunks count as moved and the
+	// retry skips exactly those 4.
+	if view.ChunksMoved != 8 || view.ChunksSkipped != 4 {
+		t.Errorf("moved/skipped = %d/%d, want 8/4 (in-flight chunk must be counted)",
+			view.ChunksMoved, view.ChunksSkipped)
+	}
+	if view.BytesCopied != 80_000_000 {
+		t.Errorf("bytes copied = %d, want 80000000 exactly", view.BytesCopied)
 	}
 }

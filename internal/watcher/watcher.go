@@ -8,6 +8,12 @@
 // must not start flows), and processed files are recorded in a checkpoint
 // so that restarting the watcher after a reboot or on a subsequent day
 // does not re-trigger flows for data already handled.
+//
+// Downstream of the raw event stream sits the Batcher, the acquisition
+// side of the ingest data plane (DESIGN.md §8): settled files coalesce
+// into multi-file batches — one transfer task per detector burst instead
+// of one per file — and a bytes-in-flight budget applies backpressure so
+// a burst cannot bury the transfer service under an unbounded backlog.
 package watcher
 
 import (

@@ -4,8 +4,11 @@
 // (SC 2023).
 //
 // The library provides, end to end, the architecture the paper describes:
-// a watcher that triggers flows when the instrument writes EMD files; a
-// managed transfer service that moves them to a storage endpoint; a
+// a watcher that triggers flows when the instrument writes EMD files,
+// coalescing bursts into multi-file batches under a bytes-in-flight
+// budget; a managed transfer service that moves them to a storage
+// endpoint as a chunked, resumable, multi-stream pipeline (per-chunk
+// SHA-256, manifest-based resume, O(remaining chunks) retries); a
 // federated compute service that runs the fused analysis+metadata
 // functions on batch-scheduled nodes; a search index and portal that make
 // the results FAIR; and a flow-orchestration engine that drives the
