@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-portal linkcheck ci
+.PHONY: all build vet test race bench-smoke bench bench-portal bench-recovery linkcheck ci
 
 all: ci
 
@@ -21,6 +21,11 @@ race:
 # BENCHFLAGS='-benchtime 2s -count 5') when recording benchstat pairs.
 bench-portal:
 	$(GO) test -run NONE -bench 'BenchmarkPortalQueryThroughput|BenchmarkSearchTopK' -benchtime 1x -benchmem $(BENCHFLAGS) .
+
+# Crash-recovery cost (BENCHMARKS.md "Crash recovery"): WAL replay rate
+# and time-to-first-query after a kill -9. Quote with -benchtime 5x.
+bench-recovery:
+	$(GO) test -run NONE -bench 'BenchmarkCrashRecovery' -benchtime 5x -benchmem $(BENCHFLAGS) .
 
 # Compile and execute every benchmark exactly once so perf-critical paths
 # (including the portal serving pair above) get exercised on every PR

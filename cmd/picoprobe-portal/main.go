@@ -9,10 +9,20 @@
 // additionally serves net/http/pprof on a localhost side port, so the
 // catalog serving paths can be profiled against the live binary.
 //
+// With -durable DIR the catalog and the flow run records are journaled
+// under DIR (DESIGN.md §9): every publication hits the WAL before it
+// becomes visible, and a portal restarted on the same DIR — cleanly or
+// after kill -9 — recovers the catalog and lists the prior runs under
+// /flows. The simulated -federation scenario is re-derived each boot
+// (it is deterministic), not restored; live embedders journal their
+// registry with facility.Registry.OpenJournal.
+//
 // Usage:
 //
 //	picoprobe-portal -demo -federation -addr :8080
 //	picoprobe-portal -index index.jsonl -artifacts ./artifacts -addr :8080
+//	picoprobe-portal -demo -durable ./picoprobe-work/durable
+//	picoprobe-portal -durable ./picoprobe-work/durable   # recover and serve
 //	picoprobe-portal -demo -pprof localhost:6060
 package main
 
@@ -27,13 +37,25 @@ import (
 	"time"
 
 	"picoprobe/internal/core"
+	"picoprobe/internal/durable"
 	"picoprobe/internal/facility"
 	"picoprobe/internal/flows"
 	"picoprobe/internal/metadata"
 	"picoprobe/internal/portal"
 	"picoprobe/internal/search"
+	"picoprobe/internal/sim"
 	"picoprobe/internal/synth"
 )
+
+// reportRecovery prints what the durable layer replayed at boot.
+func reportRecovery(rec core.DurableRecovery) {
+	c, r := rec.Catalog, rec.Runs
+	fmt.Printf("durable: catalog recovered %d journaled record(s) + snapshot@%d, %d run record(s)\n",
+		c.Records, c.SnapshotLSN, rec.RestoredRuns)
+	if c.TornTail || r.TornTail {
+		fmt.Printf("durable: torn WAL tail truncated (crash mid-write detected)\n")
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -41,6 +63,7 @@ func main() {
 	artifacts := flag.String("artifacts", "picoprobe-work/artifacts", "artifact directory to serve")
 	demo := flag.Bool("demo", false, "generate demo data and run it through live flows first")
 	federation := flag.Bool("federation", false, "run the simulated federated scenario and serve /facilities")
+	durableDir := flag.String("durable", "", "journal the catalog and run records under this directory and recover them at boot")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
@@ -70,12 +93,31 @@ func main() {
 		index = loaded
 	}
 	if *demo {
-		dep, err := seedDemo(*artifacts)
+		dep, err := seedDemo(*artifacts, *durableDir)
 		if err != nil {
 			log.Fatal(err)
 		}
 		index = dep.Index
 		engine = dep.Engine
+		reportRecovery(dep.Recovery)
+	} else if *durableDir != "" {
+		// Recover a previously journaled portal: the catalog comes back as
+		// one IngestBatch, the run records repopulate /flows. The engine has
+		// no providers — it only lists recovered runs.
+		catalog, cstats, err := search.OpenDurable(filepath.Join(*durableDir, "catalog"), search.DurableOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runlog, recs, rstats, err := flows.OpenRunLog(filepath.Join(*durableDir, "runs"), durable.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer catalog.Close()
+		defer runlog.Close()
+		index = catalog.Index()
+		engine = flows.NewEngine(sim.NewLiveRuntime(1), flows.Options{})
+		engine.Restore(recs)
+		reportRecovery(core.DurableRecovery{Catalog: cstats, Runs: rstats, RestoredRuns: len(recs)})
 	}
 	if *federation {
 		res, err := core.RunFederatedExperiment(core.FederatedScenario())
@@ -104,8 +146,10 @@ func main() {
 // seedDemo stages two synthetic acquisitions and runs them through the
 // live engine: the hyperspectral file through the fan-out DAG
 // (Transfer → {Analysis ∥ Thumbnail} → Publication), the spatiotemporal
-// one through the straight line.
-func seedDemo(artifacts string) (*core.LiveDeployment, error) {
+// one through the straight line. With durableDir set, the deployment
+// journals the catalog and run records there, on top of whatever a prior
+// boot journaled.
+func seedDemo(artifacts, durableDir string) (*core.LiveDeployment, error) {
 	work, err := os.MkdirTemp("", "picoprobe-demo")
 	if err != nil {
 		return nil, err
@@ -140,6 +184,7 @@ func seedDemo(artifacts string) (*core.LiveDeployment, error) {
 		InstrumentRoot: instrument,
 		EagleRoot:      filepath.Join(work, "eagle"),
 		OutDir:         artifacts,
+		DurableDir:     durableDir,
 	})
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"picoprobe/internal/auth"
 	"picoprobe/internal/compute"
 	"picoprobe/internal/detect"
+	"picoprobe/internal/durable"
 	"picoprobe/internal/flows"
 	"picoprobe/internal/search"
 	"picoprobe/internal/sim"
@@ -43,6 +44,15 @@ type LiveOptions struct {
 	// TransferStreams bounds the concurrent chunk-copy workers per
 	// transfer task (default 1).
 	TransferStreams int
+	// DurableDir, when set, journals the catalog and run records under
+	// this directory (DESIGN.md §9): every publication is WAL-journaled
+	// before it becomes visible, terminal run records are appended to a
+	// run log, and a deployment reopened on the same directory recovers
+	// both. Empty keeps the original memory-only behavior, bit for bit.
+	DurableDir string
+	// DurableSync selects the journal fsync policy (default
+	// durable.SyncEveryAppend). Only meaningful with DurableDir.
+	DurableSync durable.SyncPolicy
 }
 
 // LiveDeployment is a fully wired in-process deployment of the PicoProbe
@@ -56,6 +66,39 @@ type LiveDeployment struct {
 	Index    *search.Index
 	Engine   *flows.Engine
 	Options  LiveOptions
+
+	// Catalog and RunLog are the durable wrappers (nil without
+	// DurableDir). Index always points at the queryable in-memory index —
+	// the durable catalog's inner index when journaling is on.
+	Catalog *search.DurableIndex
+	RunLog  *flows.RunLog
+	// Recovery describes what boot recovered from DurableDir.
+	Recovery DurableRecovery
+
+	restoredRuns []flows.RunRecord
+}
+
+// DurableRecovery reports what a durable deployment replayed at boot.
+type DurableRecovery struct {
+	Catalog durable.RecoveryStats
+	Runs    durable.RecoveryStats
+	// RestoredRuns is how many terminal run records came back.
+	RestoredRuns int
+}
+
+// Close flushes and closes the deployment's durable journals (no-op for
+// memory-only deployments).
+func (d *LiveDeployment) Close() error {
+	var err error
+	if d.Catalog != nil {
+		err = d.Catalog.Close()
+	}
+	if d.RunLog != nil {
+		if cerr := d.RunLog.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // NewLiveDeployment wires up services against the local filesystem.
@@ -143,27 +186,53 @@ func NewLiveDeployment(opts LiveOptions) (*LiveDeployment, error) {
 	})
 	csvc := compute.NewService(issuer, registry, compute.NewLocalExecutor(opts.Workers, nil), time.Now)
 
-	index := search.NewIndex()
-	sprov := NewSearchProvider(rt, issuer, index, 0)
-
-	engine := flows.NewEngine(rt, flows.Options{
-		Policy:          opts.Policy,
-		MaxStateRetries: 2,
-	})
-	engine.RegisterProvider(NewTransferProvider(tsvc))
-	engine.RegisterProvider(NewComputeProvider(csvc))
-	engine.RegisterProvider(sprov)
-
-	return &LiveDeployment{
+	dep := &LiveDeployment{
 		Runtime:  rt,
 		Issuer:   issuer,
 		Token:    token,
 		Transfer: tsvc,
 		Compute:  csvc,
-		Index:    index,
-		Engine:   engine,
 		Options:  opts,
-	}, nil
+	}
+
+	// The catalog the publication provider writes through: plain index in
+	// memory-only mode, journaled DurableIndex otherwise. Recovery folds
+	// the whole journal into one IngestBatch (one publish per shard).
+	var catalog Catalog
+	engineOpts := flows.Options{Policy: opts.Policy, MaxStateRetries: 2}
+	if opts.DurableDir == "" {
+		dep.Index = search.NewIndex()
+		catalog = dep.Index
+	} else {
+		durOpts := durable.Options{Sync: opts.DurableSync}
+		dix, cstats, err := search.OpenDurable(filepath.Join(opts.DurableDir, "catalog"),
+			search.DurableOptions{Durable: durOpts})
+		if err != nil {
+			return nil, fmt.Errorf("core: open durable catalog: %w", err)
+		}
+		runlog, recs, rstats, err := flows.OpenRunLog(filepath.Join(opts.DurableDir, "runs"), durOpts)
+		if err != nil {
+			dix.Close()
+			return nil, fmt.Errorf("core: open run log: %w", err)
+		}
+		dep.Catalog = dix
+		dep.Index = dix.Index()
+		dep.RunLog = runlog
+		dep.Recovery = DurableRecovery{Catalog: cstats, Runs: rstats, RestoredRuns: len(recs)}
+		catalog = dix
+		engineOpts.RunLog = runlog
+		dep.restoredRuns = recs
+	}
+	sprov := NewSearchProvider(rt, issuer, catalog, 0)
+
+	engine := flows.NewEngine(rt, engineOpts)
+	engine.Restore(dep.restoredRuns)
+	engine.RegisterProvider(NewTransferProvider(tsvc))
+	engine.RegisterProvider(NewComputeProvider(csvc))
+	engine.RegisterProvider(sprov)
+	dep.Engine = engine
+
+	return dep, nil
 }
 
 // analysisResult packages an AnalysisOutput for transport through the

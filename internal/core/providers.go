@@ -144,6 +144,13 @@ func NewComputeProvider(svc *compute.Service) flows.ActionProvider {
 		})
 }
 
+// Catalog is the ingest surface the publication provider writes through:
+// the in-memory *search.Index, or *search.DurableIndex when the
+// deployment journals catalog mutations (LiveOptions.DurableDir).
+type Catalog interface {
+	IngestBatch(entries []search.Entry) error
+}
+
 // SearchParams are the typed parameters of the "search" publication
 // action.
 type SearchParams struct {
@@ -198,7 +205,7 @@ type searchService struct {
 	mu      sync.Mutex
 	rt      sim.Runtime
 	issuer  *auth.Issuer
-	index   *search.Index
+	index   Catalog
 	cost    time.Duration
 	actions map[string]*flows.TypedStatus[SearchResult]
 	queue   []*pendingPub
@@ -208,14 +215,14 @@ type searchService struct {
 
 // NewSearchProvider returns a publication provider writing into index
 // with the given service-side ingest cost.
-func NewSearchProvider(rt sim.Runtime, issuer *auth.Issuer, index *search.Index, cost time.Duration) flows.ActionProvider {
+func NewSearchProvider(rt sim.Runtime, issuer *auth.Issuer, index Catalog, cost time.Duration) flows.ActionProvider {
 	p, _ := NewSearchProviderWithStats(rt, issuer, index, cost)
 	return p
 }
 
 // NewSearchProviderWithStats additionally exposes the provider's batching
 // counters (used by tests and the ingest benchmark).
-func NewSearchProviderWithStats(rt sim.Runtime, issuer *auth.Issuer, index *search.Index, cost time.Duration) (flows.ActionProvider, func() PublishStats) {
+func NewSearchProviderWithStats(rt sim.Runtime, issuer *auth.Issuer, index Catalog, cost time.Duration) (flows.ActionProvider, func() PublishStats) {
 	s := &searchService{rt: rt, issuer: issuer, index: index, cost: cost,
 		actions: map[string]*flows.TypedStatus[SearchResult]{}}
 	return flows.NewTypedProvider("search", s.invoke, s.status), s.Stats

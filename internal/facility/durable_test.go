@@ -1,0 +1,160 @@
+package facility
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"picoprobe/internal/durable"
+	"picoprobe/internal/sim"
+)
+
+// driveHistory puts a registry through placements, an outage failover, a
+// budget re-route decline and a re-stage, so every journal op kind fires.
+func driveHistory(t *testing.T, k *sim.Kernel, r *Registry, a, b *Facility) {
+	t.Helper()
+	if _, err := r.Place("run-1", "", 91_000_000); err != nil {
+		t.Fatal(err)
+	}
+	r.RecordLanding("run-1", "a")
+	k.RunFor(15 * time.Minute) // into a's outage window
+	if dec, err := r.Place("run-1", "", 0); err != nil || dec.Reason != ReasonFailoverOutage {
+		t.Fatalf("expected outage failover, got %+v err=%v", dec, err)
+	}
+	if _, moved := r.MoveLanding("run-1", "b"); !moved {
+		t.Fatal("expected a re-stage")
+	}
+	r.Place("run-2", "", 91_000_000)
+	r.Place("run-2", "", 0) // sticky
+	k.Run()
+}
+
+func journalFixture(t *testing.T, k *sim.Kernel) (*Registry, *Facility, *Facility) {
+	t.Helper()
+	epoch := k.Now()
+	out := Window{Start: epoch.Add(10 * time.Minute), End: epoch.Add(20 * time.Minute)}
+	r := NewRegistry(k, 0)
+	a := testFacility(t, k, "a", 1, 80e6, out)
+	b := testFacility(t, k, "b", 1, 20e6)
+	r.Add(a)
+	r.Add(b)
+	return r, a, b
+}
+
+// A registry restored from its journal must reproduce the crashed one's
+// sticky placements, landings and every counter — the failover history
+// the federated experiment reports.
+func TestJournalRestoreReproducesRegistry(t *testing.T) {
+	dir := t.TempDir()
+	k := sim.NewKernel()
+	r, a, b := journalFixture(t, k)
+	if _, err := r.OpenJournal(dir, durable.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	driveHistory(t, k, r, a, b)
+	if err := r.JournalErr(); err != nil {
+		t.Fatalf("journal err: %v", err)
+	}
+	want := r.Stats()
+	wantSticky := map[string]string{}
+	for run, fac := range r.sticky {
+		wantSticky[run] = fac
+	}
+	wantLanded := map[string]string{}
+	for run, fac := range r.landed {
+		wantLanded[run] = fac
+	}
+	// No CloseJournal: simulate a crash by just abandoning the store (the
+	// per-append fsync already put every op on disk).
+
+	k2 := sim.NewKernel()
+	r2, _, _ := journalFixture(t, k2)
+	stats, err := r2.OpenJournal(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records == 0 {
+		t.Fatal("no journal records replayed")
+	}
+	if got := r2.Stats(); !reflect.DeepEqual(got, want) {
+		t.Errorf("restored stats = %+v, want %+v", got, want)
+	}
+	if !reflect.DeepEqual(r2.sticky, wantSticky) {
+		t.Errorf("restored sticky = %v, want %v", r2.sticky, wantSticky)
+	}
+	if !reflect.DeepEqual(r2.landed, wantLanded) {
+		t.Errorf("restored landed = %v, want %v", r2.landed, wantLanded)
+	}
+	// The restored history keeps steering placements: run-1 is sticky at b.
+	dec, err := r2.Place("run-1", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Facility.ID() != "b" || dec.Reason != ReasonSticky {
+		t.Errorf("restored placement = %s/%s, want b/sticky", dec.Facility.ID(), dec.Reason)
+	}
+	r2.CloseJournal()
+}
+
+// Compaction folds the journal into a snapshot; recovery from snapshot +
+// empty tail must be identical to replaying the full op history.
+func TestJournalCompactionPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	k := sim.NewKernel()
+	r, a, b := journalFixture(t, k)
+	if _, err := r.OpenJournal(dir, durable.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	driveHistory(t, k, r, a, b)
+	if err := r.CompactJournal(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compaction ops land in the fresh WAL tail.
+	r.Place("run-3", "", 91_000_000)
+	want3 := r.Stats()
+	if err := r.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	k2 := sim.NewKernel()
+	r2, _, _ := journalFixture(t, k2)
+	stats, err := r2.OpenJournal(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SnapshotLSN == 0 {
+		t.Fatal("recovery did not use the snapshot")
+	}
+	if got := r2.Stats(); !reflect.DeepEqual(got, want3) {
+		t.Errorf("restored stats = %+v, want %+v", got, want3)
+	}
+	r2.CloseJournal()
+}
+
+// Journaling failures (full disk) must not break placement: Place keeps
+// working and the failure surfaces through JournalErr.
+func TestJournalFailureDoesNotBlockPlacement(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, 0)
+	r.Add(testFacility(t, k, "a", 1, 80e6))
+	if _, err := r.OpenJournal(t.TempDir(), durable.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Close the underlying store out from under the registry so every
+	// append fails.
+	r.mu.Lock()
+	r.journal.Close()
+	r.mu.Unlock()
+	dec, err := r.Place("run-1", "", 91_000_000)
+	if err != nil {
+		t.Fatalf("placement failed on journal error: %v", err)
+	}
+	if dec.Facility.ID() != "a" {
+		t.Fatalf("decision = %+v", dec)
+	}
+	if r.JournalErr() == nil {
+		t.Error("journal failure not surfaced")
+	}
+	// Submit callbacks may still be pending.
+	k.Run()
+}

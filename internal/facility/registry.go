@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"picoprobe/internal/durable"
 	"picoprobe/internal/sim"
 )
 
@@ -67,6 +68,12 @@ type Registry struct {
 	sticky map[string]string // run key -> facility ID
 	landed map[string]string // run key -> facility holding its staged data
 	stats  Stats
+
+	// journal, when attached via OpenJournal, records every mutation so
+	// failover history survives a restart; journalErr is the last append
+	// failure (see JournalErr).
+	journal    *durable.Store
+	journalErr error
 }
 
 // NewRegistry returns an empty registry. budget bounds the queue-wait
@@ -127,7 +134,7 @@ func (r *Registry) Facilities() []*Facility {
 func (r *Registry) Place(runKey, constraint string, bytes int64) (Decision, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.stats.Decisions++
+	r.noteLocked(journalOp{Op: opDecision})
 	now := r.rt.Now()
 
 	want, reason := "", Reason("")
@@ -170,13 +177,11 @@ func (r *Registry) Place(runKey, constraint string, bytes int64) (Decision, erro
 			}
 			return Decision{}, fmt.Errorf("facility: all facilities down at %v", now)
 		}
-		r.stats.Failovers++
-		if why == ReasonFailoverOutage {
-			r.stats.OutageFailovers++
-		} else {
-			r.stats.BudgetFailovers++
+		cause := "outage"
+		if why == ReasonFailoverBudget {
+			cause = "budget"
 		}
-		r.stats.FailoversFrom[want]++
+		r.noteLocked(journalOp{Op: opFailover, Fac: want, Why: cause})
 		r.commitLocked(runKey, best)
 		return Decision{Facility: best, Reason: why, Wait: bestWait, From: want}, nil
 	}
@@ -213,8 +218,7 @@ func (r *Registry) bestLocked(now time.Time, bytes int64, exclude string) (*Faci
 // commitLocked records the run's (possibly new) sticky placement.
 func (r *Registry) commitLocked(runKey string, f *Facility) {
 	if r.sticky[runKey] != f.ID() {
-		r.sticky[runKey] = f.ID()
-		r.stats.RunsByFacility[f.ID()]++
+		r.noteLocked(journalOp{Op: opSticky, Run: runKey, Fac: f.ID()})
 	}
 }
 
@@ -225,7 +229,7 @@ func (r *Registry) commitLocked(runKey string, f *Facility) {
 func (r *Registry) RecordLanding(runKey, facilityID string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.landed[runKey] = facilityID
+	r.noteLocked(journalOp{Op: opLanding, Run: runKey, Fac: facilityID})
 }
 
 // Landed returns the facility holding runKey's staged data ("" if none).
@@ -247,8 +251,7 @@ func (r *Registry) MoveLanding(runKey, facilityID string) (from string, moved bo
 	if !ok || old == facilityID {
 		return "", false
 	}
-	r.landed[runKey] = facilityID
-	r.stats.Restages++
+	r.noteLocked(journalOp{Op: opMove, Run: runKey, Fac: facilityID})
 	return old, true
 }
 

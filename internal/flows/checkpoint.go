@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"picoprobe/internal/fsutil"
 )
 
 // checkpoint is the persisted progress of one run: the set of completed
@@ -25,14 +27,25 @@ type checkpoint struct {
 type CheckpointStore struct {
 	mu  sync.Mutex
 	dir string
+	fs  fsutil.FS
 }
 
 // NewCheckpointStore creates (if needed) and uses dir for checkpoints.
 func NewCheckpointStore(dir string) (*CheckpointStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewCheckpointStoreFS(dir, nil)
+}
+
+// NewCheckpointStoreFS is NewCheckpointStore through an injectable
+// filesystem (nil means the real one) — the hook the torn-checkpoint
+// recovery tests use.
+func NewCheckpointStoreFS(dir string, fsys fsutil.FS) (*CheckpointStore, error) {
+	if fsys == nil {
+		fsys = fsutil.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("flows: checkpoint dir: %w", err)
 	}
-	return &CheckpointStore{dir: dir}, nil
+	return &CheckpointStore{dir: dir, fs: fsys}, nil
 }
 
 func (c *CheckpointStore) path(runID string) string {
@@ -46,18 +59,19 @@ func (c *CheckpointStore) save(cp checkpoint) error {
 	if err != nil {
 		return fmt.Errorf("flows: marshal checkpoint: %w", err)
 	}
-	tmp := c.path(cp.RunID) + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	// Atomic + durable: a crash mid-save leaves the previous checkpoint,
+	// never a torn file that would silently restart the run from zero.
+	if err := fsutil.WriteFileAtomicFS(c.fs, c.path(cp.RunID), raw, 0o644); err != nil {
 		return fmt.Errorf("flows: write checkpoint: %w", err)
 	}
-	return os.Rename(tmp, c.path(cp.RunID))
+	return nil
 }
 
 // Load reads a run's checkpoint.
 func (c *CheckpointStore) Load(runID string) (checkpoint, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	raw, err := os.ReadFile(c.path(runID))
+	raw, err := c.fs.ReadFile(c.path(runID))
 	if err != nil {
 		return checkpoint{}, fmt.Errorf("flows: no checkpoint for %q: %w", runID, err)
 	}
@@ -81,7 +95,7 @@ func (c *CheckpointStore) Load(runID string) (checkpoint, error) {
 func (c *CheckpointStore) Pending() ([]string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	entries, err := os.ReadDir(c.dir)
+	entries, err := c.fs.ReadDir(c.dir)
 	if err != nil {
 		return nil, fmt.Errorf("flows: list checkpoints: %w", err)
 	}
@@ -98,7 +112,7 @@ func (c *CheckpointStore) Pending() ([]string, error) {
 func (c *CheckpointStore) remove(runID string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	err := os.Remove(c.path(runID))
+	err := c.fs.Remove(c.path(runID))
 	if err != nil && !os.IsNotExist(err) {
 		return err
 	}

@@ -1,0 +1,83 @@
+package flows
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"picoprobe/internal/fsutil"
+)
+
+// A checkpoint whose tail was torn (truncated mid-JSON) must be rejected
+// loudly — resuming a run from a silently-empty checkpoint would re-run
+// states the instrument already paid for.
+func TestTruncatedCheckpointRejectedLoudly(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := checkpoint{
+		RunID: "run-000001", Flow: "hyperspectral",
+		Input:   map[string]any{"file": "hs.emdg"},
+		Done:    []string{"Transfer", "Analysis"},
+		Results: map[string]map[string]any{"Transfer": {"ok": true}},
+	}
+	if err := store.save(cp); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "run-000001.json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, int64(len(raw)/2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load("run-000001"); err == nil || !strings.Contains(err.Error(), "corrupt checkpoint") {
+		t.Fatalf("torn checkpoint load err = %v, want loud corrupt-checkpoint error", err)
+	}
+}
+
+// A crash in the middle of a checkpoint save (injected via FaultFS) must
+// leave the previous checkpoint intact on disk — the atomic write either
+// fully replaces it or doesn't touch it, so the run resumes from the last
+// states it actually completed, never from zero.
+func TestCheckpointCrashMidSaveKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	fs := &fsutil.FaultFS{}
+	store, err := NewCheckpointStoreFS(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := checkpoint{
+		RunID: "run-000001", Flow: "hyperspectral",
+		Done:    []string{"Transfer"},
+		Results: map[string]map[string]any{"Transfer": {"ok": true}},
+	}
+	if err := store.save(v1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash on the very next data write: the v2 save tears its tmp file
+	// and everything after fails.
+	fs.CrashAtWrite = fs.Writes() + 1
+	v2 := v1
+	v2.Done = []string{"Transfer", "Analysis"}
+	if err := store.save(v2); err == nil {
+		t.Fatal("save during crash reported success")
+	}
+	if !fs.Crashed() {
+		t.Fatal("crash never fired")
+	}
+
+	// Recovery (reads work after the crash) sees v1, complete and valid.
+	got, err := store.Load("run-000001")
+	if err != nil {
+		t.Fatalf("load after crash: %v", err)
+	}
+	if len(got.Done) != 1 || got.Done[0] != "Transfer" {
+		t.Fatalf("recovered checkpoint = %+v, want the pre-crash v1", got)
+	}
+}

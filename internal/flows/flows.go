@@ -310,6 +310,11 @@ type Options struct {
 	// Checkpoints, when non-nil, persists per-state progress so
 	// interrupted runs can be resumed.
 	Checkpoints *CheckpointStore
+	// RunLog, when non-nil, journals every terminal run record so a
+	// restarted engine (see Engine.Restore) lists the campaign's history.
+	// Journaling is best-effort: a persistence failure surfaces through
+	// RunLog.Err, never fails the run.
+	RunLog *RunLog
 	// PerStateTimers disables batched completion detection and dedicates
 	// a timer to every active action — the v1 baseline the batched
 	// sweeper is benchmarked against. Poll instants are identical; only
@@ -456,6 +461,9 @@ func (e *Engine) start(token string, def Definition, input map[string]any, preDo
 		final := *rec
 		e.mu.Unlock()
 		_ = e.opts.Checkpoints.remove(runID)
+		if e.opts.RunLog != nil {
+			_ = e.opts.RunLog.Append(final)
+		}
 		if onDone != nil {
 			e.rt.AfterFunc(0, func() { onDone(final) })
 		}
@@ -611,6 +619,9 @@ func (x *runExec) stateTerminal(s *stateRun, succeeded bool) {
 			_ = e.opts.Checkpoints.save(snapshot)
 		}
 	}
+	if runDone && e.opts.RunLog != nil {
+		_ = e.opts.RunLog.Append(final)
+	}
 	for _, child := range ready {
 		x.enterState(child)
 	}
@@ -636,6 +647,9 @@ func (x *runExec) fail(sr StateRecord) {
 	x.rec.EndedAt = e.rt.Now()
 	final := *x.rec
 	e.mu.Unlock()
+	if e.opts.RunLog != nil {
+		_ = e.opts.RunLog.Append(final)
+	}
 	if x.onDone != nil {
 		x.onDone(final)
 	}

@@ -1,0 +1,115 @@
+package flows
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"picoprobe/internal/durable"
+)
+
+// RunLog journals terminal run records through a durable.Store so a
+// restarted portal lists the campaign's completed and failed runs under
+// /flows. Only terminal records are journaled — in-flight progress is the
+// CheckpointStore's job (a run interrupted mid-flight resumes from its
+// checkpoint and lands in the log when it finishes).
+type RunLog struct {
+	mu      sync.Mutex
+	log     *durable.Store
+	lastErr error
+}
+
+// OpenRunLog opens (creating if needed) the run journal in dir and
+// returns the recovered terminal records in completion order. A record
+// re-journaled for the same run ID (a checkpointed run retried after a
+// failure) replaces the earlier one in place.
+func OpenRunLog(dir string, opts durable.Options) (*RunLog, []RunRecord, durable.RecoveryStats, error) {
+	var recs []RunRecord
+	byID := map[string]int{}
+	keep := func(rr RunRecord) {
+		if i, ok := byID[rr.RunID]; ok {
+			recs[i] = rr
+			return
+		}
+		byID[rr.RunID] = len(recs)
+		recs = append(recs, rr)
+	}
+	log, stats, err := durable.Open(dir, opts,
+		func(r io.Reader) error {
+			var all []RunRecord
+			if err := json.NewDecoder(r).Decode(&all); err != nil {
+				return err
+			}
+			for _, rr := range all {
+				keep(rr)
+			}
+			return nil
+		},
+		func(p []byte) error {
+			var rr RunRecord
+			if err := json.Unmarshal(p, &rr); err != nil {
+				return fmt.Errorf("flows: bad run-log record: %w", err)
+			}
+			keep(rr)
+			return nil
+		})
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	return &RunLog{log: log}, recs, stats, nil
+}
+
+// Append journals one terminal record.
+func (l *RunLog) Append(rec RunRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		err = fmt.Errorf("flows: marshal run record: %w", err)
+	} else {
+		_, err = l.log.Append(raw)
+	}
+	l.mu.Lock()
+	l.lastErr = err
+	l.mu.Unlock()
+	return err
+}
+
+// Compact snapshots the given records (normally Engine.Runs()) and
+// reclaims the WAL segments they cover.
+func (l *RunLog) Compact(recs []RunRecord) error {
+	return l.log.Snapshot(func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(recs)
+	})
+}
+
+// Err returns the most recent journaling error (nil after a successful
+// append). The engine journals best-effort — a full disk must not kill
+// running flows — so this is where the loss of durability surfaces.
+func (l *RunLog) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastErr
+}
+
+// Close flushes and closes the journal.
+func (l *RunLog) Close() error { return l.log.Close() }
+
+// Restore seeds the engine with previously recorded runs (from
+// OpenRunLog) so Runs, Record and the portal's /flows pages list them.
+// Restored IDs also advance the engine's run-ID counter past every
+// restored "run-NNNNNN" so new runs never collide with journaled ones.
+func (e *Engine) Restore(recs []RunRecord) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range recs {
+		rc := r
+		if _, known := e.runs[r.RunID]; !known {
+			e.order = append(e.order, r.RunID)
+		}
+		e.runs[r.RunID] = &rc
+		var n int
+		if _, err := fmt.Sscanf(r.RunID, "run-%06d", &n); err == nil && n > e.nextID {
+			e.nextID = n
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package fsutil
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error returned by a FaultFS operation that was
+// configured to fail.
+var ErrInjected = errors.New("fsutil: injected fault")
+
+// ErrCrashed is returned by every FaultFS operation after the simulated
+// crash point: the process that "crashed" can do nothing further to the
+// disk, and whatever the last write left behind — including a torn tail —
+// is what recovery finds.
+var ErrCrashed = errors.New("fsutil: simulated crash")
+
+// FaultFS wraps an FS and injects failures at the Nth data write or the
+// Nth sync (counting from 1 across all files of the FS). Three behaviors
+// are supported, checked in this order at the trigger point:
+//
+//   - CrashAtWrite / CrashAtSync: the trigger op writes roughly half its
+//     bytes (writes) or fails (syncs), and every subsequent operation
+//     returns ErrCrashed — simulating power loss mid-operation, torn
+//     tail included.
+//   - ShortWriteAt: the Nth write persists only half its bytes and
+//     returns ErrInjected; later operations proceed normally.
+//   - FailWriteAt / FailSyncAt: the Nth op fails cleanly (no bytes
+//     written) with ErrInjected; later operations proceed normally.
+//
+// The zero value of each knob disables it. All counters are shared
+// across files so "the Nth write" means the Nth write the subsystem
+// under test performs, wherever it lands.
+type FaultFS struct {
+	// Inner is the wrapped FS (nil means the real filesystem).
+	Inner FS
+
+	// CrashAtWrite tears the Nth write and fails everything after it.
+	CrashAtWrite int
+	// CrashAtSync fails the Nth sync and everything after it.
+	CrashAtSync int
+	// ShortWriteAt persists half of the Nth write, then fails that write.
+	ShortWriteAt int
+	// FailWriteAt fails the Nth write cleanly.
+	FailWriteAt int
+	// FailSyncAt fails the Nth sync cleanly.
+	FailSyncAt int
+
+	mu      sync.Mutex
+	writes  int
+	syncs   int
+	crashed bool
+}
+
+func (f *FaultFS) inner() FS {
+	if f.Inner == nil {
+		return OS
+	}
+	return f.Inner
+}
+
+// Writes reports how many writes the FS has seen (useful for sizing a
+// follow-up fault at "the Nth write after this point").
+func (f *FaultFS) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// Syncs reports how many syncs the FS has seen.
+func (f *FaultFS) Syncs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// Crashed reports whether the simulated crash point has been reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// checkOp gates non-write, non-sync operations: they only fail after a
+// crash.
+func (f *FaultFS) checkOp() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+type writeVerdict int
+
+const (
+	writeOK writeVerdict = iota
+	writeFail
+	writeShort
+	writeCrash
+	writeDead // already crashed
+)
+
+// judgeWrite advances the write counter and decides this write's fate.
+func (f *FaultFS) judgeWrite() writeVerdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return writeDead
+	}
+	f.writes++
+	switch {
+	case f.CrashAtWrite > 0 && f.writes == f.CrashAtWrite:
+		f.crashed = true
+		return writeCrash
+	case f.ShortWriteAt > 0 && f.writes == f.ShortWriteAt:
+		return writeShort
+	case f.FailWriteAt > 0 && f.writes == f.FailWriteAt:
+		return writeFail
+	}
+	return writeOK
+}
+
+// judgeSync advances the sync counter and decides this sync's fate.
+func (f *FaultFS) judgeSync() writeVerdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return writeDead
+	}
+	f.syncs++
+	switch {
+	case f.CrashAtSync > 0 && f.syncs == f.CrashAtSync:
+		f.crashed = true
+		return writeCrash
+	case f.FailSyncAt > 0 && f.syncs == f.FailSyncAt:
+		return writeFail
+	}
+	return writeOK
+}
+
+// faultFile wraps an inner File with the FS's fault schedule.
+type faultFile struct {
+	fs *FaultFS
+	f  File
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	switch w.fs.judgeWrite() {
+	case writeDead:
+		return 0, ErrCrashed
+	case writeFail:
+		return 0, ErrInjected
+	case writeShort:
+		n, _ := w.f.Write(p[:len(p)/2])
+		return n, ErrInjected
+	case writeCrash:
+		// Half the bytes land — the torn tail recovery must cope with —
+		// and the "machine" is now off.
+		n, _ := w.f.Write(p[:len(p)/2])
+		w.f.Sync()
+		return n, ErrCrashed
+	}
+	return w.f.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	switch w.fs.judgeSync() {
+	case writeDead:
+		return ErrCrashed
+	case writeFail, writeCrash:
+		return ErrInjected
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Close() error {
+	// Closing is always allowed (even "after the crash" the parent test
+	// process must release its descriptors).
+	return w.f.Close()
+}
+
+// OpenFile implements FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.checkOp(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner().OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: inner}, nil
+}
+
+// ReadFile implements FS. Reads succeed even after a crash: recovery
+// reads the disk the crash left behind.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner().ReadFile(name) }
+
+// ReadDir implements FS (readable after a crash, like ReadFile).
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) { return f.inner().ReadDir(name) }
+
+// Stat implements FS (readable after a crash).
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) { return f.inner().Stat(name) }
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.checkOp(); err != nil {
+		return err
+	}
+	return f.inner().Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.checkOp(); err != nil {
+		return err
+	}
+	return f.inner().Remove(name)
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.checkOp(); err != nil {
+		return err
+	}
+	return f.inner().MkdirAll(path, perm)
+}
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.checkOp(); err != nil {
+		return err
+	}
+	return f.inner().Truncate(name, size)
+}
+
+// SyncDir implements FS; it counts as a sync for the fault schedule.
+func (f *FaultFS) SyncDir(name string) error {
+	switch f.judgeSync() {
+	case writeDead:
+		return ErrCrashed
+	case writeFail, writeCrash:
+		return ErrInjected
+	}
+	return f.inner().SyncDir(name)
+}

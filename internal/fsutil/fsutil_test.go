@@ -1,0 +1,120 @@
+package fsutil
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2-longer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2-longer" {
+		t.Fatalf("content = %q, want v2-longer", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind (err=%v)", err)
+	}
+}
+
+// A write fault during the atomic write must leave the previous content
+// untouched — the core guarantee every checkpoint/manifest caller relies
+// on.
+func TestWriteFileAtomicFaultKeepsOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFileAtomic(path, []byte("good"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, fs := range map[string]*FaultFS{
+		"fail-write":  {FailWriteAt: 1},
+		"short-write": {ShortWriteAt: 1},
+		"crash-write": {CrashAtWrite: 1},
+		"fail-sync":   {FailSyncAt: 1},
+		"crash-sync":  {CrashAtSync: 1},
+	} {
+		err := WriteFileAtomicFS(fs, path, []byte("torn-new-content"), 0o644)
+		if err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+		got, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("%s: %v", name, rerr)
+		}
+		if string(got) != "good" {
+			t.Fatalf("%s: content = %q, want old content intact", name, got)
+		}
+	}
+}
+
+func TestFaultFSCrashStopsEverything(t *testing.T) {
+	dir := t.TempDir()
+	fs := &FaultFS{CrashAtWrite: 2}
+	f, err := fs.OpenFile(filepath.Join(dir, "a"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("second-torn")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second write err = %v, want ErrCrashed", err)
+	}
+	f.Close()
+	if !fs.Crashed() {
+		t.Fatal("fs should report crashed")
+	}
+	// Post-crash: mutations fail, reads still work (recovery reads the
+	// disk the crash left behind).
+	if _, err := fs.OpenFile(filepath.Join(dir, "b"), os.O_WRONLY|os.O_CREATE, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open err = %v, want ErrCrashed", err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "c")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename err = %v, want ErrCrashed", err)
+	}
+	raw, err := fs.ReadFile(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatalf("post-crash read: %v", err)
+	}
+	// The crash write tore: half of "second-torn" (5 of 11 bytes) landed
+	// after the intact first write.
+	want := "first" + "second-torn"[:len("second-torn")/2]
+	if string(raw) != want {
+		t.Fatalf("post-crash content = %q, want %q", raw, want)
+	}
+}
+
+func TestFaultFSShortWriteIsOneShot(t *testing.T) {
+	dir := t.TempDir()
+	fs := &FaultFS{ShortWriteAt: 1}
+	path := filepath.Join(dir, "f")
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcdef")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write err = %v, want ErrInjected", err)
+	}
+	if _, err := f.Write([]byte("rest")); err != nil {
+		t.Fatalf("write after one-shot short write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "abc"+"rest" {
+		t.Fatalf("content = %q, want torn half then next write", raw)
+	}
+}

@@ -1,0 +1,239 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"picoprobe/internal/durable"
+	"picoprobe/internal/fsutil"
+)
+
+func durEntry(i int, text string) Entry {
+	return Entry{
+		ID:   fmt.Sprintf("rec-%04d", i),
+		Text: text,
+		Fields: map[string]string{
+			"kind": []string{"hyperspectral", "spatiotemporal"}[i%2],
+		},
+		Numbers: map[string]float64{"beam_energy_kev": float64(60 + i%40)},
+		Date:    time.Date(2023, time.March, 1+i%27, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+// applyOps drives the same mutation sequence against any catalog shape.
+type catalogSink interface {
+	Ingest(e Entry) error
+	IngestBatch(entries []Entry) error
+}
+
+// churn issues a deterministic mix of ingests, re-ingests, batches and
+// (via del) deletes — the op generator the crash tests share.
+func churn(t *testing.T, c catalogSink, del func(string), n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		switch {
+		case i%25 == 24:
+			del(durEntry(i-10, "").ID)
+		case i%10 == 9:
+			// Re-ingest an earlier record with changed text.
+			if err := c.Ingest(durEntry(i-5, fmt.Sprintf("revised nanoparticle dataset %d", i))); err != nil {
+				t.Fatal(err)
+			}
+		case i%7 == 6:
+			batch := []Entry{durEntry(i, "batched in situ acquisition"), durEntry(i+1000, "companion calibration frame")}
+			if err := c.IngestBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := c.Ingest(durEntry(i, fmt.Sprintf("polyamide film frame %d high tension", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// assertSameResults compares ranked search results bit for bit: same IDs,
+// same order, same float scores.
+func assertSameResults(t *testing.T, got, want *Index, q Query) {
+	t.Helper()
+	gh, gtotal, err := got.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh, wtotal, err := want.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gtotal != wtotal || len(gh) != len(wh) {
+		t.Fatalf("q=%q: totals %d/%d hits %d/%d", q.Text, gtotal, wtotal, len(gh), len(wh))
+	}
+	for i := range gh {
+		if gh[i].Entry.ID != wh[i].Entry.ID || gh[i].Score != wh[i].Score {
+			t.Fatalf("q=%q hit %d: (%s, %v) != (%s, %v)",
+				q.Text, i, gh[i].Entry.ID, gh[i].Score, wh[i].Entry.ID, wh[i].Score)
+		}
+	}
+}
+
+var equivalenceQueries = []Query{
+	{Text: "nanoparticle dataset", Limit: 20},
+	{Text: "polyamide film", Limit: 50},
+	{Text: "high tension frame", Limit: 10, Filters: map[string]string{"kind": "hyperspectral"}},
+	{Limit: 30}, // match-all, recency ordered
+}
+
+// A reopened durable catalog must serve bit-identical results to an
+// in-memory index that applied the same ops sequentially.
+func TestDurableCatalogReopenBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	control := NewIndex()
+	churn(t, d, func(id string) {
+		if _, err := d.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}, 120)
+	churn(t, control, func(id string) { control.Delete(id) }, 120)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, stats, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if stats.Records == 0 {
+		t.Fatal("nothing replayed")
+	}
+	if re.Count() != control.Count() {
+		t.Fatalf("count %d != control %d", re.Count(), control.Count())
+	}
+	for _, q := range equivalenceQueries {
+		assertSameResults(t, re.Index(), control, q)
+	}
+}
+
+// Compaction must not change served results, and recovery after it
+// replays only the tail.
+func TestDurableCatalogCompaction(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	control := NewIndex()
+	churn(t, d, func(id string) { d.Delete(id) }, 80)
+	churn(t, control, func(id string) { control.Delete(id) }, 80)
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Tail after the snapshot.
+	d.Ingest(durEntry(5000, "post compaction nanoparticle record"))
+	control.Ingest(durEntry(5000, "post compaction nanoparticle record"))
+	d.Close()
+
+	re, stats, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if stats.SnapshotLSN == 0 {
+		t.Fatal("snapshot not used")
+	}
+	if stats.Records != 1 {
+		t.Fatalf("replayed %d records after snapshot, want 1", stats.Records)
+	}
+	for _, q := range equivalenceQueries {
+		assertSameResults(t, re.Index(), control, q)
+	}
+}
+
+// Auto-compaction (CompactEvery) keeps the log bounded without changing
+// results.
+func TestDurableCatalogAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := OpenDurable(dir, DurableOptions{CompactEvery: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	control := NewIndex()
+	churn(t, d, func(id string) { d.Delete(id) }, 100)
+	churn(t, control, func(id string) { control.Delete(id) }, 100)
+	d.Close()
+	re, stats, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if stats.SnapshotLSN == 0 {
+		t.Fatal("auto-compaction never snapshotted")
+	}
+	for _, q := range equivalenceQueries {
+		assertSameResults(t, re.Index(), control, q)
+	}
+}
+
+// A crash mid-journal-append must recover to a clean prefix of the
+// acknowledged mutations: the recovered catalog equals a control index
+// that applied exactly the ops the journal acknowledged.
+func TestDurableCatalogCrashRecoversAcknowledgedPrefix(t *testing.T) {
+	for _, crashAt := range []int{3, 10, 25, 60} {
+		dir := t.TempDir()
+		fs := &fsutil.FaultFS{CrashAtWrite: crashAt}
+		d, _, err := OpenDurable(dir, DurableOptions{Durable: durable.Options{FS: fs}})
+		if err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		// Apply ops until the crash; mirror every acknowledged op into the
+		// control index.
+		control := NewIndex()
+		for i := 0; i < 200; i++ {
+			e := durEntry(i, fmt.Sprintf("crash churn record %d", i))
+			if err := d.Ingest(e); err != nil {
+				break
+			}
+			control.Ingest(e)
+		}
+		if !fs.Crashed() {
+			t.Fatalf("crashAt=%d: crash never fired", crashAt)
+		}
+
+		re, _, err := OpenDurable(dir, DurableOptions{})
+		if err != nil {
+			t.Fatalf("crashAt=%d: recovery: %v", crashAt, err)
+		}
+		// Every acknowledged ingest must be present (fsync-per-append means
+		// acked == durable); a torn unacknowledged record may be dropped.
+		if re.Count() < control.Count() {
+			t.Fatalf("crashAt=%d: recovered %d < acked %d", crashAt, re.Count(), control.Count())
+		}
+		if re.Count() == control.Count() {
+			for _, q := range equivalenceQueries {
+				assertSameResults(t, re.Index(), control, q)
+			}
+		}
+		re.Close()
+	}
+}
+
+func TestDurableCatalogRejectsBadEntries(t *testing.T) {
+	d, _, err := OpenDurable(t.TempDir(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Ingest(Entry{Text: "no id"}); err == nil {
+		t.Error("entry without ID journaled")
+	}
+	if err := d.IngestBatch([]Entry{{ID: "ok"}, {Text: "no id"}}); err == nil {
+		t.Error("batch with missing ID journaled")
+	}
+	if d.Count() != 0 {
+		t.Errorf("bad entries landed: count=%d", d.Count())
+	}
+}

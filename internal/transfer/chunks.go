@@ -4,10 +4,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"picoprobe/internal/fsutil"
 )
 
 // The chunk plan and manifest are the heart of the resumable ingest data
@@ -151,13 +154,17 @@ func (m *manifest) spans() []chunkSpan {
 // concurrent use by the mover's worker pool.
 type manifestStore struct {
 	dir string
+	fs  fsutil.FS
 
 	mu  sync.Mutex
 	mem map[string]*manifest
 }
 
-func newManifestStore(dir string) *manifestStore {
-	return &manifestStore{dir: dir, mem: map[string]*manifest{}}
+func newManifestStore(dir string, fsys fsutil.FS) *manifestStore {
+	if fsys == nil {
+		fsys = fsutil.OS
+	}
+	return &manifestStore{dir: dir, fs: fsys, mem: map[string]*manifest{}}
 }
 
 func (s *manifestStore) path(key string) string {
@@ -165,25 +172,39 @@ func (s *manifestStore) path(key string) string {
 }
 
 // load returns the manifest for the task, resuming a remembered or
-// persisted one when it matches and starting fresh otherwise.
-func (s *manifestStore) load(key string, files []FileSpec, chunkBytes int64) *manifest {
+// persisted one when it matches and starting fresh when there is none or
+// it describes a different task. A manifest that EXISTS on disk but does
+// not parse is different: that is torn or corrupt resume state, and
+// silently starting from a fresh manifest would re-copy chunks over a
+// destination whose contents we can no longer account for. The corrupt
+// file is quarantined (renamed to .corrupt so the evidence survives) and
+// the attempt fails loudly; the next attempt starts clean.
+func (s *manifestStore) load(key string, files []FileSpec, chunkBytes int64) (*manifest, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if m, ok := s.mem[key]; ok && m.matches(key, files, chunkBytes) {
-		return m
+		return m, nil
 	}
 	if s.dir != "" {
-		if raw, err := os.ReadFile(s.path(key)); err == nil {
+		raw, err := s.fs.ReadFile(s.path(key))
+		switch {
+		case err == nil:
 			var m manifest
-			if json.Unmarshal(raw, &m) == nil && m.matches(key, files, chunkBytes) {
-				s.mem[key] = &m
-				return &m
+			if uerr := json.Unmarshal(raw, &m); uerr != nil {
+				_ = s.fs.Rename(s.path(key), s.path(key)+".corrupt")
+				return nil, fmt.Errorf("transfer: corrupt chunk manifest %s (quarantined as .corrupt): %w", s.path(key), uerr)
 			}
+			if m.matches(key, files, chunkBytes) {
+				s.mem[key] = &m
+				return &m, nil
+			}
+		case !errors.Is(err, os.ErrNotExist):
+			return nil, fmt.Errorf("transfer: read chunk manifest: %w", err)
 		}
 	}
 	m := newManifest(key, files, chunkBytes)
 	s.mem[key] = m
-	return m
+	return m, nil
 }
 
 // mark updates one chunk's state and persists the manifest. done=false
@@ -218,24 +239,20 @@ func (s *manifestStore) mark(m *manifest, sp chunkSpan, sum string, done bool) {
 	s.persist(m, gen, raw)
 }
 
-// persist writes one manifest snapshot atomically (tmp + rename),
-// skipping snapshots that a newer generation has already superseded;
-// failures are ignored — the worst case is a lost resume point, never
-// corruption.
+// persist writes one manifest snapshot atomically and durably (tmp +
+// fsync + rename + parent fsync via fsutil), skipping snapshots that a
+// newer generation has already superseded; failures are tolerated — the
+// worst case is a lost resume point, never corruption.
 func (s *manifestStore) persist(m *manifest, gen int64, raw []byte) {
 	m.pmu.Lock()
 	defer m.pmu.Unlock()
 	if m.lastPersisted >= gen {
 		return
 	}
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(s.dir, 0o755); err != nil {
 		return
 	}
-	tmp := s.path(m.Key) + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
-		return
-	}
-	if err := os.Rename(tmp, s.path(m.Key)); err != nil {
+	if err := fsutil.WriteFileAtomicFS(s.fs, s.path(m.Key), raw, 0o644); err != nil {
 		return
 	}
 	m.lastPersisted = gen
@@ -255,6 +272,6 @@ func (s *manifestStore) forget(key string) {
 	defer s.mu.Unlock()
 	delete(s.mem, key)
 	if s.dir != "" {
-		_ = os.Remove(s.path(key))
+		_ = s.fs.Remove(s.path(key))
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"picoprobe/internal/fsutil"
 	"picoprobe/internal/netsim"
 	"picoprobe/internal/sim"
 )
@@ -52,6 +53,10 @@ type LiveMover struct {
 	// copies aborts with an error, simulating a mid-transfer crash. 0
 	// disables. Not meant for concurrent tasks.
 	KillAfterChunks int
+	// FS overrides the filesystem the chunk manifests are read and
+	// written through (nil = the real one) — the torn-manifest tests'
+	// fault-injection hook. Payload copies always use the real filesystem.
+	FS fsutil.FS
 
 	killed    atomic.Bool
 	manifests *manifestStore
@@ -59,7 +64,7 @@ type LiveMover struct {
 }
 
 func (m *LiveMover) store() *manifestStore {
-	m.initOnce.Do(func() { m.manifests = newManifestStore(m.ManifestDir) })
+	m.initOnce.Do(func() { m.manifests = newManifestStore(m.ManifestDir, m.FS) })
 	return m.manifests
 }
 
@@ -90,7 +95,10 @@ func (m *LiveMover) move(task *Task, src, dst *Endpoint) (Report, error) {
 		mtimes[i] = st.ModTime().UnixNano()
 	}
 	key := taskKey(src.ID, dst.ID, files, m.ChunkBytes, mtimes)
-	man := m.store().load(key, files, m.ChunkBytes)
+	man, err := m.store().load(key, files, m.ChunkBytes)
+	if err != nil {
+		return rep, err
+	}
 	spans := man.spans()
 	rep.ChunksTotal = len(spans)
 

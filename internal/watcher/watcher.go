@@ -18,11 +18,14 @@ package watcher
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
+
+	"picoprobe/internal/fsutil"
 )
 
 // Event announces one settled, unprocessed file.
@@ -45,6 +48,10 @@ type Options struct {
 	// CheckpointPath, when non-empty, persists the processed-file set as
 	// JSON so restarts do not re-announce old files.
 	CheckpointPath string
+	// FS overrides the filesystem the checkpoint is read and written
+	// through (nil = the real one) — the hook the torn-checkpoint tests
+	// use. Directory polling always uses the real filesystem.
+	FS fsutil.FS
 }
 
 // fileMark fingerprints a processed file; a changed size or mtime makes
@@ -62,6 +69,7 @@ type Watcher struct {
 	mu        sync.Mutex
 	processed map[string]fileMark
 	pending   map[string]*pendingFile
+	saveErr   error
 
 	events chan Event
 	stop   chan struct{}
@@ -92,6 +100,9 @@ func New(dir string, opts Options) (*Watcher, error) {
 		if _, err := filepath.Match(opts.Pattern, "probe"); err != nil {
 			return nil, fmt.Errorf("watcher: bad pattern %q: %w", opts.Pattern, err)
 		}
+	}
+	if opts.FS == nil {
+		opts.FS = fsutil.OS
 	}
 	w := &Watcher{
 		dir:       dir,
@@ -148,6 +159,16 @@ func (w *Watcher) Processed() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return len(w.processed)
+}
+
+// CheckpointErr reports the most recent checkpoint-save failure, nil if
+// the last save succeeded. A failing checkpoint does not stop the event
+// stream (the worst case is a duplicate flow after restart, which the
+// flow layer tolerates), but operators must be able to see it.
+func (w *Watcher) CheckpointErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.saveErr
 }
 
 func (w *Watcher) poll() {
@@ -209,8 +230,8 @@ func (w *Watcher) poll() {
 }
 
 func (w *Watcher) loadCheckpoint() error {
-	raw, err := os.ReadFile(w.opts.CheckpointPath)
-	if os.IsNotExist(err) {
+	raw, err := w.opts.FS.ReadFile(w.opts.CheckpointPath)
+	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
@@ -224,20 +245,18 @@ func (w *Watcher) loadCheckpoint() error {
 	return nil
 }
 
-// saveCheckpointLocked persists the processed set; failures are ignored
-// (the worst case is a duplicate flow after restart, which the flow layer
-// tolerates).
+// saveCheckpointLocked persists the processed set atomically and
+// durably. Failures do not stop the event stream, but they are no longer
+// swallowed: the error (including a failed rename, which previously
+// vanished) is retained for CheckpointErr.
 func (w *Watcher) saveCheckpointLocked() {
 	if w.opts.CheckpointPath == "" {
 		return
 	}
 	raw, err := json.MarshalIndent(w.processed, "", "  ")
 	if err != nil {
+		w.saveErr = fmt.Errorf("watcher: marshal checkpoint: %w", err)
 		return
 	}
-	tmp := w.opts.CheckpointPath + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
-		return
-	}
-	_ = os.Rename(tmp, w.opts.CheckpointPath)
+	w.saveErr = fsutil.WriteFileAtomicFS(w.opts.FS, w.opts.CheckpointPath, raw, 0o644)
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"picoprobe/internal/fsutil"
 )
 
 func fastOpts() Options {
@@ -222,4 +224,68 @@ func TestStopIdempotent(t *testing.T) {
 	w.Start()
 	w.Stop()
 	w.Stop() // second stop must not panic
+}
+
+// A checkpoint save failure (injected at the filesystem) must not stop
+// the event stream, but it must surface through CheckpointErr — before
+// this hook the failed rename vanished and operators could not tell the
+// processed-file set was no longer being persisted.
+func TestCheckpointSaveFailureSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	opts := fastOpts()
+	opts.CheckpointPath = filepath.Join(t.TempDir(), "cp.json")
+	opts.FS = &fsutil.FaultFS{FailWriteAt: 1}
+	w, err := New(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	defer w.Stop()
+	if err := os.WriteFile(filepath.Join(dir, "a.emdg"), []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	collect(t, w, 1, 2*time.Second)
+	if w.CheckpointErr() == nil {
+		t.Error("checkpoint save failure not surfaced")
+	}
+
+	// The next save (fault is one-shot) succeeds and clears the error.
+	if err := os.WriteFile(filepath.Join(dir, "b.emdg"), []byte("data2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	collect(t, w, 1, 2*time.Second)
+	if err := w.CheckpointErr(); err != nil {
+		t.Errorf("checkpoint error not cleared after good save: %v", err)
+	}
+}
+
+// A watcher checkpoint torn by a crash mid-write must be rejected at
+// startup (loud error), never treated as an empty processed set — that
+// would re-trigger flows for every file in the directory.
+func TestTornWatcherCheckpointRejected(t *testing.T) {
+	dir := t.TempDir()
+	cpPath := filepath.Join(t.TempDir(), "cp.json")
+	opts := fastOpts()
+	opts.CheckpointPath = cpPath
+	w, err := New(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	if err := os.WriteFile(filepath.Join(dir, "a.emdg"), []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	collect(t, w, 1, 2*time.Second)
+	w.Stop()
+
+	raw, err := os.ReadFile(cpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(cpPath, int64(len(raw)/2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(dir, opts); err == nil {
+		t.Fatal("torn checkpoint accepted silently")
+	}
 }
