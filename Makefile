@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-portal bench-recovery linkcheck ci
+.PHONY: all build vet test race bench-smoke bench bench-portal bench-recovery bench-netprobe linkcheck ci
 
 all: ci
 
@@ -27,10 +27,17 @@ bench-portal:
 bench-recovery:
 	$(GO) test -run NONE -bench 'BenchmarkCrashRecovery' -benchtime 5x -benchmem $(BENCHFLAGS) .
 
+# Link-quality probing cost and the adaptive-vs-fixed transfer pair
+# (BENCHMARKS.md "Link quality"): per-sample probe overhead plus the
+# bandwidth-ramp makespan comparison.
+bench-netprobe:
+	$(GO) test -run NONE -bench 'BenchmarkNetprobe' -benchtime 1x -benchmem $(BENCHFLAGS) ./internal/netprobe/
+	$(GO) test -run NONE -bench 'BenchmarkAdaptiveTransfer' -benchtime 1x -benchmem $(BENCHFLAGS) .
+
 # Compile and execute every benchmark exactly once so perf-critical paths
-# (including the portal serving pair above) get exercised on every PR
-# without burning CI minutes.
-bench-smoke:
+# (including the portal serving and netprobe pairs above) get exercised
+# on every PR without burning CI minutes.
+bench-smoke: bench-netprobe
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
 
 bench:

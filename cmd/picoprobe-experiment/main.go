@@ -10,10 +10,20 @@
 //
 // Usage:
 //
+// -squall degrades the primary facility's wide-area link mid-experiment
+// (capacity collapse plus probe-visible loss/jitter/bufferbloat) instead
+// of taking the facility down; -probe attaches link-quality probing so
+// placement sheds the degraded path, -lowwater tunes the shed threshold,
+// and -adaptive derives each transfer's stream count and chunk size from
+// the measured path instead of fixed flags. -degraded runs the canned
+// WAN-squall scenario (core.FederatedDegradedScenario) in both arms and
+// prints them side by side.
+//
 //	picoprobe-experiment [-kind both|hyperspectral|spatiotemporal]
 //	    [-duration 1h] [-policy exponential|constant|linear|push]
 //	    [-split] [-noreuse] [-detail]
 //	    [-facilities 1] [-pin] [-outage] [-budget 0]
+//	    [-squall] [-probe] [-lowwater 50] [-adaptive] [-degraded]
 package main
 
 import (
@@ -38,6 +48,11 @@ func main() {
 	pin := flag.Bool("pin", false, "pin every flow to the first facility (the single-backend baseline ablation)")
 	outage := flag.Bool("outage", false, "take the primary facility down from minute 20:30 to 40:00")
 	budget := flag.Duration("budget", 0, "queue-wait budget before a placed run fails over (0 = disabled)")
+	squall := flag.Bool("squall", false, "degrade the primary facility's WAN link from minute 5 to 15 (capacity collapse + probe-visible loss/jitter)")
+	probe := flag.Bool("probe", false, "attach link-quality probing; placement sheds paths scoring below -lowwater")
+	lowWater := flag.Float64("lowwater", 50, "link score below which a facility sheds new runs (with -probe; 0 = observe-only)")
+	adaptive := flag.Bool("adaptive", false, "derive transfer streams and chunk size from measured path quality (requires -probe)")
+	degraded := flag.Bool("degraded", false, "run the canned WAN-squall scenario in both arms (static vs probe-aware) and exit")
 	flag.Parse()
 
 	var pol flows.Policy
@@ -54,13 +69,35 @@ func main() {
 		log.Fatalf("unknown policy %q", *policy)
 	}
 
+	if *degraded {
+		fmt.Println("WAN-squall scenario (core.FederatedDegradedScenario): static placement vs probe-aware shedding")
+		for _, arm := range []bool{false, true} {
+			res, err := core.RunFederatedExperiment(core.FederatedDegradedScenario(arm))
+			if err != nil {
+				log.Fatal(err)
+			}
+			label := "static"
+			if arm {
+				label = "probe-aware (lowwater 50, adaptive transfer)"
+			}
+			fmt.Printf("\n--- %s ---\n", label)
+			fmt.Println(core.FormatFacilities(res))
+		}
+		os.Exit(0)
+	}
+	if *adaptive && !*probe {
+		log.Fatal("-adaptive requires -probe: the tuner has no measurements to derive framing from")
+	}
+	if *squall && *facilities < 2 {
+		log.Fatal("-squall requires -facilities >= 2: degrading the only facility's path leaves placement nowhere to shed to")
+	}
 	if *outage && *facilities < 2 {
 		log.Fatal("-outage requires -facilities >= 2: taking down the only facility has nowhere to fail over and simply fails the runs launched during the window")
 	}
 	if *pin && *budget > 0 {
 		log.Fatal("-pin and -budget are contradictory: budget failover re-routes pinned runs, so the numbers would no longer measure the single-backend baseline")
 	}
-	federated := *facilities > 1 || *pin || *outage || *budget > 0
+	federated := *facilities > 1 || *pin || *outage || *budget > 0 || *squall || *probe
 	run := func(cfg core.ExperimentConfig) *core.FederatedResult {
 		cfg.Duration = *duration
 		cfg.Policy = pol
@@ -74,6 +111,16 @@ func main() {
 		if *outage {
 			fcfg.Facilities[0].OutageStart = 20*time.Minute + 30*time.Second
 			fcfg.Facilities[0].OutageEnd = 40 * time.Minute
+		}
+		if *squall {
+			fcfg.Facilities[0].Squalls = []core.SquallSpec{{
+				Start: 5 * time.Minute, End: 15 * time.Minute, Ramp: 2 * time.Minute,
+				CapacityFactor: 0.004, Loss: 0.08,
+				Jitter: 60 * time.Millisecond, ExtraRTT: 150 * time.Millisecond,
+			}}
+		}
+		if *probe {
+			fcfg.Probe = &core.ProbeConfig{LowWater: *lowWater, AdaptiveTransfer: *adaptive}
 		}
 		if *pin {
 			fcfg.PinTo = fcfg.Facilities[0].ID
@@ -105,8 +152,8 @@ func main() {
 		log.Fatalf("unknown kind %q", *kind)
 	}
 
-	fmt.Printf("Simulated %v evaluation (policy=%s split=%v noreuse=%v facilities=%d pin=%v outage=%v budget=%v)\n\n",
-		*duration, *policy, *split, *noreuse, *facilities, *pin, *outage, *budget)
+	fmt.Printf("Simulated %v evaluation (policy=%s split=%v noreuse=%v facilities=%d pin=%v outage=%v budget=%v squall=%v probe=%v adaptive=%v)\n\n",
+		*duration, *policy, *split, *noreuse, *facilities, *pin, *outage, *budget, *squall, *probe, *adaptive)
 	fmt.Println(core.FormatTable1(rows...))
 	if *detail {
 		for _, d := range details {

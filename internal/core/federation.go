@@ -12,6 +12,7 @@ import (
 	"picoprobe/internal/compute"
 	"picoprobe/internal/facility"
 	"picoprobe/internal/flows"
+	"picoprobe/internal/netprobe"
 	"picoprobe/internal/netsim"
 	"picoprobe/internal/scheduler"
 	"picoprobe/internal/search"
@@ -50,6 +51,16 @@ type FacilitySpec struct {
 	// OutageStart/OutageEnd bound a planned outage window relative to the
 	// experiment start; OutageEnd <= OutageStart means no outage.
 	OutageStart, OutageEnd time.Duration
+	// BaseRTT is the propagation delay probes observe on this facility's
+	// ingest link. It is probe-observable state only — netsim transfer
+	// timelines are RTT-free — so it cannot perturb a probe-disabled run.
+	BaseRTT time.Duration
+	// Squalls lists time-varying degradation episodes on the facility's
+	// wide-area link (the WAN link when WanBps > 0, the ingest link
+	// otherwise). Unlike an outage the facility stays up: transfers crawl
+	// instead of failing, which is exactly the regime quality-aware
+	// shedding is for.
+	Squalls []SquallSpec
 }
 
 // DefaultFederationSpecs returns the first n of the three stock simulated
@@ -86,6 +97,17 @@ type FederatedConfig struct {
 	// facility — the single-implicit-backend baseline the federation
 	// layer replaces, kept as an ablation.
 	PinTo string
+	// Probe enables link-quality probing (nil = disabled; placement and
+	// timelines are then bit-identical to a build without the subsystem).
+	Probe *ProbeConfig
+	// TransferTimeout bounds one transfer attempt; an attempt still
+	// active at the deadline fails and retries (0 = no timeout). Under a
+	// squall this is what turns a crawling transfer into a visible
+	// timeout instead of an unbounded stall.
+	TransferTimeout time.Duration
+	// TransferRetries overrides the engine's per-state retry budget for
+	// the transfer state (0 inherits the default of 2).
+	TransferRetries int
 }
 
 // FederatedScenario returns the showcase federated evaluation: the
@@ -132,6 +154,63 @@ func FederationContentionScenario(pin bool) FederatedConfig {
 	return cfg
 }
 
+// FederatedDegradedScenario returns the WAN-squall evaluation: the
+// contention-style workload over three symmetric two-node facilities,
+// each behind its own fast wide-area link, with the primary facility's
+// WAN link collapsing to ~0.4% capacity (plus loss, jitter and
+// bufferbloat the probes can see) for the middle ten minutes of a
+// twenty-minute run. Transfers are chunked with a two-minute per-attempt
+// deadline and a deep retry budget, so a transfer caught in the squall
+// times out and retries rather than stalling forever.
+//
+// probe=false is the static arm: placement keeps herding runs toward the
+// crawling primary (its static ECT never learns about the squall), every
+// such transfer burns deadline after deadline, and the backlog flushes
+// into the primary's compute queue when the squall lifts — a p95
+// queue-wait spike. probe=true attaches quality-aware shedding (low
+// water 50) plus BDP-adaptive transfer framing: fresh runs avoid the
+// degraded path within one EWMA settle, sticky runs fail over with
+// ReasonFailoverDegraded, and nothing times out.
+func FederatedDegradedScenario(probe bool) FederatedConfig {
+	base := HyperspectralExperiment()
+	base.Duration = 20 * time.Minute
+	base.StartPeriod = 10 * time.Second
+	p := base.Profile
+	p.HyperspectralBps = 3e6 // ~32 s of analysis per 91 MB file
+	p.StagingBps = 1e9       // fast staging: arrivals pace at ~12 s
+	p.CycleFixed = 2 * time.Second
+	base.Profile = p
+	base.TransferChunkBytes = 8_000_000
+	base.ParallelStreams = 2
+	squall := SquallSpec{
+		Start:          5 * time.Minute,
+		End:            15 * time.Minute,
+		Ramp:           2 * time.Minute,
+		CapacityFactor: 0.004, // 1 Gbps -> 4 Mbps at peak: ~3 min per file
+		Loss:           0.08,
+		Jitter:         60 * time.Millisecond,
+		ExtraRTT:       150 * time.Millisecond,
+	}
+	specs := []FacilitySpec{
+		{ID: EndpointEagle, Name: "ALCF Eagle/Polaris", Nodes: 2, WanBps: 1e9,
+			BaseRTT: 2 * time.Millisecond, Squalls: []SquallSpec{squall}},
+		{ID: "olcf-orion", Name: "OLCF Orion", Nodes: 2, WanBps: 1e9,
+			BaseRTT: 14 * time.Millisecond},
+		{ID: "nersc-pscratch", Name: "NERSC Perlmutter", Nodes: 2, WanBps: 1e9,
+			BaseRTT: 23 * time.Millisecond},
+	}
+	cfg := FederatedConfig{
+		ExperimentConfig: base,
+		Facilities:       specs,
+		TransferTimeout:  2 * time.Minute,
+		TransferRetries:  12,
+	}
+	if probe {
+		cfg.Probe = &ProbeConfig{LowWater: 50, AdaptiveTransfer: true}
+	}
+	return cfg
+}
+
 // FederatedResult extends the experiment result with the federation
 // telemetry: per-facility end-state snapshots, placement/failover
 // counters, and the pooled compute queue-wait distribution.
@@ -144,6 +223,11 @@ type FederatedResult struct {
 	// QueueWaitP50/P95 summarize compute queue waits pooled across all
 	// facilities.
 	QueueWaitP50, QueueWaitP95 time.Duration
+	// TransferTimeouts counts transfer attempts that hit the per-attempt
+	// deadline (Σ retries over Transfer states; 0 when no TransferTimeout
+	// was configured — without a deadline a retry can only mean an
+	// injected fault).
+	TransferTimeouts int
 	// Registry is the live federation registry, kept so portals can serve
 	// /facilities from the finished run.
 	Registry *facility.Registry
@@ -372,12 +456,15 @@ func NewFederatedComputeProvider(svcs map[string]*compute.Service, reg *facility
 // --- federated flow definitions --------------------------------------
 
 // fedTransferState is the Data Transfer step with registry placement; pin
-// optionally constrains it to one facility.
-func fedTransferState(pin string) flows.StateDef {
+// optionally constrains it to one facility, timeout bounds one attempt
+// and retries overrides the engine's retry budget (0 inherits).
+func fedTransferState(pin string, timeout time.Duration, retries int) flows.StateDef {
 	return flows.StateDef{
 		Name:     "Transfer",
 		Provider: "transfer",
 		Facility: pin,
+		Timeout:  timeout,
+		Retries:  retries,
 		Params: func(input map[string]any, _ flows.Results) map[string]any {
 			rel, _ := input["rel_path"].(string)
 			bytes, _ := input["bytes"].(float64)
@@ -427,7 +514,7 @@ func fedDefinition(cfg FederatedConfig) flows.Definition {
 		return flows.Definition{
 			Name: flowName + "-fanout",
 			States: []flows.StateDef{
-				fedTransferState(pin),
+				fedTransferState(pin, cfg.TransferTimeout, cfg.TransferRetries),
 				fedComputeState("Analysis", fn, pin, "Transfer"),
 				fedComputeState("Thumbnail", FnThumbnail, pin, "Transfer"),
 				simPublishState(cfg.Kind, "Analysis", "Thumbnail"),
@@ -441,7 +528,7 @@ func fedDefinition(cfg FederatedConfig) flows.Definition {
 		return flows.Definition{
 			Name: flowName + "-split",
 			States: []flows.StateDef{
-				fedTransferState(pin),
+				fedTransferState(pin, cfg.TransferTimeout, cfg.TransferRetries),
 				fedComputeState("MetadataExtraction", FnMetadataOnly, pin),
 				fedComputeState("Analysis", imageFn, pin),
 				simPublishState(cfg.Kind),
@@ -451,7 +538,7 @@ func fedDefinition(cfg FederatedConfig) flows.Definition {
 		return flows.Definition{
 			Name: flowName,
 			States: []flows.StateDef{
-				fedTransferState(pin),
+				fedTransferState(pin, cfg.TransferTimeout, cfg.TransferRetries),
 				fedComputeState("Analysis", fn, pin),
 				simPublishState(cfg.Kind),
 			},
@@ -499,12 +586,26 @@ func RunFederatedExperiment(cfg FederatedConfig) (*FederatedResult, error) {
 	reg := facility.NewRegistry(k, cfg.QueueWaitBudget)
 	epoch := k.Now()
 	byEndpoint := map[string]*facility.Facility{}
+	var probed []probedFacility
 	for _, spec := range cfg.Facilities {
 		path := []*netsim.Link{siteSwitch, backbone}
+		var wan *netsim.Link
 		if spec.WanBps > 0 {
-			path = append(path, net.AddLink("wan-"+spec.ID, spec.WanBps))
+			wan = net.AddLink("wan-"+spec.ID, spec.WanBps)
+			path = append(path, wan)
 		}
-		path = append(path, net.AddLink(spec.ID+"-ingest", p.EagleIngestBps))
+		ingest := net.AddLink(spec.ID+"-ingest", p.EagleIngestBps)
+		ingest.BaseRTT = spec.BaseRTT
+		path = append(path, ingest)
+		// Squalls hit the facility's wide-area bottleneck: the dedicated
+		// WAN link when it has one, the ingest link otherwise.
+		squallLink := wan
+		if squallLink == nil {
+			squallLink = ingest
+		}
+		for _, s := range spec.Squalls {
+			net.Degrade(squallLink, s.degradation(epoch))
+		}
 		nodes := spec.Nodes
 		if nodes <= 0 {
 			nodes = p.PolarisNodes
@@ -542,11 +643,35 @@ func RunFederatedExperiment(cfg FederatedConfig) (*FederatedResult, error) {
 			return nil, err
 		}
 		byEndpoint[fac.Endpoint()] = fac
+		probed = append(probed, probedFacility{
+			pathID:          fac.PathID(),
+			endpoint:        fac.Endpoint(),
+			path:            path,
+			streamCap:       streamCap,
+			fallbackStreams: cfg.ParallelStreams,
+			fallbackChunk:   cfg.TransferChunkBytes,
+		})
 	}
 	if cfg.PinTo != "" {
 		if _, ok := reg.Get(cfg.PinTo); !ok {
 			return nil, fmt.Errorf("core: PinTo names unknown facility %q", cfg.PinTo)
 		}
+	}
+
+	// Link-quality probing (nil Probe = the subsystem does not exist:
+	// no prober events on the kernel, no quality in the registry, every
+	// decision and timeline bit-identical to the pre-probe harness).
+	var tuners map[string]*netprobe.Tuner
+	if cfg.Probe != nil {
+		prober, tn, err := cfg.Probe.buildProber(k, probed)
+		if err != nil {
+			return nil, err
+		}
+		tuners = tn
+		reg.AttachQuality(prober, cfg.Probe.LowWater)
+		// The until bound keeps the kernel's event queue finite: probing
+		// stops once every flow the experiment can start has long drained.
+		prober.Start(epoch.Add(4 * cfg.Duration))
 	}
 
 	txJitter := &jitterSource{rng: rand.New(rand.NewSource(p.JitterSeed)), width: p.TransferJitter}
@@ -555,13 +680,17 @@ func RunFederatedExperiment(cfg FederatedConfig) (*FederatedResult, error) {
 		Network: net,
 		RouteFor: func(src, dst *transfer.Endpoint) transfer.Route {
 			fac := byEndpoint[dst.ID]
-			return transfer.Route{
+			route := transfer.Route{
 				Path:       fac.Path(),
 				StreamCap:  fac.StreamCap() * txJitter.factor(),
 				SetupTime:  fac.TransferSetup(),
 				Streams:    cfg.ParallelStreams,
 				ChunkBytes: cfg.TransferChunkBytes,
 			}
+			if t, ok := tuners[dst.ID]; ok {
+				route.Tuner = t
+			}
+			return route
 		},
 	}
 	tsvc := transfer.NewService(issuer, mover, k.Now, transfer.Options{})
@@ -678,6 +807,16 @@ func RunFederatedExperiment(cfg FederatedConfig) (*FederatedResult, error) {
 			waits.Add(s)
 		}
 	}
+	timeouts := 0
+	if cfg.TransferTimeout > 0 {
+		for _, run := range runs {
+			for _, st := range run.States {
+				if st.Name == "Transfer" && st.Attempts > 1 {
+					timeouts += st.Attempts - 1
+				}
+			}
+		}
+	}
 	res := &FederatedResult{
 		ExperimentResult: ExperimentResult{
 			Config:         cfg.ExperimentConfig,
@@ -686,11 +825,12 @@ func RunFederatedExperiment(cfg FederatedConfig) (*FederatedResult, error) {
 			SchedulerStats: sched,
 			PollStats:      engine.PollStats(),
 		},
-		Facilities:   reg.Snapshot(),
-		Placement:    reg.Stats(),
-		QueueWaitP50: time.Duration(waits.Percentile(50) * float64(time.Second)),
-		QueueWaitP95: time.Duration(waits.Percentile(95) * float64(time.Second)),
-		Registry:     reg,
+		Facilities:       reg.Snapshot(),
+		Placement:        reg.Stats(),
+		QueueWaitP50:     time.Duration(waits.Percentile(50) * float64(time.Second)),
+		QueueWaitP95:     time.Duration(waits.Percentile(95) * float64(time.Second)),
+		TransferTimeouts: timeouts,
+		Registry:         reg,
 	}
 	return res, nil
 }
@@ -701,9 +841,13 @@ func RunFederatedExperiment(cfg FederatedConfig) (*FederatedResult, error) {
 // Table 1 aggregates only successes, so silence here would hide them.
 func FormatFacilities(res *FederatedResult) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Federated placement — %d facilit(ies), %d decisions, %d failover(s) (%d outage, %d budget), %d re-stage(s)\n",
+	fmt.Fprintf(&sb, "Federated placement — %d facilit(ies), %d decisions, %d failover(s) (%d outage, %d budget, %d degraded), %d re-stage(s)\n",
 		len(res.Facilities), res.Placement.Decisions, res.Placement.Failovers,
-		res.Placement.OutageFailovers, res.Placement.BudgetFailovers, res.Placement.Restages)
+		res.Placement.OutageFailovers, res.Placement.BudgetFailovers,
+		res.Placement.DegradedFailovers, res.Placement.Restages)
+	if res.Config.Kind != "" && res.TransferTimeouts > 0 {
+		fmt.Fprintf(&sb, "Transfer attempts timed out: %d\n", res.TransferTimeouts)
+	}
 	failed := 0
 	for _, run := range res.Runs {
 		if run.Status != flows.StateSucceeded {
@@ -713,11 +857,34 @@ func FormatFacilities(res *FederatedResult) string {
 	if failed > 0 {
 		fmt.Fprintf(&sb, "WARNING: %d of %d runs FAILED (excluded from Table 1 aggregates)\n", failed, len(res.Runs))
 	}
-	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "Facility\tnodes\truns placed\tjobs\tqueue p50 (s)\tqueue p95 (s)\tfailovers from")
+	hasQuality := false
 	for _, f := range res.Facilities {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%.1f\t%d\n",
+		if f.Quality != nil {
+			hasQuality = true
+			break
+		}
+	}
+	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	header := "Facility\tnodes\truns placed\tjobs\tqueue p50 (s)\tqueue p95 (s)\tfailovers from"
+	if hasQuality {
+		header += "\tlink score\tgoodput (Mbps)"
+	}
+	fmt.Fprintln(w, header)
+	for _, f := range res.Facilities {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%.1f\t%d",
 			f.ID, f.Nodes, f.Placed, f.JobsRun, f.Waits.P50S, f.Waits.P95S, f.Failed)
+		if hasQuality {
+			if q := f.Quality; q != nil {
+				mark := ""
+				if q.Degraded {
+					mark = " (degraded)"
+				}
+				fmt.Fprintf(w, "\t%.1f%s\t%.1f", q.Score, mark, q.GoodputBps/1e6)
+			} else {
+				fmt.Fprintf(w, "\t-\t-")
+			}
+		}
+		fmt.Fprintln(w)
 	}
 	w.Flush()
 	fmt.Fprintf(&sb, "Pooled compute queue wait: p50 %.1f s, p95 %.1f s\n",

@@ -16,7 +16,7 @@ type journalOp struct {
 	Op  string `json:"op"`
 	Run string `json:"run,omitempty"`
 	Fac string `json:"fac,omitempty"`
-	Why string `json:"why,omitempty"` // failover cause: "outage" or "budget"
+	Why string `json:"why,omitempty"` // failover cause: "outage", "budget" or "degraded"
 }
 
 const (
@@ -43,9 +43,12 @@ func (r *Registry) applyLocked(op journalOp) {
 		r.stats.Decisions++
 	case opFailover:
 		r.stats.Failovers++
-		if op.Why == "budget" {
+		switch op.Why {
+		case "budget":
 			r.stats.BudgetFailovers++
-		} else {
+		case "degraded":
+			r.stats.DegradedFailovers++
+		default:
 			r.stats.OutageFailovers++
 		}
 		r.stats.FailoversFrom[op.Fac]++

@@ -56,6 +56,9 @@ type Config struct {
 	TransferSetup time.Duration
 	// Outages lists planned unavailability windows.
 	Outages []Window
+	// PathID names this facility's path in an attached link-quality
+	// provider (default: ID).
+	PathID string
 }
 
 // Facility is one member of a federation: a compute pool plus the network
@@ -78,6 +81,9 @@ func New(rt sim.Runtime, cfg Config) (*Facility, error) {
 	if cfg.Name == "" {
 		cfg.Name = cfg.ID
 	}
+	if cfg.PathID == "" {
+		cfg.PathID = cfg.ID
+	}
 	return &Facility{cfg: cfg, Sched: scheduler.New(rt, cfg.Sched)}, nil
 }
 
@@ -92,6 +98,9 @@ func (f *Facility) Endpoint() string { return f.cfg.Endpoint }
 
 // Path returns the network route from the instrument to the facility.
 func (f *Facility) Path() []*netsim.Link { return f.cfg.Path }
+
+// PathID returns the facility's path name in a link-quality provider.
+func (f *Facility) PathID() string { return f.cfg.PathID }
 
 // StreamCap returns the per-transfer stream cap in bits per second.
 func (f *Facility) StreamCap() float64 { return f.cfg.StreamCapBps }
@@ -139,6 +148,24 @@ type Status struct {
 	Failed   int          `json:"failovers_from"`
 	Stream   float64      `json:"stream_cap_bps"`
 	Outages  []WindowJSON `json:"outages,omitempty"`
+	// Quality is the path's smoothed link-quality view; nil when no
+	// quality provider is attached (probing disabled) or the path is not
+	// yet measured.
+	Quality *QualityStatus `json:"quality,omitempty"`
+}
+
+// QualityStatus is the wire form of a path's link quality.
+type QualityStatus struct {
+	Score      float64 `json:"score"`
+	RTTMs      float64 `json:"rtt_ms"`
+	JitterMs   float64 `json:"jitter_ms"`
+	Loss       float64 `json:"loss"`
+	GoodputBps float64 `json:"goodput_bps"`
+	// AgeS is how long ago the last raw sample landed.
+	AgeS float64 `json:"last_sample_age_s"`
+	// Degraded reports whether the score is below the registry's low-water
+	// mark (always false in observe-only mode).
+	Degraded bool `json:"degraded"`
 }
 
 // WaitSummary is the queue-wait distribution of completed jobs.
@@ -154,8 +181,9 @@ type WindowJSON struct {
 	End   time.Time `json:"end"`
 }
 
-// snapshot builds the facility's Status at time now.
-func (f *Facility) snapshot(now time.Time, placed, failedFrom int) Status {
+// snapshot builds the facility's Status at time now. quality may be nil
+// (probing disabled).
+func (f *Facility) snapshot(now time.Time, placed, failedFrom int, quality *QualityStatus) Status {
 	st := f.Sched.Stats()
 	w := f.Sched.QueueWaits()
 	out := Status{
@@ -182,5 +210,6 @@ func (f *Facility) snapshot(now time.Time, placed, failedFrom int) Status {
 	for _, o := range f.cfg.Outages {
 		out.Outages = append(out.Outages, WindowJSON{Start: o.Start, End: o.End})
 	}
+	out.Quality = quality
 	return out
 }

@@ -1,0 +1,298 @@
+package facility
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"picoprobe/internal/durable"
+	"picoprobe/internal/netprobe"
+	"picoprobe/internal/sim"
+)
+
+// stubQuality is a mutable PathQuality for tests.
+type stubQuality struct {
+	mu sync.Mutex
+	q  map[string]netprobe.Quality
+}
+
+func newStubQuality() *stubQuality { return &stubQuality{q: map[string]netprobe.Quality{}} }
+
+func (s *stubQuality) set(id string, score, goodput float64) {
+	s.mu.Lock()
+	s.q[id] = netprobe.Quality{Score: score, GoodputBps: goodput, Windows: 1, RTT: 20 * time.Millisecond}
+	s.mu.Unlock()
+}
+
+func (s *stubQuality) Quality(id string) (netprobe.Quality, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.q[id]
+	return q, ok
+}
+
+func TestDegradedShedsFreshPlacements(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, 0)
+	fast := testFacility(t, k, "fast", 1, 80e6)
+	slow := testFacility(t, k, "slow", 1, 20e6)
+	r.Add(fast)
+	r.Add(slow)
+	q := newStubQuality()
+	r.AttachQuality(q, 50)
+
+	// Unmeasured paths are healthy: fast wins as before.
+	dec, err := r.Place("run-1", "", 91_000_000)
+	if err != nil || dec.Facility.ID() != "fast" {
+		t.Fatalf("unmeasured placement = %+v err=%v, want fast", dec, err)
+	}
+
+	// fast's path collapses below the low-water mark: fresh runs shed to
+	// slow even though fast's static ECT is better.
+	q.set("fast", 12, 4e6)
+	q.set("slow", 95, 20e6)
+	dec, err = r.Place("run-2", "", 91_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Facility.ID() != "slow" || dec.Reason != ReasonLeastECT {
+		t.Errorf("fresh placement = %s/%s, want slow/least-ect", dec.Facility.ID(), dec.Reason)
+	}
+}
+
+func TestDegradedFailoverStickyRun(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, 0)
+	a := testFacility(t, k, "a", 1, 80e6)
+	b := testFacility(t, k, "b", 1, 20e6)
+	r.Add(a)
+	r.Add(b)
+	q := newStubQuality()
+	r.AttachQuality(q, 50)
+
+	if dec, _ := r.Place("run-1", "", 91_000_000); dec.Facility.ID() != "a" {
+		t.Fatalf("seed placement not at a: %+v", dec)
+	}
+	q.set("a", 10, 3e6)
+	q.set("b", 90, 20e6)
+	dec, err := r.Place("run-1", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Facility.ID() != "b" || dec.Reason != ReasonFailoverDegraded || dec.From != "a" {
+		t.Errorf("decision = %+v, want b/failover-degraded from a", dec)
+	}
+	st := r.Stats()
+	if st.DegradedFailovers != 1 || st.Failovers != 1 || st.FailoversFrom["a"] != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The run is sticky at b now.
+	if dec, _ := r.Place("run-1", "", 0); dec.Facility.ID() != "b" || dec.Reason != ReasonSticky {
+		t.Errorf("follow-up = %+v, want sticky b", dec)
+	}
+}
+
+func TestAllDegradedStaysPut(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, 0)
+	a := testFacility(t, k, "a", 1, 80e6)
+	b := testFacility(t, k, "b", 1, 20e6)
+	r.Add(a)
+	r.Add(b)
+	q := newStubQuality()
+	r.AttachQuality(q, 50)
+	if dec, _ := r.Place("run-1", "", 91_000_000); dec.Facility.ID() != "a" {
+		t.Fatal("seed placement not at a")
+	}
+	q.set("a", 10, 3e6)
+	q.set("b", 5, 2e6)
+	dec, err := r.Place("run-1", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Facility.ID() != "a" || dec.Reason != ReasonSticky {
+		t.Errorf("decision = %+v, want stay-put sticky at a", dec)
+	}
+	if st := r.Stats(); st.Failovers != 0 {
+		t.Errorf("no failover should be recorded, got %+v", st)
+	}
+	// Fresh runs still place somewhere (least-ECT among the degraded).
+	if dec, err := r.Place("run-2", "", 91_000_000); err != nil || dec.Facility == nil {
+		t.Errorf("fresh placement with all degraded: %+v err=%v", dec, err)
+	}
+}
+
+func TestMeasuredGoodputRefinesECT(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, 0)
+	fast := testFacility(t, k, "fast", 1, 80e6)
+	slow := testFacility(t, k, "slow", 1, 20e6)
+	r.Add(fast)
+	r.Add(slow)
+	q := newStubQuality()
+	r.AttachQuality(q, 0) // observe-only: no shedding, but measured ECT
+	// fast's path is measured far below its static stream cap; both are
+	// above any low-water concern (scores healthy).
+	q.set("fast", 90, 5e6)
+	q.set("slow", 95, 20e6)
+	dec, err := r.Place("run-1", "", 91_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Facility.ID() != "slow" {
+		t.Errorf("placement = %s, want slow (measured goodput beats static cap)", dec.Facility.ID())
+	}
+}
+
+// TestQualityDisabledIdenticalDecisions replays the same decision
+// sequence against a bare registry and one with an attached-but-unmeasured
+// provider, then one in observe-only mode with healthy scores: all three
+// must decide identically — the degeneracy contract.
+func TestQualityDisabledIdenticalDecisions(t *testing.T) {
+	build := func(attach bool, lowWater float64, healthy bool) []string {
+		k := sim.NewKernel()
+		r := NewRegistry(k, 0)
+		r.Add(testFacility(t, k, "a", 1, 80e6))
+		r.Add(testFacility(t, k, "b", 1, 20e6))
+		if attach {
+			q := newStubQuality()
+			if healthy {
+				q.set("a", 100, 80e6)
+				q.set("b", 100, 20e6)
+			}
+			r.AttachQuality(q, lowWater)
+		}
+		var got []string
+		for i, key := range []string{"r1", "r2", "r1", "r3", "r2"} {
+			dec, err := r.Place(key, "", int64(i)*10_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, dec.Facility.ID()+"/"+string(dec.Reason))
+		}
+		return got
+	}
+	bare := build(false, 0, false)
+	unmeasured := build(true, 50, false)
+	observeOnly := build(true, 0, true)
+	if !reflect.DeepEqual(bare, unmeasured) {
+		t.Errorf("unmeasured provider changed decisions: %v vs %v", unmeasured, bare)
+	}
+	if !reflect.DeepEqual(bare, observeOnly) {
+		t.Errorf("observe-only healthy provider changed decisions: %v vs %v", observeOnly, bare)
+	}
+}
+
+// TestDegradedFailoverJournalReplay checks the new failover cause
+// round-trips through the durable journal: a restored registry keeps the
+// DegradedFailovers split exactly.
+func TestDegradedFailoverJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	k := sim.NewKernel()
+	r := NewRegistry(k, 0)
+	r.Add(testFacility(t, k, "a", 1, 80e6))
+	r.Add(testFacility(t, k, "b", 1, 20e6))
+	if _, err := r.OpenJournal(dir, durable.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	q := newStubQuality()
+	r.AttachQuality(q, 50)
+	r.Place("run-1", "", 91_000_000)
+	q.set("a", 10, 3e6)
+	q.set("b", 90, 20e6)
+	if dec, err := r.Place("run-1", "", 0); err != nil || dec.Reason != ReasonFailoverDegraded {
+		t.Fatalf("expected degraded failover, got %+v err=%v", dec, err)
+	}
+	want := r.Stats()
+	if want.DegradedFailovers != 1 {
+		t.Fatalf("DegradedFailovers = %d, want 1", want.DegradedFailovers)
+	}
+
+	k2 := sim.NewKernel()
+	r2 := NewRegistry(k2, 0)
+	r2.Add(testFacility(t, k2, "a", 1, 80e6))
+	r2.Add(testFacility(t, k2, "b", 1, 20e6))
+	if _, err := r2.OpenJournal(dir, durable.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Stats(); !reflect.DeepEqual(got, want) {
+		t.Errorf("restored stats = %+v, want %+v", got, want)
+	}
+	if r2.sticky["run-1"] != "b" {
+		t.Errorf("restored sticky = %q, want b", r2.sticky["run-1"])
+	}
+}
+
+func TestSnapshotQualityBlock(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, 0)
+	r.Add(testFacility(t, k, "a", 1, 80e6))
+	r.Add(testFacility(t, k, "b", 1, 20e6))
+
+	// No provider: nil quality everywhere (probing disabled).
+	for _, st := range r.Snapshot() {
+		if st.Quality != nil {
+			t.Fatalf("quality without provider: %+v", st.Quality)
+		}
+	}
+
+	q := newStubQuality()
+	r.AttachQuality(q, 50)
+	q.set("a", 12.5, 4e6)
+	snaps := r.Snapshot()
+	if snaps[0].Quality == nil {
+		t.Fatal("measured path lost its quality block")
+	}
+	if snaps[0].Quality.Score != 12.5 || !snaps[0].Quality.Degraded {
+		t.Errorf("a quality = %+v", snaps[0].Quality)
+	}
+	if snaps[0].Quality.RTTMs != 20 {
+		t.Errorf("RTTMs = %v, want 20", snaps[0].Quality.RTTMs)
+	}
+	if snaps[1].Quality != nil {
+		t.Errorf("unmeasured path should have nil quality, got %+v", snaps[1].Quality)
+	}
+}
+
+// TestConcurrentQualityWritersVsPlacement is the -race gate for the
+// registry's quality seam: probe writers mutate scores while placement
+// and snapshot readers run.
+func TestConcurrentQualityWritersVsPlacement(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRegistry(k, 0)
+	r.Add(testFacility(t, k, "a", 2, 80e6))
+	r.Add(testFacility(t, k, "b", 2, 20e6))
+	q := newStubQuality()
+	r.AttachQuality(q, 50)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				score := float64((i + w*7) % 100)
+				q.set("a", score, 1e6*float64(i%50+1))
+				q.set("b", 100-score, 2e7)
+			}
+		}(w)
+	}
+	for rd := 0; rd < 3; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if _, err := r.Place("hammer", "", 10_000_000); err != nil {
+					t.Errorf("place: %v", err)
+					return
+				}
+				if i%100 == 0 {
+					r.Snapshot()
+					r.Stats()
+				}
+			}
+		}(rd)
+	}
+	wg.Wait()
+}

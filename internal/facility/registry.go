@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"picoprobe/internal/durable"
+	"picoprobe/internal/netprobe"
 	"picoprobe/internal/sim"
 )
 
@@ -26,6 +27,10 @@ const (
 	// ReasonFailoverBudget re-routes because the target's queue-wait
 	// estimate exceeds the budget.
 	ReasonFailoverBudget Reason = "failover-budget"
+	// ReasonFailoverDegraded re-routes because the target path's link
+	// score fell below the low-water mark (AttachQuality) — the link is
+	// degrading but has not timed anything out yet.
+	ReasonFailoverDegraded Reason = "failover-degraded"
 )
 
 // Decision is the outcome of one placement call.
@@ -44,9 +49,10 @@ type Stats struct {
 	// Decisions counts Place calls.
 	Decisions int
 	// Failovers counts re-routed placements, split by cause.
-	Failovers       int
-	OutageFailovers int
-	BudgetFailovers int
+	Failovers         int
+	OutageFailovers   int
+	BudgetFailovers   int
+	DegradedFailovers int
 	// Restages counts runs whose staged data had to move to another
 	// facility after a failover.
 	Restages int
@@ -74,6 +80,12 @@ type Registry struct {
 	// failure (see JournalErr).
 	journal    *durable.Store
 	journalErr error
+
+	// quality, when attached via AttachQuality, scores each facility's
+	// path; a facility whose score is below lowWater sheds new runs
+	// (lowWater <= 0 keeps quality observe-only).
+	quality  netprobe.PathQuality
+	lowWater float64
 }
 
 // NewRegistry returns an empty registry. budget bounds the queue-wait
@@ -103,6 +115,60 @@ func (r *Registry) Add(f *Facility) error {
 	r.byID[f.ID()] = f
 	r.order = append(r.order, f)
 	return nil
+}
+
+// AttachQuality wires a link-quality provider into placement. Each
+// facility's path (Config.PathID) is scored by q; a facility whose score
+// falls below lowWater sheds *new* runs — fresh placements avoid it and
+// sticky or constrained runs fail over with ReasonFailoverDegraded —
+// exactly as an outage window does, except the facility itself stays up,
+// so work already executing there drains normally. The measured goodput
+// also refines the transfer half of the completion-time estimate, so a
+// partially degraded path loses placements proportionally even above the
+// low-water mark. lowWater <= 0 is observe-only: quality appears in
+// Snapshot but placement is untouched. With no quality attached every
+// decision is bit-identical to a registry built before this subsystem
+// existed.
+func (r *Registry) AttachQuality(q netprobe.PathQuality, lowWater float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.quality = q
+	r.lowWater = lowWater
+}
+
+// degradedLocked reports whether f's path score is below the low-water
+// mark. Unmeasured paths are never degraded (healthy until proven
+// otherwise — shedding on ignorance would strand a cold-started
+// federation).
+func (r *Registry) degradedLocked(f *Facility) bool {
+	if r.quality == nil || r.lowWater <= 0 {
+		return false
+	}
+	q, ok := r.quality.Quality(f.PathID())
+	return ok && q.Windows > 0 && q.Score < r.lowWater
+}
+
+// estimateTransferLocked returns the transfer half of f's completion-time
+// estimate, substituting the measured path goodput for the static stream
+// cap when it is lower — a degrading link loses placements before it
+// crosses the low-water mark.
+func (r *Registry) estimateTransferLocked(f *Facility, bytes int64) time.Duration {
+	d := f.TransferSetup()
+	if bytes <= 0 {
+		return d
+	}
+	rate := f.StreamCap()
+	if r.quality != nil {
+		if q, ok := r.quality.Quality(f.PathID()); ok && q.Windows > 0 && q.GoodputBps > 0 {
+			if rate <= 0 || q.GoodputBps < rate {
+				rate = q.GoodputBps
+			}
+		}
+	}
+	if rate > 0 {
+		d += time.Duration(float64(bytes) * 8 / rate * float64(time.Second))
+	}
+	return d
 }
 
 // Get looks up a facility by ID.
@@ -149,28 +215,45 @@ func (r *Registry) Place(runKey, constraint string, bytes int64) (Decision, erro
 			return Decision{}, fmt.Errorf("facility: unknown facility %q", want)
 		}
 		wait := f.Sched.EstimateWait()
-		if f.Up(now) && (r.budget <= 0 || wait <= r.budget) {
+		degraded := r.degradedLocked(f)
+		if f.Up(now) && !degraded && (r.budget <= 0 || wait <= r.budget) {
 			r.commitLocked(runKey, f)
 			return Decision{Facility: f, Reason: reason, Wait: wait}, nil
 		}
-		// Failover: the target is down or over budget.
+		// Failover: the target is down, its path is degraded, or it is
+		// over budget — in that precedence (an outage is absolute, a
+		// degraded link outranks a long queue).
 		why := ReasonFailoverOutage
-		if f.Up(now) {
+		switch {
+		case !f.Up(now):
+			why = ReasonFailoverOutage
+		case degraded:
+			why = ReasonFailoverDegraded
+		default:
 			why = ReasonFailoverBudget
 		}
-		best, bestWait := r.bestLocked(now, bytes, want)
-		if why == ReasonFailoverBudget && best != nil {
+		best, bestWait, bestDegraded := r.bestLocked(now, bytes, want)
+		switch why {
+		case ReasonFailoverBudget:
 			// A budget violation only justifies moving when the
 			// destination is actually better: under the budget itself and
 			// waiting less than the over-budget target. Re-routing to a
 			// facility with an even longer queue would add a re-stage on
 			// top of a worse wait.
-			if bestWait > r.budget || bestWait >= wait {
+			if best != nil && (bestWait > r.budget || bestWait >= wait) {
+				best = nil
+			}
+		case ReasonFailoverDegraded:
+			// A degraded link is soft — the facility still works, just
+			// badly. Shed only onto a healthy path; when every alternative
+			// is down or equally degraded, staying put beats paying a
+			// re-stage for no improvement.
+			if bestDegraded {
 				best = nil
 			}
 		}
 		if best == nil {
-			if why == ReasonFailoverBudget {
+			if why != ReasonFailoverOutage && f.Up(now) {
 				// Nowhere better to go: stay put rather than stall the run.
 				r.commitLocked(runKey, f)
 				return Decision{Facility: f, Reason: reason, Wait: wait}, nil
@@ -178,15 +261,18 @@ func (r *Registry) Place(runKey, constraint string, bytes int64) (Decision, erro
 			return Decision{}, fmt.Errorf("facility: all facilities down at %v", now)
 		}
 		cause := "outage"
-		if why == ReasonFailoverBudget {
+		switch why {
+		case ReasonFailoverBudget:
 			cause = "budget"
+		case ReasonFailoverDegraded:
+			cause = "degraded"
 		}
 		r.noteLocked(journalOp{Op: opFailover, Fac: want, Why: cause})
 		r.commitLocked(runKey, best)
 		return Decision{Facility: best, Reason: why, Wait: bestWait, From: want}, nil
 	}
 
-	best, bestWait := r.bestLocked(now, bytes, "")
+	best, bestWait, _ := r.bestLocked(now, bytes, "")
 	if best == nil {
 		return Decision{}, fmt.Errorf("facility: all facilities down at %v", now)
 	}
@@ -196,23 +282,36 @@ func (r *Registry) Place(runKey, constraint string, bytes int64) (Decision, erro
 
 // bestLocked returns the up facility (excluding exclude) with the least
 // estimated completion time and its queue-wait component, or nil when
-// none is up. Ties go to registration order. EstimateWait is an
-// O(queue × nodes) replay, so the wait is computed once per candidate
-// and returned for reuse.
-func (r *Registry) bestLocked(now time.Time, bytes int64, exclude string) (*Facility, time.Duration) {
-	var best *Facility
-	var bestECT, bestWait time.Duration
+// none is up. Facilities whose path is degraded (below the quality
+// low-water mark) are passed over while any healthy facility is up; when
+// every up facility is degraded the least-ECT degraded one is returned
+// with degraded=true — a slow link still beats no link. Ties go to
+// registration order. EstimateWait is an O(queue × nodes) replay, so the
+// wait is computed once per candidate and returned for reuse.
+func (r *Registry) bestLocked(now time.Time, bytes int64, exclude string) (best *Facility, bestWait time.Duration, degraded bool) {
+	var bestECT time.Duration
+	var degBest *Facility
+	var degECT, degWait time.Duration
 	for _, f := range r.order {
 		if f.ID() == exclude || !f.Up(now) {
 			continue
 		}
 		wait := f.Sched.EstimateWait()
-		ect := f.EstimateTransfer(bytes) + wait
+		ect := r.estimateTransferLocked(f, bytes) + wait
+		if r.degradedLocked(f) {
+			if degBest == nil || ect < degECT {
+				degBest, degECT, degWait = f, ect, wait
+			}
+			continue
+		}
 		if best == nil || ect < bestECT {
 			best, bestECT, bestWait = f, ect, wait
 		}
 	}
-	return best, bestWait
+	if best == nil && degBest != nil {
+		return degBest, degWait, true
+	}
+	return best, bestWait, false
 }
 
 // commitLocked records the run's (possibly new) sticky placement.
@@ -284,10 +383,27 @@ func (r *Registry) Snapshot() []Status {
 		failed[k] = v
 	}
 	now := r.rt.Now()
+	quality, lowWater := r.quality, r.lowWater
 	r.mu.Unlock()
 	out := make([]Status, 0, len(order))
 	for _, f := range order {
-		out = append(out, f.snapshot(now, placed[f.ID()], failed[f.ID()]))
+		var qs *QualityStatus
+		if quality != nil {
+			if q, ok := quality.Quality(f.PathID()); ok {
+				qs = &QualityStatus{
+					Score:      q.Score,
+					RTTMs:      q.RTT.Seconds() * 1e3,
+					JitterMs:   q.Jitter.Seconds() * 1e3,
+					Loss:       q.Loss,
+					GoodputBps: q.GoodputBps,
+					Degraded:   lowWater > 0 && q.Windows > 0 && q.Score < lowWater,
+				}
+				if !q.LastSample.IsZero() {
+					qs.AgeS = now.Sub(q.LastSample).Seconds()
+				}
+			}
+		}
+		out = append(out, f.snapshot(now, placed[f.ID()], failed[f.ID()], qs))
 	}
 	return out
 }

@@ -1,0 +1,306 @@
+// Package netprobe is the link-quality probe subsystem: it continuously
+// samples each facility path for round-trip time, loss and goodput,
+// reduces each probe window with Welford accumulators (jitter is the
+// window's RTT spread), smooths each dimension with an EWMA, and
+// collapses the smoothed dimensions into a single 0–100 link score
+//
+//	score = 100 · s_rtt^w_r · s_jit^w_j · s_los^w_l
+//
+// where each subscore falls linearly from 1 at the dimension's "good"
+// anchor to 0 at its "bad" anchor and the exponents weight how hard each
+// dimension drags the product down.
+//
+// The consumer-facing seam is PathQuality: the facility registry reads
+// scores through it to shed new runs from degraded paths before anything
+// times out, and the transfer tuner reads goodput/RTT through it to size
+// streams and chunks from the measured bandwidth-delay product. Today the
+// Prober fills it from simulated measurements (netsim path conditions); a
+// socket-based prober implements the same Target/PathQuality contract
+// against real WANs without touching any consumer.
+//
+// The sampling hot path (Gauge.Observe) is allocation-free: window
+// accumulators and the history ring are fixed-size state mutated in
+// place, guarded by a per-gauge mutex so concurrent probe writers never
+// block placement readers for more than a field copy.
+package netprobe
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Measurement is one raw probe observation of a path.
+type Measurement struct {
+	// RTT is the observed round-trip time.
+	RTT time.Duration
+	// Loss is the observed packet-loss fraction in [0, 1].
+	Loss float64
+	// GoodputBps is the observed achievable throughput in bits per second.
+	GoodputBps float64
+}
+
+// Target produces raw measurements for one path; the Prober calls Measure
+// once per probe interval. Implementations must be cheap and must not
+// block (the simulated target reads netsim conditions; a live target
+// would return the latest completed probe round).
+type Target interface {
+	Measure(now time.Time) Measurement
+}
+
+// Quality is a point-in-time smoothed view of one path.
+type Quality struct {
+	// Score is the collapsed 0–100 link score (100 until the first window
+	// closes — a path is healthy until measured otherwise).
+	Score float64
+	// RTT, Jitter, Loss and GoodputBps are the per-dimension EWMAs.
+	RTT        time.Duration
+	Jitter     time.Duration
+	Loss       float64
+	GoodputBps float64
+	// LastSample is the instant of the most recent raw observation.
+	LastSample time.Time
+	// Samples counts raw observations; Windows counts closed (folded)
+	// probe windows. Consumers that need settled estimates should require
+	// Windows > 0.
+	Samples uint64
+	Windows uint64
+}
+
+// PathQuality exposes smoothed path state by path ID. It is the seam
+// between measurement and policy: the Prober implements it over simulated
+// or real targets, and the facility registry and transfer tuner consume
+// it without knowing which. Implementations must be safe for concurrent
+// use.
+type PathQuality interface {
+	Quality(pathID string) (Quality, bool)
+}
+
+// Weights configures the score formula: per-dimension exponents plus the
+// good/bad anchors that normalize each dimension into its subscore.
+type Weights struct {
+	// RTTWeight, JitterWeight and LossWeight are the exponents w_r, w_j,
+	// w_l. A weight of 0 removes the dimension from the product.
+	RTTWeight, JitterWeight, LossWeight float64
+	// A dimension at or below its Good anchor scores 1, at or above its
+	// Bad anchor scores 0, linear in between.
+	RTTGood, RTTBad       time.Duration
+	JitterGood, JitterBad time.Duration
+	LossGood, LossBad     float64
+}
+
+// DefaultWeights returns the calibrated score parameters: loss is
+// squared (it is the strongest signal that a path is unusable for bulk
+// data), RTT and jitter enter linearly with anchors spanning the range
+// from a healthy lab WAN to an unusable squall.
+func DefaultWeights() Weights {
+	return Weights{
+		RTTWeight: 1, JitterWeight: 1, LossWeight: 2,
+		RTTGood: 10 * time.Millisecond, RTTBad: 500 * time.Millisecond,
+		JitterGood: 2 * time.Millisecond, JitterBad: 150 * time.Millisecond,
+		LossGood: 0, LossBad: 0.05,
+	}
+}
+
+// subscore maps x onto [0, 1]: 1 at or below good, 0 at or above bad.
+func subscore(x, good, bad float64) float64 {
+	if bad <= good || x <= good {
+		return 1
+	}
+	if x >= bad {
+		return 0
+	}
+	return (bad - x) / (bad - good)
+}
+
+// Score collapses smoothed dimensions into the 0–100 link score.
+func (w Weights) Score(rtt, jitter time.Duration, loss float64) float64 {
+	s := 100.0
+	if w.RTTWeight > 0 {
+		s *= math.Pow(subscore(rtt.Seconds(), w.RTTGood.Seconds(), w.RTTBad.Seconds()), w.RTTWeight)
+	}
+	if w.JitterWeight > 0 {
+		s *= math.Pow(subscore(jitter.Seconds(), w.JitterGood.Seconds(), w.JitterBad.Seconds()), w.JitterWeight)
+	}
+	if w.LossWeight > 0 {
+		s *= math.Pow(subscore(loss, w.LossGood, w.LossBad), w.LossWeight)
+	}
+	return s
+}
+
+// Welford is a streaming mean/variance accumulator (Welford's online
+// algorithm). The prober folds one per dimension per probe window, so
+// jitter falls out as the window's RTT standard deviation without
+// retaining samples.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations folded in.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Std returns the population standard deviation (0 below two samples).
+func (w *Welford) Std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n))
+}
+
+// Reset clears the accumulator for the next window.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// EWMA is an exponentially weighted moving average: the first update
+// seeds the value, each later update moves it by alpha toward the sample.
+type EWMA struct {
+	alpha  float64
+	value  float64
+	seeded bool
+}
+
+// Update folds a sample in and returns the new value.
+func (e *EWMA) Update(x float64) float64 {
+	if !e.seeded {
+		e.value, e.seeded = x, true
+		return x
+	}
+	e.value += e.alpha * (x - e.value)
+	return e.value
+}
+
+// Value returns the current average (0 before the first update).
+func (e *EWMA) Value() float64 { return e.value }
+
+// HistoryPoint is one folded probe window in a gauge's history ring.
+type HistoryPoint struct {
+	At      time.Time
+	Score   float64
+	RTT     time.Duration
+	Jitter  time.Duration
+	Loss    float64
+	Goodput float64
+}
+
+// Gauge holds one path's probe state: the open window's Welford
+// accumulators, the per-dimension EWMAs, the current score, and a bounded
+// ring of closed windows. All methods are safe for concurrent use; the
+// Observe hot path allocates nothing.
+type Gauge struct {
+	weights       Weights
+	windowSamples int
+
+	mu         sync.Mutex
+	winRTT     Welford
+	winLoss    Welford
+	winGoodput Welford
+	rtt        EWMA
+	jitter     EWMA
+	loss       EWMA
+	goodput    EWMA
+	score      float64
+	lastSample time.Time
+	samples    uint64
+	windows    uint64
+	history    []HistoryPoint // fixed-capacity ring
+	histNext   int
+	histLen    int
+}
+
+func newGauge(weights Weights, windowSamples, historyLen int, alpha float64) *Gauge {
+	return &Gauge{
+		weights:       weights,
+		windowSamples: windowSamples,
+		rtt:           EWMA{alpha: alpha},
+		jitter:        EWMA{alpha: alpha},
+		loss:          EWMA{alpha: alpha},
+		goodput:       EWMA{alpha: alpha},
+		score:         100,
+		history:       make([]HistoryPoint, historyLen),
+	}
+}
+
+// Observe folds one raw measurement into the open window and, when the
+// window is full, closes it: window means (and the RTT spread, as jitter)
+// update the EWMAs, the score is recomputed, and the window is recorded
+// in the history ring.
+func (g *Gauge) Observe(now time.Time, m Measurement) {
+	g.mu.Lock()
+	g.samples++
+	g.lastSample = now
+	g.winRTT.Add(m.RTT.Seconds())
+	g.winLoss.Add(m.Loss)
+	g.winGoodput.Add(m.GoodputBps)
+	if g.winRTT.Count() >= g.windowSamples {
+		g.foldLocked(now)
+	}
+	g.mu.Unlock()
+}
+
+// foldLocked closes the open window into the EWMAs and history.
+func (g *Gauge) foldLocked(now time.Time) {
+	rtt := g.rtt.Update(g.winRTT.Mean())
+	jit := g.jitter.Update(g.winRTT.Std())
+	loss := g.loss.Update(g.winLoss.Mean())
+	gp := g.goodput.Update(g.winGoodput.Mean())
+	g.winRTT.Reset()
+	g.winLoss.Reset()
+	g.winGoodput.Reset()
+	g.windows++
+	g.score = g.weights.Score(
+		time.Duration(rtt*float64(time.Second)),
+		time.Duration(jit*float64(time.Second)),
+		loss)
+	if len(g.history) > 0 {
+		g.history[g.histNext] = HistoryPoint{
+			At: now, Score: g.score,
+			RTT:    time.Duration(rtt * float64(time.Second)),
+			Jitter: time.Duration(jit * float64(time.Second)),
+			Loss:   loss, Goodput: gp,
+		}
+		g.histNext = (g.histNext + 1) % len(g.history)
+		if g.histLen < len(g.history) {
+			g.histLen++
+		}
+	}
+}
+
+// Quality returns the gauge's current smoothed view.
+func (g *Gauge) Quality() Quality {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Quality{
+		Score:      g.score,
+		RTT:        time.Duration(g.rtt.Value() * float64(time.Second)),
+		Jitter:     time.Duration(g.jitter.Value() * float64(time.Second)),
+		Loss:       g.loss.Value(),
+		GoodputBps: g.goodput.Value(),
+		LastSample: g.lastSample,
+		Samples:    g.samples,
+		Windows:    g.windows,
+	}
+}
+
+// History returns the closed windows in the ring, oldest first.
+func (g *Gauge) History() []HistoryPoint {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]HistoryPoint, 0, g.histLen)
+	start := g.histNext - g.histLen
+	for i := 0; i < g.histLen; i++ {
+		out = append(out, g.history[(start+i+len(g.history))%len(g.history)])
+	}
+	return out
+}

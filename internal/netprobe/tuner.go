@@ -1,0 +1,92 @@
+package netprobe
+
+import "time"
+
+// Tuner derives transfer framing from measured path quality — the
+// bandwidth-delay-product rule of DESIGN.md §10. It implements the
+// transfer engine's RouteTuner seam, which re-reads it between chunks, so
+// a transfer crossing a bandwidth ramp widens or narrows its stream
+// window mid-task.
+//
+// Streams: enough per-stream-capped flows to cover the measured goodput
+// (ceil(goodput / streamCap)), clamped to [1, MaxStreams] — a thin
+// degraded path gets one stream, a fat recovered path fans out until the
+// bottleneck is saturated.
+//
+// Chunk size: BDPMultiple × the measured BDP (goodput × RTT / 8 bytes),
+// quantized and clamped to [MinChunkBytes, MaxChunkBytes] — small chunks
+// on a thin path (cheap resume, fast re-evaluation), large chunks on a
+// fat one (less per-chunk overhead).
+type Tuner struct {
+	// Quality and PathID select the measurement feed.
+	Quality PathQuality
+	PathID  string
+	// StreamCapBps is the route's per-stream throughput cap (the divisor
+	// of the stream rule; 0 means one stream saturates the path).
+	StreamCapBps float64
+	// MaxStreams bounds the stream fan-out (default 8).
+	MaxStreams int
+	// MinChunkBytes/MaxChunkBytes clamp the chunk size (defaults 1 MiB
+	// and 64 MiB); ChunkQuantum rounds it (default 256 KiB).
+	MinChunkBytes, MaxChunkBytes, ChunkQuantum int64
+	// BDPMultiple scales the BDP into a chunk size (default 4).
+	BDPMultiple float64
+	// FallbackStreams/FallbackChunkBytes apply until the first probe
+	// window closes (and when the path is unknown to Quality).
+	FallbackStreams    int
+	FallbackChunkBytes int64
+}
+
+// Tune returns the streams and chunk size the route should use right now.
+func (t *Tuner) Tune() (streams int, chunkBytes int64) {
+	maxStreams := t.MaxStreams
+	if maxStreams <= 0 {
+		maxStreams = 8
+	}
+	minChunk, maxChunk := t.MinChunkBytes, t.MaxChunkBytes
+	if minChunk <= 0 {
+		minChunk = 1 << 20
+	}
+	if maxChunk <= 0 {
+		maxChunk = 64 << 20
+	}
+	quantum := t.ChunkQuantum
+	if quantum <= 0 {
+		quantum = 256 << 10
+	}
+	mult := t.BDPMultiple
+	if mult <= 0 {
+		mult = 4
+	}
+
+	q, ok := t.Quality.Quality(t.PathID)
+	if !ok || q.Windows == 0 || q.GoodputBps <= 0 {
+		return t.FallbackStreams, t.FallbackChunkBytes
+	}
+
+	streams = 1
+	if t.StreamCapBps > 0 {
+		streams = int((q.GoodputBps + t.StreamCapBps - 1) / t.StreamCapBps)
+	}
+	if streams < 1 {
+		streams = 1
+	}
+	if streams > maxStreams {
+		streams = maxStreams
+	}
+
+	rtt := q.RTT
+	if rtt <= 0 {
+		rtt = time.Millisecond
+	}
+	bdpBytes := q.GoodputBps * rtt.Seconds() / 8
+	chunkBytes = int64(mult * bdpBytes)
+	chunkBytes = (chunkBytes / quantum) * quantum
+	if chunkBytes < minChunk {
+		chunkBytes = minChunk
+	}
+	if chunkBytes > maxChunk {
+		chunkBytes = maxChunk
+	}
+	return streams, chunkBytes
+}

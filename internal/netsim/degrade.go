@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time-varying degradation: beyond the binary outage windows the facility
+// layer models, real WAN paths degrade gradually — congestion squalls that
+// shave capacity and add loss/jitter, then clear. A Degradation describes
+// one such episode on one link with a trapezoidal envelope: effects ramp
+// linearly from zero at Start to full strength at PeakStart, hold through
+// PeakEnd, and ramp back to zero at End. PeakStart == Start and
+// PeakEnd == End degenerate to a step. The fluid-flow allocator treats a
+// ramp as piecewise constant: Network.Degrade schedules reallocation
+// events at the peak/end boundaries and at rampSteps sub-steps across
+// each ramp, so in-flight transfers are re-settled and re-allocated as
+// the capacity moves.
+
+// rampSteps is the number of piecewise-constant segments a capacity ramp
+// is discretized into for the fluid-flow allocator.
+const rampSteps = 8
+
+// Degradation is one impairment episode on a link.
+type Degradation struct {
+	// Start..End bound the episode; PeakStart..PeakEnd bound its plateau.
+	Start, End         time.Time
+	PeakStart, PeakEnd time.Time
+	// CapacityFactor scales the link's nominal capacity at peak strength
+	// (1 = unchanged, 0.05 = a squall that takes 95% of the bandwidth).
+	// Values outside (0, 1] are clamped: <= 0 blocks the link entirely at
+	// peak.
+	CapacityFactor float64
+	// Loss is the packet-loss fraction probes observe at peak strength.
+	Loss float64
+	// Jitter is the RTT spread (standard deviation) probes observe at peak
+	// strength.
+	Jitter time.Duration
+	// ExtraRTT is the added round-trip time at peak strength (bufferbloat
+	// under the squall).
+	ExtraRTT time.Duration
+}
+
+// strength returns the episode's envelope in [0, 1] at instant t: 0
+// outside [Start, End), ramping linearly to 1 inside the plateau.
+func (d Degradation) strength(t time.Time) float64 {
+	if t.Before(d.Start) || !t.Before(d.End) {
+		return 0
+	}
+	if t.Before(d.PeakStart) {
+		ramp := d.PeakStart.Sub(d.Start).Seconds()
+		if ramp <= 0 {
+			return 1
+		}
+		return t.Sub(d.Start).Seconds() / ramp
+	}
+	if !t.Before(d.PeakEnd) {
+		ramp := d.End.Sub(d.PeakEnd).Seconds()
+		if ramp <= 0 {
+			return 1
+		}
+		return d.End.Sub(t).Seconds() / ramp
+	}
+	return 1
+}
+
+// Conditions is the instantaneous impairment state of a link or path.
+type Conditions struct {
+	// CapacityFactor multiplies the nominal capacity (1 = healthy).
+	CapacityFactor float64
+	// Loss is the packet-loss fraction.
+	Loss float64
+	// Jitter is the RTT spread.
+	Jitter time.Duration
+	// ExtraRTT is the added round-trip time.
+	ExtraRTT time.Duration
+}
+
+// ConditionsAt resolves the link's combined impairment state at t.
+// Overlapping episodes compose: capacity factors multiply, losses combine
+// as independent drop probabilities, jitter and extra RTT add.
+func (l *Link) ConditionsAt(t time.Time) Conditions {
+	c := Conditions{CapacityFactor: 1}
+	for _, d := range l.degradations {
+		s := d.strength(t)
+		if s <= 0 {
+			continue
+		}
+		factor := d.CapacityFactor
+		if factor > 1 {
+			factor = 1
+		}
+		if factor < 0 {
+			factor = 0
+		}
+		// Interpolate the factor toward 1 at partial strength.
+		c.CapacityFactor *= 1 - s*(1-factor)
+		loss := d.Loss * s
+		c.Loss = 1 - (1-c.Loss)*(1-loss)
+		c.Jitter += time.Duration(s * float64(d.Jitter))
+		c.ExtraRTT += time.Duration(s * float64(d.ExtraRTT))
+	}
+	return c
+}
+
+// CapacityAt returns the link's effective capacity at t.
+func (l *Link) CapacityAt(t time.Time) float64 {
+	return l.Capacity * l.ConditionsAt(t).CapacityFactor
+}
+
+// PathState is the instantaneous measurable state of a path — what a
+// probe riding the same links as the transfers would see.
+type PathState struct {
+	// RTT is the healthy round-trip time plus degradation-added latency,
+	// summed over the path's links.
+	RTT time.Duration
+	// Jitter is the path's RTT spread (links' jitters summed — a
+	// conservative composition).
+	Jitter time.Duration
+	// Loss is the end-to-end loss fraction (independent per-link drops).
+	Loss float64
+	// BottleneckBps is the tightest effective link capacity on the path.
+	BottleneckBps float64
+}
+
+// PathStateAt resolves the measurable state of a multi-link path at t.
+func PathStateAt(path []*Link, t time.Time) PathState {
+	st := PathState{}
+	for i, l := range path {
+		c := l.ConditionsAt(t)
+		st.RTT += l.BaseRTT + c.ExtraRTT
+		st.Jitter += c.Jitter
+		st.Loss = 1 - (1-st.Loss)*(1-c.Loss)
+		cap := l.Capacity * c.CapacityFactor
+		if i == 0 || cap < st.BottleneckBps {
+			st.BottleneckBps = cap
+		}
+	}
+	return st
+}
+
+// Degrade attaches a degradation episode to a link and schedules the
+// reallocation events that make in-flight transfers feel it: one at each
+// envelope boundary, plus rampSteps sub-steps across each ramp so the
+// fluid-flow model tracks the changing capacity piecewise. Episodes whose
+// capacity effect is nil (CapacityFactor >= 1) still register for probes
+// but schedule nothing. Must be called from kernel-driven code (or before
+// the kernel runs), like every other Network method.
+func (n *Network) Degrade(l *Link, d Degradation) {
+	if !d.End.After(d.Start) {
+		panic(fmt.Sprintf("netsim: degradation on %q must end after it starts", l.Name))
+	}
+	if d.PeakStart.Before(d.Start) {
+		d.PeakStart = d.Start
+	}
+	if d.PeakEnd.After(d.End) {
+		d.PeakEnd = d.End
+	}
+	if d.PeakEnd.Before(d.PeakStart) {
+		d.PeakEnd = d.PeakStart
+	}
+	l.degradations = append(l.degradations, d)
+	if d.CapacityFactor >= 1 {
+		return
+	}
+	at := func(t time.Time) {
+		n.k.At(t, func() {
+			if len(n.active) == 0 {
+				return
+			}
+			n.settle()
+			n.reallocate()
+		})
+	}
+	step := func(from, to time.Time) {
+		span := to.Sub(from)
+		if span <= 0 {
+			return
+		}
+		for i := 1; i <= rampSteps; i++ {
+			at(from.Add(span * time.Duration(i) / rampSteps))
+		}
+	}
+	at(d.Start)
+	step(d.Start, d.PeakStart)
+	step(d.PeakEnd, d.End)
+	at(d.End)
+}

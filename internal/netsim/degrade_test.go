@@ -1,0 +1,146 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"picoprobe/internal/sim"
+)
+
+// TestDegradationStepSlowsTransfer drives a transfer across a step squall
+// and checks the piecewise-exact completion time: 100 Mbps for 10 s,
+// 10 Mbps for the 10 s squall, then 100 Mbps again.
+func TestDegradationStepSlowsTransfer(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k)
+	l := n.AddLink("wan", 100e6)
+	epoch := k.Now()
+	n.Degrade(l, Degradation{
+		Start: epoch.Add(10 * time.Second), PeakStart: epoch.Add(10 * time.Second),
+		PeakEnd: epoch.Add(20 * time.Second), End: epoch.Add(20 * time.Second),
+		CapacityFactor: 0.1,
+	})
+	// 2e9 bits: 1e9 pre-squall + 1e8 during + 0.9e9 after = 29 s.
+	tr := n.Start("t", []*Link{l}, 250_000_000, 0)
+	k.Run()
+	res, err := tr.Done.Value()
+	if err != nil {
+		t.Fatalf("transfer failed: %v", err)
+	}
+	got := res.Duration()
+	want := 29 * time.Second
+	if diff := got - want; diff < -50*time.Millisecond || diff > 50*time.Millisecond {
+		t.Fatalf("squalled transfer took %v, want ~%v", got, want)
+	}
+}
+
+// TestDegradationMidSquallStart starts a transfer inside the squall and
+// checks it picks up the degraded rate, then recovers at the boundary.
+func TestDegradationMidSquallStart(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k)
+	l := n.AddLink("wan", 100e6)
+	epoch := k.Now()
+	n.Degrade(l, Degradation{
+		Start: epoch.Add(10 * time.Second), PeakStart: epoch.Add(10 * time.Second),
+		PeakEnd: epoch.Add(20 * time.Second), End: epoch.Add(20 * time.Second),
+		CapacityFactor: 0.1,
+	})
+	var got time.Duration
+	k.At(epoch.Add(15*time.Second), func() {
+		// 4e8 bits: 5 s at 10 Mbps (5e7) + 3.5e8 at 100 Mbps (3.5 s) = 8.5 s.
+		tr := n.Start("t", []*Link{l}, 50_000_000, 0)
+		tr.Done.OnDone(func(res Result, err error) {
+			if err != nil {
+				t.Errorf("transfer failed: %v", err)
+			}
+			got = res.Duration()
+		})
+	})
+	k.Run()
+	want := 8500 * time.Millisecond
+	if diff := got - want; diff < -50*time.Millisecond || diff > 50*time.Millisecond {
+		t.Fatalf("mid-squall transfer took %v, want ~%v", got, want)
+	}
+}
+
+// TestDegradationRampBounds checks a ramped squall lands between the
+// healthy and fully-squalled extremes, and that two identical runs agree
+// bit-for-bit (determinism of the piecewise discretization).
+func TestDegradationRampBounds(t *testing.T) {
+	run := func(ramp bool) time.Duration {
+		k := sim.NewKernel()
+		n := New(k)
+		l := n.AddLink("wan", 100e6)
+		epoch := k.Now()
+		d := Degradation{
+			Start: epoch, PeakStart: epoch, PeakEnd: epoch.Add(60 * time.Second),
+			End: epoch.Add(60 * time.Second), CapacityFactor: 0.2,
+		}
+		if ramp {
+			// Ramp down over the first 30 s, recover over the last 10 s.
+			d.PeakStart = epoch.Add(30 * time.Second)
+			d.PeakEnd = epoch.Add(50 * time.Second)
+		}
+		n.Degrade(l, d)
+		tr := n.Start("t", []*Link{l}, 200_000_000, 0)
+		k.Run()
+		res, err := tr.Done.Value()
+		if err != nil {
+			t.Fatalf("transfer failed: %v", err)
+		}
+		return res.Duration()
+	}
+	healthy := func() time.Duration {
+		k := sim.NewKernel()
+		n := New(k)
+		l := n.AddLink("wan", 100e6)
+		tr := n.Start("t", []*Link{l}, 200_000_000, 0)
+		k.Run()
+		res, _ := tr.Done.Value()
+		return res.Duration()
+	}()
+	ramped, stepped := run(true), run(false)
+	if !(healthy < ramped && ramped < stepped) {
+		t.Fatalf("want healthy (%v) < ramped (%v) < stepped (%v)", healthy, ramped, stepped)
+	}
+	if again := run(true); again != ramped {
+		t.Fatalf("ramped run not deterministic: %v vs %v", ramped, again)
+	}
+}
+
+// TestPathStateAt checks the probe-visible composition of conditions
+// along a path: RTTs and jitters add, losses combine independently, and
+// the bottleneck is the tightest effective capacity.
+func TestPathStateAt(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k)
+	a := n.AddLink("a", 1e9)
+	b := n.AddLink("b", 400e6)
+	a.BaseRTT = 2 * time.Millisecond
+	b.BaseRTT = 20 * time.Millisecond
+	epoch := k.Now()
+	n.Degrade(b, Degradation{
+		Start: epoch, PeakStart: epoch,
+		PeakEnd: epoch.Add(time.Minute), End: epoch.Add(time.Minute),
+		CapacityFactor: 0.5, Loss: 0.1, Jitter: 30 * time.Millisecond, ExtraRTT: 40 * time.Millisecond,
+	})
+	st := PathStateAt([]*Link{a, b}, epoch.Add(10*time.Second))
+	if want := 62 * time.Millisecond; st.RTT != want {
+		t.Errorf("RTT = %v, want %v", st.RTT, want)
+	}
+	if want := 30 * time.Millisecond; st.Jitter != want {
+		t.Errorf("Jitter = %v, want %v", st.Jitter, want)
+	}
+	if st.Loss < 0.0999 || st.Loss > 0.1001 {
+		t.Errorf("Loss = %v, want 0.1", st.Loss)
+	}
+	if want := 200e6; st.BottleneckBps != want {
+		t.Errorf("Bottleneck = %v, want %v", st.BottleneckBps, want)
+	}
+	// Outside the episode everything is healthy again.
+	st = PathStateAt([]*Link{a, b}, epoch.Add(2*time.Minute))
+	if st.Loss != 0 || st.Jitter != 0 || st.RTT != 22*time.Millisecond || st.BottleneckBps != 400e6 {
+		t.Errorf("healthy state = %+v", st)
+	}
+}

@@ -25,10 +25,20 @@ import (
 // event scheduling and is negligible at the megabyte scales simulated here.
 const completionSlack = 8.0
 
-// Link is a shared network segment with a fixed capacity in bits per second.
+// Link is a shared network segment with a nominal capacity in bits per
+// second. Degradation episodes (Network.Degrade) scale the capacity and
+// add loss/jitter/latency over time; CapacityAt and ConditionsAt resolve
+// the effective state at an instant.
 type Link struct {
 	Name     string
-	Capacity float64 // bits per second
+	Capacity float64 // nominal, bits per second
+	// BaseRTT is this segment's round-trip-time contribution under healthy
+	// conditions. It does not affect fluid-flow transfer times — only
+	// probes (PathStateAt) observe it — so setting it on existing
+	// topologies leaves every transfer timeline untouched.
+	BaseRTT time.Duration
+
+	degradations []Degradation
 }
 
 // Transfer is one active or finished bulk data movement.
@@ -160,7 +170,7 @@ func (n *Network) reallocate() {
 		return
 	}
 
-	maxMinFill(n.links, n.active)
+	maxMinFill(n.links, n.active, n.k.Now())
 
 	// Schedule the earliest completion.
 	n.version++
@@ -204,15 +214,17 @@ func (c *constraint) fairLevel(residual float64, unfrozen int) float64 {
 
 // maxMinFill assigns max-min fair rates to the given transfers by
 // progressive filling. Per-stream caps are handled as private virtual links.
-// Iteration order is deterministic (links by name, transfers by ID).
-func maxMinFill(links []*Link, transfers []*Transfer) {
+// Link capacities are resolved at instant now, so degradation episodes
+// reshape the allocation each time the network reallocates. Iteration
+// order is deterministic (links by name, transfers by ID).
+func maxMinFill(links []*Link, transfers []*Transfer, now time.Time) {
 	var cons []*constraint
 	byLink := map[*Link]*constraint{}
 
 	ordered := append([]*Link(nil), links...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Name < ordered[j].Name })
 	for _, l := range ordered {
-		c := &constraint{capacity: l.Capacity}
+		c := &constraint{capacity: l.CapacityAt(now)}
 		byLink[l] = c
 		cons = append(cons, c)
 	}

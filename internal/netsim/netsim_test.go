@@ -205,7 +205,7 @@ func TestPropertyMaxMinFairness(t *testing.T) {
 			}
 			flows[i] = &Transfer{ID: i, path: path, capBps: cap, remaining: 1e9}
 		}
-		maxMinFill(links, flows)
+		maxMinFill(links, flows, time.Time{})
 
 		// Feasibility.
 		for _, l := range links {

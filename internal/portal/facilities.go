@@ -1,6 +1,7 @@
 package portal
 
 import (
+	"fmt"
 	"html/template"
 	"net/http"
 	"time"
@@ -35,6 +36,15 @@ func (s *Server) handleFacilities(w http.ResponseWriter, r *http.Request) {
 			Placed:  f.Placed,
 			Failed:  f.Failed,
 			Stream:  stats.FormatRate(f.Stream),
+		}
+		// Quality is nil when no prober is attached (or the path is not
+		// yet measured): the link columns then render as dashes.
+		if q := f.Quality; q != nil {
+			row.Score = fmt.Sprintf("%.1f", q.Score)
+			row.Degraded = q.Degraded
+			row.LinkRTT = fmt.Sprintf("%.1f ms", q.RTTMs)
+			row.LinkLoss = fmt.Sprintf("%.2f%%", q.Loss*100)
+			row.Goodput = stats.FormatRate(q.GoodputBps)
 		}
 		data.Facilities = append(data.Facilities, row)
 	}
@@ -71,6 +81,12 @@ type facilityRowData struct {
 	WaitP50, WaitP95 string
 	Placed, Failed   int
 	Stream           string
+	// Link-quality columns; empty strings mean unmeasured (no prober).
+	Score    string
+	Degraded bool
+	LinkRTT  string
+	LinkLoss string
+	Goodput  string
 }
 
 type facilitiesData struct {
@@ -90,7 +106,8 @@ td,th{border:1px solid #ccc;padding:4px 8px}.down{color:#b00}</style></head>
 <table><tr><th>Facility</th><th>Status</th><th>Nodes (busy/idle)</th>
 <th>Queue depth</th><th>Est. wait</th><th>Jobs run</th>
 <th>Wait p50</th><th>Wait p95</th><th>Runs placed</th>
-<th>Failovers from</th><th>Stream cap</th></tr>
+<th>Failovers from</th><th>Stream cap</th>
+<th>Link score</th><th>Link RTT</th><th>Loss</th><th>Goodput</th></tr>
 {{range .Facilities}}<tr{{if not .Up}} class="down"{{end}}>
   <td>{{.Name}} ({{.ID}})</td>
   <td>{{if .Up}}up{{else}}DOWN{{end}}</td>
@@ -98,6 +115,10 @@ td,th{border:1px solid #ccc;padding:4px 8px}.down{color:#b00}</style></head>
   <td>{{.Queued}}</td><td>{{.EstWait}}</td><td>{{.Jobs}}</td>
   <td>{{.WaitP50}}</td><td>{{.WaitP95}}</td>
   <td>{{.Placed}}</td><td>{{.Failed}}</td><td>{{.Stream}}</td>
+  <td>{{if .Score}}{{.Score}}{{if .Degraded}} <span class="down">degraded</span>{{end}}{{else}}&mdash;{{end}}</td>
+  <td>{{if .LinkRTT}}{{.LinkRTT}}{{else}}&mdash;{{end}}</td>
+  <td>{{if .LinkLoss}}{{.LinkLoss}}{{else}}&mdash;{{end}}</td>
+  <td>{{if .Goodput}}{{.Goodput}}{{else}}&mdash;{{end}}</td>
 </tr>{{end}}
 </table>
 </body></html>`))

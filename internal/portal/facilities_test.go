@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"picoprobe/internal/facility"
+	"picoprobe/internal/netprobe"
 	"picoprobe/internal/scheduler"
 	"picoprobe/internal/search"
 	"picoprobe/internal/sim"
@@ -97,6 +98,83 @@ func TestFacilitiesAPI(t *testing.T) {
 	orion := resp.Facilities[1]
 	if orion.Up || len(orion.Outages) != 1 {
 		t.Errorf("orion status = %+v", orion)
+	}
+}
+
+// stubQuality feeds fixed per-path scores into the registry snapshot.
+type stubQuality map[string]netprobe.Quality
+
+func (s stubQuality) Quality(id string) (netprobe.Quality, bool) {
+	q, ok := s[id]
+	return q, ok
+}
+
+// TestFacilitiesQualityColumns: with a quality provider attached, the
+// HTML view grows link columns (score, degraded marker, RTT, loss,
+// goodput) and the JSON twin carries the quality block; unmeasured paths
+// render as dashes and omit the block — the nil-safety contract.
+func TestFacilitiesQualityColumns(t *testing.T) {
+	reg, _ := federationFixture(t)
+	reg.AttachQuality(stubQuality{
+		"alcf-eagle": {Score: 12.5, RTT: 80 * time.Millisecond, Jitter: 9 * time.Millisecond,
+			Loss: 0.034, GoodputBps: 41e6, Windows: 3},
+		// olcf-orion deliberately unmeasured.
+	}, 50)
+
+	srv, err := NewServer(Config{Index: search.NewIndex(), Facilities: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/facilities", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"Link score", "12.5", "degraded", "80.0 ms", "3.40%", "&mdash;"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("facilities page missing %q", want)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/api/facilities", nil))
+	var resp struct {
+		Facilities []facility.Status `json:"facilities"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Facilities) != 2 {
+		t.Fatalf("facilities = %d", len(resp.Facilities))
+	}
+	eq := resp.Facilities[0].Quality
+	if eq == nil || eq.Score != 12.5 || !eq.Degraded || eq.Loss != 0.034 {
+		t.Errorf("eagle quality = %+v", eq)
+	}
+	if resp.Facilities[1].Quality != nil {
+		t.Errorf("unmeasured orion has quality block: %+v", resp.Facilities[1].Quality)
+	}
+}
+
+// TestFacilitiesQualityAbsentWithoutProvider pins the probe-disabled
+// rendering: no quality provider, no quality block in JSON, dash-only
+// link columns in HTML — the routes must stay fully functional.
+func TestFacilitiesQualityAbsentWithoutProvider(t *testing.T) {
+	reg, _ := federationFixture(t)
+	srv, err := NewServer(Config{Index: search.NewIndex(), Facilities: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/api/facilities", nil))
+	if strings.Contains(rec.Body.String(), "\"quality\"") {
+		t.Error("probe-disabled JSON leaked a quality block")
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/facilities", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "&mdash;") {
+		t.Errorf("probe-disabled HTML view broken: status %d", rec.Code)
 	}
 }
 

@@ -124,9 +124,14 @@ func newManifest(key string, files []FileSpec, chunkBytes int64) *manifest {
 
 // matches reports whether the loaded manifest describes exactly this task
 // (same files, sizes and chunking); anything else is discarded rather
-// than resumed from.
-func (m *manifest) matches(key string, files []FileSpec, chunkBytes int64) bool {
-	if m.Version != manifestVersion || m.Key != key || m.ChunkBytes != chunkBytes || len(m.Files) != len(files) {
+// than resumed from. In adaptive mode the chunk size is not compared —
+// the tuner's answer legitimately moves between attempts, and the
+// recorded manifest's own chunk plan is what the resume replays.
+func (m *manifest) matches(key string, files []FileSpec, chunkBytes int64, adaptive bool) bool {
+	if m.Version != manifestVersion || m.Key != key || len(m.Files) != len(files) {
+		return false
+	}
+	if !adaptive && m.ChunkBytes != chunkBytes {
 		return false
 	}
 	for i, f := range files {
@@ -179,10 +184,10 @@ func (s *manifestStore) path(key string) string {
 // destination whose contents we can no longer account for. The corrupt
 // file is quarantined (renamed to .corrupt so the evidence survives) and
 // the attempt fails loudly; the next attempt starts clean.
-func (s *manifestStore) load(key string, files []FileSpec, chunkBytes int64) (*manifest, error) {
+func (s *manifestStore) load(key string, files []FileSpec, chunkBytes int64, adaptive bool) (*manifest, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if m, ok := s.mem[key]; ok && m.matches(key, files, chunkBytes) {
+	if m, ok := s.mem[key]; ok && m.matches(key, files, chunkBytes, adaptive) {
 		return m, nil
 	}
 	if s.dir != "" {
@@ -194,7 +199,7 @@ func (s *manifestStore) load(key string, files []FileSpec, chunkBytes int64) (*m
 				_ = s.fs.Rename(s.path(key), s.path(key)+".corrupt")
 				return nil, fmt.Errorf("transfer: corrupt chunk manifest %s (quarantined as .corrupt): %w", s.path(key), uerr)
 			}
-			if m.matches(key, files, chunkBytes) {
+			if m.matches(key, files, chunkBytes, adaptive) {
 				s.mem[key] = &m
 				return &m, nil
 			}

@@ -44,6 +44,13 @@ type LiveMover struct {
 	// Streams bounds the concurrent chunk-copy workers per task; <= 1
 	// means a single stream.
 	Streams int
+	// Tuner, when set, derives the chunk size (at task start) and the
+	// in-flight stream window (re-read between chunk dispatches) from
+	// measured path quality, overriding ChunkBytes and Streams. The task
+	// fingerprint then pins the adaptive MODE rather than the measured
+	// size, so a retry resumes the recorded chunk plan even after the
+	// tuner's answer has moved. Nil keeps the fixed-flag behavior.
+	Tuner RouteTuner
 	// ManifestDir persists per-task chunk manifests so a new service
 	// instance (post-crash, post-reboot) resumes partial transfers; empty
 	// keeps manifests in memory only (in-service retries still resume).
@@ -63,9 +70,29 @@ type LiveMover struct {
 	initOnce  sync.Once
 }
 
+// liveAdaptiveWorkerCap bounds the adaptive worker pool: the tuner can
+// widen the window up to this many concurrent chunk copies.
+const liveAdaptiveWorkerCap = 32
+
 func (m *LiveMover) store() *manifestStore {
 	m.initOnce.Do(func() { m.manifests = newManifestStore(m.ManifestDir, m.FS) })
 	return m.manifests
+}
+
+// tunedStreams is the dispatcher's current admission window: the tuner's
+// stream count clamped to [1, pool].
+func (m *LiveMover) tunedStreams(pool int) int {
+	s, _ := m.Tuner.Tune()
+	if s < 1 {
+		s = m.Streams
+	}
+	if s < 1 {
+		s = 1
+	}
+	if s > pool {
+		s = pool
+	}
+	return s
 }
 
 // Move implements Mover. The copy runs on its own goroutines; done is
@@ -94,8 +121,19 @@ func (m *LiveMover) move(task *Task, src, dst *Endpoint) (Report, error) {
 		files[i] = FileSpec{RelPath: f.RelPath, Bytes: st.Size()}
 		mtimes[i] = st.ModTime().UnixNano()
 	}
-	key := taskKey(src.ID, dst.ID, files, m.ChunkBytes, mtimes)
-	man, err := m.store().load(key, files, m.ChunkBytes)
+	chunkBytes := m.ChunkBytes
+	adaptive := m.Tuner != nil
+	if adaptive {
+		if _, cb := m.Tuner.Tune(); cb > 0 {
+			chunkBytes = cb
+		}
+	}
+	keyChunk := chunkBytes
+	if adaptive {
+		keyChunk = adaptiveChunkSentinel
+	}
+	key := taskKey(src.ID, dst.ID, files, keyChunk, mtimes)
+	man, err := m.store().load(key, files, chunkBytes, adaptive)
 	if err != nil {
 		return rep, err
 	}
@@ -154,10 +192,16 @@ func (m *LiveMover) move(task *Task, src, dst *Endpoint) (Report, error) {
 		todo = append(todo, sp)
 	}
 
-	// The bounded worker pool: Streams concurrent ranged copies.
+	// The bounded worker pool: Streams concurrent ranged copies. With a
+	// tuner the pool is sized to the adaptive ceiling and the dispatcher
+	// throttles admission to the tuned window instead, so the effective
+	// parallelism can move mid-task without re-spawning workers.
 	streams := m.Streams
 	if streams < 1 {
 		streams = 1
+	}
+	if m.Tuner != nil {
+		streams = liveAdaptiveWorkerCap
 	}
 	if streams > len(todo) && len(todo) > 0 {
 		streams = len(todo)
@@ -165,6 +209,7 @@ func (m *LiveMover) move(task *Task, src, dst *Endpoint) (Report, error) {
 	var (
 		srcFiles  = make([]*os.File, len(files))
 		work      = make(chan chunkSpan)
+		chunkDone = make(chan struct{}, len(todo)+1)
 		wg        sync.WaitGroup
 		errOnce   sync.Once
 		firstErr  error
@@ -194,25 +239,40 @@ func (m *LiveMover) move(task *Task, src, dst *Endpoint) (Report, error) {
 		go func() {
 			defer wg.Done()
 			for sp := range work {
-				if aborted.Load() {
-					continue
+				if !aborted.Load() {
+					sum, err := m.copyChunk(srcFiles[sp.File], dsts[sp.File], sp)
+					if err != nil {
+						fail(err)
+					} else {
+						m.store().mark(man, sp, sum, true)
+						copied.Add(sp.N)
+						n := completed.Add(1)
+						if m.KillAfterChunks > 0 && n >= int64(m.KillAfterChunks) && m.killed.CompareAndSwap(false, true) {
+							fail(fmt.Errorf("transfer: killed after %d chunks (injected fault)", n))
+						}
+					}
 				}
-				sum, err := m.copyChunk(srcFiles[sp.File], dsts[sp.File], sp)
-				if err != nil {
-					fail(err)
-					continue
-				}
-				m.store().mark(man, sp, sum, true)
-				copied.Add(sp.N)
-				n := completed.Add(1)
-				if m.KillAfterChunks > 0 && n >= int64(m.KillAfterChunks) && m.killed.CompareAndSwap(false, true) {
-					fail(fmt.Errorf("transfer: killed after %d chunks (injected fault)", n))
-				}
+				chunkDone <- struct{}{}
 			}
 		}()
 	}
-	for _, sp := range todo {
-		work <- sp
+	if m.Tuner == nil {
+		for _, sp := range todo {
+			work <- sp
+		}
+	} else {
+		// Adaptive dispatch: keep at most the tuned window of chunks in
+		// flight, re-reading the tuner between dispatches so the stream
+		// count tracks the measured path mid-task.
+		inFlight := 0
+		for _, sp := range todo {
+			for inFlight >= m.tunedStreams(streams) {
+				<-chunkDone
+				inFlight--
+			}
+			work <- sp
+			inFlight++
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -316,6 +376,26 @@ func (m *LiveMover) mergeVerify(dst *os.File, man *manifest, fi int) (string, er
 	return hex.EncodeToString(whole.Sum(nil)), nil
 }
 
+// RouteTuner yields the transfer framing a route should use right now.
+// The adaptive engines consult it at task start (streams and chunk size)
+// and again between chunk launches (streams), so a transfer crossing a
+// bandwidth ramp widens or narrows its in-flight window mid-task. The
+// chunk size in use is pinned per task at first attempt — the resume
+// state's chunk plan must stay stable across retries — so only new tasks
+// pick up a re-tuned chunk size. Implementations must be safe for
+// concurrent use (the live mover calls Tune from its dispatcher
+// goroutine). Returning 0 for either value means "no opinion": the
+// route's fixed setting applies.
+type RouteTuner interface {
+	Tune() (streams int, chunkBytes int64)
+}
+
+// adaptiveChunkSentinel replaces the chunk size in the task fingerprint
+// when a tuner drives the framing: the measured chunk size may differ
+// between attempts, and fingerprinting it would orphan the manifest the
+// resume depends on. The recorded manifest's chunk plan wins instead.
+const adaptiveChunkSentinel int64 = -1
+
 // Route is the network path and transfer framing used between two
 // endpoints.
 type Route struct {
@@ -337,6 +417,10 @@ type Route struct {
 	// equal ranges moved concurrently, files strictly in sequence (the
 	// pre-chunking behavior, which Table 1 reproductions pin).
 	ChunkBytes int64
+	// Tuner, when set, derives Streams and ChunkBytes from measured path
+	// quality instead of the fixed fields above, re-evaluated between
+	// chunks. Nil keeps the fixed-flag behavior bit-identical.
+	Tuner RouteTuner
 }
 
 // SimMover moves bytes over the netsim fluid-flow network under the
@@ -359,10 +443,19 @@ type SimMover struct {
 	FailAfterChunks int
 
 	failedOnce bool
-	// progress is the in-memory resume state: task ID -> set of completed
-	// chunk ordinals. (The simulated facility keeps no filesystem, so the
-	// manifest lives here.)
-	progress map[string]map[int]bool
+	// progress is the in-memory resume state: task ID -> the chunk size
+	// the task's plan was built with plus the set of completed chunk
+	// ordinals. (The simulated facility keeps no filesystem, so the
+	// manifest lives here.) Recording the chunk size pins the plan across
+	// attempts, so an adaptively tuned task re-plans identically on retry
+	// even if the tuner's answer has moved.
+	progress map[string]*simProgress
+}
+
+// simProgress is one task's resume state.
+type simProgress struct {
+	chunkBytes int64
+	done       map[int]bool
 }
 
 // ForgetTask drops a task's resume state once the service gives up on it
@@ -383,6 +476,18 @@ func (m *SimMover) Move(task *Task, src, dst *Endpoint, done func(Report, error)
 	}
 	route := m.RouteFor(src, dst)
 	m.Kernel.After(route.SetupTime, func() {
+		if route.Tuner != nil {
+			// Seed the framing from the tuner; the chunk launch loop
+			// re-reads the stream window as the transfer progresses.
+			if s, cb := route.Tuner.Tune(); s > 0 || cb > 0 {
+				if s > 0 {
+					route.Streams = s
+				}
+				if cb > 0 {
+					route.ChunkBytes = cb
+				}
+			}
+		}
 		if route.ChunkBytes > 0 {
 			m.moveChunked(task, route, done)
 			return
@@ -448,12 +553,16 @@ func (m *SimMover) moveFile(task *Task, route Route, idx int, rep Report, done f
 // no locking is needed.
 func (m *SimMover) moveChunked(task *Task, route Route, done func(Report, error)) {
 	if m.progress == nil {
-		m.progress = map[string]map[int]bool{}
+		m.progress = map[string]*simProgress{}
 	}
 	prog := m.progress[task.ID]
 	if prog == nil {
-		prog = map[int]bool{}
+		prog = &simProgress{chunkBytes: route.ChunkBytes, done: map[int]bool{}}
 		m.progress[task.ID] = prog
+	} else {
+		// Resume: the recorded chunk plan wins over any freshly tuned
+		// size, so completed ordinals keep meaning the same byte ranges.
+		route.ChunkBytes = prog.chunkBytes
 	}
 
 	// Flat chunk list across the task's files.
@@ -476,16 +585,27 @@ func (m *SimMover) moveChunked(task *Task, route Route, done func(Report, error)
 	rep := Report{ChunksTotal: len(chunks)}
 	var todo []simChunk
 	for _, c := range chunks {
-		if prog[c.ord] {
+		if prog.done[c.ord] {
 			rep.ChunksSkipped++
 			continue
 		}
 		todo = append(todo, c)
 	}
 
-	streams := route.Streams
-	if streams < 1 {
-		streams = 1
+	// window is the in-flight stream budget, re-read from the tuner
+	// before every chunk launch so the transfer tracks the path — more
+	// streams as a squall clears, fewer as one builds.
+	window := func() int {
+		s := route.Streams
+		if route.Tuner != nil {
+			if ts, _ := route.Tuner.Tune(); ts > 0 {
+				s = ts
+			}
+		}
+		if s < 1 {
+			s = 1
+		}
+		return s
 	}
 	next := 0
 	inFlight := 0
@@ -531,7 +651,7 @@ func (m *SimMover) moveChunked(task *Task, route Route, done func(Report, error)
 
 	var launch func()
 	launch = func() {
-		for !finished && pendingErr == nil && next < len(todo) && inFlight < streams {
+		for !finished && pendingErr == nil && next < len(todo) && inFlight < window() {
 			c := todo[next]
 			next++
 			inFlight++
@@ -544,7 +664,7 @@ func (m *SimMover) moveChunked(task *Task, route Route, done func(Report, error)
 				}
 				// The chunk landed: record it for resume and the report
 				// even if this attempt is already aborting.
-				prog[c.ord] = true
+				prog.done[c.ord] = true
 				moved++
 				copied += c.bytes
 				if m.FailAfterChunks > 0 && !m.failedOnce && moved >= m.FailAfterChunks {
