@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-portal bench-recovery bench-netprobe linkcheck ci
+.PHONY: all build vet test race bench-smoke bench bench-portal bench-recovery bench-netprobe bench-wire fuzz-wire linkcheck ci
 
 all: ci
 
@@ -34,6 +34,19 @@ bench-netprobe:
 	$(GO) test -run NONE -bench 'BenchmarkNetprobe' -benchtime 1x -benchmem $(BENCHFLAGS) ./internal/netprobe/
 	$(GO) test -run NONE -bench 'BenchmarkAdaptiveTransfer' -benchtime 1x -benchmem $(BENCHFLAGS) .
 
+# Wire data-plane smoke (BENCHMARKS.md "Wire transport"): localhost
+# daemon throughput through the full framing/checksum/manifest path,
+# and the reconnect-resume retry cost. Quote with -benchtime 10x.
+bench-wire:
+	$(GO) test -run NONE -bench 'BenchmarkWire' -benchtime 3x -benchmem $(BENCHFLAGS) ./internal/transfer/
+
+# A short coverage-guided run of the wire codec fuzzer on top of the
+# checked-in seed corpus (internal/wire/testdata/fuzz). FUZZTIME=30s to
+# dig deeper locally.
+FUZZTIME ?= 10s
+fuzz-wire:
+	$(GO) test -run NONE -fuzz FuzzCodec -fuzztime $(FUZZTIME) ./internal/wire/
+
 # Compile and execute every benchmark exactly once so perf-critical paths
 # (including the portal serving and netprobe pairs above) get exercised
 # on every PR without burning CI minutes.
@@ -48,4 +61,4 @@ bench:
 linkcheck:
 	$(GO) run ./tools/linkcheck
 
-ci: build vet test bench-smoke linkcheck
+ci: build vet test bench-smoke fuzz-wire linkcheck

@@ -53,7 +53,36 @@ func main() {
 	lowWater := flag.Float64("lowwater", 50, "link score below which a facility sheds new runs (with -probe; 0 = observe-only)")
 	adaptive := flag.Bool("adaptive", false, "derive transfer streams and chunk size from measured path quality (requires -probe)")
 	degraded := flag.Bool("degraded", false, "run the canned WAN-squall scenario in both arms (static vs probe-aware) and exit")
+	wireMode := flag.Bool("wire", false, "run a federated campaign over real sockets: spawn -wire-facilities localhost facility daemons and move every byte over TCP")
+	wireFacilities := flag.Int("wire-facilities", 2, "daemons to spawn with -wire")
+	wireFiles := flag.Int("wire-files", 6, "files in the -wire campaign")
+	wireDegrade := flag.Duration("wire-degrade", 0, "with -wire and -probe: inject this read delay on facility 0 and show the probe seeing it")
 	flag.Parse()
+
+	if *wireMode {
+		wireKind := *kind
+		if wireKind == "both" {
+			wireKind = "hyperspectral"
+		}
+		dir, err := os.MkdirTemp("", "picoprobe-wire-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		res, err := core.RunWireCampaign(core.WireCampaignConfig{
+			Facilities: *wireFacilities,
+			Files:      *wireFiles,
+			Kind:       wireKind,
+			Probe:      *probe,
+			Degrade:    *wireDegrade,
+			Dir:        dir,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(core.FormatWireCampaign(res))
+		return
+	}
 
 	var pol flows.Policy
 	switch *policy {

@@ -1,0 +1,91 @@
+// Command picoprobe-facilityd is the facility-side wire daemon: one
+// process per HPC facility, serving the three wire services on plain
+// TCP (DESIGN.md §11) — ranged chunk I/O under its storage root for the
+// acquisition side's WireMover, compute dispatch into a local worker
+// pool running the real analysis functions, and the status endpoint
+// link-quality probers measure RTT and goodput against.
+//
+// The daemon is deliberately stateless across restarts: the only
+// durable state is the files under -root, and transfer resume
+// bookkeeping lives in the client's chunk manifests. SIGKILL it
+// mid-transfer, restart it on the same root, and the client completes
+// with O(remaining chunks) re-moved bytes.
+//
+// Usage:
+//
+//	picoprobe-facilityd -root /data/eagle [-addr 127.0.0.1:7421]
+//	    [-id alcf-eagle] [-secret ...] [-workers 2] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"picoprobe/internal/auth"
+	"picoprobe/internal/compute"
+	"picoprobe/internal/core"
+	"picoprobe/internal/detect"
+	"picoprobe/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7421", "TCP address to listen on (use :0 for an ephemeral port)")
+	root := flag.String("root", "", "facility storage root all wire file ops are confined to (required)")
+	id := flag.String("id", "alcf-eagle", "facility ID reported in Hello/Status responses")
+	secret := flag.String("secret", core.WireSecretDefault, "shared HMAC secret session tokens are verified against")
+	workers := flag.Int("workers", 2, "concurrent compute tasks in the local pool")
+	out := flag.String("out", "", "analysis artifact directory (default <root>/analysis-out)")
+	flag.Parse()
+
+	if *root == "" {
+		log.Fatal("picoprobe-facilityd: -root is required")
+	}
+	outDir := *out
+	if outDir == "" {
+		outDir = filepath.Join(*root, "analysis-out")
+	}
+	for _, dir := range []string{*root, outDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatalf("picoprobe-facilityd: %v", err)
+		}
+	}
+
+	issuer := auth.NewIssuer([]byte(*secret), nil)
+	registry := compute.NewRegistry()
+	core.RegisterAnalysisFunctions(registry, outDir, detect.DefaultParams())
+	csvc := compute.NewService(issuer, registry, compute.NewLocalExecutor(*workers, nil), time.Now)
+	// The daemon's own compute token: wire sessions were already
+	// authenticated at Hello, so dispatches run under this identity.
+	ctoken, err := issuer.Issue("facilityd@"+*id, []string{auth.ScopeCompute}, 365*24*time.Hour)
+	if err != nil {
+		log.Fatalf("picoprobe-facilityd: %v", err)
+	}
+
+	srv := &wire.Server{
+		Root:     *root,
+		Facility: *id,
+		Verify: func(token string) error {
+			_, err := issuer.Verify(token, auth.ScopeTransfer)
+			return err
+		},
+		Compute:      csvc,
+		ComputeToken: ctoken,
+		Logf:         log.Printf,
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		log.Fatalf("picoprobe-facilityd: %v", err)
+	}
+	fmt.Printf("picoprobe-facilityd: facility %q serving %s on %s\n", *id, *root, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}

@@ -76,6 +76,21 @@ type LiveDeployment struct {
 	Recovery DurableRecovery
 
 	restoredRuns []flows.RunRecord
+
+	// wirePaths marks a wire-backed deployment: compute states then
+	// address landed files by bare relative path (the daemon resolves
+	// them under its own root) instead of by local absolute path.
+	wirePaths bool
+}
+
+// computePath is how a compute state addresses a landed file: the
+// absolute destination path in-process, the relative path over the
+// wire.
+func (d *LiveDeployment) computePath(rel string) string {
+	if d.wirePaths {
+		return rel
+	}
+	return d.Options.EagleRoot + string(os.PathSeparator) + rel
 }
 
 // DurableRecovery reports what a durable deployment replayed at boot.
@@ -148,42 +163,7 @@ func NewLiveDeployment(opts LiveOptions) (*LiveDeployment, error) {
 	}
 
 	registry := compute.NewRegistry()
-	registry.Register(compute.Function{
-		Name: FnHyperspectral,
-		Env:  ComputeEnv,
-		Run: func(args compute.Args) (compute.Result, error) {
-			path, _ := args["path"].(string)
-			out, err := AnalyzeHyperspectral(path, opts.OutDir)
-			if err != nil {
-				return nil, err
-			}
-			return analysisResult(out)
-		},
-	})
-	registry.Register(compute.Function{
-		Name: FnSpatiotemporal,
-		Env:  ComputeEnv,
-		Run: func(args compute.Args) (compute.Result, error) {
-			path, _ := args["path"].(string)
-			out, err := AnalyzeSpatiotemporal(path, opts.OutDir, params)
-			if err != nil {
-				return nil, err
-			}
-			return analysisResult(out)
-		},
-	})
-	registry.Register(compute.Function{
-		Name: FnThumbnail,
-		Env:  ComputeEnv,
-		Run: func(args compute.Args) (compute.Result, error) {
-			path, _ := args["path"].(string)
-			rel, err := RenderThumbnail(path, opts.OutDir)
-			if err != nil {
-				return nil, err
-			}
-			return compute.Result{"thumbnail": rel}, nil
-		},
-	})
+	RegisterAnalysisFunctions(registry, opts.OutDir, params)
 	csvc := compute.NewService(issuer, registry, compute.NewLocalExecutor(opts.Workers, nil), time.Now)
 
 	dep := &LiveDeployment{
@@ -235,6 +215,51 @@ func NewLiveDeployment(opts LiveOptions) (*LiveDeployment, error) {
 	return dep, nil
 }
 
+// RegisterAnalysisFunctions registers the real analysis functions —
+// fused hyperspectral, fused spatiotemporal, thumbnail render — into a
+// compute registry, writing artifacts under outDir. The in-process
+// deployment and the facility daemon both build their pools through
+// this one function, which is half of the cross-path equivalence
+// argument: the wire changes where the code runs, never what runs.
+func RegisterAnalysisFunctions(registry *compute.Registry, outDir string, params detect.Params) {
+	registry.Register(compute.Function{
+		Name: FnHyperspectral,
+		Env:  ComputeEnv,
+		Run: func(args compute.Args) (compute.Result, error) {
+			path, _ := args["path"].(string)
+			out, err := AnalyzeHyperspectral(path, outDir)
+			if err != nil {
+				return nil, err
+			}
+			return analysisResult(out)
+		},
+	})
+	registry.Register(compute.Function{
+		Name: FnSpatiotemporal,
+		Env:  ComputeEnv,
+		Run: func(args compute.Args) (compute.Result, error) {
+			path, _ := args["path"].(string)
+			out, err := AnalyzeSpatiotemporal(path, outDir, params)
+			if err != nil {
+				return nil, err
+			}
+			return analysisResult(out)
+		},
+	})
+	registry.Register(compute.Function{
+		Name: FnThumbnail,
+		Env:  ComputeEnv,
+		Run: func(args compute.Args) (compute.Result, error) {
+			path, _ := args["path"].(string)
+			rel, err := RenderThumbnail(path, outDir)
+			if err != nil {
+				return nil, err
+			}
+			return compute.Result{"thumbnail": rel}, nil
+		},
+	})
+}
+
 // analysisResult packages an AnalysisOutput for transport through the
 // compute service's JSON-able result map.
 func analysisResult(out *AnalysisOutput) (compute.Result, error) {
@@ -264,7 +289,6 @@ func liveTransferState() flows.StateDef {
 
 // liveComputeState invokes fn on the landed copy of the input file.
 func (d *LiveDeployment) liveComputeState(name, fn string, after ...string) flows.StateDef {
-	eagleRoot := d.Options.EagleRoot
 	return flows.StateDef{
 		Name:     name,
 		Provider: "compute",
@@ -273,7 +297,7 @@ func (d *LiveDeployment) liveComputeState(name, fn string, after ...string) flow
 			rel, _ := input["rel_path"].(string)
 			return flows.Pack(ComputeParams{
 				Function: fn,
-				Args:     compute.Args{"path": eagleRoot + string(os.PathSeparator) + rel},
+				Args:     compute.Args{"path": d.computePath(rel)},
 			})
 		},
 	}
@@ -358,7 +382,6 @@ func (d *LiveDeployment) RunFile(kind, relPath string) (flows.RunRecord, error) 
 //	Transfer(all files) → {Analysis-00 ∥ Analysis-01 ∥ …} → Publication
 func (d *LiveDeployment) BatchDefinition(kind string, relPaths []string) flows.Definition {
 	name, fn := simFlowName(kind)
-	eagleRoot := d.Options.EagleRoot
 	rels := append([]string(nil), relPaths...)
 
 	states := []flows.StateDef{{
@@ -372,7 +395,7 @@ func (d *LiveDeployment) BatchDefinition(kind string, relPaths []string) flows.D
 	for i, rel := range rels {
 		stateName := fmt.Sprintf("Analysis-%02d", i)
 		analyses[i] = stateName
-		path := eagleRoot + string(os.PathSeparator) + rel
+		path := d.computePath(rel)
 		states = append(states, flows.StateDef{
 			Name:     stateName,
 			Provider: "compute",

@@ -365,7 +365,7 @@ type fedComputeMeta struct {
 // the run's transfer); when the placed facility differs from where the
 // data landed, the job's args gain a "restage_bytes" entry so the cost
 // model charges the cross-facility copy, and the landing moves with it.
-func NewFederatedComputeProvider(svcs map[string]*compute.Service, reg *facility.Registry) flows.ActionProvider {
+func NewFederatedComputeProvider(svcs map[string]ComputeBackend, reg *facility.Registry) flows.ActionProvider {
 	var mu sync.Mutex
 	metas := map[string]fedComputeMeta{}
 	return flows.NewTypedProvider("compute",
@@ -716,7 +716,7 @@ func RunFederatedExperiment(cfg FederatedConfig) (*FederatedResult, error) {
 	registry.Register(compute.Function{Name: FnMetadataOnly, Env: ComputeEnv, Cost: costFor(p.MetadataOnlyBps)})
 	registry.Register(compute.Function{Name: FnImageOnlyHS, Env: ComputeEnv, Cost: costFor(p.HyperspectralBps)})
 	registry.Register(compute.Function{Name: FnThumbnail, Env: ComputeEnv, Cost: costFor(p.ThumbnailBps)})
-	csvcs := map[string]*compute.Service{}
+	csvcs := map[string]ComputeBackend{}
 	for _, fac := range reg.Facilities() {
 		csvcs[fac.ID()] = compute.NewService(issuer, registry, &compute.SchedExecutor{Sched: fac.Sched}, k.Now)
 	}

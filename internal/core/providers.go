@@ -107,8 +107,18 @@ type ComputeResult struct {
 	Output map[string]any `json:",inline"`
 }
 
-// NewComputeProvider adapts the compute service to the flows engine.
-func NewComputeProvider(svc *compute.Service) flows.ActionProvider {
+// ComputeBackend is the dispatch surface the compute provider drives:
+// the in-process *compute.Service, or a wire-backed proxy submitting to
+// a remote facility daemon. Both present the same token-gated
+// submit/poll contract, which is why the flows above them cannot tell
+// an address space from a socket.
+type ComputeBackend interface {
+	Submit(token, fnName string, args compute.Args) (string, error)
+	Status(token, taskID string) (compute.TaskView, error)
+}
+
+// NewComputeProvider adapts a compute backend to the flows engine.
+func NewComputeProvider(svc ComputeBackend) flows.ActionProvider {
 	return flows.NewTypedProvider("compute",
 		func(token string, p ComputeParams) (string, error) {
 			if p.Function == "" {

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"picoprobe/internal/auth"
+	"picoprobe/internal/compute"
+	"picoprobe/internal/flows"
+	"picoprobe/internal/search"
+	"picoprobe/internal/sim"
+	"picoprobe/internal/transfer"
+	"picoprobe/internal/wire"
+)
+
+// WireOptions configures a wire-backed deployment: the acquisition side
+// of the pipeline running locally (watcher, flows engine, catalog),
+// with the facility side — storage, compute pool — behind a
+// picoprobe-facilityd daemon reached over TCP.
+type WireOptions struct {
+	// InstrumentRoot is the local transfer directory (source endpoint
+	// root), exactly as in LiveOptions.
+	InstrumentRoot string
+	// DaemonAddr is the facility daemon's host:port.
+	DaemonAddr string
+	// Secret is the shared HMAC secret the daemon was started with;
+	// session tokens are minted from it and verified offline on both
+	// ends.
+	Secret string
+	// Policy is the engine's polling policy (default: 20 ms push).
+	Policy flows.Policy
+	// TransferChunkBytes / TransferStreams frame the wire transfers as
+	// in LiveOptions (0 = whole-file framing / single stream).
+	TransferChunkBytes int64
+	TransferStreams    int
+	// Timeout is the per-op wire deadline (0 = wire.DefaultTimeout).
+	Timeout time.Duration
+	// Dial overrides the wire dialer (nil = plain TCP); the fault tests
+	// inject netfault wrappers here.
+	Dial func(addr string) (net.Conn, error)
+}
+
+// WireSecretDefault is the shared secret the daemon and -wire
+// experiment use unless overridden — a deployment would provision a
+// real one per facility.
+const WireSecretDefault = "picoprobe-wire"
+
+// NewWireDeployment wires the acquisition side against a facility
+// daemon. The returned deployment runs the same flow definitions as an
+// in-process one — RunFile, RunBatch, FanOutDefinition all carry over —
+// with two substitutions underneath: the transfer provider's mover is a
+// transfer.WireMover shipping chunks over the wire, and the compute
+// provider's backend dispatches to the daemon's pool instead of a local
+// executor. The catalog stays local: analysis entries come back in the
+// compute results and are published into the acquisition-side index,
+// so downstream search is identical across paths.
+func NewWireDeployment(opts WireOptions) (*LiveDeployment, error) {
+	if opts.InstrumentRoot == "" || opts.DaemonAddr == "" {
+		return nil, fmt.Errorf("core: wire deployment needs InstrumentRoot and DaemonAddr")
+	}
+	if err := os.MkdirAll(opts.InstrumentRoot, 0o755); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if opts.Policy == nil {
+		opts.Policy = flows.Push{Latency: 20 * time.Millisecond}
+	}
+	secret := opts.Secret
+	if secret == "" {
+		secret = WireSecretDefault
+	}
+
+	rt := sim.NewLiveRuntime(1)
+	issuer := auth.NewIssuer([]byte(secret), nil)
+	token, err := issuer.Issue("operator@picoprobe", []string{
+		auth.ScopeTransfer, auth.ScopeCompute, auth.ScopeSearchIngest,
+		auth.ScopeSearchQuery, auth.ScopeFlowsRun, auth.ScopePortal,
+	}, 24*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+
+	mover := &transfer.WireMover{
+		Checksum:   true,
+		ChunkBytes: opts.TransferChunkBytes,
+		Streams:    opts.TransferStreams,
+		// Resume state is client-side by design: manifests live beside
+		// the SOURCE root, so a daemon lost and restarted changes
+		// nothing about what the client knows it still owes.
+		ManifestDir: filepath.Join(opts.InstrumentRoot, ".picoprobe-manifests"),
+		Token:       token,
+		Dial:        opts.Dial,
+		Timeout:     opts.Timeout,
+	}
+	tsvc := transfer.NewService(issuer, mover, time.Now, transfer.Options{})
+	if err := tsvc.RegisterEndpoint(transfer.Endpoint{ID: EndpointInstrument, Name: "PicoProbe user machine", Root: opts.InstrumentRoot}); err != nil {
+		return nil, err
+	}
+	// The destination endpoint's Root carries the daemon address — the
+	// wire mover's one deviation from the live mover's filesystem view.
+	if err := tsvc.RegisterEndpoint(transfer.Endpoint{ID: EndpointEagle, Name: "Facility daemon", Root: opts.DaemonAddr}); err != nil {
+		return nil, err
+	}
+
+	backend := &WireComputeBackend{
+		Issuer: issuer,
+		Client: &wire.Client{Addr: opts.DaemonAddr, Token: token, Dial: opts.Dial, Timeout: opts.Timeout},
+	}
+
+	dep := &LiveDeployment{
+		Runtime:  rt,
+		Issuer:   issuer,
+		Token:    token,
+		Transfer: tsvc,
+		Options: LiveOptions{
+			InstrumentRoot: opts.InstrumentRoot,
+			Policy:         opts.Policy,
+		},
+		wirePaths: true,
+	}
+	dep.Index = search.NewIndex()
+	sprov := NewSearchProvider(rt, issuer, dep.Index, 0)
+
+	engine := flows.NewEngine(rt, flows.Options{Policy: opts.Policy, MaxStateRetries: 2})
+	engine.RegisterProvider(NewTransferProvider(tsvc))
+	engine.RegisterProvider(NewComputeProvider(backend))
+	engine.RegisterProvider(sprov)
+	dep.Engine = engine
+
+	return dep, nil
+}
+
+// WireComputeBackend adapts a facility daemon's dispatch service to the
+// ComputeBackend seam: Submit becomes a wire Dispatch, Status a wire
+// Job poll. Tokens are verified locally first (same issuer secret as
+// the daemon), so a bad token fails fast without a round trip.
+type WireComputeBackend struct {
+	Issuer *auth.Issuer
+	Client *wire.Client
+}
+
+// Submit implements ComputeBackend.
+func (b *WireComputeBackend) Submit(token, fnName string, args compute.Args) (string, error) {
+	if _, err := b.Issuer.Verify(token, auth.ScopeCompute); err != nil {
+		return "", err
+	}
+	return b.Client.Dispatch(fnName, args)
+}
+
+// Status implements ComputeBackend.
+func (b *WireComputeBackend) Status(token, taskID string) (compute.TaskView, error) {
+	if _, err := b.Issuer.Verify(token, auth.ScopeCompute); err != nil {
+		return compute.TaskView{}, err
+	}
+	j, err := b.Client.Job(taskID)
+	if err != nil {
+		return compute.TaskView{}, err
+	}
+	view := compute.TaskView{
+		ID:     taskID,
+		Status: compute.TaskStatus(j.Status),
+		Error:  j.Error,
+		Result: compute.Result(j.Result),
+		NodeID: j.NodeID,
+	}
+	if j.Started != 0 {
+		view.Started = time.Unix(0, j.Started)
+	}
+	if j.Completed != 0 {
+		view.Completed = time.Unix(0, j.Completed)
+	}
+	return view, nil
+}

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"picoprobe/internal/auth"
+	"picoprobe/internal/compute"
+	"picoprobe/internal/detect"
+	"picoprobe/internal/facility"
+	"picoprobe/internal/flows"
+	"picoprobe/internal/metadata"
+	"picoprobe/internal/netfault"
+	"picoprobe/internal/netprobe"
+	"picoprobe/internal/scheduler"
+	"picoprobe/internal/search"
+	"picoprobe/internal/sim"
+	"picoprobe/internal/synth"
+	"picoprobe/internal/transfer"
+	"picoprobe/internal/wire"
+)
+
+// WireCampaignConfig parameterizes a federated campaign over real
+// sockets: N in-process facility daemons on localhost loopback, a
+// facility registry placing runs across them, and every byte and every
+// compute dispatch crossing a TCP connection — the federated scenarios
+// of the simulation harness, but on the wire data plane.
+type WireCampaignConfig struct {
+	// Facilities is how many localhost daemons to spawn (default 2).
+	Facilities int
+	// Files is the campaign size (default 6).
+	Files int
+	// Kind selects the analysis ("hyperspectral" default).
+	Kind string
+	// ChunkBytes/Streams frame the wire transfers (defaults 256 KiB / 2).
+	ChunkBytes int64
+	Streams    int
+	// Probe attaches a link-quality prober to every daemon's status
+	// endpoint (observe-only: scores are reported, placement unchanged).
+	Probe bool
+	// NoSpread disables the default round-robin facility pinning. The
+	// campaign's facilities are identical and idle, so unconstrained
+	// least-ECT placement degenerates to the first one; pinning run i to
+	// facility i mod N keeps every daemon exercised. Set NoSpread to let
+	// the registry place freely anyway.
+	NoSpread bool
+	// Degrade, with Probe, injects this read delay into facility 0's
+	// listener before the campaign and records the probe-visible
+	// baseline → degraded → recovered scores.
+	Degrade time.Duration
+	// Dir is the scratch root (default: a fresh temp dir the caller
+	// should remove; its path is reported in the result).
+	Dir string
+}
+
+// WireProbeDemo records the induced-latency probe demonstration.
+type WireProbeDemo struct {
+	Baseline, Degraded, Recovered float64
+}
+
+// WireCampaignResult is what a wire campaign produced.
+type WireCampaignResult struct {
+	// Dir is the scratch root holding instrument and facility trees.
+	Dir string
+	// Runs are the completed flow records.
+	Runs []flows.RunRecord
+	// IndexedRecords counts catalog entries published.
+	IndexedRecords int
+	// BytesMoved sums transfer volume over the wire.
+	BytesMoved int64
+	// Facilities/Placement mirror FederatedResult's registry telemetry.
+	Facilities []facility.Status
+	Placement  facility.Stats
+	// Jobs counts compute dispatches each daemon reported serving.
+	Jobs map[string]int
+	// ProbeDemo is set when Probe and Degrade were both requested.
+	ProbeDemo *WireProbeDemo
+}
+
+// RunWireCampaign spawns the daemons, stages synthetic acquisitions,
+// runs one placed flow per file over real sockets, and tears everything
+// down. Every facility daemon is a full wire.Server with its own
+// storage root and compute pool running the real analysis functions.
+func RunWireCampaign(cfg WireCampaignConfig) (*WireCampaignResult, error) {
+	if cfg.Facilities <= 0 {
+		cfg.Facilities = 2
+	}
+	if cfg.Files <= 0 {
+		cfg.Files = 6
+	}
+	if cfg.Kind == "" {
+		cfg.Kind = "hyperspectral"
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 256 << 10
+	}
+	if cfg.Streams <= 0 {
+		cfg.Streams = 2
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "picoprobe-wire-"); err != nil {
+			return nil, err
+		}
+	}
+	instrument := filepath.Join(dir, "instrument")
+	if err := os.MkdirAll(instrument, 0o755); err != nil {
+		return nil, err
+	}
+
+	rt := sim.NewLiveRuntime(1)
+	issuer := auth.NewIssuer([]byte(WireSecretDefault), nil)
+	token, err := issuer.Issue("operator@picoprobe", []string{
+		auth.ScopeTransfer, auth.ScopeCompute, auth.ScopeSearchIngest, auth.ScopeFlowsRun,
+	}, 24*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+
+	// Spawn the facility daemons: in-process wire.Servers on real
+	// loopback sockets (the separate-process discipline is exercised by
+	// the SIGKILL end-to-end test; here the point is the wire itself).
+	reg := facility.NewRegistry(rt, 0)
+	var servers []*wire.Server
+	var faults *netfault.Faults
+	addrs := map[string]string{}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for i := 0; i < cfg.Facilities; i++ {
+		id := fmt.Sprintf("facility-%02d", i)
+		root := filepath.Join(dir, id)
+		outDir := filepath.Join(root, "analysis-out")
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return nil, err
+		}
+		registry := compute.NewRegistry()
+		RegisterAnalysisFunctions(registry, outDir, detect.DefaultParams())
+		csvc := compute.NewService(issuer, registry, compute.NewLocalExecutor(2, nil), time.Now)
+		ctoken, err := issuer.Issue("facilityd@"+id, []string{auth.ScopeCompute}, 24*time.Hour)
+		if err != nil {
+			return nil, err
+		}
+		srv := &wire.Server{
+			Root:     root,
+			Facility: id,
+			Verify: func(t string) error {
+				_, err := issuer.Verify(t, auth.ScopeTransfer)
+				return err
+			},
+			Compute:      csvc,
+			ComputeToken: ctoken,
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 && cfg.Probe && cfg.Degrade > 0 {
+			faults = &netfault.Faults{}
+			ln = faults.Listener(ln)
+		}
+		go srv.Serve(ln)
+		servers = append(servers, srv)
+		addrs[id] = ln.Addr().String()
+
+		fac, err := facility.New(rt, facility.Config{
+			ID:    id,
+			Name:  id,
+			Sched: scheduler.Config{Nodes: 2},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Add(fac); err != nil {
+			return nil, err
+		}
+	}
+
+	mover := &transfer.WireMover{
+		Checksum:    true,
+		ChunkBytes:  cfg.ChunkBytes,
+		Streams:     cfg.Streams,
+		ManifestDir: filepath.Join(instrument, ".picoprobe-manifests"),
+		Token:       token,
+	}
+	defer mover.Close()
+	tsvc := transfer.NewService(issuer, mover, time.Now, transfer.Options{})
+	if err := tsvc.RegisterEndpoint(transfer.Endpoint{ID: EndpointInstrument, Name: "PicoProbe user machine", Root: instrument}); err != nil {
+		return nil, err
+	}
+	backends := map[string]ComputeBackend{}
+	for _, fac := range reg.Facilities() {
+		addr := addrs[fac.ID()]
+		if err := tsvc.RegisterEndpoint(transfer.Endpoint{ID: fac.Endpoint(), Name: fac.Name(), Root: addr}); err != nil {
+			return nil, err
+		}
+		cl := &wire.Client{Addr: addr, Token: token}
+		defer cl.Close()
+		backends[fac.ID()] = &WireComputeBackend{Issuer: issuer, Client: cl}
+	}
+
+	index := search.NewIndex()
+	engine := flows.NewEngine(rt, flows.Options{Policy: flows.Push{Latency: 5 * time.Millisecond}, MaxStateRetries: 2})
+	engine.RegisterProvider(NewFederatedTransferProvider(tsvc, reg))
+	engine.RegisterProvider(NewFederatedComputeProvider(backends, reg))
+	engine.RegisterProvider(NewSearchProvider(rt, issuer, index, 0))
+
+	res := &WireCampaignResult{Dir: dir}
+
+	// Link-quality probing against the daemons' real status endpoints,
+	// attached observe-only (low water 0): scores surface in the
+	// facility snapshot without perturbing placement.
+	var prober *netprobe.Prober
+	if cfg.Probe {
+		prober = netprobe.New(rt, netprobe.Config{Interval: 100 * time.Millisecond, WindowSamples: 3})
+		for _, fac := range reg.Facilities() {
+			if _, err := prober.Register(fac.PathID(), wire.NewProbeTarget(addrs[fac.ID()], token)); err != nil {
+				return nil, err
+			}
+		}
+		reg.AttachQuality(prober, 0)
+		prober.Start(time.Time{})
+		defer prober.Stop()
+
+		if cfg.Degrade > 0 && faults != nil {
+			demo := &WireProbeDemo{}
+			path0 := reg.Facilities()[0].PathID()
+			settle := func() float64 {
+				time.Sleep(12 * 100 * time.Millisecond)
+				q, _ := prober.Quality(path0)
+				return q.Score
+			}
+			demo.Baseline = settle()
+			faults.SetReadDelay(cfg.Degrade)
+			demo.Degraded = settle()
+			faults.SetReadDelay(0)
+			demo.Recovered = settle()
+			res.ProbeDemo = demo
+		}
+	}
+
+	// Stage the synthetic campaign: distinct sample per file so every
+	// record is distinguishable in the catalog.
+	type staged struct {
+		rel   string
+		bytes int64
+	}
+	files := make([]staged, cfg.Files)
+	for i := range files {
+		rel := fmt.Sprintf("%s-%04d.emdg", cfg.Kind, i)
+		if err := WriteSyntheticAcquisition(filepath.Join(instrument, rel), cfg.Kind, i); err != nil {
+			return nil, err
+		}
+		st, err := os.Stat(filepath.Join(instrument, rel))
+		if err != nil {
+			return nil, err
+		}
+		files[i] = staged{rel: rel, bytes: st.Size()}
+	}
+
+	def := wireFedDefinition(cfg.Kind)
+	facs := reg.Facilities()
+	done := make(chan flows.RunRecord, cfg.Files)
+	for i, f := range files {
+		input := map[string]any{"rel_path": f.rel, "bytes": float64(f.bytes)}
+		if !cfg.NoSpread {
+			input["facility"] = facs[i%len(facs)].ID()
+		}
+		if _, err := engine.Run(token, def, input, func(r flows.RunRecord) { done <- r }); err != nil {
+			return nil, err
+		}
+	}
+	for range files {
+		rec := <-done
+		if rec.Status != flows.StateSucceeded {
+			return nil, fmt.Errorf("core: wire run %s failed: %s", rec.RunID, rec.Error)
+		}
+		res.Runs = append(res.Runs, rec)
+	}
+	for _, f := range files {
+		res.BytesMoved += f.bytes
+	}
+
+	// A short campaign can finish before the prober's first window
+	// closes (interval × WindowSamples), which would snapshot the
+	// optimistic score-100 default with zeroed dimensions; wait for every
+	// path to fold at least one window so the report carries measured
+	// link numbers.
+	if prober != nil {
+		deadline := time.Now().Add(3 * time.Second)
+		for _, fac := range reg.Facilities() {
+			for {
+				q, ok := prober.Quality(fac.PathID())
+				if (ok && q.Windows > 0) || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+	}
+
+	res.IndexedRecords = index.Count()
+	res.Facilities = reg.Snapshot()
+	res.Placement = reg.Stats()
+	// The registry's scheduler never ran a job — compute happened on the
+	// daemons — so ask each daemon how many dispatches it served.
+	res.Jobs = map[string]int{}
+	for _, fac := range reg.Facilities() {
+		cl := &wire.Client{Addr: addrs[fac.ID()], Token: token, Timeout: 5 * time.Second}
+		if st, _, err := cl.Status(0); err == nil {
+			res.Jobs[fac.ID()] = st.Jobs
+		}
+		cl.Close()
+	}
+	return res, nil
+}
+
+// wireFedDefinition is the placed three-state flow of a wire campaign:
+// federated transfer, compute dispatched over the wire (the daemon
+// resolves the relative path under its own root), local publication.
+func wireFedDefinition(kind string) flows.Definition {
+	name, fn := simFlowName(kind)
+	return flows.Definition{
+		Name: name + "-wire",
+		States: []flows.StateDef{
+			{
+				Name:     "Transfer",
+				Provider: "transfer",
+				Params: func(input map[string]any, _ flows.Results) map[string]any {
+					rel, _ := input["rel_path"].(string)
+					bytes, _ := input["bytes"].(float64)
+					pin, _ := input["facility"].(string)
+					return flows.Pack(FedTransferParams{Run: rel, Facility: pin, RelPath: rel, Bytes: int64(bytes)})
+				},
+			},
+			{
+				Name:     "Analysis",
+				Provider: "compute",
+				Params: func(input map[string]any, _ flows.Results) map[string]any {
+					rel, _ := input["rel_path"].(string)
+					pin, _ := input["facility"].(string)
+					return flows.Pack(FedComputeParams{
+						Run:      rel,
+						Facility: pin,
+						Function: fn,
+						Args:     compute.Args{"path": rel, "staged_bytes": input["bytes"]},
+					})
+				},
+			},
+			{
+				Name:     "Publication",
+				Provider: "search",
+				Params: func(_ map[string]any, results flows.Results) map[string]any {
+					entry, _ := results["Analysis"]["entry_json"].(string)
+					return flows.Pack(SearchParams{EntryJSON: entry})
+				},
+			},
+		},
+	}
+}
+
+// WriteSyntheticAcquisition stages one synthetic acquisition file of the
+// given kind, seeded by idx so every file's content — and therefore its
+// checksum and its catalog record — is distinct.
+func WriteSyntheticAcquisition(path, kind string, idx int) error {
+	acq := &metadata.Acquisition{
+		SampleName: fmt.Sprintf("wire-sample-%03d", idx),
+		Operator:   "N. Zaluzec",
+		Collected:  time.Date(2023, 6, 5, 14, 30, 0, 0, time.UTC).Add(time.Duration(idx) * time.Minute),
+	}
+	if kind == "spatiotemporal" {
+		s := synth.GenerateSpatiotemporal(synth.SpatiotemporalConfig{
+			Frames: 8, Height: 48, Width: 48, Particles: 4, Seed: int64(idx + 1),
+		})
+		return s.WriteEMD(path, synth.DefaultMicroscope(), acq)
+	}
+	s, err := synth.GenerateHyperspectral(synth.HyperspectralConfig{
+		Height: 24, Width: 24, Channels: 128, Seed: int64(idx + 1),
+	})
+	if err != nil {
+		return err
+	}
+	return s.WriteEMD(path, synth.DefaultMicroscope(), acq)
+}
+
+// FormatWireCampaign renders a wire campaign result for the CLI.
+func FormatWireCampaign(res *WireCampaignResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Wire campaign — %d run(s) over %d facility daemon(s), %.1f MB on the wire, %d record(s) published\n",
+		len(res.Runs), len(res.Facilities), float64(res.BytesMoved)/1e6, res.IndexedRecords)
+	fmt.Fprintf(&sb, "Placement: %d decision(s), %d failover(s)\n", res.Placement.Decisions, res.Placement.Failovers)
+	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Facility\truns placed\tjobs\tlink score\trtt (ms)\tgoodput (Mbps)")
+	for _, f := range res.Facilities {
+		fmt.Fprintf(w, "%s\t%d\t%d", f.ID, f.Placed, res.Jobs[f.ID])
+		if q := f.Quality; q != nil {
+			fmt.Fprintf(w, "\t%.1f\t%.2f\t%.0f", q.Score, q.RTTMs, q.GoodputBps/1e6)
+		} else {
+			fmt.Fprintf(w, "\t-\t-\t-")
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	if d := res.ProbeDemo; d != nil {
+		fmt.Fprintf(&sb, "Induced-latency probe demo (facility-00): baseline %.1f → degraded %.1f → recovered %.1f\n",
+			d.Baseline, d.Degraded, d.Recovered)
+	}
+	return sb.String()
+}

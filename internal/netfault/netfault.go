@@ -1,0 +1,146 @@
+// Package netfault injects socket-level faults into dialers and
+// listeners, in the spirit of fsutil.FaultFS: a Faults instance wraps
+// net.Conns so that the Nth read or write across ALL wrapped connections
+// severs the connection, truncates the write mid-frame, or silently
+// corrupts a byte on the wire — plus a runtime-settable read delay that
+// makes induced latency visible to link-quality probes. The counters are
+// shared across connections exactly as FaultFS shares its write counters
+// across files: a transfer that reconnects after a cut keeps counting,
+// so "sever at the Nth chunk" means the Nth chunk of the whole exchange,
+// not of one socket.
+//
+// The zero Faults injects nothing and adds one atomic load per I/O call.
+package netfault
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks a read, write or dial failed by fault injection.
+var ErrInjected = errors.New("netfault: injected fault")
+
+// Faults configures fault injection. Set the trigger fields before
+// wrapping connections; counters are shared across every conn produced
+// by the same Faults. All fields count calls starting at 1; 0 disables
+// a trigger.
+type Faults struct {
+	// CutAtRead closes the connection on the Nth read (counted across
+	// all conns), before any bytes of that read are returned.
+	CutAtRead int64
+	// CutAtWrite closes the connection on the Nth write, before any
+	// bytes of that write reach the wire.
+	CutAtWrite int64
+	// TruncateAtWrite writes only the first half of the Nth write's
+	// bytes, then closes the connection — a torn frame on the wire.
+	TruncateAtWrite int64
+	// CorruptAtWrite flips one byte of the Nth write and delivers it
+	// without error: the sender believes the write succeeded, and only
+	// the receiver's frame CRC can tell.
+	CorruptAtWrite int64
+	// FailDials fails the first N dials with ErrInjected.
+	FailDials int64
+
+	reads, writes, dials atomic.Int64
+	readDelayNs          atomic.Int64
+}
+
+// SetReadDelay installs (or clears, with 0) a delay added to every
+// subsequent read on every wrapped connection — induced latency a
+// socket-level prober observes as RTT inflation.
+func (f *Faults) SetReadDelay(d time.Duration) {
+	f.readDelayNs.Store(int64(d))
+}
+
+// ReadDelay reports the currently installed read delay.
+func (f *Faults) ReadDelay() time.Duration {
+	return time.Duration(f.readDelayNs.Load())
+}
+
+// Reads reports how many reads the wrapped connections have served.
+func (f *Faults) Reads() int64 { return f.reads.Load() }
+
+// Writes reports how many writes the wrapped connections have served.
+func (f *Faults) Writes() int64 { return f.writes.Load() }
+
+// Dials reports how many dials the wrapped dialer has served (failed
+// ones included).
+func (f *Faults) Dials() int64 { return f.dials.Load() }
+
+// Dialer wraps dial (nil = plain TCP) so returned connections inject
+// this Faults' triggers and the first FailDials dials fail outright.
+func (f *Faults) Dialer(dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return func(addr string) (net.Conn, error) {
+		if n := f.dials.Add(1); f.FailDials > 0 && n <= f.FailDials {
+			return nil, ErrInjected
+		}
+		c, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return &conn{Conn: c, f: f}, nil
+	}
+}
+
+// Listener wraps ln so every accepted connection injects this Faults'
+// triggers — the server-side mirror of Dialer.
+func (f *Faults) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, f: f}
+}
+
+type listener struct {
+	net.Listener
+	f *Faults
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &conn{Conn: c, f: l.f}, nil
+}
+
+// conn is one fault-injected connection.
+type conn struct {
+	net.Conn
+	f *Faults
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if d := c.f.ReadDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	n := c.f.reads.Add(1)
+	if c.f.CutAtRead > 0 && n == c.f.CutAtRead {
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	n := c.f.writes.Add(1)
+	switch {
+	case c.f.CutAtWrite > 0 && n == c.f.CutAtWrite:
+		c.Conn.Close()
+		return 0, ErrInjected
+	case c.f.TruncateAtWrite > 0 && n == c.f.TruncateAtWrite:
+		half := p[:len(p)/2]
+		wrote, _ := c.Conn.Write(half)
+		c.Conn.Close()
+		return wrote, ErrInjected
+	case c.f.CorruptAtWrite > 0 && n == c.f.CorruptAtWrite && len(p) > 0:
+		// Corrupt a byte past any frame header so the length still
+		// parses and the CRC check is what has to catch it.
+		cp := append([]byte(nil), p...)
+		cp[len(cp)/2] ^= 0xff
+		return c.Conn.Write(cp)
+	}
+	return c.Conn.Write(p)
+}

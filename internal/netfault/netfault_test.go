@@ -1,0 +1,246 @@
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipe builds a wrapped client conn talking to an echo-less byte sink
+// server over real loopback; the server returns everything it reads.
+func pipe(t *testing.T, f *Faults) (client net.Conn, done func() []byte) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := make(chan []byte, 1)
+	go func() {
+		defer ln.Close()
+		c, err := ln.Accept()
+		if err != nil {
+			received <- nil
+			return
+		}
+		defer c.Close()
+		var buf bytes.Buffer
+		io.Copy(&buf, c)
+		received <- buf.Bytes()
+	}()
+	conn, err := f.Dialer(nil)(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn, func() []byte {
+		conn.Close()
+		select {
+		case b := <-received:
+			return b
+		case <-time.After(5 * time.Second):
+			t.Fatal("server never finished reading")
+			return nil
+		}
+	}
+}
+
+func TestCutAtWrite(t *testing.T) {
+	f := &Faults{CutAtWrite: 2}
+	conn, done := pipe(t, f)
+	if _, err := conn.Write([]byte("first")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := conn.Write([]byte("second")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: err = %v, want ErrInjected", err)
+	}
+	// The cut happened before any bytes of write 2 reached the wire.
+	if got := done(); !bytes.Equal(got, []byte("first")) {
+		t.Fatalf("server received %q, want %q", got, "first")
+	}
+	if f.Writes() != 2 {
+		t.Fatalf("writes counter %d, want 2", f.Writes())
+	}
+}
+
+func TestTruncateAtWrite(t *testing.T) {
+	f := &Faults{TruncateAtWrite: 1}
+	conn, done := pipe(t, f)
+	payload := []byte("0123456789abcdef")
+	if _, err := conn.Write(payload); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if got := done(); !bytes.Equal(got, payload[:len(payload)/2]) {
+		t.Fatalf("server received %q, want the first half %q", got, payload[:8])
+	}
+}
+
+func TestCorruptAtWrite(t *testing.T) {
+	f := &Faults{CorruptAtWrite: 1}
+	conn, done := pipe(t, f)
+	payload := []byte("0123456789abcdef")
+	// The sender is told the write succeeded — only the receiver can see
+	// the damage, which is why the wire frame CRC exists.
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatalf("corrupting write errored: %v", err)
+	}
+	got := done()
+	if len(got) != len(payload) {
+		t.Fatalf("server received %d bytes, want %d", len(got), len(payload))
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("payload arrived undamaged")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+}
+
+func TestCutAtRead(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Write([]byte("hello"))
+		c.Write([]byte("world"))
+	}()
+	f := &Faults{CutAtRead: 2}
+	conn, err := f.Dialer(nil)(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	if _, err := conn.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 2: err = %v, want ErrInjected", err)
+	}
+	if f.Reads() != 2 {
+		t.Fatalf("reads counter %d, want 2", f.Reads())
+	}
+}
+
+func TestFailDials(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	f := &Faults{FailDials: 2}
+	dial := f.Dialer(nil)
+	for i := 1; i <= 2; i++ {
+		if _, err := dial(ln.Addr().String()); !errors.Is(err, ErrInjected) {
+			t.Fatalf("dial %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	c, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial 3: %v", err)
+	}
+	c.Close()
+	if f.Dials() != 3 {
+		t.Fatalf("dials counter %d, want 3", f.Dials())
+	}
+}
+
+// TestCountersSharedAcrossConns: the Nth-write trigger counts across
+// every connection the same Faults produced — a reconnecting transfer
+// keeps counting, exactly like FaultFS's shared write counters.
+func TestCountersSharedAcrossConns(t *testing.T) {
+	f := &Faults{CutAtWrite: 3}
+	connA, doneA := pipe(t, f)
+	connB, doneB := pipe(t, f)
+	if _, err := connA.Write([]byte("a1")); err != nil { // write 1
+		t.Fatal(err)
+	}
+	if _, err := connB.Write([]byte("b1")); err != nil { // write 2
+		t.Fatal(err)
+	}
+	if _, err := connA.Write([]byte("a2")); !errors.Is(err, ErrInjected) { // write 3 cuts
+		t.Fatalf("cross-conn write 3: err = %v, want ErrInjected", err)
+	}
+	doneA()
+	doneB()
+}
+
+func TestReadDelay(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Write([]byte("x"))
+		c.Write([]byte("y"))
+		time.Sleep(time.Second)
+	}()
+	f := &Faults{}
+	conn, err := f.Dialer(nil)(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	f.SetReadDelay(120 * time.Millisecond)
+	if f.ReadDelay() != 120*time.Millisecond {
+		t.Fatal("delay not installed")
+	}
+	start := time.Now()
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("delayed read took %v, want >= ~120ms", d)
+	}
+	f.SetReadDelay(0)
+	if f.ReadDelay() != 0 {
+		t.Fatal("delay not cleared")
+	}
+}
+
+// TestZeroFaultsPassthrough: the zero value injects nothing.
+func TestZeroFaultsPassthrough(t *testing.T) {
+	f := &Faults{}
+	conn, done := pipe(t, f)
+	for i := 0; i < 10; i++ {
+		if _, err := conn.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := done(); len(got) != 10 {
+		t.Fatalf("server received %d bytes, want 10", len(got))
+	}
+}

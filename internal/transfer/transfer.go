@@ -92,6 +92,11 @@ type TaskView struct {
 	ChunksMoved   int
 	ChunksSkipped int
 	BytesCopied   int64
+
+	// Checksums maps each file's RelPath to the whole-file digest the
+	// mover's verified merge produced (nil until the task succeeds,
+	// empty entries when checksumming is disabled).
+	Checksums map[string]string
 }
 
 // Report is a mover's account of one move attempt. On failure the partial
@@ -257,11 +262,19 @@ func (s *Service) startMove(task *Task, src, dst *Endpoint) {
 
 // viewLocked snapshots a task; s.mu must be held.
 func (s *Service) viewLocked(t *Task) TaskView {
+	var sums map[string]string
+	if len(t.Checksums) > 0 {
+		sums = make(map[string]string, len(t.Checksums))
+		for k, v := range t.Checksums {
+			sums[k] = v
+		}
+	}
 	return TaskView{
 		ID: t.ID, Status: t.Status, Error: t.Error, BytesMoved: t.BytesMoved,
 		Attempts: t.Attempts, Submitted: t.Submitted, Started: t.Started, Completed: t.Completed,
 		ChunksTotal: t.ChunksTotal, ChunksMoved: t.ChunksMoved,
 		ChunksSkipped: t.ChunksSkipped, BytesCopied: t.BytesCopied,
+		Checksums: sums,
 	}
 }
 

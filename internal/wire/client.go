@@ -1,0 +1,293 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client talks the wire protocol to one facility daemon. It keeps a
+// small pool of authenticated sessions so N parallel transfer streams
+// become N concurrent connections; each op checks a session out, runs
+// one request/response exchange, and returns it. A session that sees a
+// transport or codec error is discarded — the next op dials fresh,
+// which is the whole reconnect story: resume state lives in the chunk
+// manifest, not the socket.
+type Client struct {
+	// Addr is the daemon's host:port.
+	Addr string
+	// Token is presented in Hello (empty is fine against an open server).
+	Token string
+	// Dial overrides the dialer (nil = plain TCP). Tests inject
+	// netfault dialers here.
+	Dial func(addr string) (net.Conn, error)
+	// Timeout is the per-op deadline covering dial, request and
+	// response (0 = 30s).
+	Timeout time.Duration
+	// MaxFrame bounds one received frame (0 = DefaultMaxFrame).
+	MaxFrame uint32
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// DefaultTimeout is the per-op deadline when Client.Timeout is zero.
+const DefaultTimeout = 30 * time.Second
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
+// Close drops every idle session. In-flight ops finish on their own
+// connections and find the client closed when they try to return them.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+	return nil
+}
+
+// checkout returns an authenticated session: an idle one if available
+// (fromPool true), otherwise a fresh dial + Hello handshake.
+func (c *Client) checkout(deadline time.Time) (conn net.Conn, fromPool bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("wire: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, true, nil
+	}
+	c.mu.Unlock()
+
+	dial := c.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, time.Until(deadline))
+		}
+	}
+	conn, err = dial(c.Addr)
+	if err != nil {
+		return nil, false, fmt.Errorf("wire: dial %s: %w", c.Addr, err)
+	}
+	conn.SetDeadline(deadline)
+	if err := WriteFrame(conn, MsgHello, Hello{Magic: Magic, Version: ProtocolVersion, Token: c.Token}, nil); err != nil {
+		conn.Close()
+		return nil, false, fmt.Errorf("wire: hello: %w", err)
+	}
+	typ, head, _, err := ReadFrame(conn, c.MaxFrame)
+	if err != nil {
+		conn.Close()
+		return nil, false, fmt.Errorf("wire: hello: %w", err)
+	}
+	if typ == MsgError {
+		conn.Close()
+		return nil, false, remoteErr(head)
+	}
+	if typ != MsgHelloOK {
+		conn.Close()
+		return nil, false, fmt.Errorf("wire: hello answered with message type %d", typ)
+	}
+	return conn, false, nil
+}
+
+func (c *Client) checkin(conn net.Conn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+	c.mu.Unlock()
+}
+
+// do runs one request/response exchange: checkout, write the request,
+// read the response. A MsgError response becomes a *RemoteError and the
+// session survives; any transport or codec failure closes the session.
+// A transport failure on a POOLED session gets one retry on a fresh
+// dial: an idle session may have been dropped by the server (codec
+// reject, daemon restart) without the client knowing, and that
+// staleness must not surface as an op failure. Dispatch is exempt — it
+// is the one non-idempotent request, so a lost response must not risk
+// running the function twice.
+func (c *Client) do(reqTyp byte, reqHead any, reqBody []byte, wantTyp byte, respHead any) ([]byte, error) {
+	deadline := time.Now().Add(c.timeout())
+	for attempt := 0; ; attempt++ {
+		conn, fromPool, err := c.checkout(deadline)
+		if err != nil {
+			return nil, err
+		}
+		conn.SetDeadline(deadline)
+		body, err := c.exchange(conn, reqTyp, reqHead, reqBody, wantTyp, respHead)
+		if err == nil {
+			return body, nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) {
+			return nil, err
+		}
+		if fromPool && attempt == 0 && reqTyp != MsgDispatch {
+			continue
+		}
+		return nil, err
+	}
+}
+
+// exchange runs one request/response on an authenticated session,
+// checking it back in on success or RemoteError and closing it on any
+// transport or codec failure.
+func (c *Client) exchange(conn net.Conn, reqTyp byte, reqHead any, reqBody []byte, wantTyp byte, respHead any) ([]byte, error) {
+	if err := WriteFrame(conn, reqTyp, reqHead, reqBody); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	typ, head, body, err := ReadFrame(conn, c.MaxFrame)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: recv: %w", err)
+	}
+	if typ == MsgError {
+		c.checkin(conn)
+		return nil, remoteErr(head)
+	}
+	if typ != wantTyp {
+		conn.Close()
+		return nil, fmt.Errorf("wire: expected message type %d, got %d", wantTyp, typ)
+	}
+	if respHead != nil {
+		if err := DecodeHead(head, respHead); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	c.checkin(conn)
+	return body, nil
+}
+
+func remoteErr(head []byte) error {
+	var ef ErrFrame
+	if err := DecodeHead(head, &ef); err != nil {
+		return fmt.Errorf("wire: undecodable error frame: %w", err)
+	}
+	return &RemoteError{Code: ef.Code, Msg: ef.Msg, Chunk: ef.Chunk}
+}
+
+// Stat reports the sizes of files under the facility root, -1 for
+// absent ones, parallel to rels.
+func (c *Client) Stat(rels []string) ([]int64, error) {
+	var resp StatOK
+	if _, err := c.do(MsgStat, Stat{Rels: rels}, nil, MsgStatOK, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Sizes) != len(rels) {
+		return nil, fmt.Errorf("wire: stat answered %d sizes for %d rels", len(resp.Sizes), len(rels))
+	}
+	return resp.Sizes, nil
+}
+
+// Prepare creates rel under the facility root and truncates it to size.
+func (c *Client) Prepare(rel string, size int64) error {
+	_, err := c.do(MsgPrepare, Prepare{Rel: rel, Size: size}, nil, MsgPrepareOK, nil)
+	return err
+}
+
+// WriteChunk lands one chunk at off; sha256hex (when non-empty) lets
+// the server verify the bytes before writing them.
+func (c *Client) WriteChunk(rel string, off int64, data []byte, sha256hex string) error {
+	_, err := c.do(MsgWrite, Write{Rel: rel, Off: off, SHA256: sha256hex}, data, MsgWriteOK, nil)
+	return err
+}
+
+// ReadChunk fetches n bytes at off of rel, plus the server's digest of
+// them.
+func (c *Client) ReadChunk(rel string, off, n int64) ([]byte, string, error) {
+	var resp ReadOK
+	body, err := c.do(MsgRead, Read{Rel: rel, Off: off, N: n}, nil, MsgReadOK, &resp)
+	if err != nil {
+		return nil, "", err
+	}
+	return body, resp.SHA256, nil
+}
+
+// HashChunk asks the server for the digest of a byte range. present is
+// false when the file is absent or shorter than the range.
+func (c *Client) HashChunk(rel string, off, n int64) (present bool, sha256hex string, err error) {
+	var resp HashOK
+	if _, err := c.do(MsgHash, Hash{Rel: rel, Off: off, N: n}, nil, MsgHashOK, &resp); err != nil {
+		return false, "", err
+	}
+	return resp.Present, resp.SHA256, nil
+}
+
+// Merge runs the verified merge server-side and returns the whole-file
+// digest. A chunk mismatch surfaces as *RemoteError with
+// CodeChunkMismatch and the chunk index.
+func (c *Client) Merge(rel string, chunks []MergeChunk) (string, error) {
+	var resp MergeOK
+	if _, err := c.do(MsgMerge, Merge{Rel: rel, Chunks: chunks}, nil, MsgMergeOK, &resp); err != nil {
+		return "", err
+	}
+	return resp.SHA256, nil
+}
+
+// Dispatch submits one function invocation to the facility's compute
+// pool and returns the facility-side task ID.
+func (c *Client) Dispatch(function string, args map[string]any) (string, error) {
+	var resp DispatchOK
+	if _, err := c.do(MsgDispatch, Dispatch{Function: function, Args: args}, nil, MsgDispatchOK, &resp); err != nil {
+		return "", err
+	}
+	return resp.Task, nil
+}
+
+// Job polls one dispatched task.
+func (c *Client) Job(task string) (JobOK, error) {
+	var resp JobOK
+	if _, err := c.do(MsgJob, Job{Task: task}, nil, MsgJobOK, &resp); err != nil {
+		return JobOK{}, err
+	}
+	return resp, nil
+}
+
+// Status fetches the facility's status; fill > 0 asks for that many
+// opaque body bytes, turning the exchange into a goodput sample. It
+// returns the status and how many fill bytes actually arrived.
+func (c *Client) Status(fill int) (StatusOK, int, error) {
+	var resp StatusOK
+	body, err := c.do(MsgStatus, Status{Fill: fill}, nil, MsgStatusOK, &resp)
+	if err != nil {
+		return StatusOK{}, 0, err
+	}
+	return resp, len(body), nil
+}
+
+// Ping measures one status round trip.
+func (c *Client) Ping() (time.Duration, error) {
+	start := time.Now()
+	if _, _, err := c.Status(0); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// IsRemoteCode reports whether err is a *RemoteError with the given
+// code — the test transfers use it to tell a checksum rejection from a
+// dead socket.
+func IsRemoteCode(err error, code string) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == code
+}

@@ -1,0 +1,572 @@
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"picoprobe/internal/compute"
+)
+
+// maxStatusFill bounds the opaque fill a Status request may ask for —
+// a goodput probe needs hundreds of kilobytes, not a memory bomb.
+const maxStatusFill = 8 << 20
+
+// Server is one facility's wire endpoint: ranged chunk I/O under Root,
+// compute dispatch into Compute, and the status endpoint probers
+// measure. It is deliberately stateless across restarts — the only
+// durable state is the files under Root, and resume bookkeeping lives
+// entirely in the client's chunk manifest — so a SIGKILLed daemon
+// restarted on the same root serves resumed transfers with no recovery
+// step of its own.
+type Server struct {
+	// Root is the facility storage root all file ops are confined to.
+	Root string
+	// Facility names this endpoint in HelloOK and StatusOK.
+	Facility string
+	// Verify authenticates the Hello token (nil = open server; tests).
+	Verify func(token string) error
+	// Compute, when set, serves Dispatch/Job. ComputeToken is the
+	// server's own token for it (the wire session was already
+	// authenticated at Hello; the compute service still wants one).
+	Compute      *compute.Service
+	ComputeToken string
+	// Now supplies timestamps (nil = time.Now).
+	Now func() time.Time
+	// MaxFrame bounds one frame (0 = DefaultMaxFrame).
+	MaxFrame uint32
+	// Logf, when set, receives per-connection error logs.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+	jobs   atomic.Int64
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral test port),
+// serves in a background goroutine and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go s.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts sessions on ln until Close (or a listener error).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("wire: server closed")
+	}
+	s.ln = ln
+	if s.conns == nil {
+		s.conns = map[net.Conn]struct{}{}
+	}
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.session(c)
+	}
+}
+
+// Close stops the listener, closes every live session and waits for
+// their goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
+}
+
+// session runs one connection's request/response loop. The first frame
+// must be a valid Hello; afterwards every request gets exactly one
+// response. A torn or corrupt frame gets a best-effort error response
+// and the connection is dropped — the protocol never resynchronizes a
+// damaged stream.
+func (s *Server) session(c net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+		s.wg.Done()
+	}()
+
+	typ, head, _, err := ReadFrame(c, s.MaxFrame)
+	if err != nil {
+		return
+	}
+	if typ != MsgHello {
+		s.reject(c, CodeBadRequest, "first frame must be Hello")
+		return
+	}
+	var hello Hello
+	if err := DecodeHead(head, &hello); err != nil {
+		s.reject(c, CodeBadRequest, err.Error())
+		return
+	}
+	if hello.Magic != Magic || hello.Version != ProtocolVersion {
+		s.reject(c, CodeAuth, fmt.Sprintf("bad magic/version %q/%d", hello.Magic, hello.Version))
+		return
+	}
+	if s.Verify != nil {
+		if err := s.Verify(hello.Token); err != nil {
+			s.reject(c, CodeAuth, err.Error())
+			return
+		}
+	}
+	if err := WriteFrame(c, MsgHelloOK, HelloOK{Facility: s.Facility, Version: ProtocolVersion}, nil); err != nil {
+		return
+	}
+
+	for {
+		typ, head, body, err := ReadFrame(c, s.MaxFrame)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !isClosedConn(err) {
+				// Loud rejection: a torn tail or CRC mismatch is answered
+				// (best effort) before the drop, so a live peer learns the
+				// stream is damaged instead of hanging on a silent close.
+				s.logf("wire: %s: dropping session: %v", c.RemoteAddr(), err)
+				s.reject(c, CodeBadRequest, err.Error())
+			}
+			return
+		}
+		if !s.handle(c, typ, head, body) {
+			return
+		}
+	}
+}
+
+// reject writes a best-effort error frame (the conn may already be
+// dead; that is fine — the caller drops it either way).
+func (s *Server) reject(c net.Conn, code, msg string) {
+	_ = WriteFrame(c, MsgError, ErrFrame{Code: code, Msg: msg}, nil)
+}
+
+// handle serves one request; false drops the session.
+func (s *Server) handle(c net.Conn, typ byte, head, body []byte) bool {
+	var respTyp byte
+	var respHead any
+	var respBody []byte
+	var werr *ErrFrame
+
+	switch typ {
+	case MsgStat:
+		var req Stat
+		if err := DecodeHead(head, &req); err != nil {
+			werr = &ErrFrame{Code: CodeBadRequest, Msg: err.Error()}
+			break
+		}
+		sizes := make([]int64, len(req.Rels))
+		for i, rel := range req.Rels {
+			path, err := s.resolve(rel)
+			if err != nil {
+				werr = &ErrFrame{Code: CodeBadRequest, Msg: err.Error()}
+				break
+			}
+			sizes[i] = -1
+			if st, err := os.Stat(path); err == nil && !st.IsDir() {
+				sizes[i] = st.Size()
+			}
+		}
+		if werr == nil {
+			respTyp, respHead = MsgStatOK, StatOK{Sizes: sizes}
+		}
+
+	case MsgPrepare:
+		var req Prepare
+		err := DecodeHead(head, &req)
+		if err == nil {
+			err = s.prepare(req)
+		}
+		if err != nil {
+			werr = classify(err)
+			break
+		}
+		respTyp, respHead = MsgPrepareOK, PrepareOK{}
+
+	case MsgWrite:
+		var req Write
+		err := DecodeHead(head, &req)
+		if err == nil {
+			err = s.writeChunk(req, body)
+		}
+		if err != nil {
+			werr = classify(err)
+			break
+		}
+		respTyp, respHead = MsgWriteOK, WriteOK{}
+
+	case MsgRead:
+		var req Read
+		err := DecodeHead(head, &req)
+		var data []byte
+		if err == nil {
+			data, err = s.readRange(req.Rel, req.Off, req.N)
+		}
+		if err != nil {
+			werr = classify(err)
+			break
+		}
+		sum := sha256.Sum256(data)
+		respTyp, respHead, respBody = MsgReadOK, ReadOK{SHA256: hex.EncodeToString(sum[:])}, data
+
+	case MsgHash:
+		var req Hash
+		if err := DecodeHead(head, &req); err != nil {
+			werr = &ErrFrame{Code: CodeBadRequest, Msg: err.Error()}
+			break
+		}
+		ok, sum, err := s.hashRange(req.Rel, req.Off, req.N)
+		if err != nil {
+			werr = classify(err)
+			break
+		}
+		respTyp, respHead = MsgHashOK, HashOK{Present: ok, SHA256: sum}
+
+	case MsgMerge:
+		var req Merge
+		if err := DecodeHead(head, &req); err != nil {
+			werr = &ErrFrame{Code: CodeBadRequest, Msg: err.Error()}
+			break
+		}
+		sum, badChunk, err := s.merge(req)
+		switch {
+		case badChunk >= 0:
+			werr = &ErrFrame{Code: CodeChunkMismatch,
+				Msg: fmt.Sprintf("chunk %d of %s does not match its recorded digest", badChunk, req.Rel), Chunk: badChunk}
+		case err != nil:
+			werr = classify(err)
+		default:
+			respTyp, respHead = MsgMergeOK, MergeOK{SHA256: sum}
+		}
+
+	case MsgDispatch:
+		var req Dispatch
+		if err := DecodeHead(head, &req); err != nil {
+			werr = &ErrFrame{Code: CodeBadRequest, Msg: err.Error()}
+			break
+		}
+		if s.Compute == nil {
+			werr = &ErrFrame{Code: CodeBadRequest, Msg: "facility has no compute service"}
+			break
+		}
+		id, err := s.Compute.Submit(s.ComputeToken, req.Function, s.resolveArgs(req.Args))
+		if err != nil {
+			werr = &ErrFrame{Code: CodeNotFound, Msg: err.Error()}
+			break
+		}
+		s.jobs.Add(1)
+		respTyp, respHead = MsgDispatchOK, DispatchOK{Task: id}
+
+	case MsgJob:
+		var req Job
+		if err := DecodeHead(head, &req); err != nil {
+			werr = &ErrFrame{Code: CodeBadRequest, Msg: err.Error()}
+			break
+		}
+		if s.Compute == nil {
+			werr = &ErrFrame{Code: CodeBadRequest, Msg: "facility has no compute service"}
+			break
+		}
+		view, err := s.Compute.Status(s.ComputeToken, req.Task)
+		if err != nil {
+			werr = &ErrFrame{Code: CodeNotFound, Msg: err.Error()}
+			break
+		}
+		resp := JobOK{
+			Status: string(view.Status),
+			Error:  view.Error,
+			Result: view.Result,
+			NodeID: view.NodeID,
+		}
+		if !view.Started.IsZero() {
+			resp.Started = view.Started.UnixNano()
+		}
+		if !view.Completed.IsZero() {
+			resp.Completed = view.Completed.UnixNano()
+		}
+		respTyp, respHead = MsgJobOK, resp
+
+	case MsgStatus:
+		var req Status
+		if err := DecodeHead(head, &req); err != nil {
+			werr = &ErrFrame{Code: CodeBadRequest, Msg: err.Error()}
+			break
+		}
+		if req.Fill < 0 || req.Fill > maxStatusFill {
+			werr = &ErrFrame{Code: CodeBadRequest, Msg: fmt.Sprintf("fill %d out of range", req.Fill)}
+			break
+		}
+		respTyp = MsgStatusOK
+		respHead = StatusOK{
+			Facility: s.Facility,
+			Jobs:     int(s.jobs.Load()),
+			UnixNano: s.now().UnixNano(),
+		}
+		respBody = make([]byte, req.Fill)
+
+	default:
+		werr = &ErrFrame{Code: CodeBadRequest, Msg: fmt.Sprintf("unknown message type %d", typ)}
+	}
+
+	if werr != nil {
+		return WriteFrame(c, MsgError, *werr, nil) == nil
+	}
+	return WriteFrame(c, respTyp, respHead, respBody) == nil
+}
+
+// resolve confines rel under Root; path escapes are a bad request, not
+// an os error — a daemon must never serve outside its root.
+func (s *Server) resolve(rel string) (string, error) {
+	if rel == "" || filepath.IsAbs(rel) {
+		return "", fmt.Errorf("wire: bad relative path %q", rel)
+	}
+	clean := filepath.Clean(filepath.FromSlash(rel))
+	if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("wire: path %q escapes the facility root", rel)
+	}
+	return filepath.Join(s.Root, clean), nil
+}
+
+// resolveArgs rewrites a relative "path" argument under Root so
+// dispatched functions see daemon-local absolute paths.
+func (s *Server) resolveArgs(args map[string]any) compute.Args {
+	out := make(compute.Args, len(args))
+	for k, v := range args {
+		out[k] = v
+	}
+	if p, ok := out["path"].(string); ok && p != "" && !filepath.IsAbs(p) {
+		if full, err := s.resolve(p); err == nil {
+			out["path"] = full
+		}
+	}
+	return out
+}
+
+func (s *Server) prepare(req Prepare) error {
+	if req.Size < 0 {
+		return fmt.Errorf("wire: bad prepare size %d", req.Size)
+	}
+	path, err := s.resolve(req.Rel)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Truncate(req.Size)
+}
+
+func (s *Server) writeChunk(req Write, body []byte) error {
+	if req.Off < 0 {
+		return fmt.Errorf("wire: bad write offset %d", req.Off)
+	}
+	if req.SHA256 != "" {
+		sum := sha256.Sum256(body)
+		if got := hex.EncodeToString(sum[:]); got != req.SHA256 {
+			return &RemoteError{Code: CodeChecksum,
+				Msg: fmt.Sprintf("chunk @%d of %s: declared digest %s, received bytes hash to %s", req.Off, req.Rel, req.SHA256, got)}
+		}
+	}
+	path, err := s.resolve(req.Rel)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteAt(body, req.Off)
+	return err
+}
+
+func (s *Server) readRange(rel string, off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 || n > int64(maxFrameBody(s.MaxFrame)) {
+		return nil, fmt.Errorf("wire: bad read range @%d+%d", off, n)
+	}
+	path, err := s.resolve(rel)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(f, off, n), buf); err != nil {
+		return nil, fmt.Errorf("wire: read %s @%d+%d: %w", rel, off, n, err)
+	}
+	return buf, nil
+}
+
+func (s *Server) hashRange(rel string, off, n int64) (bool, string, error) {
+	if off < 0 || n < 0 {
+		return false, "", fmt.Errorf("wire: bad hash range @%d+%d", off, n)
+	}
+	path, err := s.resolve(rel)
+	if err != nil {
+		return false, "", err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, "", nil
+		}
+		return false, "", err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return false, "", err
+	}
+	if st.Size() < off+n {
+		return false, "", nil
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, io.NewSectionReader(f, off, n)); err != nil {
+		return false, "", err
+	}
+	return true, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// merge is the server half of the verified merge: a single sequential
+// pass over the landed file computing the whole-file digest while
+// checking each chunk of the recorded plan. It returns badChunk >= 0
+// (and no digest) on the first mismatch; the plan must tile the file
+// exactly.
+func (s *Server) merge(req Merge) (sum string, badChunk int, err error) {
+	path, rerr := s.resolve(req.Rel)
+	if rerr != nil {
+		return "", -1, rerr
+	}
+	f, oerr := os.Open(path)
+	if oerr != nil {
+		return "", -1, oerr
+	}
+	defer f.Close()
+	st, serr := f.Stat()
+	if serr != nil {
+		return "", -1, serr
+	}
+	var expectOff int64
+	for _, c := range req.Chunks {
+		if c.Off != expectOff || c.N < 0 {
+			return "", -1, fmt.Errorf("wire: bad merge plan for %s: not contiguous at @%d", req.Rel, c.Off)
+		}
+		expectOff += c.N
+	}
+	if expectOff != st.Size() {
+		return "", -1, fmt.Errorf("wire: bad merge plan: covers %d bytes, file %s has %d", expectOff, req.Rel, st.Size())
+	}
+	whole := sha256.New()
+	buf := make([]byte, 256<<10)
+	for i, c := range req.Chunks {
+		chunk := sha256.New()
+		r := io.NewSectionReader(f, c.Off, c.N)
+		if _, err := io.CopyBuffer(io.MultiWriter(whole, chunk), r, buf); err != nil {
+			return "", -1, fmt.Errorf("wire: merge read %s @%d: %w", req.Rel, c.Off, err)
+		}
+		if c.SHA256 != "" && hex.EncodeToString(chunk.Sum(nil)) != c.SHA256 {
+			return "", i, nil
+		}
+	}
+	return hex.EncodeToString(whole.Sum(nil)), -1, nil
+}
+
+// classify maps a handler error onto a wire error frame, preserving an
+// explicit RemoteError's code.
+func classify(err error) *ErrFrame {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return &ErrFrame{Code: re.Code, Msg: re.Msg, Chunk: re.Chunk}
+	}
+	code := CodeIO
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		code = CodeNotFound
+	case strings.HasPrefix(err.Error(), "wire: bad"), strings.Contains(err.Error(), "escapes the facility root"):
+		code = CodeBadRequest
+	}
+	return &ErrFrame{Code: code, Msg: err.Error()}
+}
+
+// maxFrameBody is the biggest body one frame can carry.
+func maxFrameBody(maxFrame uint32) uint32 {
+	if maxFrame == 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return maxFrame - 5
+}
+
+// isClosedConn reports the "use of closed network connection" family —
+// the expected teardown noise of Close racing a blocked Read.
+func isClosedConn(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}

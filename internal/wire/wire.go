@@ -1,0 +1,336 @@
+// Package wire is the facility data+control plane on plain TCP: a
+// length-prefixed, CRC-framed session protocol connecting the
+// acquisition side (transfer.WireMover, the probe target) to a facility
+// daemon (picoprobe-facilityd, or an in-process Server in tests). One
+// frame is one request or one response; a session is one authenticated
+// connection carrying a strict request/response sequence, so N parallel
+// transfer streams are N sessions.
+//
+// The frame discipline reuses internal/durable's WAL framing (DESIGN.md
+// §11): a fixed header of [u32 length][u32 CRC32-C] followed by the
+// payload the length counts and the CRC covers. The payload is
+// [u8 type][u32 headerLen][header JSON][body]: a small JSON header for
+// the op's parameters and an opaque body for bulk bytes (chunk data,
+// probe fill). Torn and truncated frames surface as
+// io.ErrUnexpectedEOF, CRC or structural damage as ErrCorrupt — both
+// loud, never a silent mis-parse.
+//
+// Three services ride the same session: ranged chunk I/O mapping 1:1
+// onto the transfer manifest machinery (Stat/Prepare/Write/Read/Hash/
+// Merge), compute dispatch against the facility's pool (Dispatch/Job),
+// and a status endpoint (Status) cheap enough for netprobe's prober to
+// Measure RTT and goodput against.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ProtocolVersion gates sessions: a Hello carrying a different version
+// is rejected before any other op.
+const ProtocolVersion = 1
+
+// Magic identifies the protocol in the Hello header; anything else on
+// the socket is not a picoprobe wire client.
+const Magic = "picowire"
+
+// DefaultMaxFrame bounds one frame (header + body). Chunk bodies are
+// the largest payloads; 256 MiB comfortably exceeds any sane chunk
+// size while keeping an implausible length prefix from allocating
+// gigabytes (the durable WAL's maxRecordBytes guard, scaled to frames).
+const DefaultMaxFrame = 256 << 20
+
+// frameHead is the fixed per-frame header: u32 payload length,
+// u32 CRC32-C of the payload.
+const frameHead = 8
+
+// castagnoli is the CRC32-C table (the durable WAL's polynomial).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks a structurally damaged frame: CRC mismatch, an
+// implausible length, or a header that does not fit its payload. It is
+// never returned for a cleanly closed or merely truncated stream —
+// those are io.EOF and io.ErrUnexpectedEOF.
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+// Message types. Requests are even-positioned with their responses
+// adjacent; MsgError answers any request.
+const (
+	MsgError byte = iota + 1
+	MsgHello
+	MsgHelloOK
+	MsgStat
+	MsgStatOK
+	MsgPrepare
+	MsgPrepareOK
+	MsgWrite
+	MsgWriteOK
+	MsgRead
+	MsgReadOK
+	MsgHash
+	MsgHashOK
+	MsgMerge
+	MsgMergeOK
+	MsgDispatch
+	MsgDispatchOK
+	MsgJob
+	MsgJobOK
+	MsgStatus
+	MsgStatusOK
+)
+
+// Error codes carried by MsgError frames.
+const (
+	CodeAuth          = "auth"           // bad or missing token / magic / version
+	CodeBadRequest    = "bad-request"    // malformed header or parameters
+	CodeNotFound      = "not-found"      // unknown file, task or function
+	CodeIO            = "io"             // server-side filesystem failure
+	CodeChecksum      = "checksum"       // declared chunk digest != received bytes
+	CodeChunkMismatch = "chunk-mismatch" // merge found a chunk whose landed bytes differ
+)
+
+// Hello opens a session.
+type Hello struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	Token   string `json:"token,omitempty"`
+}
+
+// HelloOK accepts a session.
+type HelloOK struct {
+	Facility string `json:"facility"`
+	Version  int    `json:"version"`
+}
+
+// Stat asks for the sizes of files under the facility root.
+type Stat struct {
+	Rels []string `json:"rels"`
+}
+
+// StatOK answers Stat; Sizes is parallel to Rels, -1 for absent files.
+type StatOK struct {
+	Sizes []int64 `json:"sizes"`
+}
+
+// Prepare creates (and truncates to Size) one destination file.
+type Prepare struct {
+	Rel  string `json:"rel"`
+	Size int64  `json:"size"`
+}
+
+// PrepareOK answers Prepare.
+type PrepareOK struct{}
+
+// Write lands one chunk: the frame body is the chunk's bytes, written
+// at Off. SHA256, when set, is the hex digest of the body the sender
+// computed; the server re-hashes and rejects a mismatch with
+// CodeChecksum — a corrupted chunk is refused at the door, never
+// merged.
+type Write struct {
+	Rel    string `json:"rel"`
+	Off    int64  `json:"off"`
+	SHA256 string `json:"sha256,omitempty"`
+}
+
+// WriteOK answers Write.
+type WriteOK struct{}
+
+// Read asks for N bytes at Off of a file.
+type Read struct {
+	Rel string `json:"rel"`
+	Off int64  `json:"off"`
+	N   int64  `json:"n"`
+}
+
+// ReadOK answers Read; the body carries the bytes, SHA256 their digest.
+type ReadOK struct {
+	SHA256 string `json:"sha256"`
+}
+
+// Hash asks for the digest of a byte range without moving the bytes —
+// the cheap remote verification chunk resume rides on.
+type Hash struct {
+	Rel string `json:"rel"`
+	Off int64  `json:"off"`
+	N   int64  `json:"n"`
+}
+
+// HashOK answers Hash. Present is false when the file is absent or
+// shorter than the range (no digest then).
+type HashOK struct {
+	Present bool   `json:"present"`
+	SHA256  string `json:"sha256,omitempty"`
+}
+
+// MergeChunk is one chunk of a Merge request's recorded plan.
+type MergeChunk struct {
+	Off    int64  `json:"off"`
+	N      int64  `json:"n"`
+	SHA256 string `json:"sha256,omitempty"`
+}
+
+// Merge runs the verified merge server-side: one sequential pass over
+// the landed file computing the whole-file digest while re-checking
+// every chunk against the recorded plan. A mismatched chunk fails the
+// merge with CodeChunkMismatch and its index, so the client can demote
+// exactly that chunk in its manifest.
+type Merge struct {
+	Rel    string       `json:"rel"`
+	Chunks []MergeChunk `json:"chunks"`
+}
+
+// MergeOK answers Merge with the whole-file digest.
+type MergeOK struct {
+	SHA256 string `json:"sha256"`
+}
+
+// Dispatch submits one function invocation to the facility's compute
+// pool. A relative "path" argument is resolved under the facility root
+// server-side — the client addresses data it staged by the same
+// relative path it transferred.
+type Dispatch struct {
+	Function string         `json:"function"`
+	Args     map[string]any `json:"args,omitempty"`
+}
+
+// DispatchOK answers Dispatch with the facility-side task ID.
+type DispatchOK struct {
+	Task string `json:"task"`
+}
+
+// Job polls one dispatched task.
+type Job struct {
+	Task string `json:"task"`
+}
+
+// JobOK answers Job with the task's current state (timestamps are the
+// facility's clock, unix nanoseconds, zero when not yet reached).
+type JobOK struct {
+	Status    string         `json:"status"`
+	Error     string         `json:"error,omitempty"`
+	Result    map[string]any `json:"result,omitempty"`
+	NodeID    int            `json:"node_id"`
+	Started   int64          `json:"started,omitempty"`
+	Completed int64          `json:"completed,omitempty"`
+}
+
+// Status asks for the facility's status; Fill > 0 requests that many
+// opaque body bytes in the response, which is how a prober turns one
+// round trip into a goodput sample.
+type Status struct {
+	Fill int `json:"fill,omitempty"`
+}
+
+// StatusOK answers Status.
+type StatusOK struct {
+	Facility string `json:"facility"`
+	// Queued/Busy describe the compute pool when the server can tell;
+	// Jobs counts dispatches served this process lifetime.
+	Queued int `json:"queued"`
+	Busy   int `json:"busy"`
+	Jobs   int `json:"jobs"`
+	// UnixNano is the facility clock at response time.
+	UnixNano int64 `json:"unix_nano"`
+}
+
+// ErrFrame is the header of a MsgError response.
+type ErrFrame struct {
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+	// Chunk is the offending chunk index for CodeChunkMismatch.
+	Chunk int `json:"chunk,omitempty"`
+}
+
+// RemoteError is a server-reported failure surfaced to client callers.
+type RemoteError struct {
+	Code  string
+	Msg   string
+	Chunk int
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wire: remote %s: %s", e.Code, e.Msg)
+}
+
+// WriteFrame encodes and writes one frame. head is marshaled to JSON
+// (nil means an empty header); body may be nil. The frame is assembled
+// in one buffer and written with a single Write, so a wrapped conn's
+// per-write fault injection sees whole frames.
+func WriteFrame(w io.Writer, typ byte, head any, body []byte) error {
+	var hj []byte
+	if head != nil {
+		var err error
+		if hj, err = json.Marshal(head); err != nil {
+			return fmt.Errorf("wire: marshal header: %w", err)
+		}
+	}
+	payloadLen := 1 + 4 + len(hj) + len(body)
+	buf := make([]byte, frameHead+payloadLen)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(payloadLen))
+	buf[8] = typ
+	binary.LittleEndian.PutUint32(buf[9:13], uint32(len(hj)))
+	copy(buf[13:], hj)
+	copy(buf[13+len(hj):], body)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[frameHead:], castagnoli))
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame, returning its type, raw header JSON and
+// body. maxFrame bounds the payload (0 = DefaultMaxFrame). A clean EOF
+// at a frame boundary is io.EOF; a stream cut mid-frame is
+// io.ErrUnexpectedEOF; CRC or structural damage is ErrCorrupt.
+func ReadFrame(r io.Reader, maxFrame uint32) (typ byte, head, body []byte, err error) {
+	if maxFrame == 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var fh [frameHead]byte
+	if _, err = io.ReadFull(r, fh[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, nil, io.EOF
+		}
+		return 0, nil, nil, err
+	}
+	payloadLen := binary.LittleEndian.Uint32(fh[0:4])
+	wantCRC := binary.LittleEndian.Uint32(fh[4:8])
+	if payloadLen < 5 || payloadLen > maxFrame {
+		return 0, nil, nil, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, nil, err
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+		return 0, nil, nil, fmt.Errorf("%w: CRC mismatch (want %08x, got %08x)", ErrCorrupt, wantCRC, got)
+	}
+	typ = payload[0]
+	headLen := binary.LittleEndian.Uint32(payload[1:5])
+	if int(headLen) > len(payload)-5 {
+		return 0, nil, nil, fmt.Errorf("%w: header length %d exceeds payload", ErrCorrupt, headLen)
+	}
+	head = payload[5 : 5+headLen]
+	body = payload[5+headLen:]
+	return typ, head, body, nil
+}
+
+// DecodeHead unmarshals a frame's raw header JSON into dst. An empty
+// header decodes into the zero value. Numbers decode as float64 (the
+// same convention the flows codec's weak coercion assumes), so compute
+// args survive the wire the way they survive a flows checkpoint.
+func DecodeHead(head []byte, dst any) error {
+	if len(head) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(head, dst); err != nil {
+		return fmt.Errorf("wire: decode header: %w", err)
+	}
+	return nil
+}
