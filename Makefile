@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-portal bench-recovery bench-netprobe bench-wire fuzz-wire linkcheck ci
+.PHONY: all build vet test race race-fed chaos-smoke bench-smoke bench bench-portal bench-recovery bench-netprobe bench-wire fuzz-wire linkcheck ci
 
 all: ci
 
@@ -15,6 +15,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The federation's concurrency-heavy packages under the race detector:
+# heartbeat monitor, wire client/server resilience, fault injectors,
+# and the registry's health-driven placement.
+race-fed:
+	$(GO) test -race ./internal/health/ ./internal/wire/ ./internal/netfault/ ./internal/facility/ ./internal/transfer/
+
+# A short-mode pass of the chaos soak and the heartbeat detection gate
+# (DESIGN.md §12): a scaled-down daemon federation under the seeded
+# fault storm. The full-size soak runs with plain `go test .`.
+chaos-smoke:
+	$(GO) test -short -run 'TestChaosSoak|TestHeartbeatDetectsHungDaemonBeforeTimeout' -count 1 .
 
 # The catalog serving benchmarks (BENCHMARKS.md "Portal serving"): one
 # execution each, with allocation counts. Raise -benchtime (e.g.
@@ -61,4 +73,4 @@ bench:
 linkcheck:
 	$(GO) run ./tools/linkcheck
 
-ci: build vet test bench-smoke fuzz-wire linkcheck
+ci: build vet test race-fed chaos-smoke bench-smoke fuzz-wire linkcheck

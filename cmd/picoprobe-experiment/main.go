@@ -57,6 +57,7 @@ func main() {
 	wireFacilities := flag.Int("wire-facilities", 2, "daemons to spawn with -wire")
 	wireFiles := flag.Int("wire-files", 6, "files in the -wire campaign")
 	wireDegrade := flag.Duration("wire-degrade", 0, "with -wire and -probe: inject this read delay on facility 0 and show the probe seeing it")
+	wireHealth := flag.Bool("wire-health", false, "with -wire: heartbeat-monitor every daemon and wire Up/Suspect/Down verdicts into placement")
 	flag.Parse()
 
 	if *wireMode {
@@ -74,6 +75,7 @@ func main() {
 			Files:      *wireFiles,
 			Kind:       wireKind,
 			Probe:      *probe,
+			Health:     *wireHealth,
 			Degrade:    *wireDegrade,
 			Dir:        dir,
 		})

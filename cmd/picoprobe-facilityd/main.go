@@ -11,10 +11,18 @@
 // mid-transfer, restart it on the same root, and the client completes
 // with O(remaining chunks) re-moved bytes.
 //
+// Graceful degradation (DESIGN.md §12): -max-sessions caps concurrent
+// wire sessions (excess connections get a typed busy error clients back
+// off on), -idle-timeout reaps sessions whose peer went silent, and
+// SIGTERM drains — the daemon stops accepting, finishes in-flight chunk
+// writes for up to -drain, then exits. SIGINT (or a second SIGTERM)
+// still closes immediately.
+//
 // Usage:
 //
 //	picoprobe-facilityd -root /data/eagle [-addr 127.0.0.1:7421]
 //	    [-id alcf-eagle] [-secret ...] [-workers 2] [-out DIR]
+//	    [-max-sessions 64] [-idle-timeout 2m] [-drain 30s]
 package main
 
 import (
@@ -41,6 +49,9 @@ func main() {
 	secret := flag.String("secret", core.WireSecretDefault, "shared HMAC secret session tokens are verified against")
 	workers := flag.Int("workers", 2, "concurrent compute tasks in the local pool")
 	out := flag.String("out", "", "analysis artifact directory (default <root>/analysis-out)")
+	maxSessions := flag.Int("max-sessions", 64, "max concurrent wire sessions; excess connections get a typed busy error (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "drop sessions idle longer than this (0 = never)")
+	drain := flag.Duration("drain", 30*time.Second, "SIGTERM grace: finish in-flight requests for up to this long before exiting (0 = wait indefinitely)")
 	flag.Parse()
 
 	if *root == "" {
@@ -76,6 +87,8 @@ func main() {
 		},
 		Compute:      csvc,
 		ComputeToken: ctoken,
+		MaxSessions:  *maxSessions,
+		IdleTimeout:  *idleTimeout,
 		Logf:         log.Printf,
 	}
 	bound, err := srv.Start(*addr)
@@ -86,6 +99,24 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	s := <-sig
+	if s == syscall.SIGTERM {
+		// Graceful drain: stop accepting, let in-flight requests finish
+		// within the grace window. A second signal forces an immediate
+		// close.
+		log.Printf("picoprobe-facilityd: SIGTERM, draining (grace %v)", *drain)
+		done := make(chan struct{})
+		go func() {
+			srv.Drain(*drain)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-sig:
+			log.Printf("picoprobe-facilityd: second signal, closing now")
+			srv.Close()
+		}
+		return
+	}
 	srv.Close()
 }

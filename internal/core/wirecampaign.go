@@ -14,6 +14,7 @@ import (
 	"picoprobe/internal/detect"
 	"picoprobe/internal/facility"
 	"picoprobe/internal/flows"
+	"picoprobe/internal/health"
 	"picoprobe/internal/metadata"
 	"picoprobe/internal/netfault"
 	"picoprobe/internal/netprobe"
@@ -43,6 +44,11 @@ type WireCampaignConfig struct {
 	// Probe attaches a link-quality prober to every daemon's status
 	// endpoint (observe-only: scores are reported, placement unchanged).
 	Probe bool
+	// Health attaches a heartbeat monitor to every daemon's status
+	// endpoint and wires its Up/Suspect/Down verdicts into placement: a
+	// daemon declared Down sheds fresh placements and fails over sticky
+	// runs exactly like a planned outage window.
+	Health bool
 	// NoSpread disables the default round-robin facility pinning. The
 	// campaign's facilities are identical and idle, so unconstrained
 	// least-ECT placement degenerates to the first one; pinning run i to
@@ -78,6 +84,9 @@ type WireCampaignResult struct {
 	Placement  facility.Stats
 	// Jobs counts compute dispatches each daemon reported serving.
 	Jobs map[string]int
+	// HealthChecks counts completed heartbeat checks per facility (Health
+	// campaigns only).
+	HealthChecks map[string]uint64
 	// ProbeDemo is set when Probe and Degrade were both requested.
 	ProbeDemo *WireProbeDemo
 }
@@ -215,6 +224,34 @@ func RunWireCampaign(cfg WireCampaignConfig) (*WireCampaignResult, error) {
 
 	res := &WireCampaignResult{Dir: dir}
 
+	// Heartbeat monitoring against the daemons' status endpoints: short
+	// checks on a tight interval, verdicts wired into placement. On a
+	// healthy loopback federation every verdict stays Up, so decisions —
+	// and the wire timeline — are identical to a monitor-less campaign;
+	// the verdicts and check counters still surface in the report.
+	var mon *health.Monitor
+	if cfg.Health {
+		mon = health.NewMonitor(rt, health.Config{Interval: 100 * time.Millisecond})
+		for _, fac := range reg.Facilities() {
+			ht := wire.NewHealthTarget(addrs[fac.ID()], token)
+			defer ht.Close()
+			if err := mon.Register(fac.PathID(), ht); err != nil {
+				return nil, err
+			}
+		}
+		reg.AttachHealth(mon)
+		mon.Start(time.Time{})
+		defer mon.Stop()
+		defer func() {
+			res.HealthChecks = map[string]uint64{}
+			for _, fac := range reg.Facilities() {
+				if st, ok := mon.Health(fac.PathID()); ok {
+					res.HealthChecks[fac.ID()] = st.Checks
+				}
+			}
+		}()
+	}
+
 	// Link-quality probing against the daemons' real status endpoints,
 	// attached observe-only (low water 0): scores surface in the
 	// facility snapshot without perturbing placement.
@@ -287,6 +324,23 @@ func RunWireCampaign(cfg WireCampaignConfig) (*WireCampaignResult, error) {
 	}
 	for _, f := range files {
 		res.BytesMoved += f.bytes
+	}
+
+	// Same discipline for the heartbeat monitor: a short campaign can
+	// outrun the first probe interval, which would report "up" off zero
+	// completed checks; wait for every target to finish at least one
+	// real check so the verdicts in the report are measured.
+	if mon != nil {
+		deadline := time.Now().Add(3 * time.Second)
+		for _, fac := range reg.Facilities() {
+			for {
+				st, ok := mon.Health(fac.PathID())
+				if (ok && st.Checks > 0) || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
 	}
 
 	// A short campaign can finish before the prober's first window
@@ -398,9 +452,14 @@ func FormatWireCampaign(res *WireCampaignResult) string {
 		len(res.Runs), len(res.Facilities), float64(res.BytesMoved)/1e6, res.IndexedRecords)
 	fmt.Fprintf(&sb, "Placement: %d decision(s), %d failover(s)\n", res.Placement.Decisions, res.Placement.Failovers)
 	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "Facility\truns placed\tjobs\tlink score\trtt (ms)\tgoodput (Mbps)")
+	fmt.Fprintln(w, "Facility\truns placed\tjobs\thealth\tlink score\trtt (ms)\tgoodput (Mbps)")
 	for _, f := range res.Facilities {
 		fmt.Fprintf(w, "%s\t%d\t%d", f.ID, f.Placed, res.Jobs[f.ID])
+		if h := f.Health; h != nil {
+			fmt.Fprintf(w, "\t%s (%d checks)", h.State, h.Checks)
+		} else {
+			fmt.Fprintf(w, "\t-")
+		}
 		if q := f.Quality; q != nil {
 			fmt.Fprintf(w, "\t%.1f\t%.2f\t%.0f", q.Score, q.RTTMs, q.GoodputBps/1e6)
 		} else {

@@ -16,7 +16,7 @@ type journalOp struct {
 	Op  string `json:"op"`
 	Run string `json:"run,omitempty"`
 	Fac string `json:"fac,omitempty"`
-	Why string `json:"why,omitempty"` // failover cause: "outage", "budget" or "degraded"
+	Why string `json:"why,omitempty"` // failover cause: "outage", "budget", "degraded" or "unhealthy"
 }
 
 const (
@@ -48,6 +48,8 @@ func (r *Registry) applyLocked(op journalOp) {
 			r.stats.BudgetFailovers++
 		case "degraded":
 			r.stats.DegradedFailovers++
+		case "unhealthy":
+			r.stats.UnhealthyFailovers++
 		default:
 			r.stats.OutageFailovers++
 		}

@@ -152,6 +152,9 @@ type Status struct {
 	// quality provider is attached (probing disabled) or the path is not
 	// yet measured.
 	Quality *QualityStatus `json:"quality,omitempty"`
+	// Health is the facility's heartbeat liveness verdict; nil when no
+	// health monitor is attached or the facility is not watched.
+	Health *HealthStatus `json:"health,omitempty"`
 }
 
 // QualityStatus is the wire form of a path's link quality.
@@ -168,6 +171,23 @@ type QualityStatus struct {
 	Degraded bool `json:"degraded"`
 }
 
+// HealthStatus is the wire form of a facility's heartbeat verdict.
+type HealthStatus struct {
+	// State is "up", "suspect" or "down".
+	State string `json:"state"`
+	// SinceS is how long the facility has held the current state.
+	SinceS float64 `json:"since_s"`
+	// LastCheckAgeS is how long ago the last check completed.
+	LastCheckAgeS float64 `json:"last_check_age_s"`
+	// LastErr is the most recent check failure ("" when healthy).
+	LastErr string `json:"last_err,omitempty"`
+	// Checks/Fails count lifetime checks and failures.
+	Checks uint64 `json:"checks"`
+	Fails  uint64 `json:"fails"`
+	// RTTMs is the most recent successful check's round trip.
+	RTTMs float64 `json:"rtt_ms"`
+}
+
 // WaitSummary is the queue-wait distribution of completed jobs.
 type WaitSummary struct {
 	P50S float64 `json:"p50_s"`
@@ -181,9 +201,9 @@ type WindowJSON struct {
 	End   time.Time `json:"end"`
 }
 
-// snapshot builds the facility's Status at time now. quality may be nil
-// (probing disabled).
-func (f *Facility) snapshot(now time.Time, placed, failedFrom int, quality *QualityStatus) Status {
+// snapshot builds the facility's Status at time now. quality and
+// health may be nil (probing or heartbeat monitoring disabled).
+func (f *Facility) snapshot(now time.Time, placed, failedFrom int, quality *QualityStatus, health *HealthStatus) Status {
 	st := f.Sched.Stats()
 	w := f.Sched.QueueWaits()
 	out := Status{
@@ -211,5 +231,6 @@ func (f *Facility) snapshot(now time.Time, placed, failedFrom int, quality *Qual
 		out.Outages = append(out.Outages, WindowJSON{Start: o.Start, End: o.End})
 	}
 	out.Quality = quality
+	out.Health = health
 	return out
 }

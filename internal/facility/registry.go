@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"picoprobe/internal/durable"
+	"picoprobe/internal/health"
 	"picoprobe/internal/netprobe"
 	"picoprobe/internal/sim"
 )
@@ -31,6 +32,10 @@ const (
 	// score fell below the low-water mark (AttachQuality) — the link is
 	// degrading but has not timed anything out yet.
 	ReasonFailoverDegraded Reason = "failover-degraded"
+	// ReasonFailoverUnhealthy re-routes because the heartbeat monitor
+	// declared the target Down (AttachHealth) — a detected outage,
+	// treated exactly like a planned one except nobody scheduled it.
+	ReasonFailoverUnhealthy Reason = "failover-unhealthy"
 )
 
 // Decision is the outcome of one placement call.
@@ -49,10 +54,11 @@ type Stats struct {
 	// Decisions counts Place calls.
 	Decisions int
 	// Failovers counts re-routed placements, split by cause.
-	Failovers         int
-	OutageFailovers   int
-	BudgetFailovers   int
-	DegradedFailovers int
+	Failovers          int
+	OutageFailovers    int
+	BudgetFailovers    int
+	DegradedFailovers  int
+	UnhealthyFailovers int
 	// Restages counts runs whose staged data had to move to another
 	// facility after a failover.
 	Restages int
@@ -86,6 +92,10 @@ type Registry struct {
 	// (lowWater <= 0 keeps quality observe-only).
 	quality  netprobe.PathQuality
 	lowWater float64
+
+	// health, when attached via AttachHealth, supplies heartbeat
+	// liveness verdicts per facility (keyed by PathID, like quality).
+	health health.Provider
 }
 
 // NewRegistry returns an empty registry. budget bounds the queue-wait
@@ -134,6 +144,43 @@ func (r *Registry) AttachQuality(q netprobe.PathQuality, lowWater float64) {
 	defer r.mu.Unlock()
 	r.quality = q
 	r.lowWater = lowWater
+}
+
+// AttachHealth wires a heartbeat liveness provider into placement. Each
+// facility's verdict is read by PathID (the same key quality uses). A
+// facility the monitor declares Down is treated exactly like one inside
+// a planned outage window: fresh placements skip it and sticky or
+// constrained runs fail over with ReasonFailoverUnhealthy (journaled as
+// "unhealthy", replayed like every other failover). A Suspect facility
+// is soft-avoided the way a degraded path is — new runs go elsewhere
+// while any healthy facility is up, but sticky runs stay put, because
+// one lost heartbeat is usually a blip and a re-stage is not free. With
+// no provider attached every decision is bit-identical to a registry
+// built before this subsystem existed.
+func (r *Registry) AttachHealth(h health.Provider) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.health = h
+}
+
+// unhealthyLocked reports whether the heartbeat monitor declared f
+// Down. Unwatched facilities are never unhealthy (healthy until proven
+// otherwise, like unmeasured paths).
+func (r *Registry) unhealthyLocked(f *Facility) bool {
+	if r.health == nil {
+		return false
+	}
+	st, ok := r.health.Health(f.PathID())
+	return ok && st.State == health.Down
+}
+
+// suspectLocked reports whether the heartbeat monitor holds f Suspect.
+func (r *Registry) suspectLocked(f *Facility) bool {
+	if r.health == nil {
+		return false
+	}
+	st, ok := r.health.Health(f.PathID())
+	return ok && st.State == health.Suspect
 }
 
 // degradedLocked reports whether f's path score is below the low-water
@@ -216,17 +263,21 @@ func (r *Registry) Place(runKey, constraint string, bytes int64) (Decision, erro
 		}
 		wait := f.Sched.EstimateWait()
 		degraded := r.degradedLocked(f)
-		if f.Up(now) && !degraded && (r.budget <= 0 || wait <= r.budget) {
+		unhealthy := r.unhealthyLocked(f)
+		if f.Up(now) && !unhealthy && !degraded && (r.budget <= 0 || wait <= r.budget) {
 			r.commitLocked(runKey, f)
 			return Decision{Facility: f, Reason: reason, Wait: wait}, nil
 		}
-		// Failover: the target is down, its path is degraded, or it is
-		// over budget — in that precedence (an outage is absolute, a
+		// Failover: the target is down (planned or heartbeat-detected),
+		// its path is degraded, or it is over budget — in that precedence
+		// (an outage is absolute, a detected outage is just as absolute, a
 		// degraded link outranks a long queue).
 		why := ReasonFailoverOutage
 		switch {
 		case !f.Up(now):
 			why = ReasonFailoverOutage
+		case unhealthy:
+			why = ReasonFailoverUnhealthy
 		case degraded:
 			why = ReasonFailoverDegraded
 		default:
@@ -253,8 +304,10 @@ func (r *Registry) Place(runKey, constraint string, bytes int64) (Decision, erro
 			}
 		}
 		if best == nil {
-			if why != ReasonFailoverOutage && f.Up(now) {
+			if why != ReasonFailoverOutage && why != ReasonFailoverUnhealthy && f.Up(now) {
 				// Nowhere better to go: stay put rather than stall the run.
+				// (Never for an outage or a Down heartbeat verdict — staying
+				// on an unreachable facility stalls the run by definition.)
 				r.commitLocked(runKey, f)
 				return Decision{Facility: f, Reason: reason, Wait: wait}, nil
 			}
@@ -266,6 +319,8 @@ func (r *Registry) Place(runKey, constraint string, bytes int64) (Decision, erro
 			cause = "budget"
 		case ReasonFailoverDegraded:
 			cause = "degraded"
+		case ReasonFailoverUnhealthy:
+			cause = "unhealthy"
 		}
 		r.noteLocked(journalOp{Op: opFailover, Fac: want, Why: cause})
 		r.commitLocked(runKey, best)
@@ -282,23 +337,26 @@ func (r *Registry) Place(runKey, constraint string, bytes int64) (Decision, erro
 
 // bestLocked returns the up facility (excluding exclude) with the least
 // estimated completion time and its queue-wait component, or nil when
-// none is up. Facilities whose path is degraded (below the quality
-// low-water mark) are passed over while any healthy facility is up; when
-// every up facility is degraded the least-ECT degraded one is returned
-// with degraded=true — a slow link still beats no link. Ties go to
-// registration order. EstimateWait is an O(queue × nodes) replay, so the
-// wait is computed once per candidate and returned for reuse.
+// none is up. A facility the heartbeat monitor holds Down is skipped
+// outright, exactly like one inside an outage window. Facilities whose
+// path is degraded (below the quality low-water mark) or whose
+// heartbeat verdict is Suspect are passed over while any healthy
+// facility is up; when every up facility is degraded or suspect the
+// least-ECT one of them is returned with degraded=true — a slow link
+// still beats no link. Ties go to registration order. EstimateWait is
+// an O(queue × nodes) replay, so the wait is computed once per
+// candidate and returned for reuse.
 func (r *Registry) bestLocked(now time.Time, bytes int64, exclude string) (best *Facility, bestWait time.Duration, degraded bool) {
 	var bestECT time.Duration
 	var degBest *Facility
 	var degECT, degWait time.Duration
 	for _, f := range r.order {
-		if f.ID() == exclude || !f.Up(now) {
+		if f.ID() == exclude || !f.Up(now) || r.unhealthyLocked(f) {
 			continue
 		}
 		wait := f.Sched.EstimateWait()
 		ect := r.estimateTransferLocked(f, bytes) + wait
-		if r.degradedLocked(f) {
+		if r.degradedLocked(f) || r.suspectLocked(f) {
 			if degBest == nil || ect < degECT {
 				degBest, degECT, degWait = f, ect, wait
 			}
@@ -384,6 +442,7 @@ func (r *Registry) Snapshot() []Status {
 	}
 	now := r.rt.Now()
 	quality, lowWater := r.quality, r.lowWater
+	hp := r.health
 	r.mu.Unlock()
 	out := make([]Status, 0, len(order))
 	for _, f := range order {
@@ -403,7 +462,25 @@ func (r *Registry) Snapshot() []Status {
 				}
 			}
 		}
-		out = append(out, f.snapshot(now, placed[f.ID()], failed[f.ID()], qs))
+		var hs *HealthStatus
+		if hp != nil {
+			if h, ok := hp.Health(f.PathID()); ok {
+				hs = &HealthStatus{
+					State:   h.State.String(),
+					LastErr: h.LastErr,
+					Checks:  h.Checks,
+					Fails:   h.Fails,
+					RTTMs:   h.LastRTT.Seconds() * 1e3,
+				}
+				if !h.Since.IsZero() {
+					hs.SinceS = now.Sub(h.Since).Seconds()
+				}
+				if !h.LastCheck.IsZero() {
+					hs.LastCheckAgeS = now.Sub(h.LastCheck).Seconds()
+				}
+			}
+		}
+		out = append(out, f.snapshot(now, placed[f.ID()], failed[f.ID()], qs, hs))
 	}
 	return out
 }

@@ -1,0 +1,367 @@
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoListener serves connections that write back everything they read.
+func echoListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return ln
+}
+
+// TestStallFreezesReadsUntilRestored: a stalled connection's reads hang
+// (no FIN, no error) and resume when the stall clears.
+func TestStallFreezesReadsUntilRestored(t *testing.T) {
+	ln := echoListener(t)
+	f := &Faults{}
+	conn, err := f.Dialer(nil)(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	f.SetStalled(true)
+	if !f.Stalled() {
+		t.Fatal("stall not installed")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Read(buf)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("read returned %v during stall, want hang", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if f.StalledReads() == 0 {
+		t.Fatal("stalled read not counted")
+	}
+	// Writes still reach the server during a read stall; clearing the
+	// stall releases the blocked read with the echo.
+	if _, err := conn.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetStalled(false)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("read after stall cleared: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read never resumed after stall cleared")
+	}
+}
+
+// TestStallHonorsReadDeadline: a stalled read still times out at the
+// conn's deadline, so a client with deadlines set cannot hang forever.
+func TestStallHonorsReadDeadline(t *testing.T) {
+	ln := echoListener(t)
+	f := &Faults{}
+	f.SetStalled(true)
+	conn, err := f.Dialer(nil)(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err = conn.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read err = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("deadline took %v to fire", d)
+	}
+}
+
+// TestStallHonorsClose: closing a stalled connection releases the
+// blocked reader with net.ErrClosed.
+func TestStallHonorsClose(t *testing.T) {
+	ln := echoListener(t)
+	f := &Faults{}
+	f.SetStalled(true)
+	conn, err := f.Dialer(nil)(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	conn.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("read after close err = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not release the stalled read")
+	}
+}
+
+// TestBlackholeSwallowsWrites: writes report success but never reach
+// the peer; the swallowed counter records them.
+func TestBlackholeSwallowsWrites(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	received := make(chan []byte, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			received <- nil
+			return
+		}
+		defer c.Close()
+		var buf bytes.Buffer
+		io.Copy(&buf, c)
+		received <- buf.Bytes()
+	}()
+
+	f := &Faults{}
+	conn, err := f.Dialer(nil)(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetBlackhole(true)
+	for i := 0; i < 3; i++ {
+		n, err := conn.Write([]byte("void"))
+		if err != nil || n != 4 {
+			t.Fatalf("blackholed write: n=%d err=%v, want reported success", n, err)
+		}
+	}
+	if f.Swallowed() != 3 {
+		t.Fatalf("swallowed = %d, want 3", f.Swallowed())
+	}
+	f.SetBlackhole(false)
+	conn.Close()
+	if got := <-received; !bytes.Equal(got, []byte("real")) {
+		t.Fatalf("server received %q, want only the pre-blackhole %q", got, "real")
+	}
+}
+
+// TestFlapSeversAndRefusesDials: Flap closes every live connection,
+// refuses new dials until Restore, and counts both.
+func TestFlapSeversAndRefusesDials(t *testing.T) {
+	ln := echoListener(t)
+	f := &Faults{}
+	dial := f.Dialer(nil)
+	c1, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Open() != 2 {
+		t.Fatalf("open = %d, want 2", f.Open())
+	}
+
+	f.Flap()
+	if f.Flaps() != 1 {
+		t.Fatalf("flaps = %d, want 1", f.Flaps())
+	}
+	if f.Open() != 0 {
+		t.Fatalf("open after flap = %d, want 0 (all severed)", f.Open())
+	}
+	for _, c := range []net.Conn{c1, c2} {
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatal("read on severed conn succeeded")
+		}
+	}
+	if _, err := dial(ln.Addr().String()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial during flap err = %v, want ErrInjected", err)
+	}
+	if f.RefusedDials() != 1 {
+		t.Fatalf("refused dials = %d, want 1", f.RefusedDials())
+	}
+
+	f.Restore()
+	c3, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after restore: %v", err)
+	}
+	c3.Close()
+}
+
+// TestCorruptNextWrites flips one byte in each of the next K writes at
+// runtime, reporting success to the sender.
+func TestCorruptNextWrites(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	received := make(chan []byte, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			received <- nil
+			return
+		}
+		defer c.Close()
+		var buf bytes.Buffer
+		io.Copy(&buf, c)
+		received <- buf.Bytes()
+	}()
+
+	f := &Faults{}
+	conn, err := f.Dialer(nil)(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	f.CorruptNextWrites(2)
+	for i := 0; i < 3; i++ {
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	conn.Close()
+	if f.CorruptedWrites() != 2 {
+		t.Fatalf("corrupted = %d, want 2", f.CorruptedWrites())
+	}
+	got := <-received
+	if len(got) != 3*len(payload) {
+		t.Fatalf("server received %d bytes, want %d", len(got), 3*len(payload))
+	}
+	for i := 0; i < 3; i++ {
+		part := got[i*len(payload) : (i+1)*len(payload)]
+		damaged := !bytes.Equal(part, payload)
+		if i < 2 && !damaged {
+			t.Fatalf("write %d arrived undamaged, want corrupted", i)
+		}
+		if i == 2 && damaged {
+			t.Fatalf("write %d damaged after the corrupt budget ran out", i)
+		}
+	}
+}
+
+// TestByteCounters: BytesWritten/BytesRead account sender-side traffic,
+// including swallowed writes (the sender paid for them).
+func TestByteCounters(t *testing.T) {
+	ln := echoListener(t)
+	f := &Faults{}
+	conn, err := f.Dialer(nil)(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	f.SetBlackhole(true)
+	conn.Write(make([]byte, 50))
+	f.SetBlackhole(false)
+	if w := f.BytesWritten(); w != 150 {
+		t.Fatalf("bytes written = %d, want 150 (100 real + 50 swallowed)", w)
+	}
+	if r := f.BytesRead(); r != 100 {
+		t.Fatalf("bytes read = %d, want 100", r)
+	}
+}
+
+// TestChaosInjectorsConcurrent hammers every runtime toggle while
+// traffic flows — the -race canary for the chaos controls.
+func TestChaosInjectorsConcurrent(t *testing.T) {
+	ln := echoListener(t)
+	f := &Faults{}
+	dial := f.Dialer(nil)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Traffic goroutines: dial, exchange, tolerate injected failures.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c, err := dial(ln.Addr().String())
+				if err != nil {
+					continue
+				}
+				c.SetDeadline(time.Now().Add(20 * time.Millisecond))
+				c.Write([]byte("x"))
+				c.Read(make([]byte, 1))
+				c.Close()
+			}
+		}()
+	}
+	// Chaos goroutine: toggle every injector.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			switch i % 5 {
+			case 0:
+				f.SetStalled(true)
+			case 1:
+				f.SetStalled(false)
+			case 2:
+				f.SetBlackhole(i%2 == 0)
+			case 3:
+				f.Flap()
+				f.Restore()
+			case 4:
+				f.CorruptNextWrites(1)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		f.SetStalled(false)
+		f.SetBlackhole(false)
+		f.Restore()
+		close(stop)
+	}()
+	wg.Wait()
+	f.CloseAll()
+}

@@ -9,12 +9,25 @@
 // so "sever at the Nth chunk" means the Nth chunk of the whole exchange,
 // not of one socket.
 //
+// Beyond the static Nth-IO triggers, a Faults carries runtime-togglable
+// chaos modes for soak harnesses (DESIGN.md §12): SetStalled freezes
+// reads without closing (the accepted-but-unacked hang a dead kernel
+// leaves behind — no FIN, no RST, just silence), SetBlackhole swallows
+// writes and freezes reads (a one-way partition), Flap/Restore models a
+// service bouncing (refuse new dials, sever everything live), and
+// CorruptNextWrites flips a byte in each of the next K writes. All of
+// them honor connection deadlines and Close, so a stalled read under a
+// SetDeadline surfaces os.ErrDeadlineExceeded exactly like a real
+// socket would.
+//
 // The zero Faults injects nothing and adds one atomic load per I/O call.
 package netfault
 
 import (
 	"errors"
 	"net"
+	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -22,10 +35,16 @@ import (
 // ErrInjected marks a read, write or dial failed by fault injection.
 var ErrInjected = errors.New("netfault: injected fault")
 
+// stallPoll is how often a stalled read re-checks its deadline and the
+// conn's liveness. Coarse is fine: stalls are seconds long, and the
+// victim's own deadline decides when the stall surfaces.
+const stallPoll = time.Millisecond
+
 // Faults configures fault injection. Set the trigger fields before
 // wrapping connections; counters are shared across every conn produced
-// by the same Faults. All fields count calls starting at 1; 0 disables
-// a trigger.
+// by the same Faults. All static fields count calls starting at 1; 0
+// disables a trigger. The Set*/Flap/CorruptNextWrites methods are safe
+// to call at any time from any goroutine.
 type Faults struct {
 	// CutAtRead closes the connection on the Nth read (counted across
 	// all conns), before any bytes of that read are returned.
@@ -45,6 +64,25 @@ type Faults struct {
 
 	reads, writes, dials atomic.Int64
 	readDelayNs          atomic.Int64
+
+	// Runtime chaos switches.
+	stalled     atomic.Bool
+	blackhole   atomic.Bool
+	refuseDials atomic.Bool
+	corruptNext atomic.Int64
+
+	// Chaos observability counters.
+	stalledReads   atomic.Int64
+	swallowed      atomic.Int64
+	flaps          atomic.Int64
+	refusedDials   atomic.Int64
+	corruptedLive  atomic.Int64
+	bytesRead      atomic.Int64
+	bytesWritten   atomic.Int64
+	severedByFlaps atomic.Int64
+
+	mu   sync.Mutex
+	open map[*conn]struct{}
 }
 
 // SetReadDelay installs (or clears, with 0) a delay added to every
@@ -59,6 +97,64 @@ func (f *Faults) ReadDelay() time.Duration {
 	return time.Duration(f.readDelayNs.Load())
 }
 
+// SetStalled freezes (true) or thaws (false) every read on every
+// wrapped connection: bytes stop arriving but the socket stays open —
+// no FIN, no error — until the reader's own deadline fires or the conn
+// is closed. This is the silent-hang failure mode heartbeats exist to
+// catch: a cut fails fast, a stall fails slow.
+func (f *Faults) SetStalled(v bool) { f.stalled.Store(v) }
+
+// Stalled reports whether reads are currently frozen.
+func (f *Faults) Stalled() bool { return f.stalled.Load() }
+
+// SetBlackhole starts (true) or stops (false) one-way-partition mode:
+// writes report success but never reach the peer, and reads freeze like
+// a stall. The sender's only signal is the missing response.
+func (f *Faults) SetBlackhole(v bool) { f.blackhole.Store(v) }
+
+// Blackhole reports whether blackhole mode is on.
+func (f *Faults) Blackhole() bool { return f.blackhole.Load() }
+
+// SetRefuseDials makes every subsequent dial fail with ErrInjected
+// (true) or restores dialing (false) — the connection-refused phase of
+// a daemon bounce.
+func (f *Faults) SetRefuseDials(v bool) { f.refuseDials.Store(v) }
+
+// CorruptNextWrites flips one byte in each of the next k writes (on top
+// of any static CorruptAtWrite trigger). Unlike the static field it is
+// safe to call while connections are live — chaos schedules corrupt
+// mid-campaign.
+func (f *Faults) CorruptNextWrites(k int64) { f.corruptNext.Store(k) }
+
+// Flap severs the service: new dials are refused and every live wrapped
+// connection is closed. Restore brings dialing back. A Flap/Restore
+// pair is one bounce of the daemon's network presence (the daemon
+// process itself stays up — contrast a kill, where it does not).
+func (f *Faults) Flap() {
+	f.flaps.Add(1)
+	f.refuseDials.Store(true)
+	f.severedByFlaps.Add(int64(f.CloseAll()))
+}
+
+// Restore ends a Flap: dials succeed again.
+func (f *Faults) Restore() { f.refuseDials.Store(false) }
+
+// CloseAll closes every currently open wrapped connection and reports
+// how many it closed. Blocked reads (including stalled ones) unblock
+// with a closed-connection error.
+func (f *Faults) CloseAll() int {
+	f.mu.Lock()
+	conns := make([]*conn, 0, len(f.open))
+	for c := range f.open {
+		conns = append(conns, c)
+	}
+	f.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return len(conns)
+}
+
 // Reads reports how many reads the wrapped connections have served.
 func (f *Faults) Reads() int64 { return f.reads.Load() }
 
@@ -69,6 +165,39 @@ func (f *Faults) Writes() int64 { return f.writes.Load() }
 // ones included).
 func (f *Faults) Dials() int64 { return f.dials.Load() }
 
+// StalledReads counts reads that hit an active stall or blackhole.
+func (f *Faults) StalledReads() int64 { return f.stalledReads.Load() }
+
+// Swallowed counts writes silently discarded by blackhole mode.
+func (f *Faults) Swallowed() int64 { return f.swallowed.Load() }
+
+// Flaps counts Flap calls.
+func (f *Faults) Flaps() int64 { return f.flaps.Load() }
+
+// RefusedDials counts dials failed by FailDials or refuse-dials mode.
+func (f *Faults) RefusedDials() int64 { return f.refusedDials.Load() }
+
+// CorruptedWrites counts writes corrupted by CorruptNextWrites (the
+// static CorruptAtWrite trigger is not included).
+func (f *Faults) CorruptedWrites() int64 { return f.corruptedLive.Load() }
+
+// BytesRead reports total bytes delivered to readers across all
+// wrapped connections.
+func (f *Faults) BytesRead() int64 { return f.bytesRead.Load() }
+
+// BytesWritten reports total bytes accepted from writers across all
+// wrapped connections (swallowed blackhole bytes included — the sender
+// paid for them). It is the denominator of a soak harness's retry
+// amplification bound.
+func (f *Faults) BytesWritten() int64 { return f.bytesWritten.Load() }
+
+// Open reports how many wrapped connections are currently open.
+func (f *Faults) Open() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.open)
+}
+
 // Dialer wraps dial (nil = plain TCP) so returned connections inject
 // this Faults' triggers and the first FailDials dials fail outright.
 func (f *Faults) Dialer(dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
@@ -76,14 +205,20 @@ func (f *Faults) Dialer(dial func(addr string) (net.Conn, error)) func(addr stri
 		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
 	return func(addr string) (net.Conn, error) {
-		if n := f.dials.Add(1); f.FailDials > 0 && n <= f.FailDials {
+		n := f.dials.Add(1)
+		if f.FailDials > 0 && n <= f.FailDials {
+			f.refusedDials.Add(1)
+			return nil, ErrInjected
+		}
+		if f.refuseDials.Load() {
+			f.refusedDials.Add(1)
 			return nil, ErrInjected
 		}
 		c, err := dial(addr)
 		if err != nil {
 			return nil, err
 		}
-		return &conn{Conn: c, f: f}, nil
+		return f.track(c), nil
 	}
 }
 
@@ -103,44 +238,133 @@ func (l *listener) Accept() (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &conn{Conn: c, f: l.f}, nil
+	return l.f.track(c), nil
+}
+
+// track wraps and registers one connection for CloseAll/Flap.
+func (f *Faults) track(c net.Conn) *conn {
+	fc := &conn{Conn: c, f: f}
+	f.mu.Lock()
+	if f.open == nil {
+		f.open = map[*conn]struct{}{}
+	}
+	f.open[fc] = struct{}{}
+	f.mu.Unlock()
+	return fc
+}
+
+func (f *Faults) forget(fc *conn) {
+	f.mu.Lock()
+	delete(f.open, fc)
+	f.mu.Unlock()
 }
 
 // conn is one fault-injected connection.
 type conn struct {
 	net.Conn
-	f *Faults
+	f      *Faults
+	closed atomic.Bool
+	// readDl mirrors the most recent read deadline (unix nanos, 0 =
+	// none) so a stalled read can honor it without a real socket read.
+	readDl atomic.Int64
+}
+
+func (c *conn) Close() error {
+	if c.closed.CompareAndSwap(false, true) {
+		c.f.forget(c)
+	}
+	return c.Conn.Close()
+}
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.storeReadDl(t)
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.storeReadDl(t)
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *conn) storeReadDl(t time.Time) {
+	if t.IsZero() {
+		c.readDl.Store(0)
+	} else {
+		c.readDl.Store(t.UnixNano())
+	}
+}
+
+// stallWait blocks while a stall or blackhole is active, honoring the
+// conn's read deadline and Close exactly like a kernel would: the
+// caller sees silence, then its own timeout. It reports a non-nil
+// error when the wait ended for a reason that must surface instead of
+// retrying the read.
+func (c *conn) stallWait() error {
+	c.f.stalledReads.Add(1)
+	for c.f.stalled.Load() || c.f.blackhole.Load() {
+		if c.closed.Load() {
+			return net.ErrClosed
+		}
+		if dl := c.readDl.Load(); dl > 0 && time.Now().UnixNano() >= dl {
+			return os.ErrDeadlineExceeded
+		}
+		time.Sleep(stallPoll)
+	}
+	return nil
 }
 
 func (c *conn) Read(p []byte) (int, error) {
 	if d := c.f.ReadDelay(); d > 0 {
 		time.Sleep(d)
 	}
+	if c.f.stalled.Load() || c.f.blackhole.Load() {
+		if err := c.stallWait(); err != nil {
+			return 0, err
+		}
+	}
 	n := c.f.reads.Add(1)
 	if c.f.CutAtRead > 0 && n == c.f.CutAtRead {
-		c.Conn.Close()
+		c.Close()
 		return 0, ErrInjected
 	}
-	return c.Conn.Read(p)
+	got, err := c.Conn.Read(p)
+	c.f.bytesRead.Add(int64(got))
+	return got, err
 }
 
 func (c *conn) Write(p []byte) (int, error) {
+	if c.f.blackhole.Load() {
+		// Swallow: the sender sees success, the peer sees nothing.
+		c.f.swallowed.Add(1)
+		c.f.bytesWritten.Add(int64(len(p)))
+		return len(p), nil
+	}
 	n := c.f.writes.Add(1)
+	c.f.bytesWritten.Add(int64(len(p)))
 	switch {
 	case c.f.CutAtWrite > 0 && n == c.f.CutAtWrite:
-		c.Conn.Close()
+		c.Close()
 		return 0, ErrInjected
 	case c.f.TruncateAtWrite > 0 && n == c.f.TruncateAtWrite:
 		half := p[:len(p)/2]
 		wrote, _ := c.Conn.Write(half)
-		c.Conn.Close()
+		c.Close()
 		return wrote, ErrInjected
 	case c.f.CorruptAtWrite > 0 && n == c.f.CorruptAtWrite && len(p) > 0:
 		// Corrupt a byte past any frame header so the length still
 		// parses and the CRC check is what has to catch it.
-		cp := append([]byte(nil), p...)
-		cp[len(cp)/2] ^= 0xff
-		return c.Conn.Write(cp)
+		return c.Conn.Write(flipMiddle(p))
+	}
+	if len(p) > 0 && c.f.corruptNext.Load() > 0 && c.f.corruptNext.Add(-1) >= 0 {
+		c.f.corruptedLive.Add(1)
+		return c.Conn.Write(flipMiddle(p))
 	}
 	return c.Conn.Write(p)
+}
+
+// flipMiddle returns a copy of p with its middle byte inverted.
+func flipMiddle(p []byte) []byte {
+	cp := append([]byte(nil), p...)
+	cp[len(cp)/2] ^= 0xff
+	return cp
 }

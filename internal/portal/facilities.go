@@ -46,6 +46,13 @@ func (s *Server) handleFacilities(w http.ResponseWriter, r *http.Request) {
 			row.LinkLoss = fmt.Sprintf("%.2f%%", q.Loss*100)
 			row.Goodput = stats.FormatRate(q.GoodputBps)
 		}
+		// Health is nil when no heartbeat monitor is attached; the column
+		// then renders as a dash.
+		if h := f.Health; h != nil {
+			row.Health = h.State
+			row.HealthDown = h.State != "up"
+			row.HealthDetail = fmt.Sprintf("%d/%d checks failed", h.Fails, h.Checks)
+		}
 		data.Facilities = append(data.Facilities, row)
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -87,6 +94,10 @@ type facilityRowData struct {
 	LinkRTT  string
 	LinkLoss string
 	Goodput  string
+	// Heartbeat health column; empty string means unmonitored.
+	Health       string
+	HealthDown   bool
+	HealthDetail string
 }
 
 type facilitiesData struct {
@@ -107,7 +118,8 @@ td,th{border:1px solid #ccc;padding:4px 8px}.down{color:#b00}</style></head>
 <th>Queue depth</th><th>Est. wait</th><th>Jobs run</th>
 <th>Wait p50</th><th>Wait p95</th><th>Runs placed</th>
 <th>Failovers from</th><th>Stream cap</th>
-<th>Link score</th><th>Link RTT</th><th>Loss</th><th>Goodput</th></tr>
+<th>Link score</th><th>Link RTT</th><th>Loss</th><th>Goodput</th>
+<th>Health</th></tr>
 {{range .Facilities}}<tr{{if not .Up}} class="down"{{end}}>
   <td>{{.Name}} ({{.ID}})</td>
   <td>{{if .Up}}up{{else}}DOWN{{end}}</td>
@@ -119,6 +131,7 @@ td,th{border:1px solid #ccc;padding:4px 8px}.down{color:#b00}</style></head>
   <td>{{if .LinkRTT}}{{.LinkRTT}}{{else}}&mdash;{{end}}</td>
   <td>{{if .LinkLoss}}{{.LinkLoss}}{{else}}&mdash;{{end}}</td>
   <td>{{if .Goodput}}{{.Goodput}}{{else}}&mdash;{{end}}</td>
+  <td>{{if .Health}}{{if .HealthDown}}<span class="down">{{.Health}}</span>{{else}}{{.Health}}{{end}} <small>{{.HealthDetail}}</small>{{else}}&mdash;{{end}}</td>
 </tr>{{end}}
 </table>
 </body></html>`))

@@ -1,0 +1,269 @@
+package transfer
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"picoprobe/internal/wire"
+)
+
+// countingMover fails every attempt with a fixed error, counting calls.
+type countingMover struct {
+	err      error
+	attempts atomic.Int64
+}
+
+func (m *countingMover) Move(task *Task, src, dst *Endpoint, done func(Report, error)) {
+	m.attempts.Add(1)
+	go done(Report{}, m.err)
+}
+
+func newFailingService(t *testing.T, moverErr error, opts Options) (*Service, string, *countingMover) {
+	t.Helper()
+	iss, tok := issuerAndToken(t)
+	mover := &countingMover{err: moverErr}
+	svc := NewService(iss, mover, time.Now, opts)
+	svc.RegisterEndpoint(Endpoint{ID: "src", Root: t.TempDir()})
+	svc.RegisterEndpoint(Endpoint{ID: "dst", Root: t.TempDir()})
+	return svc, tok, mover
+}
+
+// TestPermanentErrorFailsFast: a typed permanent remote error (auth,
+// bad request) burns no retries — one attempt, immediate failure.
+func TestPermanentErrorFailsFast(t *testing.T) {
+	svc, tok, mover := newFailingService(t,
+		&wire.RemoteError{Code: wire.CodeAuth, Msg: "bad token"}, Options{MaxAttempts: 5})
+	id, err := svc.Submit(tok, "src", "dst", []FileSpec{{RelPath: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := waitFor(t, svc, tok, id, StatusFailed)
+	if view.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (permanent error must not retry)", view.Attempts)
+	}
+	if mover.attempts.Load() != 1 {
+		t.Errorf("mover called %d times, want 1", mover.attempts.Load())
+	}
+}
+
+// TestRetryableErrorRetriesToMaxAttempts: anything not classified
+// permanent keeps the historical retry-to-exhaustion behavior.
+func TestRetryableErrorRetriesToMaxAttempts(t *testing.T) {
+	svc, tok, mover := newFailingService(t,
+		&wire.RemoteError{Code: wire.CodeIO, Msg: "disk on fire"}, Options{MaxAttempts: 4})
+	id, err := svc.Submit(tok, "src", "dst", []FileSpec{{RelPath: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := waitFor(t, svc, tok, id, StatusFailed)
+	if view.Attempts != 4 {
+		t.Errorf("attempts = %d, want 4", view.Attempts)
+	}
+	if mover.attempts.Load() != 4 {
+		t.Errorf("mover called %d times, want 4", mover.attempts.Load())
+	}
+}
+
+// TestRetryBackoffSpacesAttempts: with RetryBackoff set, retries are
+// spaced; the pinned Rand makes the delays deterministic.
+func TestRetryBackoffSpacesAttempts(t *testing.T) {
+	svc, tok, _ := newFailingService(t, errors.New("transient"), Options{
+		MaxAttempts:  3,
+		RetryBackoff: &wire.Backoff{Base: 30 * time.Millisecond, Rand: func() float64 { return 1 }},
+	})
+	start := time.Now()
+	id, err := svc.Submit(tok, "src", "dst", []FileSpec{{RelPath: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, svc, tok, id, StatusFailed)
+	// Two retries delayed ~30ms and ~60ms: the task cannot finish faster
+	// than the summed delays.
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("3 attempts finished in %v, want >= ~90ms of backoff spacing", elapsed)
+	}
+}
+
+// chunkRejectServer speaks just enough wire protocol for shipChunk:
+// Hello, then MsgWrite answered with the configured code for the first
+// `rejects` writes and MsgWriteOK afterwards.
+func chunkRejectServer(t *testing.T, code string, rejects int) (addr string, writes *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	writes = new(atomic.Int64)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				typ, _, _, err := wire.ReadFrame(c, 0)
+				if err != nil || typ != wire.MsgHello {
+					return
+				}
+				wire.WriteFrame(c, wire.MsgHelloOK, wire.HelloOK{Facility: "reject", Version: wire.ProtocolVersion}, nil)
+				for {
+					typ, _, _, err := wire.ReadFrame(c, 0)
+					if err != nil {
+						return
+					}
+					if typ != wire.MsgWrite {
+						wire.WriteFrame(c, wire.MsgError, wire.ErrFrame{Code: wire.CodeBadRequest, Msg: "writes only"}, nil)
+						continue
+					}
+					if n := writes.Add(1); n <= int64(rejects) {
+						wire.WriteFrame(c, wire.MsgError, wire.ErrFrame{Code: code, Msg: "injected reject"}, nil)
+						continue
+					}
+					wire.WriteFrame(c, wire.MsgWriteOK, wire.WriteOK{}, nil)
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), writes
+}
+
+func shipOneChunk(t *testing.T, m *WireMover, addr string) error {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.bin")
+	if err := os.WriteFile(path, make([]byte, 512), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cl := m.client(addr)
+	_, err = m.shipChunk(cl, f, "c.bin", chunkSpan{File: 0, Index: 0, Off: 0, N: 512})
+	return err
+}
+
+// TestShipChunkResendsOnChecksumReject: a daemon-side checksum rejection
+// re-ships the chunk within the same attempt — up to ChunkRetries extra
+// sends — instead of failing the whole attempt.
+func TestShipChunkResendsOnChecksumReject(t *testing.T) {
+	addr, writes := chunkRejectServer(t, wire.CodeChecksum, 2)
+	m := &WireMover{Checksum: true, ChunkBytes: 1024, Timeout: 5 * time.Second,
+		ManifestDir: t.TempDir()}
+	defer m.Close()
+	if err := shipOneChunk(t, m, addr); err != nil {
+		t.Fatalf("chunk not re-sent through checksum rejects: %v", err)
+	}
+	if n := writes.Load(); n != 3 {
+		t.Fatalf("server saw %d writes, want 3 (2 rejects + 1 OK)", n)
+	}
+}
+
+// TestShipChunkResendBudgetExhausted: more rejects than ChunkRetries
+// fails the attempt with the checksum error.
+func TestShipChunkResendBudgetExhausted(t *testing.T) {
+	addr, writes := chunkRejectServer(t, wire.CodeChecksum, 100)
+	m := &WireMover{Checksum: true, ChunkBytes: 1024, Timeout: 5 * time.Second,
+		ManifestDir: t.TempDir(), ChunkRetries: 1}
+	defer m.Close()
+	err := shipOneChunk(t, m, addr)
+	if !wire.IsRemoteCode(err, wire.CodeChecksum) {
+		t.Fatalf("err = %v, want the surfaced checksum rejection", err)
+	}
+	if n := writes.Load(); n != 2 {
+		t.Fatalf("server saw %d writes, want 2 (1 + ChunkRetries)", n)
+	}
+}
+
+// TestShipChunkNegativeRetriesDisables: ChunkRetries < 0 restores the
+// no-resend behavior.
+func TestShipChunkNegativeRetriesDisables(t *testing.T) {
+	addr, writes := chunkRejectServer(t, wire.CodeChecksum, 1)
+	m := &WireMover{Checksum: true, ChunkBytes: 1024, Timeout: 5 * time.Second,
+		ManifestDir: t.TempDir(), ChunkRetries: -1}
+	defer m.Close()
+	if err := shipOneChunk(t, m, addr); !wire.IsRemoteCode(err, wire.CodeChecksum) {
+		t.Fatalf("err = %v, want immediate checksum failure", err)
+	}
+	if n := writes.Load(); n != 1 {
+		t.Fatalf("server saw %d writes, want 1 (resend disabled)", n)
+	}
+}
+
+// TestShipChunkDoesNotResendOnCorrupt: the corrupt code means the
+// STREAM is damaged, not the chunk bytes — that is the service-attempt
+// retry's job (and the attempts=2 contract of the corrupt-on-wire
+// test), so shipChunk must not absorb it.
+func TestShipChunkDoesNotResendOnCorrupt(t *testing.T) {
+	addr, writes := chunkRejectServer(t, wire.CodeCorrupt, 1)
+	m := &WireMover{Checksum: true, ChunkBytes: 1024, Timeout: 5 * time.Second,
+		ManifestDir: t.TempDir()}
+	defer m.Close()
+	if err := shipOneChunk(t, m, addr); !wire.IsRemoteCode(err, wire.CodeCorrupt) {
+		t.Fatalf("err = %v, want the corrupt rejection surfaced", err)
+	}
+	if n := writes.Load(); n != 1 {
+		t.Fatalf("server saw %d writes, want 1 (no resend on corrupt)", n)
+	}
+}
+
+// slowFlakyMover fails the first attempt after a delay, then succeeds —
+// for exercising the retry path under -race together with Status polls.
+type slowFlakyMover struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (m *slowFlakyMover) Move(task *Task, src, dst *Endpoint, done func(Report, error)) {
+	m.mu.Lock()
+	m.calls++
+	first := m.calls == 1
+	m.mu.Unlock()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		if first {
+			done(Report{}, errors.New("transient wobble"))
+			return
+		}
+		done(Report{}, nil)
+	}()
+}
+
+func TestRetryWithBackoffConcurrentStatus(t *testing.T) {
+	iss, tok := issuerAndToken(t)
+	svc := NewService(iss, &slowFlakyMover{}, time.Now, Options{
+		MaxAttempts:  3,
+		RetryBackoff: &wire.Backoff{Base: 5 * time.Millisecond},
+	})
+	svc.RegisterEndpoint(Endpoint{ID: "src", Root: t.TempDir()})
+	svc.RegisterEndpoint(Endpoint{ID: "dst", Root: t.TempDir()})
+	id, err := svc.Submit(tok, "src", "dst", []FileSpec{{RelPath: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				svc.Status(tok, id)
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	view := waitFor(t, svc, tok, id, StatusSucceeded)
+	if view.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", view.Attempts)
+	}
+	wg.Wait()
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"picoprobe/internal/auth"
+	"picoprobe/internal/wire"
 )
 
 // TaskStatus is the lifecycle state of a transfer task.
@@ -139,6 +140,10 @@ type taskForgetter interface {
 type Options struct {
 	// MaxAttempts bounds move retries per task (default 3).
 	MaxAttempts int
+	// RetryBackoff spaces retry attempts with full-jitter exponential
+	// delays (nil = immediate retries, the historical behavior the sim
+	// timelines pin).
+	RetryBackoff *wire.Backoff
 }
 
 // Service manages endpoints and transfer tasks.
@@ -151,6 +156,7 @@ type Service struct {
 	tasks     map[string]*Task
 	nextID    int
 	maxTries  int
+	backoff   *wire.Backoff
 }
 
 // NewService returns a transfer service. The issuer validates bearer
@@ -167,6 +173,7 @@ func NewService(issuer *auth.Issuer, mover Mover, now func() time.Time, opts Opt
 		endpoints: map[string]*Endpoint{},
 		tasks:     map[string]*Task{},
 		maxTries:  opts.MaxAttempts,
+		backoff:   opts.RetryBackoff,
 	}
 }
 
@@ -238,8 +245,18 @@ func (s *Service) startMove(task *Task, src, dst *Endpoint) {
 		task.ChunksSkipped += rep.ChunksSkipped
 		task.BytesCopied += rep.BytesCopied
 		if err != nil {
-			if task.Attempts < s.maxTries {
+			// A permanent wire error (auth, bad request, not found) cannot
+			// be fixed by retrying — burning the remaining attempts would
+			// only repeat the same answer, so the task fails now.
+			if task.Attempts < s.maxTries && !wire.Permanent(err) {
+				attempt := task.Attempts
 				s.mu.Unlock()
+				if d := s.backoff.Delay(attempt - 1); d > 0 {
+					// Space the retry with full jitter (live mode only; the
+					// nil/zero backoff of the sim paths retries immediately).
+					time.AfterFunc(d, func() { s.startMove(task, src, dst) })
+					return
+				}
 				s.startMove(task, src, dst) // retry resumes from the manifest
 				return
 			}

@@ -50,6 +50,20 @@ type WireMover struct {
 	Timeout time.Duration
 	// MaxFrame bounds received frames (0 = wire.DefaultMaxFrame).
 	MaxFrame uint32
+	// ChunkRetries re-sends a chunk the daemon rejected with a checksum
+	// mismatch up to this many extra times before failing the attempt
+	// (0 = DefaultChunkRetries, negative = no re-sends). Re-reading and
+	// re-shipping one chunk costs one chunk; burning a whole
+	// service-attempt retry costs a full resume pass.
+	ChunkRetries int
+	// IdleTimeout, BreakerThreshold, BreakerCooldown, BusyRetries and
+	// Backoff are handed to every wire client (see wire.Client); all
+	// zero values preserve the historical behavior.
+	IdleTimeout      time.Duration
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	BusyRetries      int
+	Backoff          *wire.Backoff
 
 	killed    atomic.Bool
 	manifests *manifestStore
@@ -75,7 +89,11 @@ func (m *WireMover) client(addr string) *wire.Client {
 	}
 	c, ok := m.clients[addr]
 	if !ok {
-		c = &wire.Client{Addr: addr, Token: m.Token, Dial: m.Dial, Timeout: m.Timeout, MaxFrame: m.MaxFrame}
+		c = &wire.Client{
+			Addr: addr, Token: m.Token, Dial: m.Dial, Timeout: m.Timeout, MaxFrame: m.MaxFrame,
+			IdleTimeout: m.IdleTimeout, BreakerThreshold: m.BreakerThreshold,
+			BreakerCooldown: m.BreakerCooldown, BusyRetries: m.BusyRetries, Backoff: m.Backoff,
+		}
 		m.clients[addr] = c
 	}
 	return c
@@ -292,24 +310,46 @@ func (m *WireMover) move(task *Task, src, dst *Endpoint) (Report, error) {
 	return rep, nil
 }
 
+// DefaultChunkRetries is how many times one chunk rejected by the
+// daemon's checksum check is re-sent before the attempt fails.
+const DefaultChunkRetries = 2
+
+func (m *WireMover) chunkRetries() int {
+	switch {
+	case m.ChunkRetries > 0:
+		return m.ChunkRetries
+	case m.ChunkRetries < 0:
+		return 0
+	}
+	return DefaultChunkRetries
+}
+
 // shipChunk reads one source range, hashes it, and lands it on the
 // daemon as a ranged write; the daemon re-hashes the received bytes and
 // refuses a mismatch, so a chunk corrupted past the frame CRC still
-// never reaches the destination file.
+// never reaches the destination file. A checksum rejection is re-sent
+// (fresh read, fresh hash) up to chunkRetries times: one damaged chunk
+// costs one chunk re-ship, not a whole service-attempt resume pass.
 func (m *WireMover) shipChunk(cl *wire.Client, src *os.File, rel string, sp chunkSpan) (string, error) {
-	buf := make([]byte, sp.N)
-	if _, err := io.ReadFull(io.NewSectionReader(src, sp.Off, sp.N), buf); err != nil {
-		return "", fmt.Errorf("transfer: read chunk @%d: %w", sp.Off, err)
-	}
-	var sum string
-	if m.Checksum {
-		h := sha256.Sum256(buf)
-		sum = hex.EncodeToString(h[:])
-	}
-	if err := cl.WriteChunk(rel, sp.Off, buf, sum); err != nil {
+	for resend := 0; ; resend++ {
+		buf := make([]byte, sp.N)
+		if _, err := io.ReadFull(io.NewSectionReader(src, sp.Off, sp.N), buf); err != nil {
+			return "", fmt.Errorf("transfer: read chunk @%d: %w", sp.Off, err)
+		}
+		var sum string
+		if m.Checksum {
+			h := sha256.Sum256(buf)
+			sum = hex.EncodeToString(h[:])
+		}
+		err := cl.WriteChunk(rel, sp.Off, buf, sum)
+		if err == nil {
+			return sum, nil
+		}
+		if resend < m.chunkRetries() && wire.IsRemoteCode(err, wire.CodeChecksum) {
+			continue
+		}
 		return "", fmt.Errorf("transfer: wire chunk %s @%d: %w", rel, sp.Off, err)
 	}
-	return sum, nil
 }
 
 // verifyRemote checks whether a manifest-done chunk survived on the

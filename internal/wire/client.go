@@ -15,6 +15,14 @@ import (
 // transport or codec error is discarded — the next op dials fresh,
 // which is the whole reconnect story: resume state lives in the chunk
 // manifest, not the socket.
+//
+// Resilience (all opt-in; the zero-value Client behaves exactly like
+// the pre-§12 one): IdleTimeout evicts pooled sessions a dead daemon
+// would otherwise leave rotting until the next exchange; the
+// BreakerThreshold circuit breaker fails ops fast while a daemon is
+// provably unreachable; BusyRetries+Backoff absorb a draining or
+// admission-capped server's typed busy answer without burning a
+// transfer attempt.
 type Client struct {
 	// Addr is the daemon's host:port.
 	Addr string
@@ -28,14 +36,50 @@ type Client struct {
 	Timeout time.Duration
 	// MaxFrame bounds one received frame (0 = DefaultMaxFrame).
 	MaxFrame uint32
+	// IdleTimeout evicts pooled sessions idle longer than this (0 =
+	// keep forever, the historical behavior). A daemon restart leaves
+	// the pool full of dead sockets; eviction turns the next op's
+	// "discover staleness, retry on fresh dial" into a plain fresh dial.
+	IdleTimeout time.Duration
+	// BreakerThreshold opens the per-daemon circuit breaker after this
+	// many consecutive transport-level failures (0 = breaker disabled).
+	// A RemoteError never trips the breaker — a daemon that answers,
+	// even with an error, is alive.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses ops before
+	// admitting one half-open probe (0 = 5s).
+	BreakerCooldown time.Duration
+	// BusyRetries retries an op this many extra times when the server
+	// answers CodeBusy (0 = surface busy to the caller immediately).
+	BusyRetries int
+	// Backoff spaces busy retries (nil or zero value = immediate).
+	Backoff *Backoff
 
 	mu     sync.Mutex
-	idle   []net.Conn
+	idle   []idleSession
+	reaper *time.Timer
 	closed bool
+
+	// Circuit breaker state, under mu.
+	brkFails     int
+	brkOpenUntil time.Time
+	brkProbe     bool
+}
+
+// idleSession is one pooled authenticated connection and when it was
+// returned (LIFO pool: newest at the tail, oldest — the eviction
+// candidates — at the head).
+type idleSession struct {
+	conn net.Conn
+	at   time.Time
 }
 
 // DefaultTimeout is the per-op deadline when Client.Timeout is zero.
 const DefaultTimeout = 30 * time.Second
+
+// DefaultBreakerCooldown is the open-breaker hold when
+// Client.BreakerCooldown is zero.
+const DefaultBreakerCooldown = 5 * time.Second
 
 func (c *Client) timeout() time.Duration {
 	if c.Timeout > 0 {
@@ -50,10 +94,14 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
-	for _, conn := range c.idle {
-		conn.Close()
+	for _, s := range c.idle {
+		s.conn.Close()
 	}
 	c.idle = nil
+	if c.reaper != nil {
+		c.reaper.Stop()
+		c.reaper = nil
+	}
 	return nil
 }
 
@@ -65,8 +113,9 @@ func (c *Client) checkout(deadline time.Time) (conn net.Conn, fromPool bool, err
 		c.mu.Unlock()
 		return nil, false, fmt.Errorf("wire: client closed")
 	}
+	c.evictLocked(time.Now())
 	if n := len(c.idle); n > 0 {
-		conn := c.idle[n-1]
+		conn := c.idle[n-1].conn
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
 		return conn, true, nil
@@ -111,38 +160,160 @@ func (c *Client) checkin(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	c.idle = append(c.idle, conn)
+	c.idle = append(c.idle, idleSession{conn: conn, at: time.Now()})
+	if c.IdleTimeout > 0 && c.reaper == nil {
+		c.reaper = time.AfterFunc(c.IdleTimeout, c.reap)
+	}
 	c.mu.Unlock()
 }
 
-// do runs one request/response exchange: checkout, write the request,
-// read the response. A MsgError response becomes a *RemoteError and the
-// session survives; any transport or codec failure closes the session.
-// A transport failure on a POOLED session gets one retry on a fresh
-// dial: an idle session may have been dropped by the server (codec
-// reject, daemon restart) without the client knowing, and that
-// staleness must not surface as an op failure. Dispatch is exempt — it
-// is the one non-idempotent request, so a lost response must not risk
-// running the function twice.
+// evictLocked closes pooled sessions idle past IdleTimeout. The pool is
+// LIFO, so eviction only ever eats from the head.
+func (c *Client) evictLocked(now time.Time) {
+	if c.IdleTimeout <= 0 {
+		return
+	}
+	cutoff := now.Add(-c.IdleTimeout)
+	for len(c.idle) > 0 && c.idle[0].at.Before(cutoff) {
+		c.idle[0].conn.Close()
+		c.idle = c.idle[1:]
+	}
+}
+
+// reap is the background eviction tick: it runs whenever sessions sat
+// in the pool a full IdleTimeout, so dead daemons' sockets are released
+// even if the client goes quiet.
+func (c *Client) reap() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		c.reaper = nil
+		return
+	}
+	c.evictLocked(time.Now())
+	if len(c.idle) > 0 {
+		c.reaper = time.AfterFunc(c.IdleTimeout, c.reap)
+	} else {
+		c.reaper = nil
+	}
+}
+
+// breakerAllow gates one op on the circuit breaker: closed passes, open
+// fails fast, and an open breaker past its cooldown admits exactly one
+// half-open probe at a time.
+func (c *Client) breakerAllow() error {
+	if c.BreakerThreshold <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.brkFails < c.BreakerThreshold {
+		return nil
+	}
+	if time.Now().Before(c.brkOpenUntil) {
+		return fmt.Errorf("%w: %s unreachable after %d consecutive failures", ErrCircuitOpen, c.Addr, c.brkFails)
+	}
+	if c.brkProbe {
+		return fmt.Errorf("%w: %s half-open probe already in flight", ErrCircuitOpen, c.Addr)
+	}
+	c.brkProbe = true
+	return nil
+}
+
+// breakerRecord folds one op outcome into the breaker. Any answer from
+// the daemon — success or RemoteError — closes it; only transport-level
+// failures (dial refused, dead socket, torn stream) count toward
+// opening, and a failed half-open probe re-arms the full cooldown.
+func (c *Client) breakerRecord(err error) {
+	if c.BreakerThreshold <= 0 {
+		return
+	}
+	alive := err == nil || errors.As(err, new(*RemoteError))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.brkProbe = false
+	if alive {
+		c.brkFails = 0
+		c.brkOpenUntil = time.Time{}
+		return
+	}
+	c.brkFails++
+	if c.brkFails >= c.BreakerThreshold {
+		cd := c.BreakerCooldown
+		if cd <= 0 {
+			cd = DefaultBreakerCooldown
+		}
+		c.brkOpenUntil = time.Now().Add(cd)
+	}
+}
+
+// BreakerOpen reports whether the circuit breaker currently fails ops
+// fast (for status surfaces and tests; ops should just call and look
+// for ErrCircuitOpen).
+func (c *Client) BreakerOpen() bool {
+	if c.BreakerThreshold <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.brkFails >= c.BreakerThreshold && time.Now().Before(c.brkOpenUntil)
+}
+
+// do runs one exchange with the resilience wrappers applied: the
+// breaker gates entry, and a typed busy answer (admission cap, drain)
+// is retried up to BusyRetries times with Backoff spacing — busy is the
+// server asking for patience, not a failure worth a transfer attempt.
 func (c *Client) do(reqTyp byte, reqHead any, reqBody []byte, wantTyp byte, respHead any) ([]byte, error) {
+	for busy := 0; ; busy++ {
+		body, err := c.doOnce(reqTyp, reqHead, reqBody, wantTyp, respHead)
+		if err == nil {
+			return body, nil
+		}
+		if busy < c.BusyRetries && IsRemoteCode(err, CodeBusy) {
+			if d := c.Backoff.Delay(busy); d > 0 {
+				time.Sleep(d)
+			}
+			continue
+		}
+		return nil, err
+	}
+}
+
+// doOnce runs one request/response exchange: checkout, write the
+// request, read the response. A MsgError response becomes a
+// *RemoteError and the session survives; any transport or codec failure
+// closes the session. A transport failure on a POOLED session gets one
+// retry on a fresh dial: an idle session may have been dropped by the
+// server (codec reject, daemon restart) without the client knowing, and
+// that staleness must not surface as an op failure (or trip the
+// breaker). Dispatch is exempt — it is the one non-idempotent request,
+// so a lost response must not risk running the function twice.
+func (c *Client) doOnce(reqTyp byte, reqHead any, reqBody []byte, wantTyp byte, respHead any) ([]byte, error) {
+	if err := c.breakerAllow(); err != nil {
+		return nil, err
+	}
 	deadline := time.Now().Add(c.timeout())
 	for attempt := 0; ; attempt++ {
 		conn, fromPool, err := c.checkout(deadline)
 		if err != nil {
+			c.breakerRecord(err)
 			return nil, err
 		}
 		conn.SetDeadline(deadline)
 		body, err := c.exchange(conn, reqTyp, reqHead, reqBody, wantTyp, respHead)
 		if err == nil {
+			c.breakerRecord(nil)
 			return body, nil
 		}
 		var re *RemoteError
 		if errors.As(err, &re) {
+			c.breakerRecord(err)
 			return nil, err
 		}
 		if fromPool && attempt == 0 && reqTyp != MsgDispatch {
 			continue
 		}
+		c.breakerRecord(err)
 		return nil, err
 	}
 }

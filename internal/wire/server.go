@@ -44,15 +44,25 @@ type Server struct {
 	Now func() time.Time
 	// MaxFrame bounds one frame (0 = DefaultMaxFrame).
 	MaxFrame uint32
+	// MaxSessions caps concurrent sessions (0 = unlimited). A connection
+	// over the cap is answered with a typed CodeBusy error and closed —
+	// an overloaded daemon says so instead of queueing silently.
+	MaxSessions int
+	// IdleTimeout bounds how long a session may sit between requests
+	// (and how long one frame may take to arrive or a response to
+	// drain). 0 = no idle deadline, the historical behavior. With it
+	// set, a silently dead peer can never pin a session goroutine.
+	IdleTimeout time.Duration
 	// Logf, when set, receives per-connection error logs.
 	Logf func(format string, args ...any)
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
-	jobs   atomic.Int64
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]bool // conn -> currently mid-request ("busy")
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
+	jobs     atomic.Int64
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral test port),
@@ -76,31 +86,88 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	if s.conns == nil {
-		s.conns = map[net.Conn]struct{}{}
+		s.conns = map[net.Conn]bool{}
 	}
 	s.mu.Unlock()
 	for {
 		c, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopping := s.closed || s.draining
 			s.mu.Unlock()
-			if closed {
+			if stopping {
 				return nil
 			}
 			return err
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			c.Close()
 			return nil
 		}
-		s.conns[c] = struct{}{}
+		if s.MaxSessions > 0 && len(s.conns) >= s.MaxSessions {
+			s.wg.Add(1)
+			s.mu.Unlock()
+			// Over the admission cap: answer with a typed busy error (the
+			// frame the client's Hello read will see) and close. Done off
+			// the accept loop so a non-reading peer cannot stall accepts.
+			go func() {
+				defer s.wg.Done()
+				c.SetDeadline(time.Now().Add(2 * time.Second))
+				s.reject(c, CodeBusy, "session limit reached")
+				c.Close()
+			}()
+			continue
+		}
+		s.conns[c] = false
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go s.session(c)
 	}
+}
+
+// Drain is the graceful half of Close: stop accepting, drop idle
+// sessions, let mid-request sessions finish their current exchange
+// (bounded by grace; 0 = wait indefinitely), then fully Close. A
+// drained-away client sees either a refused dial or a typed busy
+// answer — both retryable — so in-flight campaigns fail over instead
+// of failing.
+func (s *Server) Drain(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	s.ln = nil
+	for c, busy := range s.conns {
+		if !busy {
+			c.Close()
+		}
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if grace > 0 {
+		select {
+		case <-done:
+		case <-time.After(grace):
+			s.logf("wire: drain grace %v expired with sessions still busy", grace)
+		}
+	} else {
+		<-done
+	}
+	s.Close()
+	return err
 }
 
 // Close stops the listener, closes every live session and waits for
@@ -148,6 +215,7 @@ func (s *Server) session(c net.Conn) {
 		s.wg.Done()
 	}()
 
+	s.armIdle(c)
 	typ, head, _, err := ReadFrame(c, s.MaxFrame)
 	if err != nil {
 		return
@@ -176,21 +244,63 @@ func (s *Server) session(c net.Conn) {
 	}
 
 	for {
+		s.armIdle(c)
 		typ, head, body, err := ReadFrame(c, s.MaxFrame)
 		if err != nil {
+			if isTimeout(err) {
+				// Idle deadline: the peer went quiet past IdleTimeout. Drop
+				// the session without ceremony — the client's pool retry (or
+				// its own idle eviction) covers the other end.
+				s.logf("wire: %s: idle session reaped", c.RemoteAddr())
+				return
+			}
 			if !errors.Is(err, io.EOF) && !isClosedConn(err) {
 				// Loud rejection: a torn tail or CRC mismatch is answered
-				// (best effort) before the drop, so a live peer learns the
-				// stream is damaged instead of hanging on a silent close.
+				// (best effort) with the typed corrupt code before the drop,
+				// so a live peer learns the stream is damaged — and that a
+				// retry on a fresh session may succeed — instead of hanging
+				// on a silent close.
 				s.logf("wire: %s: dropping session: %v", c.RemoteAddr(), err)
-				s.reject(c, CodeBadRequest, err.Error())
+				s.reject(c, CodeCorrupt, err.Error())
 			}
 			return
 		}
-		if !s.handle(c, typ, head, body) {
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			s.reject(c, CodeBusy, "server draining")
+			return
+		}
+		s.conns[c] = true
+		s.mu.Unlock()
+		ok := s.handle(c, typ, head, body)
+		s.mu.Lock()
+		s.conns[c] = false
+		draining := s.draining
+		s.mu.Unlock()
+		if !ok || draining {
 			return
 		}
 	}
+}
+
+// armIdle sets the per-request deadline: one request must arrive, be
+// served and have its response drained within IdleTimeout of the
+// previous one.
+func (s *Server) armIdle(c net.Conn) {
+	if s.IdleTimeout > 0 {
+		c.SetDeadline(s.nowWall().Add(s.IdleTimeout))
+	}
+}
+
+// nowWall is wall time for socket deadlines — Server.Now may be a
+// virtual clock, and deadlines on a real socket must not be.
+func (s *Server) nowWall() time.Time { return time.Now() }
+
+// isTimeout reports a deadline-exceeded network error.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // reject writes a best-effort error frame (the conn may already be

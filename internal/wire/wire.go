@@ -92,6 +92,8 @@ const (
 	CodeIO            = "io"             // server-side filesystem failure
 	CodeChecksum      = "checksum"       // declared chunk digest != received bytes
 	CodeChunkMismatch = "chunk-mismatch" // merge found a chunk whose landed bytes differ
+	CodeBusy          = "busy"           // admission cap reached or server draining; back off and retry
+	CodeCorrupt       = "corrupt"        // the inbound stream was torn or CRC-damaged; retry on a fresh session
 )
 
 // Hello opens a session.
