@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-fed chaos-smoke bench-smoke bench bench-portal bench-recovery bench-netprobe bench-wire fuzz-wire linkcheck ci
+.PHONY: all build vet test race race-fed chaos-smoke load-smoke bench-smoke bench bench-portal bench-portal-load bench-recovery bench-netprobe bench-wire fuzz-wire linkcheck ci
 
 all: ci
 
@@ -18,15 +18,35 @@ race:
 
 # The federation's concurrency-heavy packages under the race detector:
 # heartbeat monitor, wire client/server resilience, fault injectors,
-# and the registry's health-driven placement.
+# the registry's health-driven placement, and the portal serving layer
+# (epoch cache + SSE hub + admission under churn, obs instruments).
 race-fed:
-	$(GO) test -race ./internal/health/ ./internal/wire/ ./internal/netfault/ ./internal/facility/ ./internal/transfer/
+	$(GO) test -race ./internal/health/ ./internal/wire/ ./internal/netfault/ ./internal/facility/ ./internal/transfer/ ./internal/portal/ ./internal/obs/
 
 # A short-mode pass of the chaos soak and the heartbeat detection gate
 # (DESIGN.md §12): a scaled-down daemon federation under the seeded
 # fault storm. The full-size soak runs with plain `go test .`.
 chaos-smoke:
 	$(GO) test -short -run 'TestChaosSoak|TestHeartbeatDetectsHungDaemonBeforeTimeout' -count 1 .
+
+# The serving-layer load smoke (BENCHMARKS.md "Portal load test"): 1000
+# real connections against the cached portal under ingest churn, gated
+# on zero 5xx, non-zero cache hits and a bounded p99. Runs in CI.
+load-smoke:
+	$(GO) test -run TestPortalLoadSmoke -count 1 -v .
+
+# The full recorded load run (BENCHMARKS.md "Portal load test"): 10k+
+# connections split across a server child and a client process (each
+# side needs its own fd budget), cached and uncached arms. CONNS=20000
+# or DURATION=30s to go bigger.
+CONNS ?= 10000
+DURATION ?= 15s
+bench-portal-load:
+	$(GO) build -o bin/picoprobe-loadtest ./cmd/picoprobe-loadtest
+	@echo "=== cached arm ==="
+	bin/picoprobe-loadtest -spawn -conns $(CONNS) -duration $(DURATION) -warmup 5s
+	@echo "=== uncached arm ==="
+	bin/picoprobe-loadtest -spawn -conns $(CONNS) -duration $(DURATION) -warmup 5s -cache=false
 
 # The catalog serving benchmarks (BENCHMARKS.md "Portal serving"): one
 # execution each, with allocation counts. Raise -benchtime (e.g.
@@ -73,4 +93,4 @@ bench:
 linkcheck:
 	$(GO) run ./tools/linkcheck
 
-ci: build vet test race-fed chaos-smoke bench-smoke fuzz-wire linkcheck
+ci: build vet test race-fed chaos-smoke load-smoke bench-smoke fuzz-wire linkcheck

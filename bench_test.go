@@ -6,7 +6,6 @@
 package picoprobe
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -15,7 +14,6 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -26,6 +24,7 @@ import (
 	"picoprobe/internal/detect"
 	"picoprobe/internal/emd"
 	"picoprobe/internal/flows"
+	"picoprobe/internal/loadgen"
 	"picoprobe/internal/metadata"
 	"picoprobe/internal/netprobe"
 	"picoprobe/internal/netsim"
@@ -450,49 +449,12 @@ func BenchmarkSearchIngestAndQuery(b *testing.B) {
 	}
 }
 
-// portalCampaignEntries builds a deterministic synthetic campaign of n
-// catalog records: free text drawn from a mixed domain/background
-// vocabulary, kind/sample/title filter fields, a numeric beam energy and
-// a minute-spaced date axis — the shape the portal serves at scale.
+// portalCampaignEntries builds the deterministic synthetic campaign the
+// portal serving benchmarks drive — shared with the load harness
+// (internal/loadgen) so ad-hoc load runs and these benchmarks serve the
+// identical corpus.
 func portalCampaignEntries(n int) []search.Entry {
-	vocab := []string{
-		"gold", "lead", "film", "carbon", "polyamide", "nanoparticle",
-		"vacancy", "lattice", "probe", "beam", "stage", "vacuum",
-		"spectrum", "intensity", "drift", "grid", "reference", "capture",
-	}
-	for i := 0; len(vocab) < 400; i++ {
-		vocab = append(vocab, fmt.Sprintf("word-%03d", i))
-	}
-	payload, _ := json.Marshal(map[string]any{
-		"products": []map[string]any{
-			{"name": "Intensity map", "path": "x/intensity.png", "kind": "intensity_png"},
-			{"name": "Spectrum", "path": "x/spectrum.png", "kind": "spectrum_png"},
-		},
-		"note": "synthetic campaign record for the serving benchmarks",
-	})
-	rng := rand.New(rand.NewSource(42))
-	base := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
-	kinds := [2]string{"hyperspectral", "spatiotemporal"}
-	entries := make([]search.Entry, n)
-	for i := range entries {
-		words := make([]string, 12)
-		for j := range words {
-			words[j] = vocab[rng.Intn(len(vocab))]
-		}
-		entries[i] = search.Entry{
-			ID:   fmt.Sprintf("exp-%06d", i),
-			Text: strings.Join(words, " "),
-			Fields: map[string]string{
-				"kind":   kinds[i%2],
-				"sample": fmt.Sprintf("sample-%04d", i%977),
-				"title":  "campaign run " + words[0],
-			},
-			Numbers: map[string]float64{"beam_kev": 80 + float64(rng.Intn(12))*20},
-			Date:    base.Add(time.Duration(i) * time.Minute),
-			Payload: payload,
-		}
-	}
-	return entries
+	return loadgen.Campaign(n)
 }
 
 // portalCampaign memoizes the 100k-record corpus across benchmarks (each

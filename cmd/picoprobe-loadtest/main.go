@@ -1,0 +1,212 @@
+// Command picoprobe-loadtest drives the portal serving layer at scale
+// (BENCHMARKS.md "Portal load test"). It has three modes:
+//
+//	picoprobe-loadtest -serve [-records N] [-churn N] [-cache=false] ...
+//	  Serve a synthetic campaign portal on -addr (default an ephemeral
+//	  port, printed as "LISTEN host:port" on stdout). -churn N keeps a
+//	  writer re-ingesting N records/sec, so the epoch advances under
+//	  load exactly as a live beam line would advance it.
+//
+//	picoprobe-loadtest -addr host:port [-conns N] [-duration D] ...
+//	  Client mode: drive an already-running server and print the
+//	  recorded percentiles.
+//
+//	picoprobe-loadtest -spawn [-conns N] ...
+//	  Re-exec this binary as a -serve child, wait for its LISTEN line,
+//	  run the client against it, then kill the child. One process per
+//	  side keeps each under the per-process fd limit, which is what a
+//	  10k-connection run needs (2×10k fds split across two processes).
+//
+// The server defaults to the full serving layer (cache, admission off
+// unless -limit-rps is set, /metrics); -cache=false serves the uncached
+// baseline for the ablation table.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"picoprobe/internal/loadgen"
+	"picoprobe/internal/obs"
+	"picoprobe/internal/portal"
+	"picoprobe/internal/search"
+)
+
+func main() {
+	var (
+		// shared / client
+		addr       = flag.String("addr", "", "server address (client mode) or listen address (serve mode; default 127.0.0.1:0)")
+		conns      = flag.Int("conns", 1000, "concurrent persistent connections")
+		duration   = flag.Duration("duration", 10*time.Second, "measured window")
+		warmup     = flag.Duration("warmup", 2*time.Second, "warmup window (not recorded)")
+		rps        = flag.Float64("rps", 0, "open-loop aggregate request rate; 0 = closed loop")
+		revalidate = flag.Float64("revalidate", 0.25, "fraction of requests replaying the last ETag as If-None-Match")
+
+		// serve / spawn
+		serve     = flag.Bool("serve", false, "serve a synthetic campaign portal instead of generating load")
+		spawn     = flag.Bool("spawn", false, "re-exec a -serve child, load it, kill it")
+		records   = flag.Int("records", 100_000, "serve: synthetic campaign size")
+		churn     = flag.Int("churn", 50, "serve: ingest churn rate (records/sec re-ingested; 0 disables)")
+		cache     = flag.Bool("cache", true, "serve: enable the epoch-keyed response cache")
+		limitRPS  = flag.Float64("limit-rps", 0, "serve: per-principal admission rate (0 = no rate limit)")
+		limitBur  = flag.Float64("limit-burst", 0, "serve: admission burst (default = rate)")
+		inflight  = flag.Int("inflight", 0, "serve: global in-flight cap (0 = uncapped)")
+		quietLoad = flag.Bool("quiet", false, "suppress per-phase progress output")
+	)
+	flag.Parse()
+
+	switch {
+	case *serve:
+		runServer(*addr, *records, *churn, *cache, *limitRPS, *limitBur, *inflight)
+	case *spawn:
+		child, childAddr := spawnServer(*records, *churn, *cache, *limitRPS, *limitBur, *inflight)
+		defer func() {
+			child.Process.Signal(syscall.SIGTERM)
+			child.Wait()
+		}()
+		runClient(childAddr, *conns, *duration, *warmup, *rps, *revalidate, *quietLoad)
+	default:
+		if *addr == "" {
+			log.Fatal("client mode needs -addr (or use -spawn / -serve)")
+		}
+		runClient(*addr, *conns, *duration, *warmup, *rps, *revalidate, *quietLoad)
+	}
+}
+
+// runServer builds the synthetic campaign portal and serves it until
+// SIGINT/SIGTERM. It prints "LISTEN host:port" once the socket is bound
+// — the handshake -spawn waits for.
+func runServer(addr string, records, churn int, cache bool, limitRPS, limitBurst float64, inflight int) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	entries := loadgen.Campaign(records)
+	ix := search.NewIndex()
+	if err := ix.IngestBatch(entries); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := portal.Config{Index: ix, Metrics: obs.NewRegistry(), Events: portal.NewHub()}
+	if cache {
+		cfg.Cache = &portal.CacheConfig{}
+	}
+	if limitRPS > 0 || inflight > 0 {
+		cfg.Limits = &portal.LimitConfig{RatePerSec: limitRPS, Burst: limitBurst, MaxInFlight: inflight}
+	}
+	srv, err := portal.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The LISTEN line is the spawn-mode handshake; keep it first and alone.
+	fmt.Printf("LISTEN %s\n", ln.Addr())
+	os.Stdout.Sync()
+	fmt.Fprintf(os.Stderr, "serving %d records (cache=%v limit=%g/s burst=%g inflight=%d churn=%d/s)\n",
+		ix.Count(), cache, limitRPS, limitBurst, inflight, churn)
+
+	if churn > 0 {
+		go func() {
+			rng := rand.New(rand.NewSource(7))
+			tick := time.NewTicker(time.Second / time.Duration(churn))
+			defer tick.Stop()
+			for range tick.C {
+				if err := ix.Ingest(entries[rng.Intn(len(entries))]); err != nil {
+					log.Printf("churn ingest: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	hs := &http.Server{Handler: srv}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		hs.Close()
+	}()
+	if err := hs.Serve(ln); err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}
+
+// spawnServer re-execs this binary as a -serve child and returns the
+// running child plus the address it bound.
+func spawnServer(records, churn int, cache bool, limitRPS, limitBurst float64, inflight int) (*exec.Cmd, string) {
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	child := exec.Command(self,
+		"-serve",
+		fmt.Sprintf("-records=%d", records),
+		fmt.Sprintf("-churn=%d", churn),
+		fmt.Sprintf("-cache=%v", cache),
+		fmt.Sprintf("-limit-rps=%g", limitRPS),
+		fmt.Sprintf("-limit-burst=%g", limitBurst),
+		fmt.Sprintf("-inflight=%d", inflight),
+	)
+	child.Stderr = os.Stderr
+	out, err := child.StdoutPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := child.Start(); err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "LISTEN "); ok {
+			go loadgen.Discard(out) // keep draining so the child never blocks on stdout
+			return child, addr
+		}
+	}
+	child.Process.Kill()
+	log.Fatal("server child exited before printing LISTEN")
+	return nil, ""
+}
+
+// runClient executes one load run and prints the recorded result.
+func runClient(addr string, conns int, duration, warmup time.Duration, rps, revalidate float64, quiet bool) {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if !quiet {
+		mode := "closed-loop"
+		if rps > 0 {
+			mode = fmt.Sprintf("open-loop %.0f rps", rps)
+		}
+		fmt.Fprintf(os.Stderr, "loading %s: %d conns, %s, warmup %v + %v\n", addr, conns, mode, warmup, duration)
+	}
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Addr:       addr,
+		Conns:      conns,
+		Duration:   duration,
+		Warmup:     warmup,
+		RPS:        rps,
+		Targets:    loadgen.DefaultTargets(),
+		Revalidate: revalidate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Format())
+	if res.Conns < conns {
+		fmt.Fprintf(os.Stderr, "warning: only %d of %d connections established\n", res.Conns, conns)
+	}
+}

@@ -17,6 +17,13 @@
 // (it is deterministic), not restored; live embedders journal their
 // registry with facility.Registry.OpenJournal.
 //
+// The production serving layer (DESIGN.md §13) is opt-in: -cache turns
+// on epoch-keyed response caching (strong ETags, 304 revalidation,
+// bounded memoization), -events serves live run/flow/facility
+// transitions over SSE at /api/events, -metrics serves Prometheus text
+// at /metrics, and -limit-rps/-max-inflight enable admission control
+// (429 + Retry-After per principal, 503 shed past the in-flight cap).
+//
 // Usage:
 //
 //	picoprobe-portal -demo -federation -addr :8080
@@ -24,6 +31,7 @@
 //	picoprobe-portal -demo -durable ./picoprobe-work/durable
 //	picoprobe-portal -durable ./picoprobe-work/durable   # recover and serve
 //	picoprobe-portal -demo -pprof localhost:6060
+//	picoprobe-portal -demo -cache -events -metrics -limit-rps 50 -max-inflight 256
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"picoprobe/internal/facility"
 	"picoprobe/internal/flows"
 	"picoprobe/internal/metadata"
+	"picoprobe/internal/obs"
 	"picoprobe/internal/portal"
 	"picoprobe/internal/search"
 	"picoprobe/internal/sim"
@@ -65,6 +74,12 @@ func main() {
 	federation := flag.Bool("federation", false, "run the simulated federated scenario and serve /facilities")
 	durableDir := flag.String("durable", "", "journal the catalog and run records under this directory and recover them at boot")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
+	cache := flag.Bool("cache", false, "enable epoch-keyed response caching (ETag/304 + memoization) on the catalog routes")
+	events := flag.Bool("events", false, "serve live run/flow/facility transitions over SSE at /api/events")
+	metrics := flag.Bool("metrics", false, "serve Prometheus text metrics at /metrics")
+	limitRPS := flag.Float64("limit-rps", 0, "per-principal admission rate in requests/sec (0 disables rate limiting)")
+	limitBurst := flag.Float64("limit-burst", 0, "admission burst capacity (default: rate)")
+	maxInFlight := flag.Int("max-inflight", 0, "global in-flight request cap; excess sheds with 503 (0 disables)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -129,7 +144,29 @@ func main() {
 			len(res.Runs), res.Placement.Failovers, res.Placement.Restages)
 	}
 
-	srv, err := portal.NewServer(portal.Config{Index: index, ArtifactRoot: *artifacts, Flows: engine, Facilities: registry})
+	cfg := portal.Config{Index: index, ArtifactRoot: *artifacts, Flows: engine, Facilities: registry}
+	if *cache {
+		cfg.Cache = &portal.CacheConfig{}
+	}
+	if *limitRPS > 0 || *maxInFlight > 0 {
+		cfg.Limits = &portal.LimitConfig{RatePerSec: *limitRPS, Burst: *limitBurst, MaxInFlight: *maxInFlight}
+	}
+	if *metrics {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *events {
+		hub := portal.NewHub()
+		cfg.Events = hub
+		// Tap the live producers: run transitions from the engine, placement
+		// transitions from the federation registry.
+		if engine != nil {
+			engine.SetEventSink(hub.FlowSink())
+		}
+		if registry != nil {
+			registry.SetEventSink(hub.FacilitySink())
+		}
+	}
+	srv, err := portal.NewServer(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -139,6 +176,12 @@ func main() {
 	}
 	if registry != nil {
 		fmt.Printf("facilities under /facilities\n")
+	}
+	if *events {
+		fmt.Printf("live events under /api/events\n")
+	}
+	if *metrics {
+		fmt.Printf("metrics under /metrics\n")
 	}
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -70,6 +70,11 @@ func (r *Registry) applyLocked(op journalOp) {
 // so failures surface through JournalErr instead of failing Place.
 func (r *Registry) noteLocked(op journalOp) {
 	r.applyLocked(op)
+	if r.sink != nil && op.Op != opDecision {
+		// Placement transitions fan out to the event sink; bare decision
+		// ticks carry no run/facility payload and are skipped.
+		r.sink(Event{Kind: op.Op, Run: op.Run, Facility: op.Fac, Why: op.Why, At: r.rt.Now()})
+	}
 	if r.journal == nil {
 		return
 	}

@@ -96,6 +96,31 @@ type Registry struct {
 	// health, when attached via AttachHealth, supplies heartbeat
 	// liveness verdicts per facility (keyed by PathID, like quality).
 	health health.Provider
+
+	// sink, when set via SetEventSink, receives placement transitions
+	// (sticky moves, failovers, landings, re-stages) as they commit.
+	sink func(Event)
+}
+
+// Event is one placement-side status transition, published to the
+// optional event sink (the portal's SSE hub fans these out to watching
+// clients). Kind mirrors the journal op vocabulary.
+type Event struct {
+	Kind     string    `json:"kind"` // "sticky" | "failover" | "landing" | "move"
+	Run      string    `json:"run,omitempty"`
+	Facility string    `json:"facility,omitempty"`
+	Why      string    `json:"why,omitempty"` // failover cause
+	At       time.Time `json:"at"`
+}
+
+// SetEventSink registers fn to receive placement transitions. fn is
+// called synchronously while the registry lock is held, so it must be
+// fast, must not block, and must not call back into the registry — the
+// portal hub's non-blocking Publish satisfies all three.
+func (r *Registry) SetEventSink(fn func(Event)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = fn
 }
 
 // NewRegistry returns an empty registry. budget bounds the queue-wait

@@ -332,6 +332,43 @@ type Engine struct {
 	order     []string
 	nextID    int
 	poller    poller
+	sink      func(RunEvent)
+}
+
+// RunEvent is one run-level status transition: published to the
+// optional event sink when a run starts (StateActive) and when it
+// reaches a terminal state. The portal's SSE hub forwards these to
+// watching clients instead of having them poll /api/flows.
+type RunEvent struct {
+	RunID  string    `json:"run_id"`
+	Flow   string    `json:"flow"`
+	Status State     `json:"status"`
+	At     time.Time `json:"at"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// SetEventSink registers fn to receive run transitions. fn is called
+// outside the engine lock and must not block; the portal hub's
+// non-blocking Publish qualifies.
+func (e *Engine) SetEventSink(fn func(RunEvent)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sink = fn
+}
+
+// notify publishes one transition from a record copied under the lock.
+func (e *Engine) notify(rec RunRecord) {
+	e.mu.Lock()
+	sink := e.sink
+	e.mu.Unlock()
+	if sink == nil {
+		return
+	}
+	at := rec.EndedAt
+	if at.IsZero() {
+		at = rec.StartedAt
+	}
+	sink(RunEvent{RunID: rec.RunID, Flow: rec.Flow, Status: rec.Status, At: at, Error: rec.Error})
 }
 
 // NewEngine returns an engine on the given runtime.
@@ -460,6 +497,7 @@ func (e *Engine) start(token string, def Definition, input map[string]any, preDo
 		rec.EndedAt = e.rt.Now()
 		final := *rec
 		e.mu.Unlock()
+		e.notify(final)
 		_ = e.opts.Checkpoints.remove(runID)
 		if e.opts.RunLog != nil {
 			_ = e.opts.RunLog.Append(final)
@@ -474,8 +512,10 @@ func (e *Engine) start(token string, def Definition, input map[string]any, preDo
 			ready = append(ready, s.Name)
 		}
 	}
+	started := *rec
 	e.mu.Unlock()
 
+	e.notify(started)
 	for _, name := range ready {
 		x.enterState(name)
 	}
@@ -625,6 +665,9 @@ func (x *runExec) stateTerminal(s *stateRun, succeeded bool) {
 	for _, child := range ready {
 		x.enterState(child)
 	}
+	if runDone {
+		e.notify(final)
+	}
 	if runDone && x.onDone != nil {
 		x.onDone(final)
 	}
@@ -647,6 +690,7 @@ func (x *runExec) fail(sr StateRecord) {
 	x.rec.EndedAt = e.rt.Now()
 	final := *x.rec
 	e.mu.Unlock()
+	e.notify(final)
 	if e.opts.RunLog != nil {
 		_ = e.opts.RunLog.Append(final)
 	}

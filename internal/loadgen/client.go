@@ -1,0 +1,238 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// A deliberately minimal HTTP/1.1 client. net/http's Transport multiplexes
+// and pools connections behind the caller's back — useless for a load
+// generator whose whole point is "exactly N concurrent sockets, each a
+// real portal user". Each pconn owns one TCP connection, writes prebuilt
+// request bytes, and parses just enough of the response (status,
+// Content-Length / chunked framing, the cache headers) to drain it and
+// keep the connection reusable. Per request it allocates nothing beyond
+// the bufio scratch it was created with.
+
+// pconn is one persistent connection to the target.
+type pconn struct {
+	c    net.Conn
+	br   *bufio.Reader
+	dead bool
+}
+
+func dial(addr string, timeout time.Duration) (*pconn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &pconn{c: c, br: bufio.NewReaderSize(c, 8<<10)}, nil
+}
+
+func (p *pconn) close() {
+	if p.c != nil {
+		p.c.Close()
+	}
+	p.dead = true
+}
+
+// respInfo is the parsed summary of one response.
+type respInfo struct {
+	status   int
+	bodyLen  int
+	cacheHit bool // X-PP-Cache: hit or revalidated — served without a render
+	etag     string
+	bodySum  uint64 // FNV-1a of the body (consistency checking)
+}
+
+// roundTrip writes one prebuilt request and reads the full response,
+// enforcing deadline as an absolute per-request bound.
+func (p *pconn) roundTrip(req []byte, deadline time.Time) (respInfo, error) {
+	var ri respInfo
+	p.c.SetDeadline(deadline)
+	if _, err := p.c.Write(req); err != nil {
+		p.dead = true
+		return ri, err
+	}
+
+	line, err := p.readLine()
+	if err != nil {
+		p.dead = true
+		return ri, err
+	}
+	// Status-Line: HTTP/1.1 SP 3DIGIT SP reason
+	if len(line) < 12 || !strings.HasPrefix(line, "HTTP/1.") {
+		p.dead = true
+		return ri, fmt.Errorf("loadgen: malformed status line %q", line)
+	}
+	ri.status, err = strconv.Atoi(line[9:12])
+	if err != nil {
+		p.dead = true
+		return ri, fmt.Errorf("loadgen: malformed status in %q", line)
+	}
+
+	contentLen := -1
+	chunked := false
+	connClose := false
+	for {
+		line, err = p.readLine()
+		if err != nil {
+			p.dead = true
+			return ri, err
+		}
+		if line == "" {
+			break
+		}
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		v = strings.TrimSpace(v)
+		switch {
+		case strings.EqualFold(k, "Content-Length"):
+			contentLen, _ = strconv.Atoi(v)
+		case strings.EqualFold(k, "Transfer-Encoding"):
+			chunked = strings.EqualFold(v, "chunked")
+		case strings.EqualFold(k, "Connection"):
+			connClose = strings.EqualFold(v, "close")
+		case strings.EqualFold(k, "ETag"):
+			ri.etag = v
+		case strings.EqualFold(k, "X-PP-Cache"):
+			ri.cacheHit = v == "hit" || v == "revalidated"
+		}
+	}
+
+	// 1xx/204/304 carry no body regardless of framing headers.
+	noBody := ri.status == 204 || ri.status == 304 || ri.status/100 == 1
+	switch {
+	case noBody:
+	case chunked:
+		if err := p.readChunked(&ri); err != nil {
+			p.dead = true
+			return ri, err
+		}
+	case contentLen >= 0:
+		if err := p.readBody(&ri, contentLen); err != nil {
+			p.dead = true
+			return ri, err
+		}
+	default:
+		// No framing: body runs to EOF and the connection dies with it.
+		if err := p.readToEOF(&ri); err != nil && err != io.EOF {
+			p.dead = true
+			return ri, err
+		}
+		p.dead = true
+	}
+	if connClose {
+		p.dead = true
+	}
+	return ri, nil
+}
+
+// readLine reads one CRLF-terminated line, without the terminator.
+func (p *pconn) readLine() (string, error) {
+	line, err := p.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+
+// readBody drains exactly n body bytes, folding them into the FNV sum.
+func (p *pconn) readBody(ri *respInfo, n int) error {
+	if ri.bodySum == 0 {
+		ri.bodySum = fnvOffset
+	}
+	var scratch [4 << 10]byte
+	for n > 0 {
+		m := min(n, len(scratch))
+		if _, err := io.ReadFull(p.br, scratch[:m]); err != nil {
+			return err
+		}
+		for _, b := range scratch[:m] {
+			ri.bodySum = (ri.bodySum ^ uint64(b)) * fnvPrime
+		}
+		ri.bodyLen += m
+		n -= m
+	}
+	return nil
+}
+
+// readChunked drains a chunked body.
+func (p *pconn) readChunked(ri *respInfo) error {
+	for {
+		line, err := p.readLine()
+		if err != nil {
+			return err
+		}
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(line), 16, 32)
+		if err != nil {
+			return fmt.Errorf("loadgen: bad chunk size %q", line)
+		}
+		if n == 0 {
+			// Trailers (none expected) up to the final blank line.
+			for {
+				t, err := p.readLine()
+				if err != nil {
+					return err
+				}
+				if t == "" {
+					return nil
+				}
+			}
+		}
+		if err := p.readBody(ri, int(n)); err != nil {
+			return err
+		}
+		if crlf, err := p.readLine(); err != nil {
+			return err
+		} else if crlf != "" {
+			return fmt.Errorf("loadgen: missing chunk terminator")
+		}
+	}
+}
+
+func (p *pconn) readToEOF(ri *respInfo) error {
+	if ri.bodySum == 0 {
+		ri.bodySum = fnvOffset
+	}
+	var scratch [4 << 10]byte
+	for {
+		m, err := p.br.Read(scratch[:])
+		for _, b := range scratch[:m] {
+			ri.bodySum = (ri.bodySum ^ uint64(b)) * fnvPrime
+		}
+		ri.bodyLen += m
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// buildRequest renders the static request bytes for one target path.
+func buildRequest(path, host string, extra map[string]string) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "GET %s HTTP/1.1\r\nHost: %s\r\nUser-Agent: picoprobe-loadtest\r\n", path, host)
+	for k, v := range extra {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	b.WriteString("\r\n")
+	return b.Bytes()
+}
+
+// buildConditional renders a request carrying If-None-Match.
+func buildConditional(path, host, etag string) []byte {
+	return buildRequest(path, host, map[string]string{"If-None-Match": etag})
+}

@@ -1,0 +1,74 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"picoprobe/internal/search"
+)
+
+// Campaign builds the deterministic synthetic campaign of n catalog
+// records shared by the root serving benchmarks and the load harness:
+// free text drawn from a mixed domain/background vocabulary,
+// kind/sample/title filter fields, a numeric beam energy and a
+// minute-spaced date axis — the shape the portal serves at scale. The
+// same n always yields the same records, so cached-vs-uncached ablation
+// arms and repeated runs serve byte-identical corpora.
+func Campaign(n int) []search.Entry {
+	vocab := []string{
+		"gold", "lead", "film", "carbon", "polyamide", "nanoparticle",
+		"vacancy", "lattice", "probe", "beam", "stage", "vacuum",
+		"spectrum", "intensity", "drift", "grid", "reference", "capture",
+	}
+	for i := 0; len(vocab) < 400; i++ {
+		vocab = append(vocab, fmt.Sprintf("word-%03d", i))
+	}
+	payload, _ := json.Marshal(map[string]any{
+		"products": []map[string]any{
+			{"name": "Intensity map", "path": "x/intensity.png", "kind": "intensity_png"},
+			{"name": "Spectrum", "path": "x/spectrum.png", "kind": "spectrum_png"},
+		},
+		"note": "synthetic campaign record for the serving benchmarks",
+	})
+	rng := rand.New(rand.NewSource(42))
+	base := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	kinds := [2]string{"hyperspectral", "spatiotemporal"}
+	entries := make([]search.Entry, n)
+	for i := range entries {
+		words := make([]string, 12)
+		for j := range words {
+			words[j] = vocab[rng.Intn(len(vocab))]
+		}
+		entries[i] = search.Entry{
+			ID:   fmt.Sprintf("exp-%06d", i),
+			Text: strings.Join(words, " "),
+			Fields: map[string]string{
+				"kind":   kinds[i%2],
+				"sample": fmt.Sprintf("sample-%04d", i%977),
+				"title":  "campaign run " + words[0],
+			},
+			Numbers: map[string]float64{"beam_kev": 80 + float64(rng.Intn(12))*20},
+			Date:    base.Add(time.Duration(i) * time.Minute),
+			Payload: payload,
+		}
+	}
+	return entries
+}
+
+// DefaultTargets is the request mix the load harness drives by default:
+// mostly first-page searches (the cacheable hot set), some deep filters,
+// the landing page, and a facet roll-up.
+func DefaultTargets() []Target {
+	return []Target{
+		{Path: "/api/search?q=gold+film", Weight: 4},
+		{Path: "/api/search", Weight: 3},
+		{Path: "/api/search?q=word-123+word-250+vacancy", Weight: 2},
+		{Path: "/api/search?q=gold&kind=hyperspectral", Weight: 2},
+		{Path: "/api/search?q=polyamide+lead+capture&limit=50", Weight: 1},
+		{Path: "/", Weight: 2},
+		{Path: "/api/facets?field=kind", Weight: 1},
+	}
+}

@@ -1,0 +1,213 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"picoprobe/internal/obs"
+	"picoprobe/internal/portal"
+	"picoprobe/internal/search"
+)
+
+// servePortal starts a real portal (cache + metrics on) on a real TCP
+// listener and returns its address.
+func servePortal(t *testing.T, entries int) string {
+	t.Helper()
+	ix := search.NewIndex()
+	if err := ix.IngestBatch(Campaign(entries)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := portal.NewServer(portal.Config{
+		Index:   ix,
+		Cache:   &portal.CacheConfig{},
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+	return ln.Addr().String()
+}
+
+// TestRunClosedLoop drives a small closed-loop run end to end and checks
+// the counters line up: every recorded request is classified, latency
+// samples match the request count, and the epoch-keyed cache produced
+// hits.
+func TestRunClosedLoop(t *testing.T) {
+	addr := servePortal(t, 500)
+	res, err := Run(context.Background(), Config{
+		Addr:     addr,
+		Conns:    8,
+		Duration: 300 * time.Millisecond,
+		Warmup:   100 * time.Millisecond,
+		Targets:  DefaultTargets(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests recorded")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d transport errors", res.Errors)
+	}
+	sum := res.Status2xx + res.Status304 + res.Status429 + res.Status503 + res.StatusOther
+	if sum != res.Requests {
+		t.Fatalf("status classes sum to %d, want %d", sum, res.Requests)
+	}
+	if res.StatusOther != 0 || res.Status429 != 0 || res.Status503 != 0 {
+		t.Fatalf("unexpected status mix: %+v", res)
+	}
+	if got := res.Hist.Count(); got != res.Requests {
+		t.Fatalf("histogram has %d samples, want %d", got, res.Requests)
+	}
+	if res.CacheHits == 0 {
+		t.Fatal("cache produced no hits under a repeated closed-loop mix")
+	}
+	if res.P99() <= 0 || res.P50() > res.P99() {
+		t.Fatalf("implausible percentiles p50=%v p99=%v", res.P50(), res.P99())
+	}
+}
+
+// TestRunOpenLoopSchedule pins the coordinated-omission correction: in
+// open-loop mode the recorded throughput tracks the scheduled RPS, not
+// the connection count, and a deliberately slow handler is charged the
+// full scheduled-to-completion time.
+func TestRunOpenLoopSchedule(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(delay)
+		fmt.Fprint(w, "ok")
+	})}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	const rps = 100.0
+	res, err := Run(context.Background(), Config{
+		Addr:     ln.Addr().String(),
+		Conns:    8,
+		Duration: 500 * time.Millisecond,
+		RPS:      rps,
+		Targets:  []Target{{Path: "/x"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests recorded")
+	}
+	// 8 closed-loop conns against a 30ms handler would do ~266 rps; the
+	// open-loop schedule must hold them to ~100.
+	if tp := res.Throughput(); tp > 1.5*rps {
+		t.Fatalf("open loop ran at %.0f rps, scheduled %.0f", tp, rps)
+	}
+	// Every latency includes the service delay measured from the
+	// *scheduled* start; the median cannot undercut the handler sleep.
+	if p50 := res.P50(); p50 < delay {
+		t.Fatalf("p50 %v below service time %v — schedule not charged", p50, delay)
+	}
+}
+
+// TestRunRevalidate checks the conditional-GET arm: with Revalidate=1
+// every request after the first per connection replays the last ETag and
+// the server answers 304 (no epoch churn in this test).
+func TestRunRevalidate(t *testing.T) {
+	addr := servePortal(t, 200)
+	res, err := Run(context.Background(), Config{
+		Addr:       addr,
+		Conns:      4,
+		Duration:   300 * time.Millisecond,
+		Warmup:     50 * time.Millisecond,
+		Targets:    []Target{{Path: "/api/search?q=gold+film"}},
+		Revalidate: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status304 == 0 {
+		t.Fatalf("no 304s with Revalidate=1: %+v", res)
+	}
+	if res.Status304+res.Status2xx != res.Requests {
+		t.Fatalf("unexpected status mix: %+v", res)
+	}
+}
+
+// TestRunConfigValidation covers the error paths.
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Conns: 0, Targets: []Target{{Path: "/"}}}); err == nil {
+		t.Fatal("Conns=0 accepted")
+	}
+	if _, err := Run(context.Background(), Config{Conns: 1}); err == nil {
+		t.Fatal("empty target mix accepted")
+	}
+}
+
+// TestClientChunkedAndConditional exercises the raw client's chunked
+// framing and If-None-Match path against net/http's server (which
+// chunk-encodes responses of unknown length).
+func TestClientChunkedAndConditional(t *testing.T) {
+	const body = "hello chunked world"
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("If-None-Match") == `"tag-1"` {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", `"tag-1"`)
+		// Flush before writing so net/http cannot buffer the full body and
+		// emit Content-Length — forces chunked framing.
+		w.WriteHeader(200)
+		w.(http.Flusher).Flush()
+		fmt.Fprint(w, body)
+	})}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	pc, err := dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.close()
+	ri, err := pc.roundTrip(buildRequest("/x", "test", nil), time.Now().Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.status != 200 || ri.bodyLen != len(body) {
+		t.Fatalf("status=%d bodyLen=%d want 200/%d", ri.status, ri.bodyLen, len(body))
+	}
+	if ri.etag != `"tag-1"` {
+		t.Fatalf("etag %q", ri.etag)
+	}
+	ri2, err := pc.roundTrip(buildConditional("/x", "test", ri.etag), time.Now().Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri2.status != 304 || ri2.bodyLen != 0 {
+		t.Fatalf("conditional: status=%d bodyLen=%d want 304/0", ri2.status, ri2.bodyLen)
+	}
+	// The connection must still be usable after a bodiless 304.
+	ri3, err := pc.roundTrip(buildRequest("/x", "test", nil), time.Now().Add(time.Second))
+	if err != nil || ri3.status != 200 {
+		t.Fatalf("reuse after 304: status=%d err=%v", ri3.status, err)
+	}
+	if ri3.bodySum != ri.bodySum {
+		t.Fatalf("body hash drifted across identical responses: %x vs %x", ri3.bodySum, ri.bodySum)
+	}
+}

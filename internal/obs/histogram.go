@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets with atomic adds — no
+// locks, no retained samples. Buckets are defined by ascending upper
+// bounds; an implicit +Inf bucket catches the tail. Percentile estimates
+// interpolate linearly inside the winning bucket, so resolution is set
+// by the bucket layout: the default HDR-style log-linear layout (32
+// linear sub-buckets per power of two) keeps relative error under ~3%
+// across the whole range, the property HdrHistogram provides and the
+// property coordinated-omission-safe load testing needs at p999.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefBuckets is the default latency layout for /metrics exposition:
+// 100µs..10s, roughly 2.5x steps — coarse enough to keep scrapes small.
+var DefBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// NewHistogram returns a standalone histogram (not attached to a
+// registry) with the given ascending upper bounds; nil uses DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return newHistogram(bounds)
+}
+
+// HDRBuckets builds a log-linear bucket layout covering [min, max]: each
+// power-of-two range is split into sub linear sub-buckets, HdrHistogram
+// style. With sub=32 the worst-case relative quantile error is ~3%.
+func HDRBuckets(min, max float64, sub int) []float64 {
+	if min <= 0 || max <= min || sub < 1 {
+		panic("obs: invalid HDR bucket request")
+	}
+	var bounds []float64
+	for lo := min; lo < max; lo *= 2 {
+		step := lo / float64(sub)
+		for i := 1; i <= sub; i++ {
+			b := lo + step*float64(i)
+			if b > max {
+				bounds = append(bounds, max)
+				return bounds
+			}
+			bounds = append(bounds, b)
+		}
+	}
+	return bounds
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// sort.SearchFloat64s returns the first bound >= v's bucket; values
+	// above every bound land in the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Percentile estimates the p-th percentile (0 < p <= 100) by walking the
+// cumulative counts and interpolating inside the winning bucket. Returns
+// 0 with no observations; the tail (+Inf) bucket reports its lower bound.
+func (h *Histogram) Percentile(p float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) {
+				return lo // open-ended tail: report its floor
+			}
+			hi := h.bounds[i]
+			frac := float64(rank-cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// writeProm renders the histogram in exposition format: cumulative
+// le-labeled buckets, then _sum and _count.
+func (h *Histogram) writeProm(sb *strings.Builder, m *metric, key string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(sb, "%s_bucket%s %d\n", m.name, m.labelString(key, "le", formatFloat(b)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(sb, "%s_bucket%s %d\n", m.name, m.labelString(key, "le", "+Inf"), cum)
+	fmt.Fprintf(sb, "%s_sum%s %s\n", m.name, m.labelString(key), formatFloat(h.Sum()))
+	fmt.Fprintf(sb, "%s_count%s %d\n", m.name, m.labelString(key), h.count.Load())
+}

@@ -1,0 +1,272 @@
+// Package obs is the repository's dependency-free observability toolkit:
+// lock-cheap counters, gauges and histograms that any hot path can bump
+// with a single atomic op, collected into a Registry that renders the
+// Prometheus text exposition format (the shape fbforward's metrics.go
+// exposes per upstream, and what any standard scraper ingests). The
+// portal serves a Registry at /metrics; the load generator reuses the
+// same HDR-style histogram for coordinated-omission-safe latency
+// recording (see internal/loadgen).
+//
+// Unlike internal/stats — which retains every sample for exact
+// percentiles at experiment scale — obs instruments are fixed-size and
+// write-contention-free, sized for millions of observations per second
+// from concurrent request handlers.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (in-flight requests,
+// connected SSE clients).
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metric is one registered family: a name, help text, type, and the
+// per-label-set children created through With.
+type metric struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	labels []string
+	mu     sync.Mutex
+	kids   sync.Map // joined label values -> child (Counter/Gauge/Histogram)
+	newKid func() any
+}
+
+// child returns the instrument for one label-value tuple, creating it on
+// first use. The fast path is a single lock-free map load.
+func (m *metric) child(values ...string) any {
+	if len(values) != len(m.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label value(s), got %d", m.name, len(m.labels), len(values)))
+	}
+	key := strings.Join(values, "\x1f")
+	if v, ok := m.kids.Load(key); ok {
+		return v
+	}
+	// Serialize creation so concurrent first touches agree on one child.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.kids.Load(key); ok {
+		return v
+	}
+	v := m.newKid()
+	m.kids.Store(key, v)
+	return v
+}
+
+// sortedKeys returns the child keys in stable exposition order.
+func (m *metric) sortedKeys() []string {
+	var keys []string
+	m.kids.Range(func(k, _ any) bool {
+		keys = append(keys, k.(string))
+		return true
+	})
+	sort.Strings(keys)
+	return keys
+}
+
+// labelString renders {a="x",b="y"} for a joined key, with extra
+// appended (the histogram le label); empty for an unlabeled metric.
+func (m *metric) labelString(key string, extra ...string) string {
+	if len(m.labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	vals := strings.Split(key, "\x1f")
+	n := 0
+	for i, l := range m.labels {
+		if n > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(vals[i]))
+		sb.WriteString(`"`)
+		n++
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if n > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extra[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extra[i+1]))
+		sb.WriteString(`"`)
+		n++
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ m *metric }
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter { return v.m.child(values...).(*Counter) }
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ m *metric }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.m.child(values...).(*Gauge) }
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct {
+	m      *metric
+	bounds []float64
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.m.child(values...).(*Histogram) }
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration happens at wiring time; observation is
+// lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: map[string]*metric{}} }
+
+func (r *Registry) register(name, help, typ string, labels []string, newKid func() any) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	m := &metric{name: name, help: help, typ: typ, labels: labels, newKid: newKid}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m
+}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, "counter", nil, func() any { return new(Counter) })
+	return m.child().(*Counter)
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{m: r.register(name, help, "counter", labels, func() any { return new(Counter) })}
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, help, "gauge", nil, func() any { return new(Gauge) })
+	return m.child().(*Gauge)
+}
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{m: r.register(name, help, "gauge", labels, func() any { return new(Gauge) })}
+}
+
+// Histogram registers an unlabeled histogram with the given upper bounds
+// (seconds, ascending; +Inf is implicit). Nil bounds use DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	m := r.register(name, help, "histogram", nil, func() any { return newHistogram(bounds) })
+	return m.child().(*Histogram)
+}
+
+// HistogramVec registers a histogram family with the given upper bounds
+// and label names. Nil bounds use DefBuckets.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	m := r.register(name, help, "histogram", labels, func() any { return newHistogram(bounds) })
+	return &HistogramVec{m: m, bounds: bounds}
+}
+
+// WriteTo renders every registered family in Prometheus text exposition
+// format (version 0.0.4). Safe to call concurrently with observations:
+// each sample is an atomic read, so a scrape sees a near-point-in-time
+// view without stopping writers.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, m := range metrics {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		for _, key := range m.sortedKeys() {
+			v, _ := m.kids.Load(key)
+			switch inst := v.(type) {
+			case *Counter:
+				fmt.Fprintf(&sb, "%s%s %d\n", m.name, m.labelString(key), inst.Value())
+			case *Gauge:
+				fmt.Fprintf(&sb, "%s%s %d\n", m.name, m.labelString(key), inst.Value())
+			case *Histogram:
+				inst.writeProm(&sb, m, key)
+			}
+		}
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// Handler returns an http.Handler serving the registry as a Prometheus
+// scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w)
+	})
+}
+
+// formatFloat renders a float the way Prometheus expects (no exponent
+// for typical values, +Inf spelled out).
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

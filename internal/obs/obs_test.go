@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pp_total", "a counter")
+	g := r.Gauge("pp_gauge", "a gauge")
+	v := r.CounterVec("pp_route_total", "per route", "route", "code")
+	c.Add(3)
+	g.Set(-2)
+	v.With("/api/search", "200").Inc()
+	v.With("/api/search", "200").Inc()
+	v.With("/", "304").Inc()
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP pp_total a counter",
+		"# TYPE pp_total counter",
+		"pp_total 3",
+		"# TYPE pp_gauge gauge",
+		"pp_gauge -2",
+		`pp_route_total{route="/",code="304"} 1`,
+		`pp_route_total{route="/api/search",code="200"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Every non-comment exposition line must match the Prometheus text
+// grammar: metric name, optional label set, and a numeric value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.e+-]+|\+Inf|NaN)$`)
+
+func TestExpositionGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "x").Inc()
+	r.GaugeVec("b_gauge", "y", "k").With(`weird"label\n`).Set(7)
+	h := r.Histogram("c_seconds", "z", nil)
+	h.Observe(0.003)
+	h.Observe(42) // beyond the last bound: +Inf bucket
+
+	var sb strings.Builder
+	r.WriteTo(&sb)
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("line does not parse as Prometheus text format: %q", line)
+		}
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	r.WriteTo(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		`lat_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if got := h.Sum(); math.Abs(got-5.555) > 1e-9 {
+		t.Errorf("sum = %v, want 5.555", got)
+	}
+}
+
+// The HDR layout must bound relative quantile error: estimates against a
+// heavy-tailed sample stay within one sub-bucket (~1/32) of the exact
+// order statistic.
+func TestHDRPercentileAccuracy(t *testing.T) {
+	h := NewHistogram(HDRBuckets(1e-6, 100, 32))
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 200_000)
+	for i := range samples {
+		// Log-normal-ish latency: most around 1ms, tail to seconds.
+		samples[i] = 0.001 * math.Exp(rng.NormFloat64()*1.5)
+		h.Observe(samples[i])
+	}
+	sort.Float64s(samples)
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		exact := samples[int(p/100*float64(len(samples)))-1]
+		got := h.Percentile(p)
+		if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+			t.Errorf("p%v = %v, exact %v (rel err %.3f)", p, got, exact, rel)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-6 {
+		t.Fatalf("sum = %v, want 8.0", h.Sum())
+	}
+}

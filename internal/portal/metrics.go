@@ -1,0 +1,112 @@
+package portal
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"picoprobe/internal/obs"
+)
+
+// Observability (DESIGN.md §13). Every route is wrapped with a
+// lock-cheap instrumentation layer feeding an obs.Registry; when
+// Config.Metrics is set the registry is served at /metrics in Prometheus
+// text format. The taxonomy:
+//
+//	picoprobe_http_requests_total{route,code}  request outcomes
+//	picoprobe_http_request_seconds{route}      latency histograms
+//	picoprobe_http_inflight                    requests being served now
+//	picoprobe_cache_events_total{result}       hit | miss | revalidated | bypass
+//	picoprobe_rate_limited_total               429s issued
+//	picoprobe_load_shed_total                  503s issued by the in-flight cap
+//	picoprobe_sse_clients                      connected event streams
+//	picoprobe_sse_events_total                 frames delivered
+//	picoprobe_sse_evicted_total                slow clients evicted
+//	picoprobe_index_epoch                      catalog mutation epoch
+//
+// When metrics are disabled the same instruments exist against a private
+// registry nobody scrapes, so the serving paths stay branch-free.
+type portalMetrics struct {
+	requests    *obs.CounterVec
+	latency     *obs.HistogramVec
+	inflight    *obs.Gauge
+	cacheEvents *obs.CounterVec
+	rateLimited *obs.Counter
+	loadShed    *obs.Counter
+	sseClients  *obs.Gauge
+	sseEvents   *obs.Counter
+	sseEvicted  *obs.Counter
+	epoch       *obs.Gauge
+}
+
+func newPortalMetrics(reg *obs.Registry) *portalMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &portalMetrics{
+		requests:    reg.CounterVec("picoprobe_http_requests_total", "HTTP requests served, by route and status code.", "route", "code"),
+		latency:     reg.HistogramVec("picoprobe_http_request_seconds", "Request service time in seconds, by route.", nil, "route"),
+		inflight:    reg.Gauge("picoprobe_http_inflight", "Requests currently being served."),
+		cacheEvents: reg.CounterVec("picoprobe_cache_events_total", "Response cache outcomes: hit, miss, revalidated (304), bypass.", "result"),
+		rateLimited: reg.Counter("picoprobe_rate_limited_total", "Requests rejected with 429 by per-principal token buckets."),
+		loadShed:    reg.Counter("picoprobe_load_shed_total", "Requests shed with 503 by the global in-flight cap."),
+		sseClients:  reg.Gauge("picoprobe_sse_clients", "Connected /api/events subscribers."),
+		sseEvents:   reg.Counter("picoprobe_sse_events_total", "SSE frames delivered to subscribers."),
+		sseEvicted:  reg.Counter("picoprobe_sse_evicted_total", "Slow SSE subscribers evicted by the hub."),
+		epoch:       reg.Gauge("picoprobe_index_epoch", "Catalog mutation epoch (search.Index.Epoch)."),
+	}
+}
+
+// statusWriter observes the response code on its way out.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+// Flush keeps SSE streaming working through the instrumented writer.
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the real connection (write
+// deadlines for SSE).
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// withMetrics instruments one route: outcome counter, latency histogram,
+// in-flight gauge, and the epoch gauge refreshed per request.
+func (s *Server) withMetrics(route string, h http.HandlerFunc) http.HandlerFunc {
+	if !s.instrument {
+		return h
+	}
+	lat := s.met.latency.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.epoch.Set(int64(s.cfg.Index.Epoch()))
+		s.met.inflight.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		lat.Observe(time.Since(start).Seconds())
+		s.met.inflight.Dec()
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.met.requests.With(route, strconv.Itoa(code)).Inc()
+	}
+}

@@ -1,0 +1,52 @@
+package portal
+
+import (
+	"strings"
+	"testing"
+
+	"picoprobe/internal/obs"
+)
+
+// TestMetricsEndpoint exercises the instrumented portal end to end: after
+// a mixed burst of traffic, /metrics serves Prometheus text containing
+// the serving-layer taxonomy with the outcomes the traffic produced.
+func TestMetricsEndpoint(t *testing.T) {
+	ix, iss, _ := seeded(t)
+	reg := obs.NewRegistry()
+	srv, err := NewServer(Config{Index: ix, Issuer: iss,
+		Cache:   &CacheConfig{},
+		Limits:  &LimitConfig{RatePerSec: 1000},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get(t, srv, "/api/search?q=film", "") // miss
+	get(t, srv, "/api/search?q=film", "") // hit
+	req := newGetReq("/api/search?q=film")
+	req.Header.Set("If-None-Match", epochTag(ix.Epoch()))
+	rec := newRecorder()
+	srv.ServeHTTP(rec, req) // revalidated
+
+	res, body := get(t, srv, "/metrics", "")
+	if res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	for _, want := range []string{
+		`picoprobe_http_requests_total{route="/api/search",code="200"} 2`,
+		`picoprobe_http_requests_total{route="/api/search",code="304"} 1`,
+		`picoprobe_cache_events_total{result="miss"} 1`,
+		`picoprobe_cache_events_total{result="hit"} 1`,
+		`picoprobe_cache_events_total{result="revalidated"} 1`,
+		"picoprobe_index_epoch",
+		"picoprobe_http_request_seconds_bucket",
+		"# TYPE picoprobe_http_requests_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

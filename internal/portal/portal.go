@@ -27,6 +27,7 @@ import (
 	"picoprobe/internal/auth"
 	"picoprobe/internal/facility"
 	"picoprobe/internal/flows"
+	"picoprobe/internal/obs"
 	"picoprobe/internal/search"
 )
 
@@ -50,12 +51,38 @@ type Config struct {
 	Facilities *facility.Registry
 	// Title is the portal heading.
 	Title string
+
+	// The production serving layer (DESIGN.md §13). Every knob is
+	// opt-in: with all four nil the portal serves exactly the responses
+	// it always has, byte for byte.
+
+	// Cache, when non-nil, enables epoch-keyed response caching on the
+	// catalog routes: strong ETags derived from search.Index.Epoch, 304
+	// answers for If-None-Match revalidations, and bounded memoization
+	// of hot rendered responses invalidated only on epoch change.
+	Cache *CacheConfig
+	// Limits, when non-nil, enables admission control: per-principal
+	// token-bucket rate limiting (429 + Retry-After) and a global
+	// in-flight cap that sheds with 503 before latency collapses.
+	Limits *LimitConfig
+	// Events, when non-nil, serves live run/flow/facility status pushes
+	// over SSE at /api/events through this hub. Wire producers with
+	// flows.Engine.SetEventSink(hub.FlowSink()) and
+	// facility.Registry.SetEventSink(hub.FacilitySink()).
+	Events *Hub
+	// Metrics, when non-nil, instruments every route into this registry
+	// and serves it at /metrics in Prometheus text format.
+	Metrics *obs.Registry
 }
 
 // Server is the portal's http.Handler.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg        Config
+	mux        *http.ServeMux
+	cache      *respCache
+	limiter    *limiter
+	met        *portalMetrics
+	instrument bool
 }
 
 // NewServer builds the portal.
@@ -67,25 +94,68 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.Title = "Dynamic PicoProbe Data Portal"
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/record/", s.handleRecord)
-	s.mux.HandleFunc("/api/search", s.handleAPISearch)
-	s.mux.HandleFunc("/api/record/", s.handleAPIRecord)
+	s.met = newPortalMetrics(cfg.Metrics)
+	s.instrument = cfg.Metrics != nil
+	if cfg.Cache != nil {
+		s.cache = newRespCache(*cfg.Cache)
+	}
+	if cfg.Limits != nil {
+		s.limiter = newLimiter(*cfg.Limits)
+	}
+	// The catalog routes are epoch-keyed (their content is derived
+	// purely from the index), so they cache; the flow and facility views
+	// read live engine state the index epoch does not cover, so they
+	// only get admission control.
+	s.route("/", s.handleIndex, cached|admitted|capped)
+	s.route("/record/", s.handleRecord, cached|admitted|capped)
+	s.route("/api/search", s.handleAPISearch, cached|admitted|capped)
+	s.route("/api/facets", s.handleAPIFacets, cached|admitted|capped)
+	s.route("/api/record/", s.handleAPIRecord, cached|admitted|capped)
 	if cfg.Flows != nil {
-		s.mux.HandleFunc("/flows", s.handleFlows)
-		s.mux.HandleFunc("/flows/run/", s.handleFlowRun)
-		s.mux.HandleFunc("/api/flows", s.handleAPIFlows)
-		s.mux.HandleFunc("/api/flows/run/", s.handleAPIFlowRun)
+		s.route("/flows", s.handleFlows, admitted|capped)
+		s.route("/flows/run/", s.handleFlowRun, admitted|capped)
+		s.route("/api/flows", s.handleAPIFlows, admitted|capped)
+		s.route("/api/flows/run/", s.handleAPIFlowRun, admitted|capped)
 	}
 	if cfg.Facilities != nil {
-		s.mux.HandleFunc("/facilities", s.handleFacilities)
-		s.mux.HandleFunc("/api/facilities", s.handleAPIFacilities)
+		s.route("/facilities", s.handleFacilities, admitted|capped)
+		s.route("/api/facilities", s.handleAPIFacilities, admitted|capped)
+	}
+	if cfg.Events != nil {
+		// SSE connections are long-lived: they pass the token bucket at
+		// connect but must not pin in-flight slots for their lifetime.
+		s.route("/api/events", s.handleEvents, admitted)
+		cfg.Events.setEvictHook(s.met.sseEvicted.Inc)
+	}
+	if cfg.Metrics != nil {
+		s.route("/metrics", cfg.Metrics.Handler().ServeHTTP, 0)
 	}
 	if cfg.ArtifactRoot != "" {
 		fs := http.FileServer(http.Dir(cfg.ArtifactRoot))
 		s.mux.Handle("/artifacts/", http.StripPrefix("/artifacts/", fs))
 	}
 	return s, nil
+}
+
+// Route composition flags: which layers of the serving stack wrap a
+// handler (instrumentation always does when metrics are enabled).
+const (
+	cached   = 1 << iota // epoch-keyed response cache
+	admitted             // per-principal token bucket
+	capped               // global in-flight cap
+)
+
+// route registers one pattern behind the serving stack: metrics
+// outermost (sheds and 429s must be counted and timed too), then
+// admission, then the epoch cache, then the handler.
+func (s *Server) route(pattern string, h http.HandlerFunc, flags int) {
+	if flags&cached != 0 {
+		h = s.withCache(pattern, h)
+	}
+	if flags&admitted != 0 {
+		h = s.withAdmission(h, flags&capped != 0)
+	}
+	s.mux.HandleFunc(pattern, s.withMetrics(pattern, h))
 }
 
 // ServeHTTP implements http.Handler.
@@ -244,6 +314,24 @@ func (s *Server) handleAPISearch(w http.ResponseWriter, r *http.Request) {
 		resp.Hits = append(resp.Hits, apiHit{ID: h.ID, Score: h.Score, Date: h.Date, Fields: h.Fields})
 	}
 	writeJSON(w, resp)
+}
+
+// handleAPIFacets serves the facet counts for one field (default
+// "kind") scoped by the requesting principal — the JSON twin of the
+// facet strip on the index page.
+func (s *Server) handleAPIFacets(w http.ResponseWriter, r *http.Request) {
+	field := r.FormValue("field")
+	if field == "" {
+		field = "kind"
+	}
+	facets := s.cfg.Index.Facets(search.Query{Text: r.FormValue("q"), Principal: s.principal(r)}, field)
+	if facets == nil {
+		facets = map[string]int{}
+	}
+	writeJSON(w, struct {
+		Field  string         `json:"field"`
+		Facets map[string]int `json:"facets"`
+	}{Field: field, Facets: facets})
 }
 
 func (s *Server) handleAPIRecord(w http.ResponseWriter, r *http.Request) {

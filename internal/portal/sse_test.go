@@ -1,0 +1,206 @@
+package portal
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"picoprobe/internal/facility"
+	"picoprobe/internal/flows"
+	"picoprobe/internal/search"
+)
+
+func sseServer(t *testing.T, hub *Hub) *httptest.Server {
+	t.Helper()
+	ix, _, _ := seeded(t)
+	srv, err := NewServer(Config{Index: ix, Events: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// sseConn is a raw SSE subscription for lifecycle tests: connect, read
+// frames, or deliberately stall.
+type sseConn struct {
+	c  net.Conn
+	br *bufio.Reader
+}
+
+func dialSSE(t *testing.T, ts *httptest.Server) *sseConn {
+	t.Helper()
+	u := strings.TrimPrefix(ts.URL, "http://")
+	c, err := net.DialTimeout("tcp", u, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(c, "GET /api/events HTTP/1.1\r\nHost: %s\r\nAccept: text/event-stream\r\n\r\n", u)
+	br := bufio.NewReader(c)
+	// Consume the response head up to the blank line.
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			c.Close()
+			t.Fatal(err)
+		}
+		if line == "\r\n" {
+			break
+		}
+		if strings.HasPrefix(line, "HTTP/") && !strings.Contains(line, "200") {
+			c.Close()
+			t.Fatalf("SSE handshake: %s", strings.TrimSpace(line))
+		}
+	}
+	return &sseConn{c: c, br: br}
+}
+
+// readEvent reads frames until one with an "event:" field arrives
+// (skipping comments/heartbeats), returning the event name and data.
+func (s *sseConn) readEvent(t *testing.T, timeout time.Duration) (event, data string) {
+	t.Helper()
+	s.c.SetReadDeadline(time.Now().Add(timeout))
+	for {
+		line, err := s.br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE stream: %v", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = line[len("data: "):]
+		case line == "" && event != "":
+			return event, data
+		}
+	}
+}
+
+func (s *sseConn) close() { s.c.Close() }
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// TestSSEDeliversEngineAndFacilityEvents wires the real taps end to end:
+// a flow run and a registry placement produce frames on a live stream.
+func TestSSEDeliversEngineAndFacilityEvents(t *testing.T) {
+	hub := NewHub()
+	ts := sseServer(t, hub)
+	sub := dialSSE(t, ts)
+	defer sub.close()
+	waitFor(t, time.Second, func() bool { return hub.Clients() == 1 }, "subscriber not registered")
+
+	// Flow tap: a completed run must surface as a "run" event.
+	hub.Publish("run", flows.RunEvent{RunID: "r-1", Flow: "analysis", Status: flows.StateSucceeded})
+	ev, data := sub.readEvent(t, 2*time.Second)
+	if ev != "run" || !strings.Contains(data, `"r-1"`) {
+		t.Fatalf("event %q data %q", ev, data)
+	}
+
+	// Facility tap: a placement event must surface as "facility".
+	hub.Publish("facility", facility.Event{Kind: "sticky", Run: "r-1", Facility: "polaris"})
+	ev, data = sub.readEvent(t, 2*time.Second)
+	if ev != "facility" || !strings.Contains(data, `"polaris"`) {
+		t.Fatalf("event %q data %q", ev, data)
+	}
+}
+
+// TestSSEConnectDisconnectChurn cycles subscribers and checks the
+// accounting: no leaked hub entries and no leaked handler goroutines.
+func TestSSEConnectDisconnectChurn(t *testing.T) {
+	hub := NewHub()
+	ts := sseServer(t, hub)
+	before := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		subs := make([]*sseConn, 8)
+		for i := range subs {
+			subs[i] = dialSSE(t, ts)
+		}
+		waitFor(t, 2*time.Second, func() bool { return hub.Clients() == len(subs) },
+			"subscribers not all registered")
+		hub.Publish("run", flows.RunEvent{RunID: fmt.Sprintf("r-%d", round)})
+		for _, s := range subs {
+			if ev, _ := s.readEvent(t, 2*time.Second); ev != "run" {
+				t.Fatalf("event %q", ev)
+			}
+		}
+		for _, s := range subs {
+			s.close()
+		}
+		waitFor(t, 2*time.Second, func() bool { return hub.Clients() == 0 },
+			"hub kept entries after disconnect")
+	}
+	// Handler goroutines must drain back to (roughly) the baseline.
+	waitFor(t, 5*time.Second, func() bool { return runtime.NumGoroutine() <= before+3 },
+		fmt.Sprintf("goroutines leaked: %d before churn, %d after", before, runtime.NumGoroutine()))
+}
+
+// TestSSESlowClientEvicted pins slow-client safety end to end: a
+// subscriber that stops reading is evicted once its queue overflows, the
+// hub forgets it, and Publish never blocks while it stalls.
+func TestSSESlowClientEvicted(t *testing.T) {
+	hub := NewHub()
+	hub.Queue = 4
+	hub.WriteTimeout = 200 * time.Millisecond
+	evictions := 0
+	ts := sseServer(t, hub)
+
+	// Re-arm the evict hook to count (NewServer installed the metrics one).
+	var mu chan struct{} = make(chan struct{}, 100)
+	hub.setEvictHook(func() { evictions++; mu <- struct{}{} })
+
+	stalled := dialSSE(t, ts)
+	defer stalled.close()
+	waitFor(t, time.Second, func() bool { return hub.Clients() == 1 }, "subscriber not registered")
+
+	// Flood with frames large enough to fill the TCP buffers the stalled
+	// reader never drains; every Publish must return promptly.
+	big := strings.Repeat("x", 32<<10)
+	for i := 0; hub.Clients() > 0 && i < 5000; i++ {
+		start := time.Now()
+		hub.Publish("run", flows.RunEvent{RunID: big})
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("Publish blocked %v on a stalled subscriber", d)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return hub.Clients() == 0 },
+		"stalled subscriber never evicted")
+	select {
+	case <-mu:
+	case <-time.After(time.Second):
+		t.Fatal("evict hook not called")
+	}
+}
+
+// TestSSERequiresHub checks /api/events 404s when no hub is configured
+// (the route is opt-in like the rest of the serving layer).
+func TestSSERequiresHub(t *testing.T) {
+	srv, err := NewServer(Config{Index: search.NewIndex()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/api/events", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d without a hub", rec.Code)
+	}
+}

@@ -120,6 +120,14 @@ type Index struct {
 	// Writer-only dictionary bookkeeping (guarded by mu).
 	nextTerm int32 // next term ID to assign
 	spilled  int   // entries in the current dict's spill map
+
+	// epoch counts completed mutations (one per Ingest/Delete, one per
+	// IngestBatch). It is bumped after the snapshot publish, while mu is
+	// still held, so by the time a mutator returns the epoch a reader
+	// loads is at least as new as that mutation. The portal keys its
+	// response cache and ETags off this value: an unchanged epoch means
+	// no mutation has completed, so a memoized response is still valid.
+	epoch atomic.Uint64
 }
 
 // NewIndex returns an empty index sized to the host (a power-of-two shard
@@ -149,6 +157,12 @@ func (ix *Index) shardFor(id string) *shard {
 	}
 	return ix.shards[h&ix.mask]
 }
+
+// Epoch returns the index-wide mutation epoch: a monotonic counter that
+// advances exactly once per completed mutation (Ingest, IngestBatch,
+// Delete). Two Epoch reads returning the same value bracket a window in
+// which no mutation completed. Lock-free.
+func (ix *Index) Epoch() uint64 { return ix.epoch.Load() }
 
 // Count returns the number of indexed entries.
 func (ix *Index) Count() int {
@@ -217,6 +231,7 @@ func (ix *Index) Ingest(e Entry) error {
 	sh.ingestLocked(ix, e, ix.dict.Load())
 	ix.compactDict()
 	sh.publishLocked()
+	ix.epoch.Add(1)
 	return nil
 }
 
@@ -254,6 +269,7 @@ func (ix *Index) IngestBatch(entries []Entry) error {
 		sh.dirty = nil
 		sh.publishLocked()
 	}
+	ix.epoch.Add(1)
 	return nil
 }
 
@@ -269,6 +285,7 @@ func (ix *Index) Delete(id string) bool {
 	sh.removeLocked(id, ord)
 	ix.ids.Delete(id)
 	sh.publishLocked()
+	ix.epoch.Add(1)
 	return true
 }
 

@@ -1,0 +1,112 @@
+package picoprobe
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"picoprobe/internal/loadgen"
+	"picoprobe/internal/obs"
+	"picoprobe/internal/portal"
+	"picoprobe/internal/search"
+)
+
+// TestPortalLoadSmoke is the in-process slice of the load harness that
+// runs on every CI pass (`make load-smoke`): the full serving layer —
+// epoch cache, admission, metrics — behind a real TCP listener, driven
+// by 1000 concurrent persistent connections while a writer churns the
+// index. Gates: every connection establishes, zero transport errors,
+// zero 5xx, a working cache (non-zero hits), and a bounded p99. The
+// 10k-connection recorded run lives in `make bench-portal-load`
+// (BENCHMARKS.md "Portal load test"); this test keeps the machinery
+// honest between recordings.
+func TestPortalLoadSmoke(t *testing.T) {
+	conns, duration, warmup := 1000, 3*time.Second, time.Second
+	if testing.Short() {
+		conns, duration, warmup = 200, time.Second, 500*time.Millisecond
+	}
+
+	entries := loadgen.Campaign(20_000)
+	ix := search.NewIndex()
+	if err := ix.IngestBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv, err := portal.NewServer(portal.Config{
+		Index:   ix,
+		Cache:   &portal.CacheConfig{},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	// Ingest churn at ~50/s so epochs advance mid-run, exercising the
+	// generation swap and the bypass paths under load.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		rng := rand.New(rand.NewSource(3))
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if err := ix.Ingest(entries[rng.Intn(len(entries))]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addr:       ln.Addr().String(),
+		Conns:      conns,
+		Duration:   duration,
+		Warmup:     warmup,
+		Targets:    loadgen.DefaultTargets(),
+		Revalidate: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("load smoke (%d CPU):\n%s", runtime.NumCPU(), res.Format())
+
+	if res.Conns < conns {
+		t.Errorf("only %d of %d connections established", res.Conns, conns)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests recorded")
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d transport errors", res.Errors)
+	}
+	if res.StatusOther != 0 || res.Status503 != 0 {
+		t.Errorf("5xx/unexpected responses under smoke load: %+v", res)
+	}
+	if res.Status429 != 0 {
+		t.Errorf("429s with no rate limit configured: %d", res.Status429)
+	}
+	if res.CacheHits == 0 {
+		t.Error("epoch cache produced zero hits under a repeating mix")
+	}
+	// Generous single-core CI bound: collapse shows up as multi-second
+	// p99s, healthy cached serving stays well under this.
+	if p99 := res.P99(); p99 > 2*time.Second {
+		t.Errorf("p99 %v exceeds the 2s smoke bound", p99)
+	}
+}
